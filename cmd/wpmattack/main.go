@@ -1,0 +1,41 @@
+// Command wpmattack runs the Sec. 5 proof-of-concept attacks against both
+// crawler variants and prints which succeed where.
+package main
+
+import (
+	"fmt"
+
+	"gullible/internal/attacks"
+	"gullible/internal/httpsim"
+	"gullible/internal/jsdom"
+	"gullible/internal/openwpm"
+	"gullible/internal/stealth"
+)
+
+func main() {
+	variants := []attacks.Variant{
+		attacks.VanillaVariant(),
+		{
+			Name: "WPM_hide (hardened)",
+			NewTM: func(tr httpsim.RoundTripper) *openwpm.TaskManager {
+				return openwpm.NewTaskManager(openwpm.CrawlConfig{
+					OS: jsdom.Ubuntu, Mode: jsdom.Regular,
+					Transport: tr, DwellSeconds: 2,
+					HTTPInstrument: true, CookieInstrument: true,
+					Stealth: stealth.New(),
+				})
+			},
+		},
+	}
+	for _, v := range variants {
+		fmt.Printf("=== %s ===\n", v.Name)
+		for _, r := range attacks.RunAll(v) {
+			verdict := "defended"
+			if r.Succeeded {
+				verdict = "ATTACK SUCCEEDED"
+			}
+			fmt.Printf("  %-42s %-18s %s\n", r.Attack, verdict, r.Detail)
+		}
+		fmt.Println()
+	}
+}

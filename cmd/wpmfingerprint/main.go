@@ -1,0 +1,22 @@
+// Command wpmfingerprint measures OpenWPM's fingerprint surface (Sec. 3 of
+// the paper): it prints Tables 2–4, the prototype-pollution illustration of
+// Figure 2, and the Sec. 3.3 detector validation.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"gullible/internal/experiments"
+)
+
+func main() {
+	ffVersion := flag.Int("firefox", 90, "Firefox major version to simulate")
+	flag.Parse()
+
+	fmt.Println(experiments.Table2(*ffVersion))
+	fmt.Println(experiments.Table3())
+	fmt.Println(experiments.Table4())
+	fmt.Println(experiments.Figure2())
+	fmt.Println(experiments.DetectorValidation())
+}

@@ -1,0 +1,10 @@
+// Package gullible is a full-system Go reproduction of "How gullible are web
+// measurement tools? A case study analysing and strengthening OpenWPM's
+// reliability" (CoNEXT '22): a simulated Firefox with a JavaScript-subset
+// interpreter, an OpenWPM-style measurement framework with its vulnerable
+// vanilla instrumentation, the hardened WPM_hide variant, a deterministic
+// synthetic Tranco-100K web with bot detectors and cloaking, and the full
+// analysis pipeline regenerating every table and figure of the paper's
+// evaluation. See README.md and DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package gullible

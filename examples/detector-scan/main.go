@@ -1,0 +1,41 @@
+// The detector-scan example runs the Sec. 4 pipeline on a small ranked web:
+// crawl, collect scripts and JS calls, then identify bot detectors with both
+// static and dynamic analysis and show where they disagree.
+package main
+
+import (
+	"fmt"
+
+	"gullible/internal/experiments"
+	"gullible/internal/websim"
+)
+
+func main() {
+	const sites = 500
+	world := websim.New(websim.Options{Seed: 7, NumSites: sites})
+	fmt.Printf("scanning the top %d sites of the synthetic web...\n\n", sites)
+	r := experiments.RunScan(world, sites, 3, nil)
+
+	fmt.Println(experiments.Table5(r))
+	fmt.Println(experiments.Table6(r))
+	fmt.Println(experiments.Figure4(r))
+
+	// show a handful of concrete detector sites with their methods
+	fmt.Println("sample detector sites:")
+	shown := 0
+	for rank := 1; rank <= sites && shown < 8; rank++ {
+		site := websim.SiteDomain(rank)
+		s, d := r.StaticClean[site], r.DynamicClean[site]
+		if !s && !d {
+			continue
+		}
+		method := "static+dynamic"
+		if !s {
+			method = "dynamic only (obfuscated)"
+		} else if !d {
+			method = "static only (e.g. hover-gated or CSP-shielded)"
+		}
+		fmt.Printf("  #%-5d %-24s %s\n", rank, site, method)
+		shown++
+	}
+}

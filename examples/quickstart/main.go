@@ -1,0 +1,57 @@
+// The quickstart example builds a small synthetic web, crawls five sites
+// with an instrumented OpenWPM client, and prints what the instruments
+// recorded — the minimal end-to-end tour of the public pipeline.
+package main
+
+import (
+	"fmt"
+
+	"gullible/internal/jsdom"
+	"gullible/internal/openwpm"
+	"gullible/internal/websim"
+)
+
+func main() {
+	// 1. A deterministic synthetic web standing in for the Tranco list.
+	world := websim.New(websim.Options{Seed: 42, NumSites: 1000})
+
+	// 2. An OpenWPM-style task manager: Ubuntu, regular mode, Firefox 90,
+	//    all three instruments, three subpages per site.
+	tm := openwpm.NewTaskManager(openwpm.CrawlConfig{
+		OS:           jsdom.Ubuntu,
+		Mode:         jsdom.Regular,
+		Transport:    world,
+		DwellSeconds: 60, // virtual seconds — free
+		JSInstrument: true, HTTPInstrument: true, CookieInstrument: true,
+		MaxSubpages: 3,
+	})
+
+	// 3. Crawl.
+	for _, url := range websim.Tranco(5) {
+		sv, err := tm.VisitSite(url)
+		if err != nil {
+			fmt.Printf("%s: %v\n", url, err)
+			continue
+		}
+		fmt.Printf("visited %s (+%d subpages)\n", sv.Front.FinalURL, len(sv.Subpages))
+	}
+
+	// 4. What the instruments saw.
+	st := tm.Storage
+	fmt.Printf("\nHTTP requests recorded: %d\n", len(st.Requests))
+	for rt, n := range st.RequestsByType() {
+		fmt.Printf("  %-16s %d\n", rt, n)
+	}
+	fmt.Printf("cookies recorded: %d\n", len(st.Cookies))
+	fmt.Printf("JavaScript calls recorded: %d\n", len(st.JSCalls))
+	top := st.JSCallsBySymbol()
+	shown := 0
+	for _, sym := range []string{"Navigator.userAgent", "Navigator.webdriver", "Screen.width", "HTMLCanvasElement.getContext"} {
+		if top[sym] > 0 {
+			fmt.Printf("  %-30s %d\n", sym, top[sym])
+			shown++
+		}
+	}
+	fmt.Printf("unique script files stored: %d\n", len(st.ScriptFiles))
+	fmt.Printf("\nsites that flagged this client as a bot: %d\n", world.FlaggedCount("openwpm-client"))
+}

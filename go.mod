@@ -1,0 +1,3 @@
+module gullible
+
+go 1.22

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gullible/internal/openwpm"
+)
+
+func TestDeobfuscateHexEscapes(t *testing.T) {
+	// "\x77\x65\x62..." spells webdriver
+	obf := `var p = "\x77\x65\x62\x64\x72\x69\x76\x65\x72"; navigator[p];`
+	clean := Deobfuscate(obf)
+	if !strings.Contains(clean, "webdriver") {
+		t.Errorf("hex escapes not decoded: %q", clean)
+	}
+	// unicode escapes
+	if got := Deobfuscate(`"web"`); !strings.Contains(got, "web") {
+		t.Errorf("unicode escapes not decoded: %q", got)
+	}
+}
+
+func TestDeobfuscateStripsComments(t *testing.T) {
+	src := "var a = 1; // webdriver in a comment\n/* jsInstruments */ var b = 2;"
+	clean := Deobfuscate(src)
+	if strings.Contains(clean, "webdriver") || strings.Contains(clean, "jsInstruments") {
+		t.Errorf("comments not stripped: %q", clean)
+	}
+	if !strings.Contains(clean, "var a = 1") || !strings.Contains(clean, "var b = 2") {
+		t.Errorf("code damaged: %q", clean)
+	}
+	// strings containing comment markers survive
+	src2 := `var url = "https://x.com/path"; navigator.webdriver;`
+	if got := Deobfuscate(src2); !strings.Contains(got, "https://x.com/path") {
+		t.Errorf("string literal damaged: %q", got)
+	}
+}
+
+func TestStaticPatterns(t *testing.T) {
+	cases := []struct {
+		src     string
+		pattern string
+		want    bool
+	}{
+		{"if (navigator.webdriver) report();", "navigator.webdriver", true},
+		{`if (navigator["webdriver"]) report();`, `navigator\[["']webdriver["']\]`, true},
+		{`if (navigator['webdriver']) report();`, `navigator\[["']webdriver["']\]`, true},
+		{"var selenium_webdriver_port = 4444;", "navigator.webdriver", false},
+		{"var x = my_webdriver_tool;", "(?<!_|-)webdriver(?!_|-)", false},
+		{"check(webdriver)", "(?<!_|-)webdriver(?!_|-)", true},
+		{"typeof window.getInstrumentJS", "getInstrumentJS", true},
+	}
+	byName := map[string]Pattern{}
+	for _, p := range StaticPatterns {
+		byName[p.Name] = p
+	}
+	for _, c := range cases {
+		p, ok := byName[c.pattern]
+		if !ok {
+			t.Fatalf("pattern %q missing", c.pattern)
+		}
+		if got := p.Match(c.src); got != c.want {
+			t.Errorf("pattern %q on %q = %v, want %v", c.pattern, c.src, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeStaticClassification(t *testing.T) {
+	r := AnalyzeStatic("if (navigator.webdriver === true) { cloak(); }")
+	if !r.SeleniumDetector {
+		t.Error("direct webdriver probe not classified")
+	}
+	// obfuscated probe via bracket access with hex escapes
+	r = AnalyzeStatic(`if (navigator["\x77\x65\x62\x64\x72\x69\x76\x65\x72"]) cloak();`)
+	if !r.SeleniumDetector {
+		t.Error("obfuscated webdriver probe not classified after deobfuscation")
+	}
+	// the naive substring alone is not enough
+	r = AnalyzeStatic("var webdriverTutorialURL = 1;")
+	if r.SeleniumDetector {
+		t.Error("false positive on incidental 'webdriver' substring")
+	}
+	// OpenWPM markers
+	r = AnalyzeStatic(`if (typeof window.getInstrumentJS === "function") flagOpenWPM();`)
+	if len(r.OpenWPMProps) != 1 || r.OpenWPMProps[0] != "getInstrumentJS" {
+		t.Errorf("OpenWPM props = %v", r.OpenWPMProps)
+	}
+}
+
+func mkCall(script, symbol string) openwpm.JSCall {
+	return openwpm.JSCall{TopURL: "https://site.com/", ScriptURL: script, Symbol: symbol, Operation: "get"}
+}
+
+func TestAnalyzeDynamicClassification(t *testing.T) {
+	honey := []string{"zxaaaa", "zxbbbb"}
+	calls := []openwpm.JSCall{
+		// direct detector: probes webdriver, no iteration
+		mkCall("https://cdn.det.com/bot.js", "Navigator.webdriver"),
+		mkCall("https://cdn.det.com/bot.js", "Navigator.userAgent"),
+		// fingerprinting iterator: touches everything incl. honey props
+		mkCall("https://fp.com/fp.js", "Navigator.webdriver"),
+		mkCall("https://fp.com/fp.js", "honey:zxaaaa"),
+		mkCall("https://fp.com/fp.js", "honey:zxbbbb"),
+		// innocuous script
+		mkCall("https://site.com/app.js", "Screen.width"),
+		// OpenWPM-specific detector
+		mkCall("https://cheqzone.com/cz.js", "window.getInstrumentJS"),
+	}
+	res := AnalyzeDynamic(calls, honey, func(url string) bool { return false })
+	byURL := map[string]DynamicScript{}
+	for _, r := range res {
+		byURL[r.URL] = r
+	}
+	if byURL["https://cdn.det.com/bot.js"].Class != ClassSeleniumDetector {
+		t.Error("direct probe not classified as detector")
+	}
+	if byURL["https://fp.com/fp.js"].Class != ClassInconclusive {
+		t.Error("iterator not classified as inconclusive")
+	}
+	if !byURL["https://fp.com/fp.js"].Iterator {
+		t.Error("iterator not recognised via honey properties")
+	}
+	if c := byURL["https://site.com/app.js"].Class; c != ClassNone {
+		t.Errorf("innocuous script classified as %v", c)
+	}
+	cz := byURL["https://cheqzone.com/cz.js"]
+	if cz.Class != ClassSeleniumDetector || len(cz.OpenWPMProps) != 1 {
+		t.Errorf("OpenWPM-marker probe: class=%v props=%v", cz.Class, cz.OpenWPMProps)
+	}
+
+	// an iterator that static analysis ALSO flags is a detector
+	res = AnalyzeDynamic(calls, honey, func(url string) bool {
+		return url == "https://fp.com/fp.js"
+	})
+	for _, r := range res {
+		if r.URL == "https://fp.com/fp.js" && r.Class != ClassSeleniumDetector {
+			t.Error("static-confirmed iterator should be a detector")
+		}
+	}
+}
+
+func TestAttributeFirstParty(t *testing.T) {
+	cases := map[string]string{
+		"https://shop.com/akam/11/3f9a1c":                         ProviderAkamai,
+		"https://bank.com/_Incapsula_Resource?SWJIYLWA=1":         ProviderIncapsula,
+		"https://news.com/cdn-cgi/bm/cv/2172558837/api.js":        ProviderCloudflare,
+		"https://x.com/ab12cd34/init.js":                          ProviderPerimeterX,
+		"https://y.com/assets/0123456789abcdef0123456789abcdef":   ProviderUnknown,
+		"https://y.com/static/0123456789abcdef0123456789abcdef12": ProviderUnknown,
+		"https://clean.com/js/app.js":                             ProviderNone,
+	}
+	for url, want := range cases {
+		if got := AttributeFirstParty(url); got != want {
+			t.Errorf("AttributeFirstParty(%q) = %q, want %q", url, got, want)
+		}
+	}
+}
+
+func TestClusterFirstPartySpreadsByContentHash(t *testing.T) {
+	akamaiBody := "akamai detector body"
+	scripts := []FirstPartyScript{
+		{Site: "shop.com", URL: "https://shop.com/akam/11/x", Content: akamaiBody},
+		// identical content, unrecognisable path → attributed via hash
+		{Site: "other.com", URL: "https://other.com/js/bundle.js", Content: akamaiBody},
+		{Site: "bank.com", URL: "https://bank.com/_Incapsula_Resource?x", Content: "incapsula body"},
+	}
+	counts := ClusterFirstParty(scripts)
+	if counts[ProviderAkamai] != 2 {
+		t.Errorf("Akamai sites = %d, want 2", counts[ProviderAkamai])
+	}
+	if counts[ProviderIncapsula] != 1 {
+		t.Errorf("Incapsula sites = %d, want 1", counts[ProviderIncapsula])
+	}
+}
+
+func TestQuickDeobfuscateIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 200 {
+			s = s[:200]
+		}
+		once := Deobfuscate(s)
+		twice := Deobfuscate(once)
+		// decoding escapes can produce new comment markers only from data
+		// bytes; idempotence holds for escape-free inputs
+		if !strings.Contains(once, "\\x") && !strings.Contains(once, "\\u") &&
+			!strings.Contains(once, "/") {
+			return once == twice
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

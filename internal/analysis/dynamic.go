@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"gullible/internal/openwpm"
+)
+
+// ScriptClass is the dynamic classification of a script.
+type ScriptClass int
+
+// Classes.
+const (
+	ClassNone ScriptClass = iota
+	// ClassSeleniumDetector: the script intentionally probed
+	// navigator.webdriver.
+	ClassSeleniumDetector
+	// ClassInconclusive: a property iterator whose fingerprint-surface
+	// accesses may all be incidental (Sec. 4.1.3).
+	ClassInconclusive
+)
+
+// DynamicScript aggregates recorded accesses for one script URL.
+type DynamicScript struct {
+	URL               string
+	AccessedWebdriver bool
+	OpenWPMProps      []string // marker properties the script read
+	HoneyAccessed     int
+	Iterator          bool // accessed every honey property
+	Class             ScriptClass
+	TopURLs           map[string]bool // sites the accesses happened on
+}
+
+// AnalyzeDynamic classifies scripts from recorded JS calls. honey is the set
+// of honey property names active during the crawl; staticFlagged reports
+// whether static analysis flagged the script (used to resolve iterators that
+// also touch navigator.webdriver, Sec. 4.1.3).
+func AnalyzeDynamic(calls []openwpm.JSCall, honey []string, staticFlagged func(scriptURL string) bool) []DynamicScript {
+	honeySet := map[string]bool{}
+	for _, h := range honey {
+		honeySet[h] = true
+	}
+	byScript := map[string]*DynamicScript{}
+	honeyHits := map[string]map[string]bool{}
+	markerSeen := map[string]map[string]bool{}
+	for _, c := range calls {
+		if c.ScriptURL == "" {
+			continue
+		}
+		ds := byScript[c.ScriptURL]
+		if ds == nil {
+			ds = &DynamicScript{URL: c.ScriptURL, TopURLs: map[string]bool{}}
+			byScript[c.ScriptURL] = ds
+			honeyHits[c.ScriptURL] = map[string]bool{}
+			markerSeen[c.ScriptURL] = map[string]bool{}
+		}
+		ds.TopURLs[c.TopURL] = true
+		switch {
+		case c.Symbol == "Navigator.webdriver":
+			ds.AccessedWebdriver = true
+		case strings.HasPrefix(c.Symbol, "honey:"):
+			name := strings.TrimPrefix(c.Symbol, "honey:")
+			if honeySet[name] {
+				honeyHits[c.ScriptURL][name] = true
+			}
+		case strings.HasPrefix(c.Symbol, "window."):
+			name := strings.TrimPrefix(c.Symbol, "window.")
+			for _, m := range OpenWPMMarkers {
+				if name == m && !markerSeen[c.ScriptURL][m] {
+					markerSeen[c.ScriptURL][m] = true
+					ds.OpenWPMProps = append(ds.OpenWPMProps, m)
+				}
+			}
+		}
+	}
+
+	var out []DynamicScript
+	for url, ds := range byScript {
+		ds.HoneyAccessed = len(honeyHits[url])
+		ds.Iterator = len(honey) > 0 && ds.HoneyAccessed >= len(honey)
+		ds.Class = classify(ds, staticFlagged)
+		out = append(out, *ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// classify implements the paper's decision: non-iterators that probe
+// webdriver (or OpenWPM markers) are detectors; iterators are inconclusive
+// unless static analysis confirms intent.
+func classify(ds *DynamicScript, staticFlagged func(string) bool) ScriptClass {
+	touched := ds.AccessedWebdriver || len(ds.OpenWPMProps) > 0
+	if !touched {
+		return ClassNone
+	}
+	if !ds.Iterator {
+		return ClassSeleniumDetector
+	}
+	if staticFlagged != nil && staticFlagged(ds.URL) {
+		return ClassSeleniumDetector
+	}
+	return ClassInconclusive
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// First-party detector providers recognised by URL-path similarity
+// (Appendix A, Table 12). "Unknown" is the third-largest cluster the paper
+// could not attribute.
+const (
+	ProviderAkamai     = "Akamai"
+	ProviderIncapsula  = "Incapsula"
+	ProviderUnknown    = "Unknown"
+	ProviderCloudflare = "Cloudflare"
+	ProviderPerimeterX = "PerimeterX"
+	ProviderNone       = ""
+)
+
+var (
+	reUnknownHash = regexp.MustCompile(`/(assets|resources|public|static)/[0-9a-f]{30,36}(/|$)`)
+	rePerimeterX  = regexp.MustCompile(`/[a-z0-9]{8}/init\.js$`)
+	reCloudflare  = regexp.MustCompile(`/cdn-cgi/bm/cv/\d+/api\.js$`)
+)
+
+// AttributeFirstParty maps a first-party script URL path to its embedded
+// provider, or ProviderNone.
+func AttributeFirstParty(url string) string {
+	path := url
+	if i := strings.Index(path, "://"); i >= 0 {
+		path = path[i+3:]
+		if j := strings.IndexByte(path, '/'); j >= 0 {
+			path = path[j:]
+		} else {
+			path = "/"
+		}
+	}
+	switch {
+	case strings.Contains(path, "/akam/11/"):
+		return ProviderAkamai
+	case strings.Contains(path, "_Incapsula_Resource"):
+		return ProviderIncapsula
+	case reCloudflare.MatchString(path):
+		return ProviderCloudflare
+	case rePerimeterX.MatchString(path):
+		return ProviderPerimeterX
+	case reUnknownHash.MatchString(path):
+		return ProviderUnknown
+	}
+	return ProviderNone
+}
+
+// ScriptHash fingerprints script content for similarity clustering.
+func ScriptHash(content string) string {
+	sum := sha256.Sum256([]byte(content))
+	return hex.EncodeToString(sum[:8])
+}
+
+// ClusterFirstParty groups first-party detector scripts by provider,
+// combining content hashing with URL-path attribution. It returns
+// provider → number of distinct sites.
+func ClusterFirstParty(scripts []FirstPartyScript) map[string]int {
+	sites := map[string]map[string]bool{}
+	// pass 1: URL attribution; remember content hashes per provider
+	hashProvider := map[string]string{}
+	for _, s := range scripts {
+		p := AttributeFirstParty(s.URL)
+		if p == ProviderNone {
+			continue
+		}
+		hashProvider[ScriptHash(s.Content)] = p
+	}
+	// pass 2: spread provider labels to identical content on other paths
+	for _, s := range scripts {
+		p := AttributeFirstParty(s.URL)
+		if p == ProviderNone {
+			p = hashProvider[ScriptHash(s.Content)]
+		}
+		if p == ProviderNone {
+			continue
+		}
+		if sites[p] == nil {
+			sites[p] = map[string]bool{}
+		}
+		sites[p][s.Site] = true
+	}
+	out := map[string]int{}
+	for p, set := range sites {
+		out[p] = len(set)
+	}
+	return out
+}
+
+// FirstPartyScript is a first-party detector script observed on a site.
+type FirstPartyScript struct {
+	Site    string // eTLD+1 of the including site
+	URL     string
+	Content string
+}
+
+// SortedProviders returns providers by descending site count.
+func SortedProviders(counts map[string]int) []string {
+	var out []string
+	for p := range counts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

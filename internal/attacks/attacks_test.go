@@ -1,0 +1,84 @@
+package attacks
+
+import (
+	"testing"
+
+	"gullible/internal/httpsim"
+	"gullible/internal/jsdom"
+	"gullible/internal/openwpm"
+	"gullible/internal/stealth"
+)
+
+func stealthVariant() Variant {
+	return Variant{
+		Name: "WPM_hide",
+		NewTM: func(tr httpsim.RoundTripper) *openwpm.TaskManager {
+			return openwpm.NewTaskManager(openwpm.CrawlConfig{
+				OS: jsdom.Ubuntu, Mode: jsdom.Regular,
+				Transport: tr, DwellSeconds: 2,
+				HTTPInstrument: true, CookieInstrument: true,
+				HTTPFilterJSOnly: false, // Sec. 6.2.3 recommends full coverage
+				Stealth:          stealth.New(),
+			})
+		},
+	}
+}
+
+// expected outcome per attack, per variant.
+func TestAttackMatrixVanillaVsStealth(t *testing.T) {
+	wantVanilla := map[string]bool{
+		"recorder-shutdown (Listing 2)":         true,
+		"fake-data injection (Sec. 5.2)":        true,
+		"SQL injection (Sec. 5.3)":              false, // storage sanitised (Sec. 5.3)
+		"CSP injection blocking (Sec. 5.1.2)":   true,
+		"iframe unobserved channel (Listing 3)": true,
+		"silent JS delivery (Listing 4)":        true,
+	}
+	wantStealth := map[string]bool{
+		"recorder-shutdown (Listing 2)":         false,
+		"fake-data injection (Sec. 5.2)":        false,
+		"SQL injection (Sec. 5.3)":              false,
+		"CSP injection blocking (Sec. 5.1.2)":   false,
+		"iframe unobserved channel (Listing 3)": false,
+		"silent JS delivery (Listing 4)":        false, // full coverage stores it
+	}
+	for _, r := range RunAll(VanillaVariant()) {
+		want, ok := wantVanilla[r.Attack]
+		if !ok {
+			t.Fatalf("unknown attack %q", r.Attack)
+		}
+		if r.Succeeded != want {
+			t.Errorf("vanilla: %s succeeded=%v, want %v (%s)", r.Attack, r.Succeeded, want, r.Detail)
+		}
+	}
+	for _, r := range RunAll(stealthVariant()) {
+		want, ok := wantStealth[r.Attack]
+		if !ok {
+			t.Fatalf("unknown attack %q", r.Attack)
+		}
+		if r.Succeeded != want {
+			t.Errorf("stealth: %s succeeded=%v, want %v (%s)", r.Attack, r.Succeeded, want, r.Detail)
+		}
+	}
+}
+
+func TestForgedRecordCannotSpoofTopURL(t *testing.T) {
+	tm := VanillaVariant().NewTM(&Transport{Payload: FakeDataInjectionJS})
+	tm.VisitSite("https://attack-site.example/")
+	for _, c := range tm.Storage.JSCalls {
+		if c.TopURL != "https://attack-site.example/" {
+			t.Fatalf("a record carries spoofed TopURL %q", c.TopURL)
+		}
+	}
+}
+
+func TestSilentPayloadExecutesEvenWhenUnstored(t *testing.T) {
+	// the payload runs (JS instrument sees its calls) — only the HTTP
+	// store misses it
+	tm := VanillaVariant().NewTM(&Transport{Payload: SilentDeliveryJS})
+	tm.Cfg.DwellSeconds = 3
+	tm.VisitSite("https://attack-site.example/")
+	if tm.Storage.JSCallsBySymbol()["Navigator.userAgent"] == 0 {
+		t.Error("silent payload did not execute")
+	}
+}

@@ -1,0 +1,93 @@
+package blocklist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDomainAnchor(t *testing.T) {
+	l := Parse("test", []string{"||ads.example.com^", "||tracker.net^"})
+	cases := map[string]bool{
+		"https://ads.example.com/banner.js":   true,
+		"https://sub.ads.example.com/x":       true,
+		"https://example.com/ads.example.com": false, // host must match
+		"https://tracker.net/t.gif":           true,
+		"https://nottracker.net/t.gif":        false,
+		"https://clean.org/":                  false,
+	}
+	for url, want := range cases {
+		if got := l.Match(url); got != want {
+			t.Errorf("Match(%q) = %v, want %v", url, got, want)
+		}
+	}
+}
+
+func TestDomainAnchorWithPath(t *testing.T) {
+	l := Parse("test", []string{"||cdn.com/ads/"})
+	if !l.Match("https://cdn.com/ads/unit.js") {
+		t.Error("path anchor should match")
+	}
+	if l.Match("https://cdn.com/static/unit.js") {
+		t.Error("different path should not match")
+	}
+}
+
+func TestSubstringAndWildcard(t *testing.T) {
+	l := Parse("test", []string{"/adframe.", "banner*install"})
+	if !l.Match("https://x.com/adframe.html") {
+		t.Error("substring rule missed")
+	}
+	if !l.Match("https://x.com/banner/12/install.js") {
+		t.Error("wildcard rule missed")
+	}
+	if l.Match("https://x.com/install/banner.js") {
+		t.Error("wildcard pieces must match in order")
+	}
+}
+
+func TestExceptionRules(t *testing.T) {
+	l := Parse("test", []string{"||ads.com^", "@@||ads.com/allowed/"})
+	if !l.Match("https://ads.com/x.js") {
+		t.Error("base rule missed")
+	}
+	if l.Match("https://ads.com/allowed/x.js") {
+		t.Error("exception rule ignored")
+	}
+}
+
+func TestOptionsAndCommentsIgnored(t *testing.T) {
+	l := Parse("test", []string{
+		"! a comment",
+		"",
+		"example.com##.ad-slot", // element hiding: skipped
+		"||opt.com^$third-party,script",
+	})
+	if l.Len() != 1 {
+		t.Fatalf("rules = %d, want 1", l.Len())
+	}
+	if !l.Match("https://opt.com/x.js") {
+		t.Error("option-carrying rule should match on URL")
+	}
+}
+
+func TestQuickDomainAnchorNeverMatchesForeignHosts(t *testing.T) {
+	f := func(raw string) bool {
+		// any URL on a clean host never matches the anchored rule
+		host := "clean-host.org"
+		path := strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+				return r
+			}
+			return 'x'
+		}, raw)
+		if len(path) > 40 {
+			path = path[:40]
+		}
+		l := Parse("t", []string{"||blocked.com^"})
+		return !l.Match("https://" + host + "/" + path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package browser
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"gullible/internal/httpsim"
+)
+
+// CookieRecord is a stored cookie plus the visit context that set it.
+type CookieRecord struct {
+	Cookie httpsim.Cookie
+	TopURL string // top-level site at set time
+	SetAt  float64
+	ViaJS  bool
+}
+
+// FirstParty reports whether the cookie's domain matches the top-level site.
+func (r CookieRecord) FirstParty() bool {
+	return httpsim.ETLDPlusOne(r.Cookie.Domain) == httpsim.ETLDPlusOne(httpsim.Host(r.TopURL))
+}
+
+// CookieJar stores cookies keyed by registrable domain and name. It persists
+// across visits, which is what lets sites re-identify a returning client.
+type CookieJar struct {
+	cookies map[string]map[string]CookieRecord // eTLD+1 → name → record
+	// History records every store operation, including overwrites; the
+	// cookie instrument consumes it.
+	History []CookieRecord
+}
+
+// NewCookieJar returns an empty jar.
+func NewCookieJar() *CookieJar {
+	return &CookieJar{cookies: map[string]map[string]CookieRecord{}}
+}
+
+// Store saves a cookie set by host (HTTP) or the document (JS).
+func (j *CookieJar) Store(c httpsim.Cookie, topURL string, now float64, viaJS bool) {
+	if c.Domain == "" {
+		return
+	}
+	key := httpsim.ETLDPlusOne(c.Domain)
+	m := j.cookies[key]
+	if m == nil {
+		m = map[string]CookieRecord{}
+		j.cookies[key] = m
+	}
+	rec := CookieRecord{Cookie: c, TopURL: topURL, SetAt: now, ViaJS: viaJS}
+	m[c.Name] = rec
+	j.History = append(j.History, rec)
+}
+
+// StoreFromResponse saves all cookies of a response, defaulting the domain
+// to the responding host.
+func (j *CookieJar) StoreFromResponse(resp *httpsim.Response, reqURL, topURL string, now float64) {
+	for _, c := range resp.SetCookies {
+		if c.Domain == "" {
+			c.Domain = httpsim.Host(reqURL)
+		}
+		j.Store(c, topURL, now, false)
+	}
+}
+
+// HeaderFor renders the Cookie header value for a request URL.
+func (j *CookieJar) HeaderFor(url string) string {
+	m := j.cookies[httpsim.ETLDPlusOne(httpsim.Host(url))]
+	if len(m) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(m[n].Cookie.Value)
+	}
+	return b.String()
+}
+
+// DocumentCookieString renders document.cookie for a document URL.
+func (j *CookieJar) DocumentCookieString(url string) string {
+	return j.HeaderFor(url)
+}
+
+// StoreDocumentCookie parses a document.cookie assignment string.
+func (j *CookieJar) StoreDocumentCookie(s, docURL, topURL string, now float64) {
+	c := ParseSetCookie(s)
+	if c.Name == "" {
+		return
+	}
+	if c.Domain == "" {
+		c.Domain = httpsim.Host(docURL)
+	}
+	j.Store(c, topURL, now, true)
+}
+
+// All returns every live cookie.
+func (j *CookieJar) All() []CookieRecord {
+	var out []CookieRecord
+	var keys []string
+	for k := range j.cookies {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var names []string
+		for n := range j.cookies[k] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			out = append(out, j.cookies[k][n])
+		}
+	}
+	return out
+}
+
+// Len reports the number of live cookies.
+func (j *CookieJar) Len() int {
+	n := 0
+	for _, m := range j.cookies {
+		n += len(m)
+	}
+	return n
+}
+
+// ParseSetCookie parses a Set-Cookie style string into a Cookie.
+func ParseSetCookie(s string) httpsim.Cookie {
+	parts := strings.Split(s, ";")
+	if len(parts) == 0 {
+		return httpsim.Cookie{}
+	}
+	var c httpsim.Cookie
+	if eq := strings.IndexByte(parts[0], '='); eq >= 0 {
+		c.Name = strings.TrimSpace(parts[0][:eq])
+		c.Value = strings.TrimSpace(parts[0][eq+1:])
+	}
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		eq := strings.IndexByte(p, '=')
+		key := p
+		val := ""
+		if eq >= 0 {
+			key, val = p[:eq], p[eq+1:]
+		}
+		switch strings.ToLower(key) {
+		case "domain":
+			c.Domain = strings.TrimPrefix(val, ".")
+		case "max-age":
+			if n, err := strconv.ParseFloat(val, 64); err == nil {
+				c.Expires = n
+			}
+		case "secure":
+			c.Secure = true
+		case "httponly":
+			c.HTTP = true
+		}
+	}
+	return c
+}

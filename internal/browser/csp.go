@@ -1,0 +1,82 @@
+package browser
+
+import "strings"
+
+// CSP is a parsed Content-Security-Policy, reduced to the directives the
+// study needs: script-src sources and the violation report target.
+type CSP struct {
+	Present   bool
+	ScriptSrc []string
+	ReportURI string
+}
+
+// ParseCSP parses a Content-Security-Policy header value.
+func ParseCSP(header string) CSP {
+	if strings.TrimSpace(header) == "" {
+		return CSP{}
+	}
+	c := CSP{Present: true}
+	for _, directive := range strings.Split(header, ";") {
+		fields := strings.Fields(directive)
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToLower(fields[0]) {
+		case "script-src", "default-src":
+			if len(c.ScriptSrc) == 0 || strings.ToLower(fields[0]) == "script-src" {
+				c.ScriptSrc = fields[1:]
+			}
+		case "report-uri":
+			if len(fields) > 1 {
+				c.ReportURI = fields[1]
+			}
+		}
+	}
+	return c
+}
+
+// RestrictsScripts reports whether the policy has a script-src directive at
+// all; without one, injection is unrestricted.
+func (c CSP) RestrictsScripts() bool { return c.Present && len(c.ScriptSrc) > 0 }
+
+// AllowsInline reports whether inline/injected scripts are allowed.
+// OpenWPM's vanilla instrumentation injects a script node into the DOM,
+// which a script-src without 'unsafe-inline' blocks (Sec. 5.1.2).
+func (c CSP) AllowsInline() bool {
+	if !c.RestrictsScripts() {
+		return true
+	}
+	for _, s := range c.ScriptSrc {
+		if strings.EqualFold(s, "'unsafe-inline'") {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowsScriptFrom reports whether an external script from scriptHost may
+// run on a document served by docHost.
+func (c CSP) AllowsScriptFrom(scriptHost, docHost string) bool {
+	if !c.RestrictsScripts() {
+		return true
+	}
+	for _, s := range c.ScriptSrc {
+		switch {
+		case s == "*":
+			return true
+		case strings.EqualFold(s, "'self'"):
+			if scriptHost == docHost {
+				return true
+			}
+		case strings.HasPrefix(s, "*."):
+			if strings.HasSuffix(scriptHost, s[1:]) {
+				return true
+			}
+		default:
+			if strings.EqualFold(strings.TrimPrefix(strings.TrimPrefix(s, "https://"), "http://"), scriptHost) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,182 @@
+package browser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gullible/internal/httpsim"
+	"gullible/internal/jsdom"
+)
+
+func TestRedirectLoopAborts(t *testing.T) {
+	w := &fakeWeb{pages: map[string]*httpsim.Response{
+		"https://a.com/": {Status: 302, Headers: map[string]string{"Location": "https://b.com/"}},
+		"https://b.com/": {Status: 302, Headers: map[string]string{"Location": "https://a.com/"}},
+	}}
+	b := newTestBrowser(w)
+	if _, err := b.Visit("https://a.com/"); err == nil {
+		t.Fatal("redirect loop did not error")
+	} else if !strings.Contains(err.Error(), "redirect") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestTransportErrorSurfaces(t *testing.T) {
+	failing := httpsim.RoundTripperFunc(func(req *httpsim.Request) (*httpsim.Response, error) {
+		return nil, errors.New("connection refused")
+	})
+	b := New(Options{Config: jsdom.StandardConfig(jsdom.Ubuntu, jsdom.Regular, 90, 0), Transport: failing})
+	if _, err := b.Visit("https://down.example/"); err == nil {
+		t.Fatal("transport failure did not surface")
+	}
+}
+
+func TestFrameDepthLimit(t *testing.T) {
+	// a page that embeds itself recursively must stop at MaxFrameDepth
+	w := &fakeWeb{pages: map[string]*httpsim.Response{
+		"https://a.com/": page(`<iframe src="https://a.com/"></iframe>`, nil),
+	}}
+	b := newTestBrowser(w)
+	b.Opts.MaxFrameDepth = 3
+	if _, err := b.Visit("https://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(b.AllFrames()); n > 5 {
+		t.Errorf("frames = %d, recursion not bounded", n)
+	}
+}
+
+func TestCSPHostAllowlist(t *testing.T) {
+	w := &fakeWeb{pages: map[string]*httpsim.Response{
+		"https://a.com/": page(
+			`<script src="https://good.cdn/x.js"></script><script src="https://evil.cdn/y.js"></script>`,
+			map[string]string{"Content-Security-Policy": "script-src 'self' good.cdn; report-uri /r"}),
+		"https://good.cdn/x.js": {Status: 200, Body: "var good = 1;", Headers: map[string]string{"Content-Type": "text/javascript"}},
+		"https://evil.cdn/y.js": {Status: 200, Body: "var evil = 1;", Headers: map[string]string{"Content-Type": "text/javascript"}},
+	}}
+	b := newTestBrowser(w)
+	res, err := b.Visit("https://a.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := b.Top.It.RunScript("typeof good", "c.js"); v.Str != "number" {
+		t.Error("allowed host blocked")
+	}
+	if v, _ := b.Top.It.RunScript("typeof evil", "c.js"); v.Str != "undefined" {
+		t.Error("disallowed host executed")
+	}
+	if res.CSPReports != 1 {
+		t.Errorf("CSP reports = %d, want 1", res.CSPReports)
+	}
+}
+
+func TestParseCSPVariants(t *testing.T) {
+	c := ParseCSP("default-src 'self'; script-src 'self' cdn.example 'unsafe-inline'; report-uri /r")
+	if !c.AllowsInline() {
+		t.Error("'unsafe-inline' ignored")
+	}
+	if !c.AllowsScriptFrom("cdn.example", "site.example") {
+		t.Error("listed host blocked")
+	}
+	if c.ReportURI != "/r" {
+		t.Errorf("report-uri = %q", c.ReportURI)
+	}
+	// default-src fallback when script-src is absent
+	c = ParseCSP("default-src 'self'")
+	if c.AllowsInline() {
+		t.Error("default-src 'self' should block inline")
+	}
+	if !c.AllowsScriptFrom("site.example", "site.example") {
+		t.Error("'self' should allow own host")
+	}
+	// empty header: unrestricted
+	c = ParseCSP("")
+	if c.Present || !c.AllowsInline() {
+		t.Error("empty policy should be absent/unrestricted")
+	}
+	// wildcard subdomain
+	c = ParseCSP("script-src *.trusted.example")
+	if !c.AllowsScriptFrom("cdn.trusted.example", "x") {
+		t.Error("wildcard subdomain blocked")
+	}
+	if c.AllowsScriptFrom("evil.example", "x") {
+		t.Error("foreign host allowed by wildcard")
+	}
+}
+
+func TestCookieJarDomainScoping(t *testing.T) {
+	j := NewCookieJar()
+	j.Store(httpsim.Cookie{Name: "a", Value: "1", Domain: "x.com"}, "https://x.com/", 0, false)
+	j.Store(httpsim.Cookie{Name: "b", Value: "2", Domain: "sub.x.com"}, "https://x.com/", 0, false)
+	j.Store(httpsim.Cookie{Name: "c", Value: "3", Domain: "y.net"}, "https://x.com/", 0, false)
+	// registrable-domain scoping: sub.x.com shares the x.com jar bucket
+	hdr := j.HeaderFor("https://www.x.com/p")
+	if !strings.Contains(hdr, "a=1") || !strings.Contains(hdr, "b=2") {
+		t.Errorf("header = %q", hdr)
+	}
+	if strings.Contains(hdr, "c=3") {
+		t.Errorf("cross-domain cookie leaked: %q", hdr)
+	}
+	if j.Len() != 3 {
+		t.Errorf("jar size = %d", j.Len())
+	}
+}
+
+func TestParseSetCookieAttributes(t *testing.T) {
+	c := ParseSetCookie("uid=xyz; Domain=.t.com; Max-Age=86400; Secure; HttpOnly")
+	if c.Name != "uid" || c.Value != "xyz" {
+		t.Errorf("name/value = %q/%q", c.Name, c.Value)
+	}
+	if c.Domain != "t.com" {
+		t.Errorf("domain = %q (leading dot must be stripped)", c.Domain)
+	}
+	if c.Expires != 86400 || !c.Secure || !c.HTTP {
+		t.Errorf("attrs = %+v", c)
+	}
+	if bad := ParseSetCookie("no-equals-sign"); bad.Name != "" {
+		t.Errorf("malformed cookie parsed: %+v", bad)
+	}
+}
+
+func TestOverwritingCookieKeepsJarSize(t *testing.T) {
+	j := NewCookieJar()
+	j.Store(httpsim.Cookie{Name: "a", Value: "1", Domain: "x.com"}, "https://x.com/", 0, false)
+	j.Store(httpsim.Cookie{Name: "a", Value: "2", Domain: "x.com"}, "https://x.com/", 5, false)
+	if j.Len() != 1 {
+		t.Errorf("jar size = %d after overwrite", j.Len())
+	}
+	if len(j.History) != 2 {
+		t.Errorf("history = %d, want 2 (both writes recorded)", len(j.History))
+	}
+	if hdr := j.HeaderFor("https://x.com/"); !strings.Contains(hdr, "a=2") {
+		t.Errorf("header = %q", hdr)
+	}
+}
+
+func TestMalformedHTMLDoesNotPanic(t *testing.T) {
+	for _, body := range []string{
+		"<", "<script", "<script src=", `<a href="x`, "<!-- unterminated",
+		"<script>no closing tag", "<><><img src=>", strings.Repeat("<div>", 500),
+	} {
+		items := ParseHTML(body)
+		_ = items
+	}
+}
+
+func TestScriptParseErrorRecorded(t *testing.T) {
+	w := &fakeWeb{pages: map[string]*httpsim.Response{
+		"https://a.com/": page(`<script>var broken = ;</script><script>var fine = 1;</script>`, nil),
+	}}
+	b := newTestBrowser(w)
+	res, err := b.Visit("https://a.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ScriptErrors) != 1 {
+		t.Errorf("script errors = %v", res.ScriptErrors)
+	}
+	if v, _ := b.Top.It.RunScript("fine", "c.js"); v.Num != 1 {
+		t.Error("later script did not run after parse error")
+	}
+}

@@ -1,0 +1,123 @@
+package browser
+
+import "strings"
+
+// HTMLItem is one element extracted from a page in document order. The
+// simulated web serves real HTML markup; this scanner extracts the subset of
+// elements that have loading side effects.
+type HTMLItem struct {
+	Tag    string
+	Attrs  map[string]string
+	Inline string // script body for inline <script> elements
+}
+
+// ParseHTML scans markup and returns elements with side effects (script,
+// img, iframe, link, a, div-with-id) in document order. It is not a full
+// tree parser: the simulation never needs nesting.
+func ParseHTML(src string) []HTMLItem {
+	var items []HTMLItem
+	i := 0
+	for i < len(src) {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			break
+		}
+		i += lt
+		if strings.HasPrefix(src[i:], "<!--") {
+			end := strings.Index(src[i:], "-->")
+			if end < 0 {
+				break
+			}
+			i += end + 3
+			continue
+		}
+		gt := strings.IndexByte(src[i:], '>')
+		if gt < 0 {
+			break
+		}
+		tagSrc := src[i+1 : i+gt]
+		i += gt + 1
+		if tagSrc == "" || tagSrc[0] == '/' || tagSrc[0] == '!' {
+			continue
+		}
+		name, attrs := parseTag(tagSrc)
+		switch name {
+		case "script":
+			item := HTMLItem{Tag: name, Attrs: attrs}
+			if attrs["src"] == "" {
+				end := strings.Index(strings.ToLower(src[i:]), "</script")
+				if end < 0 {
+					end = len(src) - i
+				}
+				item.Inline = src[i : i+end]
+				i += end
+			}
+			items = append(items, item)
+		case "img", "iframe", "a", "link", "video", "audio", "object", "embed":
+			items = append(items, HTMLItem{Tag: name, Attrs: attrs})
+		default:
+			if attrs["id"] != "" {
+				items = append(items, HTMLItem{Tag: name, Attrs: attrs})
+			}
+		}
+	}
+	return items
+}
+
+// parseTag splits `name attr="v" attr2='v'` into name and attribute map.
+func parseTag(s string) (string, map[string]string) {
+	s = strings.TrimSpace(strings.TrimSuffix(s, "/"))
+	sp := strings.IndexAny(s, " \t\n\r")
+	if sp < 0 {
+		return strings.ToLower(s), map[string]string{}
+	}
+	name := strings.ToLower(s[:sp])
+	attrs := map[string]string{}
+	rest := s[sp:]
+	for {
+		rest = strings.TrimLeft(rest, " \t\n\r")
+		if rest == "" {
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		sp := strings.IndexAny(rest, " \t\n\r")
+		if eq < 0 || (sp >= 0 && sp < eq) {
+			// bare attribute
+			if sp < 0 {
+				attrs[strings.ToLower(rest)] = ""
+				break
+			}
+			attrs[strings.ToLower(rest[:sp])] = ""
+			rest = rest[sp:]
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(rest[:eq]))
+		rest = strings.TrimLeft(rest[eq+1:], " \t\n\r")
+		if rest == "" {
+			attrs[key] = ""
+			break
+		}
+		switch rest[0] {
+		case '"', '\'':
+			q := rest[0]
+			end := strings.IndexByte(rest[1:], q)
+			if end < 0 {
+				attrs[key] = rest[1:]
+				rest = ""
+			} else {
+				attrs[key] = rest[1 : 1+end]
+				rest = rest[end+2:]
+			}
+		default:
+			end := strings.IndexAny(rest, " \t\n\r")
+			if end < 0 {
+				attrs[key] = rest
+				rest = ""
+			} else {
+				attrs[key] = rest[:end]
+				rest = rest[end:]
+			}
+		}
+	}
+	return name, attrs
+}

@@ -1,0 +1,133 @@
+// Package cookiecls classifies cookies as tracking cookies using the
+// criteria of Englehardt et al. as refined by Chen et al. (Sec. 6.3.3 of the
+// paper): non-session, value length ≥ 8, always set, long-living (≥ 3
+// months), and user-identifying values as judged by Ratcliff-Obershelp
+// similarity across clients.
+package cookiecls
+
+// SecondsIn3Months is the long-living threshold (criterion 4).
+const SecondsIn3Months = 90 * 24 * 3600
+
+// MinValueLen is the minimum identifier length (criterion 2).
+const MinValueLen = 8
+
+// SimilarityThreshold: values from different clients more similar than this
+// are not user-identifying (criterion 5).
+const SimilarityThreshold = 0.66
+
+// Observation is one cookie observed across repeated runs on two clients.
+type Observation struct {
+	Name   string
+	Domain string
+	// ExpiresSeconds is the lifetime; 0 marks a session cookie.
+	ExpiresSeconds float64
+	// ValuesA and ValuesB are the observed values per run for each client.
+	ValuesA []string
+	ValuesB []string
+	// RunsObserved / RunsTotal implement "the cookie is always set".
+	RunsObserved int
+	RunsTotal    int
+}
+
+// IsTracking applies the five criteria.
+func IsTracking(o Observation) bool {
+	// (1) not a session cookie
+	if o.ExpiresSeconds == 0 {
+		return false
+	}
+	// (4) long-living
+	if o.ExpiresSeconds < SecondsIn3Months {
+		return false
+	}
+	// (3) always set
+	if o.RunsTotal == 0 || o.RunsObserved < o.RunsTotal {
+		return false
+	}
+	// (2) identifier-sized value
+	if shortest(o.ValuesA) < MinValueLen && shortest(o.ValuesB) < MinValueLen {
+		return false
+	}
+	// (5) values differ significantly across clients
+	for _, a := range o.ValuesA {
+		for _, b := range o.ValuesB {
+			if RatcliffObershelp(trimQuotes(a), trimQuotes(b)) >= SimilarityThreshold {
+				return false
+			}
+		}
+	}
+	return len(o.ValuesA) > 0 && len(o.ValuesB) > 0
+}
+
+func shortest(vals []string) int {
+	if len(vals) == 0 {
+		return 0
+	}
+	min := len(trimQuotes(vals[0]))
+	for _, v := range vals[1:] {
+		if l := len(trimQuotes(v)); l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+func trimQuotes(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// RatcliffObershelp computes the Ratcliff/Obershelp pattern-recognition
+// similarity of two strings in [0, 1]: twice the number of matching
+// characters (longest common substring, applied recursively to the
+// unmatched flanks) over the total length.
+func RatcliffObershelp(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	m := matchingChars(a, b)
+	return 2 * float64(m) / float64(len(a)+len(b))
+}
+
+// matchingChars recursively counts characters in common substrings.
+func matchingChars(a, b string) int {
+	ai, bi, size := longestCommonSubstring(a, b)
+	if size == 0 {
+		return 0
+	}
+	n := size
+	n += matchingChars(a[:ai], b[:bi])
+	n += matchingChars(a[ai+size:], b[bi+size:])
+	return n
+}
+
+// longestCommonSubstring returns the start offsets and length of the longest
+// common substring of a and b (first-leftmost on ties, matching difflib).
+func longestCommonSubstring(a, b string) (ai, bi, size int) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, 0
+	}
+	// dynamic programming over suffix match lengths; O(len(a)*len(b))
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > size {
+					size = cur[j]
+					ai = i - size
+					bi = j - size
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return ai, bi, size
+}

@@ -1,0 +1,97 @@
+package cookiecls
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRatcliffObershelpKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"abc", "", 0},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := RatcliffObershelp(c.a, c.b); got != c.want {
+			t.Errorf("RO(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// matches Python difflib.SequenceMatcher.ratio: 2*7/18 ≈ 0.778
+	if got := RatcliffObershelp("WIKIMEDIA", "WIKIMANIA"); got < 0.777 || got > 0.779 {
+		t.Errorf("RO(WIKIMEDIA, WIKIMANIA) = %v, want ≈ 0.778", got)
+	}
+}
+
+func TestRatcliffObershelpProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		if len(b) > 64 {
+			b = b[:64]
+		}
+		s := RatcliffObershelp(a, b)
+		if s < 0 || s > 1 {
+			return false
+		}
+		// identity
+		if RatcliffObershelp(a, a) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func trackingObs() Observation {
+	return Observation{
+		Name: "uid", Domain: "tracker.com",
+		ExpiresSeconds: 180 * 24 * 3600,
+		ValuesA:        []string{"aaaaaaaaaaaaaaaa1111", "aaaaaaaaaaaaaaaa1111", "aaaaaaaaaaaaaaaa1111"},
+		ValuesB:        []string{"zzzz9999qqqq0000xkcd", "zzzz9999qqqq0000xkcd", "zzzz9999qqqq0000xkcd"},
+		RunsObserved:   3, RunsTotal: 3,
+	}
+}
+
+func TestIsTracking(t *testing.T) {
+	if !IsTracking(trackingObs()) {
+		t.Error("canonical tracking cookie not classified as tracking")
+	}
+	// (1) session cookie
+	o := trackingObs()
+	o.ExpiresSeconds = 0
+	if IsTracking(o) {
+		t.Error("session cookie classified as tracking")
+	}
+	// (2) short value
+	o = trackingObs()
+	o.ValuesA = []string{"ab", "ab", "ab"}
+	o.ValuesB = []string{"xy", "xy", "xy"}
+	if IsTracking(o) {
+		t.Error("short-value cookie classified as tracking")
+	}
+	// (3) not always set
+	o = trackingObs()
+	o.RunsObserved = 2
+	if IsTracking(o) {
+		t.Error("intermittent cookie classified as tracking")
+	}
+	// (4) short-lived
+	o = trackingObs()
+	o.ExpiresSeconds = 24 * 3600
+	if IsTracking(o) {
+		t.Error("short-lived cookie classified as tracking")
+	}
+	// (5) same value on both clients (e.g. a consent flag)
+	o = trackingObs()
+	o.ValuesB = o.ValuesA
+	if IsTracking(o) {
+		t.Error("client-independent cookie classified as tracking")
+	}
+}

@@ -1,0 +1,93 @@
+// Package dbginstrument implements the instrumentation strategy the paper
+// recommends as future work (Sec. 8, "Towards robust instrumentation"):
+// recording JavaScript API accesses entirely OUTSIDE page scope, through the
+// engine's debugger interface, instead of wrapping functions in the page.
+//
+// Because nothing in the page changes — no wrappers, no injected globals,
+// no redefined descriptors — this instrument is invisible to toString
+// probes, stack traces, prototype inspection and template attacks, cannot
+// be blocked by CSP, and cannot be intercepted or forged through
+// document.dispatchEvent. The trade-off the paper anticipates also holds:
+// the debugger sees property accesses (including method lookups) but not
+// the arguments of subsequent calls.
+package dbginstrument
+
+import (
+	"gullible/internal/browser"
+	"gullible/internal/jsdom"
+	"gullible/internal/minjs"
+	"gullible/internal/openwpm"
+	"gullible/internal/stealth"
+)
+
+// Instrument records API accesses through the engine's property-access
+// debugger hook. It implements openwpm.Instrumentor.
+type Instrument struct {
+	// MaskAutomation additionally hides the WebDriver fingerprint (the
+	// Sec. 6.1.5 masking); the recording itself needs no masking at all.
+	MaskAutomation bool
+	Settings       stealth.Settings
+
+	// symbols maps (owning prototype, property) → API path across ALL
+	// realms of the current page: cross-realm access (a parent reading a
+	// subframe's navigator) evaluates in the parent's engine but touches
+	// the frame's prototypes. Reset on each new top document.
+	symbols map[apiKey]apiInfo
+}
+
+type apiKey struct {
+	owner *minjs.Object
+	name  string
+}
+
+type apiInfo struct {
+	symbol   string
+	frameURL string
+}
+
+// New returns a debugger-based instrument with automation masking on.
+func New() *Instrument {
+	return &Instrument{MaskAutomation: true, Settings: stealth.DefaultSettings()}
+}
+
+// Name implements openwpm.Instrumentor.
+func (di *Instrument) Name() string { return "debugger_instrument" }
+
+// TopInstallError implements openwpm.Instrumentor; engine-level hooks can
+// never fail to install.
+func (di *Instrument) TopInstallError() error { return nil }
+
+// OnWindow attaches the debugger hook to a fresh realm. The hook is set at
+// realm creation, so even immediate frame access (Listing 3) is covered.
+func (di *Instrument) OnWindow(b *browser.Browser, st *openwpm.Storage, d *jsdom.DOM, top bool) {
+	if di.MaskAutomation {
+		stealth.MaskAutomation(d, di.Settings)
+	}
+
+	// register this realm's instrumentable prototypes in the shared map
+	if top || di.symbols == nil {
+		di.symbols = map[apiKey]apiInfo{}
+	}
+	for _, api := range d.InstrumentableAPIs() {
+		owner, prop := api.Proto.FindProperty(api.Name)
+		if prop == nil {
+			continue
+		}
+		di.symbols[apiKey{owner, api.Name}] = apiInfo{symbol: api.Path(), frameURL: d.URL}
+	}
+
+	d.It.PropAccessHook = func(owner *minjs.Object, key string) {
+		info, ok := di.symbols[apiKey{owner, key}]
+		if !ok {
+			return
+		}
+		st.AddJSCall(openwpm.JSCall{
+			TopURL:    b.FinalURL(),
+			FrameURL:  info.frameURL,
+			Symbol:    info.symbol,
+			Operation: "get",
+			ScriptURL: d.It.CurrentScript(),
+			Time:      b.Now(),
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package dbginstrument
+
+import (
+	"strings"
+	"testing"
+
+	"gullible/internal/fingerprint"
+	"gullible/internal/httpsim"
+	"gullible/internal/jsdom"
+	"gullible/internal/openwpm"
+)
+
+type web struct{ pages map[string]*httpsim.Response }
+
+func (w *web) RoundTrip(req *httpsim.Request) (*httpsim.Response, error) {
+	if resp, ok := w.pages[req.URL]; ok {
+		return resp, nil
+	}
+	return &httpsim.Response{Status: 404, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+}
+
+func page(body string, headers map[string]string) *httpsim.Response {
+	h := map[string]string{"Content-Type": "text/html"}
+	for k, v := range headers {
+		h[k] = v
+	}
+	return &httpsim.Response{Status: 200, Headers: h, Body: body}
+}
+
+func tmFor(w *web) *openwpm.TaskManager {
+	return openwpm.NewTaskManager(openwpm.CrawlConfig{
+		OS: jsdom.Ubuntu, Mode: jsdom.Regular,
+		Transport: w, DwellSeconds: 2,
+		HTTPInstrument: true, CookieInstrument: true,
+		Stealth: New(), // plugs into the same Instrumentor slot
+	})
+}
+
+func TestRecordsAccesses(t *testing.T) {
+	w := &web{pages: map[string]*httpsim.Response{
+		"https://a.com/": page(`<script src="/p.js"></script>`, nil),
+		"https://a.com/p.js": {Status: 200, Headers: map[string]string{"Content-Type": "text/javascript"},
+			Body: "navigator.userAgent; screen.availTop;"},
+	}}
+	tm := tmFor(w)
+	if _, err := tm.VisitSite("https://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	calls := tm.Storage.JSCallsBySymbol()
+	if calls["Navigator.userAgent"] == 0 || calls["Screen.availTop"] == 0 {
+		t.Errorf("debugger hook missed accesses: %v", calls)
+	}
+	var attributed bool
+	for _, c := range tm.Storage.JSCalls {
+		if c.Symbol == "Navigator.userAgent" && strings.Contains(c.ScriptURL, "p.js") {
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Error("script attribution missing")
+	}
+}
+
+func TestPerfectlyInvisible(t *testing.T) {
+	// the instrumented realm is template-identical to a human browser
+	w := &web{pages: map[string]*httpsim.Response{"https://a.com/": page("<html></html>", nil)}}
+	tm := tmFor(w)
+	b := tm.NewBrowser()
+	if _, err := b.Visit("https://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	baseline := jsdom.Build(jsdom.BaselineConfig(jsdom.Ubuntu, 90), &jsdom.NopHost{}, "https://a.com/")
+	diff := fingerprint.Compare(fingerprint.CaptureTemplate(baseline), fingerprint.CaptureTemplate(b.Top))
+	if diff.Total() != 0 {
+		t.Errorf("template diff vs human baseline: %s\nmissing=%v added=%v changed=%v",
+			diff, trim(diff.Missing), trim(diff.Added), trim(diff.Changed))
+	}
+	if n := fingerprint.CountTamperedAPIs(b.Top); n != 0 {
+		t.Errorf("tampered APIs = %d, want 0", n)
+	}
+	if findings := (fingerprint.Detector{}).Detect(b.Top); len(findings) != 0 {
+		t.Errorf("detector findings: %v", findings)
+	}
+}
+
+func trim(s []string) []string {
+	if len(s) > 5 {
+		return s[:5]
+	}
+	return s
+}
+
+func TestDispatcherAndForgeryIneffective(t *testing.T) {
+	attack := `
+		document.dispatchEvent = function (e) { return true; };
+		navigator.oscpu; // must still be recorded
+		document.dispatchEvent(new CustomEvent("openwpm-00000000", {detail: {symbol: "Navigator.FAKE"}}));
+	`
+	w := &web{pages: map[string]*httpsim.Response{"https://a.com/": page("<script>"+attack+"</script>", nil)}}
+	tm := tmFor(w)
+	if _, err := tm.VisitSite("https://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	calls := tm.Storage.JSCallsBySymbol()
+	if calls["Navigator.oscpu"] == 0 {
+		t.Error("recording blocked by dispatcher attack")
+	}
+	if calls["Navigator.FAKE"] != 0 {
+		t.Error("forged record accepted")
+	}
+}
+
+func TestCSPIrrelevant(t *testing.T) {
+	w := &web{pages: map[string]*httpsim.Response{
+		"https://csp.com/": page(`<script src="/p.js"></script>`,
+			map[string]string{"Content-Security-Policy": "script-src 'self'; report-uri /csp"}),
+		"https://csp.com/p.js": {Status: 200, Headers: map[string]string{"Content-Type": "text/javascript"},
+			Body: "navigator.userAgent;"},
+	}}
+	tm := tmFor(w)
+	if _, err := tm.VisitSite("https://csp.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Storage.JSCallsBySymbol()["Navigator.userAgent"] == 0 {
+		t.Error("engine-level hook blocked by CSP")
+	}
+}
+
+func TestIframeImmediateAccessRecorded(t *testing.T) {
+	w := &web{pages: map[string]*httpsim.Response{
+		"https://a.com/": page(`<div id="u"></div><script>
+			setTimeout(function () {
+				var f = document.createElement("iframe");
+				f.src = "https://a.com/frame";
+				document.querySelector("#u").appendChild(f);
+				f.contentWindow.navigator.userAgent;
+			}, 100);
+		</script>`, nil),
+		"https://a.com/frame": page("<html></html>", nil),
+	}}
+	tm := tmFor(w)
+	tm.Cfg.DwellSeconds = 2
+	if _, err := tm.VisitSite("https://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	var caught bool
+	for _, c := range tm.Storage.JSCalls {
+		if c.FrameURL == "https://a.com/frame" && c.Symbol == "Navigator.userAgent" {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Error("immediate frame access missed by the debugger hook")
+	}
+}

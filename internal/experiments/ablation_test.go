@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"gullible/internal/websim"
+)
+
+func TestAblationMethods(t *testing.T) {
+	world := websim.New(websim.Options{Seed: 11, NumSites: 400})
+	tbl := AblationMethods(world, 400)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d:\n%s", len(tbl.Rows), tbl.String())
+	}
+	found := func(rowIdx int) int {
+		n, err := strconv.Atoi(tbl.Rows[rowIdx][1])
+		if err != nil {
+			t.Fatalf("bad cell %q", tbl.Rows[rowIdx][1])
+		}
+		return n
+	}
+	static, dynamic, dynInter, combined, interactive := found(0), found(1), found(2), found(3), found(4)
+	if combined < static || combined < dynamic {
+		t.Errorf("combined (%d) must dominate static (%d) and dynamic (%d)", combined, static, dynamic)
+	}
+	if interactive < combined {
+		t.Errorf("interaction (%d) must not lose sites vs combined (%d)", interactive, combined)
+	}
+	// interaction executes hover-gated detectors → strictly more dynamic
+	// coverage at this scale (static-only sites exist by calibration)
+	if dynInter <= dynamic {
+		t.Errorf("dynamic+interaction (%d) should exceed dynamic alone (%d)", dynInter, dynamic)
+	}
+	if !strings.Contains(tbl.String(), "recall") {
+		t.Error("table missing recall column")
+	}
+}

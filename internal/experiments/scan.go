@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gullible/internal/analysis"
+	"gullible/internal/httpsim"
+	"gullible/internal/jsdom"
+	"gullible/internal/openwpm"
+	"gullible/internal/websim"
+)
+
+// ScanResult carries the Sec. 4 scan of the synthetic Tranco list plus the
+// derived per-site classifications used by Tables 5–7 and 11–12 and
+// Figures 3–5.
+type ScanResult struct {
+	NumSites int
+	World    *websim.World
+	Storage  *openwpm.Storage
+	Honey    []string
+
+	// Per-site detector classification (keyed by site eTLD+1).
+	StaticRaw    map[string]bool // naive 'webdriver' pattern, front+sub
+	StaticClean  map[string]bool // context-aware patterns
+	DynamicRaw   map[string]bool // any webdriver/marker access recorded
+	DynamicClean map[string]bool // detector class (iterators resolved)
+
+	FrontStaticRaw    map[string]bool
+	FrontStaticClean  map[string]bool
+	FrontDynamicRaw   map[string]bool
+	FrontDynamicClean map[string]bool
+
+	// OpenWPM-specific probes: provider host → marker → site set.
+	OpenWPMProbes map[string]map[string]map[string]bool
+
+	// Third-party inclusions: hosting domain → site set.
+	ThirdPartyInclusions map[string]map[string]bool
+	// First-party detector scripts for Appendix-A clustering.
+	FirstPartyScripts []analysis.FirstPartyScript
+
+	// Site rank per eTLD+1 (for bucket figures) and category lookup.
+	SiteRank map[string]int
+}
+
+// scanCrawlConfig is the Sec. 4 crawler configuration.
+func scanCrawlConfig(world *websim.World, maxSubpages int) openwpm.CrawlConfig {
+	return openwpm.CrawlConfig{
+		OS: jsdom.Ubuntu, Mode: jsdom.Regular,
+		Transport: world, ClientID: "scan-client",
+		DwellSeconds: 60,
+		JSInstrument: true, HTTPInstrument: true, CookieInstrument: true,
+		HTTPFilterJSOnly: true, // "stores a copy of any transmitted JavaScript file"
+		HoneyProps:       4,
+		MaxSubpages:      maxSubpages,
+	}
+}
+
+// RunScan crawls the top numSites sites of the synthetic web with a vanilla
+// OpenWPM client (regular mode, JS+HTTP instruments, honey properties,
+// subpage crawling) and derives all detector classifications. Sites are
+// sharded across GOMAXPROCS parallel browsers — OpenWPM, too, runs multiple
+// browsers against the same measurement database.
+func RunScan(world *websim.World, numSites, maxSubpages int, progress func(done, total int)) *ScanResult {
+	urls := websim.Tranco(numSites)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(urls) {
+		workers = 1
+	}
+	storages := make([]*openwpm.Storage, workers)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tm := openwpm.NewTaskManager(scanCrawlConfig(world, maxSubpages))
+			for i := w; i < len(urls); i += workers {
+				tm.VisitSite(urls[i])
+				if n := done.Add(1); progress != nil && n%1000 == 0 {
+					progress(int(n), len(urls))
+				}
+			}
+			storages[w] = tm.Storage
+		}(w)
+	}
+	wg.Wait()
+	merged := openwpm.NewTaskManager(scanCrawlConfig(world, maxSubpages))
+	for _, st := range storages {
+		merged.Storage.Merge(st)
+	}
+	return Analyze(world, merged, numSites)
+}
+
+// Analyze derives the scan classifications from a completed crawl.
+func Analyze(world *websim.World, tm *openwpm.TaskManager, numSites int) *ScanResult {
+	st := tm.Storage
+	r := &ScanResult{
+		NumSites: numSites, World: world, Storage: st,
+		Honey:                openwpm.HoneyNames(tm.Cfg.ClientID, tm.Cfg.HoneyProps),
+		StaticRaw:            map[string]bool{},
+		StaticClean:          map[string]bool{},
+		DynamicRaw:           map[string]bool{},
+		DynamicClean:         map[string]bool{},
+		FrontStaticRaw:       map[string]bool{},
+		FrontStaticClean:     map[string]bool{},
+		FrontDynamicRaw:      map[string]bool{},
+		FrontDynamicClean:    map[string]bool{},
+		OpenWPMProbes:        map[string]map[string]map[string]bool{},
+		ThirdPartyInclusions: map[string]map[string]bool{},
+		SiteRank:             map[string]int{},
+	}
+	for rank := 1; rank <= numSites; rank++ {
+		r.SiteRank[httpsim.ETLDPlusOne(websim.SiteDomain(rank))] = rank
+	}
+
+	// Map script URL → (site, front?) inclusion contexts from the request log.
+	type ctx struct {
+		site  string
+		front bool
+	}
+	scriptSites := map[string][]ctx{}
+	for _, req := range st.Requests {
+		if req.Type != httpsim.TypeScript {
+			continue
+		}
+		site := httpsim.ETLDPlusOne(httpsim.Host(req.TopURL))
+		front := httpsim.Path(req.TopURL) == "/"
+		scriptSites[req.URL] = append(scriptSites[req.URL], ctx{site, front})
+	}
+
+	// ---- static analysis over stored script files ----------------------
+	// Unique content is analysed once; classifications apply to every URL
+	// that served it and every site that included those URLs.
+	staticByURL := map[string]analysis.StaticResult{}
+	for _, f := range st.ScriptFiles {
+		res := analysis.AnalyzeStatic(f.Content)
+		naive := false
+		for _, hit := range res.PatternHits {
+			if hit == "webdriver" {
+				naive = true
+			}
+		}
+		clean := res.SeleniumDetector || len(res.OpenWPMProps) > 0
+		for _, url := range f.URLs {
+			staticByURL[url] = res
+			for _, c := range scriptSites[url] {
+				if r.SiteRank[c.site] == 0 {
+					continue
+				}
+				if naive || clean {
+					r.StaticRaw[c.site] = true
+					if c.front {
+						r.FrontStaticRaw[c.site] = true
+					}
+				}
+				if clean {
+					r.StaticClean[c.site] = true
+					if c.front {
+						r.FrontStaticClean[c.site] = true
+					}
+				}
+				// first-party detector corpus
+				if clean && httpsim.ETLDPlusOne(httpsim.Host(url)) == c.site {
+					r.FirstPartyScripts = append(r.FirstPartyScripts, analysis.FirstPartyScript{
+						Site: c.site, URL: url, Content: f.Content,
+					})
+				}
+			}
+		}
+	}
+
+	// ---- dynamic analysis over recorded calls ---------------------------
+	staticFlagged := func(url string) bool {
+		res, ok := staticByURL[url]
+		return ok && (res.SeleniumDetector || len(res.OpenWPMProps) > 0)
+	}
+	dyn := analysis.AnalyzeDynamic(st.JSCalls, r.Honey, staticFlagged)
+	// script URL → per-top-URL context comes from the calls themselves
+	callTops := map[string]map[string]bool{}
+	for _, c := range st.JSCalls {
+		if c.ScriptURL == "" {
+			continue
+		}
+		if callTops[c.ScriptURL] == nil {
+			callTops[c.ScriptURL] = map[string]bool{}
+		}
+		callTops[c.ScriptURL][c.TopURL] = true
+	}
+	for _, d := range dyn {
+		if d.Class == analysis.ClassNone {
+			continue
+		}
+		for top := range callTops[d.URL] {
+			site := httpsim.ETLDPlusOne(httpsim.Host(top))
+			if r.SiteRank[site] == 0 {
+				continue
+			}
+			front := httpsim.Path(top) == "/"
+			r.DynamicRaw[site] = true
+			if front {
+				r.FrontDynamicRaw[site] = true
+			}
+			if d.Class == analysis.ClassSeleniumDetector {
+				r.DynamicClean[site] = true
+				if front {
+					r.FrontDynamicClean[site] = true
+				}
+			}
+		}
+		// OpenWPM-specific probes by provider host
+		if len(d.OpenWPMProps) > 0 && d.Class == analysis.ClassSeleniumDetector {
+			provider := httpsim.ETLDPlusOne(httpsim.Host(d.URL))
+			if r.OpenWPMProbes[provider] == nil {
+				r.OpenWPMProbes[provider] = map[string]map[string]bool{}
+			}
+			for _, marker := range d.OpenWPMProps {
+				if r.OpenWPMProbes[provider][marker] == nil {
+					r.OpenWPMProbes[provider][marker] = map[string]bool{}
+				}
+				for top := range callTops[d.URL] {
+					site := httpsim.ETLDPlusOne(httpsim.Host(top))
+					if r.SiteRank[site] != 0 {
+						r.OpenWPMProbes[provider][marker][site] = true
+					}
+				}
+			}
+		}
+	}
+
+	// ---- third-party inclusion tally ------------------------------------
+	// precomputed set of dynamically confirmed detector scripts: this tally
+	// must stay O(urls + classifications), not their product — at 100K
+	// sites the product is hundreds of billions of comparisons
+	dynDetectorURL := map[string]bool{}
+	for _, d := range dyn {
+		if d.Class == analysis.ClassSeleniumDetector {
+			dynDetectorURL[d.URL] = true
+		}
+	}
+	for url, ctxs := range scriptSites {
+		host := httpsim.Host(url)
+		res := staticByURL[url]
+		isDetectorHost := res.SeleniumDetector || len(res.OpenWPMProps) > 0 || dynDetectorURL[url]
+		if !isDetectorHost {
+			continue
+		}
+		for _, c := range ctxs {
+			if r.SiteRank[c.site] == 0 || httpsim.ETLDPlusOne(host) == c.site {
+				continue // first-party
+			}
+			dom := httpsim.ETLDPlusOne(host)
+			if r.ThirdPartyInclusions[dom] == nil {
+				r.ThirdPartyInclusions[dom] = map[string]bool{}
+			}
+			r.ThirdPartyInclusions[dom][c.site] = true
+		}
+	}
+	return r
+}
+
+// union combines site sets.
+func union(sets ...map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range sets {
+		for k := range s {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// bucketCounts groups a site set into per-1000-rank buckets.
+func (r *ScanResult) bucketCounts(set map[string]bool) []int {
+	buckets := make([]int, (r.NumSites+999)/1000)
+	for site := range set {
+		rank := r.SiteRank[site]
+		if rank == 0 {
+			continue
+		}
+		buckets[(rank-1)/1000]++
+	}
+	return buckets
+}
+
+// categoryCounts tallies inclusion categories for detector sites, split by
+// first-party vs third-party deployment (Fig. 5).
+func (r *ScanResult) categoryCounts() (first, third map[string]int) {
+	first, third = map[string]int{}, map[string]int{}
+	fpSites := map[string]bool{}
+	for _, s := range r.FirstPartyScripts {
+		fpSites[s.Site] = true
+	}
+	for site := range union(r.StaticClean, r.DynamicClean) {
+		rank := r.SiteRank[site]
+		if rank == 0 {
+			continue
+		}
+		cat := r.World.Site(rank).Category
+		if fpSites[site] {
+			first[cat]++
+		}
+	}
+	for _, sites := range r.ThirdPartyInclusions {
+		for site := range sites {
+			rank := r.SiteRank[site]
+			if rank == 0 {
+				continue
+			}
+			third[r.World.Site(rank).Category]++
+		}
+	}
+	return first, third
+}
+
+// sortedKeysByCount orders map keys by descending count.
+func sortedKeysByCount(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gullible/internal/fingerprint"
+	"gullible/internal/httpsim"
+	"gullible/internal/jsdom"
+	"gullible/internal/openwpm"
+	"gullible/internal/stealth"
+)
+
+// setups enumerates the OpenWPM configurations of Table 2.
+var setups = []struct {
+	Label string
+	OS    jsdom.OS
+	Mode  jsdom.Mode
+}{
+	{"macOS RM", jsdom.MacOS, jsdom.Regular},
+	{"macOS HM", jsdom.MacOS, jsdom.Headless},
+	{"Ubuntu RM", jsdom.Ubuntu, jsdom.Regular},
+	{"Ubuntu HM", jsdom.Ubuntu, jsdom.Headless},
+	{"Ubuntu Xvfb", jsdom.Ubuntu, jsdom.Xvfb},
+	{"Docker RM", jsdom.Ubuntu, jsdom.Docker},
+}
+
+// blankTransport serves an empty page for instrumentation measurements.
+var blankTransport = httpsim.RoundTripperFunc(func(req *httpsim.Request) (*httpsim.Response, error) {
+	return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "text/html"}, Body: "<html></html>"}, nil
+})
+
+// instrumentedTop visits a blank page with the given instrumentation and
+// returns the resulting top realm.
+func instrumentedTop(os jsdom.OS, mode jsdom.Mode, useStealth bool) *jsdom.DOM {
+	cfg := openwpm.CrawlConfig{
+		OS: os, Mode: mode, Transport: blankTransport, DwellSeconds: 1,
+		JSInstrument: !useStealth,
+	}
+	if useStealth {
+		cfg.Stealth = stealth.New()
+	}
+	tm := openwpm.NewTaskManager(cfg)
+	b := tm.NewBrowser()
+	if _, err := b.Visit("https://probe.test/"); err != nil {
+		panic(err)
+	}
+	return b.Top
+}
+
+// Table2 measures the deviating properties of each OpenWPM setup against a
+// plain Firefox baseline on the same OS.
+func Table2(ffVersion int) *Table {
+	t := &Table{
+		ID:     "Table 2",
+		Title:  fmt.Sprintf("Deviating properties per OpenWPM setup vs plain Firefox %d", ffVersion),
+		Header: []string{"property", "macOS RM", "macOS HM", "Ubuntu RM", "Ubuntu HM", "Ubuntu Xvfb", "Docker RM"},
+	}
+	var reports []fingerprint.SurfaceReport
+	for _, s := range setups {
+		base := jsdom.Build(jsdom.BaselineConfig(s.OS, ffVersion), &jsdom.NopHost{}, "https://probe.test/")
+		client := jsdom.Build(jsdom.StandardConfig(s.OS, s.Mode, ffVersion, 0), &jsdom.NopHost{}, "https://probe.test/")
+		reports = append(reports, fingerprint.MeasureSurface(base, client))
+	}
+	row := func(label string, f func(r fingerprint.SurfaceReport) any) {
+		cells := []any{label}
+		for _, r := range reports {
+			cells = append(cells, f(r))
+		}
+		t.AddRow(cells...)
+	}
+	row("navigator.webdriver is true", func(r fingerprint.SurfaceReport) any { return check(r.WebdriverTrue) })
+	row("screen dimension prop.", func(r fingerprint.SurfaceReport) any { return check(r.ScreenDimsDeviate) })
+	row("screen position prop.", func(r fingerprint.SurfaceReport) any { return check(r.ScreenPosDeviate) })
+	row("font enumeration", func(r fingerprint.SurfaceReport) any { return check(r.FontEnumDeviates) })
+	row("timezone is 0", func(r fingerprint.SurfaceReport) any { return check(r.TimezoneZero) })
+	row("navigator.languages prop.", func(r fingerprint.SurfaceReport) any {
+		if r.LanguagesAdded == 0 {
+			return "–"
+		}
+		return r.LanguagesAdded
+	})
+	row("deviating WebGL prop.", func(r fingerprint.SurfaceReport) any {
+		if r.WebGLDeviations == 0 {
+			return "–"
+		}
+		return r.WebGLDeviations
+	})
+
+	// instrumentation rows: tampered natives + added custom functions
+	tampered := []any{"- through tampering"}
+	added := []any{"- added custom functions"}
+	for _, s := range setups {
+		top := instrumentedTop(s.OS, s.Mode, false)
+		tampered = append(tampered, fmt.Sprintf("+%d", fingerprint.CountTamperedAPIs(top)))
+		base := jsdom.Build(jsdom.BaselineConfig(s.OS, ffVersion), &jsdom.NopHost{}, "https://probe.test/")
+		r := fingerprint.MeasureSurface(base, top)
+		added = append(added, fmt.Sprintf("+%d", len(r.AddedWindowGlobals)))
+	}
+	t.AddRow("With instrumentation:")
+	t.AddRow(tampered...)
+	t.AddRow(added...)
+	t.Notes = append(t.Notes, "paper (Firefox 90): WebGL 2037 (macOS HM), 2061 (Ubuntu HM), 18 (Xvfb), 27 (Docker); languages +43 (HM); tampering +253 macOS / +252 Ubuntu; +1 custom function")
+	return t
+}
+
+// Table3 reads the screen properties per configuration.
+func Table3() *Table {
+	t := &Table{
+		ID:     "Table 3",
+		Title:  "Screen properties for various configurations",
+		Header: []string{"OS", "mode", "resolution", "window", "X", "Y", "offset (x,y)"},
+	}
+	for _, s := range setups {
+		cfg := jsdom.StandardConfig(s.OS, s.Mode, 90, 0)
+		d := jsdom.Build(cfg, &jsdom.NopHost{}, "https://probe.test/")
+		get := func(expr string) int {
+			v, _ := d.It.RunScript(expr, "probe.js")
+			return int(v.ToNumber())
+		}
+		t.AddRow(s.OS.String(), s.Mode.String(),
+			fmt.Sprintf("%d x %d", get("screen.width"), get("screen.height")),
+			fmt.Sprintf("%d x %d", get("window.innerWidth"), get("window.innerHeight")),
+			get("window.screenX"), get("window.screenY"),
+			fmt.Sprintf("%d, %d", cfg.OffsetX, cfg.OffsetY))
+	}
+	return t
+}
+
+// Table4 probes WebGL vendor strings and avail geometry on the Ubuntu modes.
+func Table4() *Table {
+	t := &Table{
+		ID:     "Table 4",
+		Title:  "Selected deviations, Ubuntu no-display modes",
+		Header: []string{"mode", "WebGL vendor/renderer", "avail{Top,Left}"},
+	}
+	for _, mode := range []jsdom.Mode{jsdom.Regular, jsdom.Headless, jsdom.Xvfb, jsdom.Docker} {
+		d := jsdom.Build(jsdom.StandardConfig(jsdom.Ubuntu, mode, 90, 0), &jsdom.NopHost{}, "https://probe.test/")
+		probes := fingerprint.RunProbes(d, fingerprint.DefaultProbes)
+		vendor := probes["webgl.vendor"]
+		if vendor == "null" {
+			vendor = "Null"
+		} else {
+			vendor += " " + probes["webgl.renderer"]
+		}
+		t.AddRow(mode.String(), vendor, probes["screen.availTop"]+", "+probes["screen.availLeft"])
+	}
+	return t
+}
+
+// Figure2 demonstrates the prototype pollution of the vanilla instrument
+// against the clean chain (left/right of the paper's Figure 2).
+func Figure2() *Table {
+	t := &Table{
+		ID:     "Figure 2",
+		Title:  "Prototype pollution: own properties of document's first prototype",
+		Header: []string{"client", "HTMLDocument.prototype owns 'cookie'", "Document.prototype owns 'cookie'"},
+	}
+	probe := func(d *jsdom.DOM) (string, string) {
+		v1, _ := d.It.RunScript(`Object.getPrototypeOf(document).hasOwnProperty("cookie")`, "p.js")
+		v2, _ := d.It.RunScript(`Document.prototype.hasOwnProperty("cookie")`, "p.js")
+		return v1.ToString(), v2.ToString()
+	}
+	clean := jsdom.Build(jsdom.BaselineConfig(jsdom.Ubuntu, 90), &jsdom.NopHost{}, "https://probe.test/")
+	a, b := probe(clean)
+	t.AddRow("(A) original object", a, b)
+	vanilla := instrumentedTop(jsdom.Ubuntu, jsdom.Regular, false)
+	a, b = probe(vanilla)
+	t.AddRow("(B) polluted by instrumentation", a, b)
+	hardened := instrumentedTop(jsdom.Ubuntu, jsdom.Regular, true)
+	a, b = probe(hardened)
+	t.AddRow("WPM_hide (per-prototype hooks)", a, b)
+	return t
+}
+
+// DetectorValidation reproduces the Sec. 3.3 validation: the four-strategy
+// detector must identify every OpenWPM setup and no baseline browser.
+func DetectorValidation() *Table {
+	t := &Table{
+		ID:     "Sec. 3.3",
+		Title:  "Fingerprint-surface detector validation",
+		Header: []string{"client", "detected", "findings"},
+	}
+	det := fingerprint.Detector{}
+	for _, s := range setups {
+		d := jsdom.Build(jsdom.StandardConfig(s.OS, s.Mode, 90, 0), &jsdom.NopHost{}, "https://probe.test/")
+		fs := det.Detect(d)
+		t.AddRow("OpenWPM "+s.Label, check(len(fs) > 0), len(fs))
+	}
+	for _, os := range []jsdom.OS{jsdom.MacOS, jsdom.Ubuntu} {
+		d := jsdom.Build(jsdom.BaselineConfig(os, 90), &jsdom.NopHost{}, "https://probe.test/")
+		fs := det.Detect(d)
+		t.AddRow("consumer Firefox "+os.String(), check(len(fs) > 0), len(fs))
+	}
+	st := instrumentedTop(jsdom.Ubuntu, jsdom.Regular, true)
+	fs := det.Detect(st)
+	t.AddRow("WPM_hide (regular mode)", check(len(fs) > 0), len(fs))
+	return t
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gullible/internal/study"
+)
+
+// Table1 derives the Table 1 tallies from the embedded literature dataset
+// and contrasts them with the values the paper states.
+func Table1() *Table {
+	t := &Table{
+		ID:     "Table 1",
+		Title:  "Measurement characteristics in 72 peer-reviewed OpenWPM studies",
+		Header: []string{"characteristic", "derived", "paper"},
+	}
+	tl := study.Tally()
+	p := study.PaperTable1
+	t.AddRow("measures HTTP", tl.MeasuresHTTP, p["http"])
+	t.AddRow("measures cookies", tl.MeasuresCookies, p["cookies"])
+	t.AddRow("measures JavaScript", tl.MeasuresJS, p["js"])
+	t.AddRow("other (automation only)", tl.MeasuresOther, p["other"])
+	t.AddRow("no interaction", tl.NoInteraction, p["no-interaction"])
+	t.AddRow("clicking", tl.Clicking, p["clicking"])
+	t.AddRow("scrolling", tl.Scrolling, p["scrolling"])
+	t.AddRow("typing", tl.Typing, p["typing"])
+	t.AddRow("subpages visited", tl.SubpagesVisited, p["subpages-visited"])
+	t.AddRow("subpages not visited", tl.SubpagesNotVisited, p["subpages-not-visited"])
+	t.AddRow("bot detection ignored", tl.BDIgnored, p["bd-ignored"])
+	t.AddRow("bot detection discussed", tl.BDDiscussed, p["bd-discussed"])
+	t.AddRow("uses anti-bot-detection", tl.AntiBD, "-")
+	for mode, n := range tl.ModeCounts {
+		t.AddRow("run mode "+string(mode), n, "-")
+	}
+	return t
+}
+
+// Table14 renders the Firefox-integration timeline with computed lag.
+func Table14() *Table {
+	t := &Table{
+		ID:     "Table 14",
+		Title:  "Migration to newer Firefox releases in OpenWPM",
+		Header: []string{"Firefox", "release date", "OpenWPM", "integration date"},
+	}
+	for _, r := range study.Releases {
+		t.AddRow(r.Firefox, r.ReleaseDate, r.OpenWPM, r.Integrated)
+	}
+	window, outdated, frac := study.OutdatedStats()
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"computed: outdated on %d of %d days (%.0f%%); paper: 540 of 780 days (69%%)",
+		outdated, window, 100*frac))
+	return t
+}
+
+// Table15 renders the full literature table.
+func Table15() *Table {
+	t := &Table{
+		ID:    "Table 15",
+		Title: "Peer-reviewed studies using OpenWPM",
+		Header: []string{"year", "ref", "venue", "author", "mode", "VM",
+			"cookies", "HTTP", "JS", "scroll", "click", "type", "subpages", "anti-BD", "mentions BD"},
+	}
+	for _, s := range study.Studies {
+		t.AddRow(s.Year, fmt.Sprintf("[%d]", s.Ref), s.Venue, s.Author, string(s.Mode),
+			check(s.VM), check(s.Cookies), check(s.HTTP), check(s.JS),
+			check(s.Scrolling), check(s.Clicking), check(s.Typing),
+			check(s.Subpages), check(s.AntiBD), check(s.MentionsBD))
+	}
+	return t
+}

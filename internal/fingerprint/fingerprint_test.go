@@ -1,0 +1,225 @@
+package fingerprint
+
+import (
+	"strings"
+	"testing"
+
+	"gullible/internal/httpsim"
+	"gullible/internal/jsdom"
+	"gullible/internal/openwpm"
+	"gullible/internal/stealth"
+)
+
+func plainClient(os jsdom.OS, mode jsdom.Mode) *jsdom.DOM {
+	return jsdom.Build(jsdom.StandardConfig(os, mode, 90, 0), &jsdom.NopHost{}, "https://probe.test/")
+}
+
+func baselineClient(os jsdom.OS) *jsdom.DOM {
+	return jsdom.Build(jsdom.BaselineConfig(os, 90), &jsdom.NopHost{}, "https://probe.test/")
+}
+
+func TestTable2SurfacePerMode(t *testing.T) {
+	cases := []struct {
+		os           jsdom.OS
+		mode         jsdom.Mode
+		webgl        int
+		langs        int
+		fontDeviates bool
+		timezoneZero bool
+	}{
+		{jsdom.MacOS, jsdom.Regular, 0, 0, false, false},
+		{jsdom.MacOS, jsdom.Headless, 2037, 43, false, false},
+		{jsdom.Ubuntu, jsdom.Regular, 0, 0, false, false},
+		{jsdom.Ubuntu, jsdom.Headless, 2061, 43, false, false},
+		{jsdom.Ubuntu, jsdom.Xvfb, 18, 0, false, false},
+		{jsdom.Ubuntu, jsdom.Docker, 27, 0, true, true},
+	}
+	for _, c := range cases {
+		name := c.os.String() + "/" + c.mode.String()
+		base := baselineClient(c.os)
+		client := plainClient(c.os, c.mode)
+		r := MeasureSurface(base, client)
+		if !r.WebdriverTrue {
+			t.Errorf("%s: webdriver not true", name)
+		}
+		if !r.ScreenDimsDeviate {
+			t.Errorf("%s: screen dimensions do not deviate", name)
+		}
+		if !r.ScreenPosDeviate {
+			t.Errorf("%s: screen position does not deviate", name)
+		}
+		if r.WebGLDeviations != c.webgl {
+			t.Errorf("%s: WebGL deviations = %d, want %d", name, r.WebGLDeviations, c.webgl)
+		}
+		if r.LanguagesAdded != c.langs {
+			t.Errorf("%s: languages added = %d, want %d", name, r.LanguagesAdded, c.langs)
+		}
+		if r.FontEnumDeviates != c.fontDeviates {
+			t.Errorf("%s: font enumeration deviates = %v, want %v", name, r.FontEnumDeviates, c.fontDeviates)
+		}
+		if r.TimezoneZero != c.timezoneZero {
+			t.Errorf("%s: timezone-zero = %v, want %v", name, r.TimezoneZero, c.timezoneZero)
+		}
+		if len(r.AddedWindowGlobals) != 0 {
+			t.Errorf("%s: uninstrumented client has globals %v", name, r.AddedWindowGlobals)
+		}
+	}
+}
+
+func TestOlderVersionWebGLCount(t *testing.T) {
+	// Sec. 3.2: OpenWPM 0.11.0 (Firefox 78) showed 2022 WebGL deviations in
+	// macOS headless mode vs 2037 on 0.17.0 (Firefox 90).
+	base := jsdom.Build(jsdom.BaselineConfig(jsdom.MacOS, 78), &jsdom.NopHost{}, "https://probe.test/")
+	hm := jsdom.Build(jsdom.StandardConfig(jsdom.MacOS, jsdom.Headless, 78, 0), &jsdom.NopHost{}, "https://probe.test/")
+	r := MeasureSurface(base, hm)
+	if r.WebGLDeviations != 2022 {
+		t.Errorf("Firefox 78 headless WebGL deviations = %d, want 2022", r.WebGLDeviations)
+	}
+}
+
+func TestUnbrandedHasNoEffect(t *testing.T) {
+	branded := jsdom.BaselineConfig(jsdom.Ubuntu, 90)
+	unbranded := branded
+	unbranded.Unbranded = true
+	a := jsdom.Build(branded, &jsdom.NopHost{}, "https://probe.test/")
+	b := jsdom.Build(unbranded, &jsdom.NopHost{}, "https://probe.test/")
+	diff := Compare(CaptureTemplate(a), CaptureTemplate(b))
+	if diff.Total() != 0 {
+		t.Errorf("branded vs unbranded differs: %s", diff)
+	}
+}
+
+// instrumentedClient builds a vanilla-instrumented client by visiting a page.
+func instrumentedClient(t *testing.T, os jsdom.OS, stealthMode bool) *jsdom.DOM {
+	t.Helper()
+	transport := httpsim.RoundTripperFunc(func(req *httpsim.Request) (*httpsim.Response, error) {
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "text/html"}, Body: "<html></html>"}, nil
+	})
+	cfg := openwpm.CrawlConfig{
+		OS: os, Mode: jsdom.Regular, Transport: transport, DwellSeconds: 1,
+		JSInstrument: true,
+	}
+	if stealthMode {
+		cfg.JSInstrument = false
+		cfg.Stealth = stealth.New()
+	}
+	tm := openwpm.NewTaskManager(cfg)
+	b := tm.NewBrowser()
+	if _, err := b.Visit("https://probe.test/"); err != nil {
+		t.Fatal(err)
+	}
+	return b.Top
+}
+
+func TestTamperedAPICounts(t *testing.T) {
+	// clean client: nothing tampered
+	if n := CountTamperedAPIs(plainClient(jsdom.Ubuntu, jsdom.Regular)); n != 0 {
+		t.Errorf("clean client tampered = %d, want 0", n)
+	}
+	// vanilla instrumentation: +252 (Ubuntu) / +253 (macOS), Table 2
+	if n := CountTamperedAPIs(instrumentedClient(t, jsdom.Ubuntu, false)); n != 252 {
+		t.Errorf("Ubuntu vanilla tampered = %d, want 252", n)
+	}
+	if n := CountTamperedAPIs(instrumentedClient(t, jsdom.MacOS, false)); n != 253 {
+		t.Errorf("macOS vanilla tampered = %d, want 253", n)
+	}
+	// stealth: zero toString-detectable overwrites
+	if n := CountTamperedAPIs(instrumentedClient(t, jsdom.Ubuntu, true)); n != 0 {
+		t.Errorf("stealth tampered = %d, want 0", n)
+	}
+}
+
+func TestInstrumentAddsOneWindowGlobal(t *testing.T) {
+	base := baselineClient(jsdom.Ubuntu)
+	client := instrumentedClient(t, jsdom.Ubuntu, false)
+	r := MeasureSurface(base, client)
+	if len(r.AddedWindowGlobals) != 1 || r.AddedWindowGlobals[0] != "getInstrumentJS" {
+		t.Errorf("added globals = %v, want [getInstrumentJS]", r.AddedWindowGlobals)
+	}
+}
+
+func TestDetectorIdentifiesEveryMode(t *testing.T) {
+	det := Detector{}
+	modes := []struct {
+		os   jsdom.OS
+		mode jsdom.Mode
+	}{
+		{jsdom.MacOS, jsdom.Regular}, {jsdom.MacOS, jsdom.Headless},
+		{jsdom.Ubuntu, jsdom.Regular}, {jsdom.Ubuntu, jsdom.Headless},
+		{jsdom.Ubuntu, jsdom.Xvfb}, {jsdom.Ubuntu, jsdom.Docker},
+	}
+	for _, m := range modes {
+		client := plainClient(m.os, m.mode)
+		findings := det.Detect(client)
+		if len(findings) == 0 {
+			t.Errorf("%s/%s: OpenWPM client not detected", m.os, m.mode)
+		}
+	}
+}
+
+func TestDetectorNeverFlagsConsumerBrowsers(t *testing.T) {
+	det := Detector{}
+	for _, os := range []jsdom.OS{jsdom.MacOS, jsdom.Ubuntu} {
+		base := baselineClient(os)
+		if findings := det.Detect(base); len(findings) != 0 {
+			t.Errorf("%s baseline flagged: %v", os, findings)
+		}
+	}
+}
+
+func TestDetectorModeSpecificFindings(t *testing.T) {
+	det := Detector{}
+	// headless: absence strategy fires
+	findings := det.Detect(plainClient(jsdom.Ubuntu, jsdom.Headless))
+	if !hasStrategy(findings, StrategyAbsence) {
+		t.Errorf("headless: no absence finding in %v", findings)
+	}
+	// docker: virtualisation value strategy fires
+	findings = det.Detect(plainClient(jsdom.Ubuntu, jsdom.Docker))
+	var vmware bool
+	for _, f := range findings {
+		if strings.Contains(f.Detail, "VMware") {
+			vmware = true
+		}
+	}
+	if !vmware {
+		t.Errorf("docker: no VMware finding in %v", findings)
+	}
+	// vanilla instrumentation: overwrite strategy fires
+	findings = det.Detect(instrumentedClient(t, jsdom.Ubuntu, false))
+	if !hasStrategy(findings, StrategyOverwrite) {
+		t.Errorf("instrumented: no overwrite finding in %v", findings)
+	}
+	if !hasStrategy(findings, StrategyPresence) {
+		t.Errorf("instrumented: no presence finding in %v", findings)
+	}
+}
+
+func TestDetectorMissesStealthRegularMode(t *testing.T) {
+	// Sec. 6.1: WPM_hide hides all identifiable properties in regular mode.
+	det := Detector{}
+	client := instrumentedClient(t, jsdom.Ubuntu, true)
+	if findings := det.Detect(client); len(findings) != 0 {
+		t.Errorf("stealth client detected: %v", findings)
+	}
+}
+
+func hasStrategy(fs []Finding, s DetectorStrategy) bool {
+	for _, f := range fs {
+		if f.Strategy == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTemplateDeterminism(t *testing.T) {
+	a := CaptureTemplate(plainClient(jsdom.Ubuntu, jsdom.Regular))
+	b := CaptureTemplate(plainClient(jsdom.Ubuntu, jsdom.Regular))
+	if d := Compare(a, b); d.Total() != 0 {
+		t.Errorf("identical configs differ: %s", d)
+	}
+	if len(a) < 500 {
+		t.Errorf("template suspiciously small: %d paths", len(a))
+	}
+}

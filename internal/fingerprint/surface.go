@@ -1,0 +1,184 @@
+package fingerprint
+
+import (
+	"strings"
+
+	"gullible/internal/jsdom"
+	"gullible/internal/minjs"
+)
+
+// Probe is a named JavaScript expression evaluated in the client — the
+// Jonker-et-al.-style property-list approach.
+type Probe struct {
+	Name string
+	Expr string
+}
+
+// DefaultProbes is the probe list covering the properties Tables 2–4 report.
+var DefaultProbes = []Probe{
+	{"navigator.webdriver", "navigator.webdriver"},
+	{"screen.width", "screen.width"},
+	{"screen.height", "screen.height"},
+	{"screen.availTop", "screen.availTop"},
+	{"screen.availLeft", "screen.availLeft"},
+	{"window.screenX", "window.screenX"},
+	{"window.screenY", "window.screenY"},
+	{"window.innerWidth", "window.innerWidth"},
+	{"window.innerHeight", "window.innerHeight"},
+	{"webgl.vendor", `(function(){ var c = document.createElement("canvas").getContext("webgl"); return c === null ? "null" : c.getParameter("VENDOR"); })()`},
+	{"webgl.renderer", `(function(){ var c = document.createElement("canvas").getContext("webgl"); return c === null ? "null" : c.getParameter("RENDERER"); })()`},
+	{"fonts.count", "document.fonts.size"},
+	{"timezone.offset", "new Date().getTimezoneOffset()"},
+	{"timezone.name", "Intl.DateTimeFormat().resolvedOptions().timeZone"},
+	{"languages.count", "Object.keys(navigator.languages).length"},
+	{"window.getInstrumentJS", "typeof window.getInstrumentJS"},
+	{"window.jsInstruments", "typeof window.jsInstruments"},
+	{"window.instrumentFingerprintingApis", "typeof window.instrumentFingerprintingApis"},
+	{"getContext.toString", `document.createElement("canvas").getContext.toString()`},
+	{"userAgentGetter.toString", `Object.getOwnPropertyDescriptor(Object.getPrototypeOf(navigator), "userAgent").get.toString()`},
+	{"prototype.pollution.document", `Object.getPrototypeOf(document).hasOwnProperty("cookie")`},
+	{"prototypeGetterThrows", `(function(){ try { Object.getOwnPropertyDescriptor(Object.getPrototypeOf(navigator), "userAgent").get.call({}); return "no-throw"; } catch (e) { return "throw"; } })()`},
+}
+
+// RunProbes evaluates the probes against a client.
+func RunProbes(d *jsdom.DOM, probes []Probe) map[string]string {
+	out := map[string]string{}
+	for _, p := range probes {
+		v, err := d.It.RunScript(p.Expr, "probe.js")
+		if err != nil {
+			out[p.Name] = "error"
+			continue
+		}
+		out[p.Name] = v.ToString()
+	}
+	return out
+}
+
+// SurfaceReport is the per-setup row of Table 2: which identifying
+// properties deviate from the same-engine baseline.
+type SurfaceReport struct {
+	OS   jsdom.OS
+	Mode jsdom.Mode
+
+	WebdriverTrue      bool
+	ScreenDimsDeviate  bool
+	ScreenPosDeviate   bool
+	FontEnumDeviates   bool
+	TimezoneZero       bool
+	LanguagesAdded     int
+	WebGLDeviations    int
+	TamperedNatives    int      // toString-detectable overwrites (instrumentation)
+	AddedWindowGlobals []string // e.g. getInstrumentJS
+
+	TemplateDiff Diff
+}
+
+// MeasureSurface compares a client against a baseline (human Firefox of the
+// same version on the same OS) and fills a Table 2 row.
+func MeasureSurface(baseline, client *jsdom.DOM) SurfaceReport {
+	r := SurfaceReport{OS: client.Cfg.OS, Mode: client.Cfg.Mode}
+	bp := RunProbes(baseline, DefaultProbes)
+	cp := RunProbes(client, DefaultProbes)
+
+	r.WebdriverTrue = cp["navigator.webdriver"] == "true"
+	r.ScreenDimsDeviate = cp["screen.width"] != bp["screen.width"] ||
+		cp["screen.height"] != bp["screen.height"] ||
+		cp["window.innerWidth"] != bp["window.innerWidth"] ||
+		cp["window.innerHeight"] != bp["window.innerHeight"]
+	r.ScreenPosDeviate = cp["window.screenX"] != bp["window.screenX"] ||
+		cp["window.screenY"] != bp["window.screenY"]
+	r.FontEnumDeviates = cp["fonts.count"] != bp["fonts.count"]
+	r.TimezoneZero = cp["timezone.offset"] == "0" && cp["timezone.name"] == ""
+
+	bt := CaptureTemplate(baseline)
+	ct := CaptureTemplate(client)
+	r.TemplateDiff = Compare(bt, ct)
+	r.WebGLDeviations = r.TemplateDiff.SubtreeCount("webgl")
+	r.LanguagesAdded = countPrefix(r.TemplateDiff.Added, "window.navigator.languages.")
+
+	// tampered natives: function paths whose signature changed from native
+	// to script (the toString strategy over the whole surface)
+	for _, p := range r.TemplateDiff.Changed {
+		if strings.HasPrefix(bt[p], "function:native:") && strings.HasPrefix(ct[p], "function:script:") {
+			r.TamperedNatives++
+		}
+	}
+	for _, name := range []string{"getInstrumentJS", "jsInstruments", "instrumentFingerprintingApis"} {
+		if cp["window."+name] == "function" {
+			r.AddedWindowGlobals = append(r.AddedWindowGlobals, name)
+		}
+	}
+	return r
+}
+
+func countPrefix(paths []string, prefix string) int {
+	n := 0
+	for _, p := range paths {
+		if strings.HasPrefix(p, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// tamperScanJS scans the default fingerprinting surface from a page's point
+// of view: for every API it resolves the live descriptor (walking prototype
+// chains from instances, exactly as a detector script would) and tests the
+// toString strategy.
+const tamperScanJS = `(function () {
+    var apis = window.__tamperScanAPIs;
+    delete window.__tamperScanAPIs;
+    var targets = {
+        Navigator: { obj: navigator, onProto: false },
+        Screen: { obj: screen, onProto: false },
+        Document: { obj: document, onProto: false },
+        HTMLCanvasElement: { obj: HTMLCanvasElement.prototype, onProto: true },
+        CanvasRenderingContext2D: { obj: CanvasRenderingContext2D.prototype, onProto: true },
+        WebGLRenderingContext: { obj: WebGLRenderingContext.prototype, onProto: true },
+        AudioContext: { obj: AudioContext.prototype, onProto: true }
+    };
+    var count = 0;
+    for (var i = 0; i < apis.length; i++) {
+        var t = targets[apis[i].iface];
+        if (t === undefined) { continue; }
+        var desc;
+        if (t.onProto) {
+            desc = Object.getOwnPropertyDescriptor(t.obj, apis[i].name);
+        } else {
+            var proto = Object.getPrototypeOf(t.obj);
+            while (proto !== null && proto !== undefined) {
+                desc = Object.getOwnPropertyDescriptor(proto, apis[i].name);
+                if (desc !== undefined) { break; }
+                proto = Object.getPrototypeOf(proto);
+            }
+        }
+        if (desc === undefined) { continue; }
+        var fns = [desc.get, desc.set, desc.value];
+        for (var j = 0; j < fns.length; j++) {
+            if (typeof fns[j] === "function" && fns[j].toString().indexOf("[native code]") < 0) {
+                count++;
+                break;
+            }
+        }
+    }
+    return count;
+})()`
+
+// CountTamperedAPIs counts default-surface APIs whose live implementation is
+// toString-detectably overwritten (the "+252/+253 through tampering" rows of
+// Table 2).
+func CountTamperedAPIs(d *jsdom.DOM) int {
+	apis := d.It.NewArrayP()
+	for _, a := range d.InstrumentableAPIs() {
+		o := d.It.NewObjectP()
+		o.Set("iface", minjs.String(a.Interface))
+		o.Set("name", minjs.String(a.Name))
+		apis.Elems = append(apis.Elems, minjs.ObjectValue(o))
+	}
+	d.Window.Set("__tamperScanAPIs", minjs.ObjectValue(apis))
+	v, err := d.It.RunScript(tamperScanJS, "tamper-scan.js")
+	if err != nil {
+		return -1
+	}
+	return int(v.ToNumber())
+}

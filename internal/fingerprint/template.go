@@ -1,0 +1,169 @@
+// Package fingerprint measures a client's fingerprint surface the way the
+// paper does (Sec. 3): template attacks that traverse the object hierarchy
+// (Schwarz et al.), probe lists of named properties (Jonker et al.), diffing
+// against a same-engine baseline, and the four-strategy OpenWPM detector of
+// Sec. 3.3.
+package fingerprint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gullible/internal/jsdom"
+	"gullible/internal/minjs"
+)
+
+// Template maps property paths to value signatures. It is the output of the
+// template attack: a snapshot of everything reachable from window plus a
+// probe-created canvas/WebGL context.
+type Template map[string]string
+
+// maxDepth bounds the traversal depth from each root.
+const maxDepth = 3
+
+// CaptureTemplate traverses the DOM object hierarchy and records a value
+// signature for every reachable property. Getter errors (WebIDL brand
+// checks) are part of the signature, as in real template attacks.
+func CaptureTemplate(d *jsdom.DOM) Template {
+	t := Template{}
+	seen := map[*minjs.Object]bool{}
+	walk(d.It, t, seen, "window", d.Window, 0)
+	// probe-created contexts: WebGL parameters are only reachable through a
+	// context instance, which the attack creates explicitly.
+	if ctx := d.WebGL(); ctx != nil {
+		walk(d.It, t, seen, "webgl", ctx, 0)
+	} else {
+		t["webgl"] = "null"
+	}
+	walk(d.It, t, seen, "canvas2d", d.Canvas2D(), 0)
+	return t
+}
+
+// chainKeys enumerates own + inherited property names (like traversing with
+// getOwnPropertyNames along the prototype chain), deduplicated.
+func chainKeys(o *minjs.Object) []string {
+	seen := map[string]bool{}
+	var out []string
+	for cur := o; cur != nil; cur = cur.Proto {
+		for _, k := range cur.OwnKeys(false) {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+func walk(it *minjs.Interp, t Template, seen map[*minjs.Object]bool, path string, o *minjs.Object, depth int) {
+	if o == nil || seen[o] {
+		return
+	}
+	seen[o] = true
+	for _, key := range chainKeys(o) {
+		sub := path + "." + key
+		v, err := it.GetMember(minjs.ObjectValue(o), key)
+		if err != nil {
+			if thr, ok := err.(*minjs.Throw); ok {
+				name, _ := it.GetMember(thr.Value, "name")
+				t[sub] = "throw:" + name.ToString()
+				continue
+			}
+			t[sub] = "throw"
+			continue
+		}
+		t[sub] = Signature(v)
+		if v.IsObject() && depth < maxDepth && !v.IsFunction() {
+			walk(it, t, seen, sub, v.Obj, depth+1)
+		}
+		if v.IsFunction() && depth < maxDepth {
+			// descend into .prototype of constructors (interface surfaces)
+			if pv, perr := it.GetMember(v, "prototype"); perr == nil && pv.IsObject() {
+				walk(it, t, seen, sub+".prototype", pv.Obj, depth+1)
+			}
+		}
+	}
+}
+
+// Signature renders a value for template comparison. Function signatures
+// include the toString text, so tampered natives show up as changes.
+func Signature(v minjs.Value) string {
+	switch v.Kind {
+	case minjs.KindObject:
+		o := v.Obj
+		if v.IsFunction() {
+			src := o.FunctionSource()
+			if minjs.IsNativeSource(src) {
+				return "function:native:" + o.NativeName
+			}
+			if len(src) > 60 {
+				src = src[:60]
+			}
+			return "function:script:" + src
+		}
+		return "object:" + o.Class
+	case minjs.KindString:
+		return "string:" + v.Str
+	case minjs.KindNumber:
+		return "number:" + v.ToString()
+	case minjs.KindBool:
+		return "boolean:" + v.ToString()
+	case minjs.KindNull:
+		return "null"
+	default:
+		return "undefined"
+	}
+}
+
+// Diff compares a baseline template with a target template.
+type Diff struct {
+	Missing []string // in baseline, absent in target
+	Added   []string // in target, absent in baseline
+	Changed []string // present in both with different signatures
+}
+
+// Total is the number of deviating properties.
+func (d Diff) Total() int { return len(d.Missing) + len(d.Added) + len(d.Changed) }
+
+// Compare diffs two templates.
+func Compare(baseline, target Template) Diff {
+	var d Diff
+	for path, base := range baseline {
+		tv, ok := target[path]
+		if !ok {
+			d.Missing = append(d.Missing, path)
+			continue
+		}
+		if tv != base {
+			d.Changed = append(d.Changed, path)
+		}
+	}
+	for path := range target {
+		if _, ok := baseline[path]; !ok {
+			d.Added = append(d.Added, path)
+		}
+	}
+	sort.Strings(d.Missing)
+	sort.Strings(d.Added)
+	sort.Strings(d.Changed)
+	return d
+}
+
+// SubtreeCount counts deviations under a path prefix.
+func (d Diff) SubtreeCount(prefix string) int {
+	n := 0
+	for _, lists := range [][]string{d.Missing, d.Added, d.Changed} {
+		for _, p := range lists {
+			if p == prefix || strings.HasPrefix(p, prefix+".") {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// String summarises a diff.
+func (d Diff) String() string {
+	return fmt.Sprintf("missing=%d added=%d changed=%d", len(d.Missing), len(d.Added), len(d.Changed))
+}

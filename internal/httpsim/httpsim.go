@@ -1,0 +1,250 @@
+// Package httpsim models the HTTP layer between the simulated browser and
+// the simulated web: requests with WebExtension resource types, responses
+// with cookies and security headers, and a RoundTripper interface that an
+// in-process web (package websim) or a real net/http client can implement.
+package httpsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResourceType mirrors the WebExtension webRequest ResourceType values used
+// by OpenWPM's HTTP instrument (see Table 8 of the paper).
+type ResourceType string
+
+// Resource types, ordered roughly by Table 8.
+const (
+	TypeMainFrame  ResourceType = "main_frame"
+	TypeSubFrame   ResourceType = "sub_frame"
+	TypeScript     ResourceType = "script"
+	TypeImage      ResourceType = "image"
+	TypeImageset   ResourceType = "imageset"
+	TypeStylesheet ResourceType = "stylesheet"
+	TypeFont       ResourceType = "font"
+	TypeMedia      ResourceType = "media"
+	TypeXHR        ResourceType = "xmlhttprequest"
+	TypeBeacon     ResourceType = "beacon"
+	TypeWebsocket  ResourceType = "websocket"
+	TypeObject     ResourceType = "object"
+	TypeCSPReport  ResourceType = "csp_report"
+	TypeOther      ResourceType = "other"
+)
+
+// AllResourceTypes lists every resource type in a stable order.
+var AllResourceTypes = []ResourceType{
+	TypeCSPReport, TypeMedia, TypeBeacon, TypeWebsocket, TypeXHR,
+	TypeImageset, TypeFont, TypeObject, TypeMainFrame, TypeImage,
+	TypeScript, TypeSubFrame, TypeOther, TypeStylesheet,
+}
+
+// Request is one HTTP request issued by a browser.
+type Request struct {
+	Method   string
+	URL      string
+	Type     ResourceType
+	Headers  map[string]string
+	Body     string
+	ClientID string // stable per-machine identity (stands in for the client IP)
+	TopURL   string // URL of the top-level document that caused this request
+	Time     float64
+}
+
+// Response is the server's answer.
+type Response struct {
+	Status     int
+	Headers    map[string]string
+	Body       string
+	SetCookies []Cookie
+}
+
+// Header returns a response header (case-insensitive on common casings).
+func (r *Response) Header(name string) string {
+	if r.Headers == nil {
+		return ""
+	}
+	if v, ok := r.Headers[name]; ok {
+		return v
+	}
+	return r.Headers[strings.ToLower(name)]
+}
+
+// RoundTripper serves responses for requests; websim.World implements it
+// in-process and adapters can bridge to net/http.
+type RoundTripper interface {
+	RoundTrip(*Request) (*Response, error)
+}
+
+// RoundTripperFunc adapts a function to RoundTripper.
+type RoundTripperFunc func(*Request) (*Response, error)
+
+// RoundTrip calls f.
+func (f RoundTripperFunc) RoundTrip(r *Request) (*Response, error) { return f(r) }
+
+// Cookie is an HTTP cookie with virtual-time expiry.
+type Cookie struct {
+	Name    string
+	Value   string
+	Domain  string // host that set it (registrable domain)
+	Path    string
+	Expires float64 // virtual seconds since epoch; 0 ⇒ session cookie
+	Secure  bool
+	HTTP    bool // HttpOnly
+}
+
+// Session reports whether c expires with the browsing session.
+func (c Cookie) Session() bool { return c.Expires == 0 }
+
+// String renders the cookie as a Set-Cookie value.
+func (c Cookie) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s=%s", c.Name, c.Value)
+	if c.Domain != "" {
+		fmt.Fprintf(&b, "; Domain=%s", c.Domain)
+	}
+	if c.Expires != 0 {
+		fmt.Fprintf(&b, "; Max-Age=%d", int64(c.Expires))
+	}
+	if c.Secure {
+		b.WriteString("; Secure")
+	}
+	if c.HTTP {
+		b.WriteString("; HttpOnly")
+	}
+	return b.String()
+}
+
+// URLParts splits a simplified absolute URL ("https://host/path?query") into
+// scheme, host and path. Relative URLs return an empty host.
+func URLParts(url string) (scheme, host, path string) {
+	rest := url
+	if i := strings.Index(rest, "://"); i >= 0 {
+		scheme = rest[:i]
+		rest = rest[i+3:]
+	} else {
+		return "", "", url // relative
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		host, path = rest[:i], rest[i:]
+	} else {
+		host, path = rest, "/"
+	}
+	return scheme, host, path
+}
+
+// Host extracts the host of an absolute URL, or "" for relative URLs.
+func Host(url string) string {
+	_, h, _ := URLParts(url)
+	return h
+}
+
+// Path extracts the path component.
+func Path(url string) string {
+	_, _, p := URLParts(url)
+	return p
+}
+
+// Resolve resolves a possibly relative ref against a base URL.
+func Resolve(base, ref string) string {
+	if strings.Contains(ref, "://") {
+		return ref
+	}
+	scheme, host, basePath := URLParts(base)
+	if scheme == "" {
+		return ref
+	}
+	if strings.HasPrefix(ref, "/") {
+		return scheme + "://" + host + ref
+	}
+	dir := basePath
+	if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+		dir = dir[:i+1]
+	}
+	return scheme + "://" + host + dir + ref
+}
+
+// ETLDPlusOne approximates the registrable domain (eTLD+1) of a host using a
+// small embedded suffix list: the synthetic web only uses these suffixes.
+func ETLDPlusOne(host string) string {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	labels := strings.Split(host, ".")
+	if len(labels) <= 2 {
+		return host
+	}
+	// two-level public suffixes used by the simulation
+	last2 := strings.Join(labels[len(labels)-2:], ".")
+	if multiLevelSuffixes[last2] {
+		if len(labels) >= 3 {
+			return strings.Join(labels[len(labels)-3:], ".")
+		}
+		return host
+	}
+	return last2
+}
+
+var multiLevelSuffixes = map[string]bool{
+	"co.uk": true, "com.br": true, "com.cn": true, "co.jp": true,
+	"com.au": true, "co.in": true, "org.uk": true,
+}
+
+// SameSite reports whether two URLs share an eTLD+1.
+func SameSite(a, b string) bool {
+	return ETLDPlusOne(Host(a)) == ETLDPlusOne(Host(b))
+}
+
+// Log is an append-only request log shared by instruments and tests.
+type Log struct {
+	Entries []LogEntry
+}
+
+// LogEntry pairs a request with its response status.
+type LogEntry struct {
+	Request  Request
+	Status   int
+	BodySize int
+	CType    string
+}
+
+// Add appends a request/response pair.
+func (l *Log) Add(req *Request, resp *Response) {
+	e := LogEntry{Request: *req}
+	if resp != nil {
+		e.Status = resp.Status
+		e.BodySize = len(resp.Body)
+		e.CType = resp.Header("Content-Type")
+	}
+	l.Entries = append(l.Entries, e)
+}
+
+// CountByType tallies requests per resource type.
+func (l *Log) CountByType() map[ResourceType]int {
+	out := map[ResourceType]int{}
+	for _, e := range l.Entries {
+		out[e.Request.Type]++
+	}
+	return out
+}
+
+// URLs returns all requested URLs in order.
+func (l *Log) URLs() []string {
+	out := make([]string, len(l.Entries))
+	for i, e := range l.Entries {
+		out[i] = e.Request.URL
+	}
+	return out
+}
+
+// DistinctHosts returns the sorted set of requested hosts.
+func (l *Log) DistinctHosts() []string {
+	set := map[string]bool{}
+	for _, e := range l.Entries {
+		set[Host(e.Request.URL)] = true
+	}
+	out := make([]string, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,161 @@
+package httpsim
+
+import (
+	"net"
+	"net/http"
+	"testing"
+	"testing/quick"
+)
+
+func TestURLParts(t *testing.T) {
+	cases := []struct {
+		url                string
+		scheme, host, path string
+	}{
+		{"https://a.com/x/y?z=1", "https", "a.com", "/x/y?z=1"},
+		{"http://a.com", "http", "a.com", "/"},
+		{"https://sub.a.co.uk/p", "https", "sub.a.co.uk", "/p"},
+		{"/relative/path", "", "", "/relative/path"},
+	}
+	for _, c := range cases {
+		s, h, p := URLParts(c.url)
+		if s != c.scheme || h != c.host || p != c.path {
+			t.Errorf("URLParts(%q) = (%q, %q, %q), want (%q, %q, %q)",
+				c.url, s, h, p, c.scheme, c.host, c.path)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	cases := []struct{ base, ref, want string }{
+		{"https://a.com/dir/page", "/abs", "https://a.com/abs"},
+		{"https://a.com/dir/page", "rel.js", "https://a.com/dir/rel.js"},
+		{"https://a.com/", "https://b.com/x", "https://b.com/x"},
+		{"https://a.com", "/x", "https://a.com/x"},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.base, c.ref); got != c.want {
+			t.Errorf("Resolve(%q, %q) = %q, want %q", c.base, c.ref, got, c.want)
+		}
+	}
+}
+
+func TestETLDPlusOne(t *testing.T) {
+	cases := map[string]string{
+		"www.example.com":      "example.com",
+		"a.b.example.com":      "example.com",
+		"example.com":          "example.com",
+		"shop.example.co.uk":   "example.co.uk",
+		"example.co.uk":        "example.co.uk",
+		"www.site000001.co.uk": "site000001.co.uk",
+		"localhost":            "localhost",
+	}
+	for host, want := range cases {
+		if got := ETLDPlusOne(host); got != want {
+			t.Errorf("ETLDPlusOne(%q) = %q, want %q", host, got, want)
+		}
+	}
+}
+
+func TestSameSite(t *testing.T) {
+	if !SameSite("https://www.a.com/x", "https://cdn.a.com/y") {
+		t.Error("subdomains of one registrable domain must be same-site")
+	}
+	if SameSite("https://a.com/", "https://b.com/") {
+		t.Error("different domains must not be same-site")
+	}
+}
+
+func TestQuickResolveAlwaysAbsolute(t *testing.T) {
+	f := func(ref string) bool {
+		if len(ref) > 50 {
+			ref = ref[:50]
+		}
+		got := Resolve("https://base.example/dir/page", ref)
+		s, h, _ := URLParts(got)
+		return s != "" && h != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCookieString(t *testing.T) {
+	c := Cookie{Name: "uid", Value: "abc", Domain: "t.com", Expires: 3600, Secure: true, HTTP: true}
+	s := c.String()
+	for _, frag := range []string{"uid=abc", "Domain=t.com", "Max-Age=3600", "Secure", "HttpOnly"} {
+		if !contains(s, frag) {
+			t.Errorf("Cookie.String() = %q missing %q", s, frag)
+		}
+	}
+	if !c.Session() == (c.Expires == 0) {
+		t.Error("Session() inconsistent")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestLogTallies(t *testing.T) {
+	var l Log
+	l.Add(&Request{URL: "https://a.com/", Type: TypeMainFrame}, &Response{Status: 200})
+	l.Add(&Request{URL: "https://a.com/x.js", Type: TypeScript}, &Response{Status: 200, Body: "x"})
+	l.Add(&Request{URL: "https://b.com/p.gif", Type: TypeImage}, nil)
+	counts := l.CountByType()
+	if counts[TypeMainFrame] != 1 || counts[TypeScript] != 1 || counts[TypeImage] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	hosts := l.DistinctHosts()
+	if len(hosts) != 2 || hosts[0] != "a.com" || hosts[1] != "b.com" {
+		t.Errorf("hosts = %v", hosts)
+	}
+}
+
+// TestNetBridgeRoundTrip serves a RoundTripper over a real socket and
+// fetches through it.
+func TestNetBridgeRoundTrip(t *testing.T) {
+	backend := RoundTripperFunc(func(req *Request) (*Response, error) {
+		if req.URL != "https://virtual.example/data" || req.ClientID != "c9" {
+			t.Errorf("backend got %+v", req)
+		}
+		return &Response{
+			Status:     200,
+			Headers:    map[string]string{"Content-Type": "text/plain"},
+			Body:       "over the wire",
+			SetCookies: []Cookie{{Name: "k", Value: "v", Domain: "virtual.example"}},
+		}, nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv := &http.Server{Handler: Handler{RT: backend}}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	tr := &NetTransport{Endpoint: "http://" + ln.Addr().String() + "/"}
+	resp, err := tr.RoundTrip(&Request{
+		Method: "GET", URL: "https://virtual.example/data",
+		Type: TypeXHR, ClientID: "c9", TopURL: "https://top.example/",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || resp.Body != "over the wire" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(resp.SetCookies) != 1 || resp.SetCookies[0].Name != "k" {
+		t.Fatalf("cookies = %+v", resp.SetCookies)
+	}
+}

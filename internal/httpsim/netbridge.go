@@ -1,0 +1,113 @@
+package httpsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// The net/http bridge lets the simulated web run behind a real TCP socket:
+// Handler serves any RoundTripper over HTTP, and NetTransport is a
+// RoundTripper that forwards requests to such a server. The simulated
+// browser then crawls through genuine network I/O (examples/serve-web).
+
+// wireRequest is the on-the-wire request encoding.
+type wireRequest struct {
+	Method   string            `json:"method"`
+	URL      string            `json:"url"`
+	Type     string            `json:"type"`
+	Headers  map[string]string `json:"headers,omitempty"`
+	Body     string            `json:"body,omitempty"`
+	ClientID string            `json:"client_id"`
+	TopURL   string            `json:"top_url"`
+	Time     float64           `json:"time"`
+}
+
+// wireResponse is the on-the-wire response encoding.
+type wireResponse struct {
+	Status     int               `json:"status"`
+	Headers    map[string]string `json:"headers,omitempty"`
+	Body       string            `json:"body,omitempty"`
+	SetCookies []Cookie          `json:"set_cookies,omitempty"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// Handler adapts a RoundTripper (e.g. a websim.World) into an http.Handler.
+type Handler struct {
+	RT RoundTripper
+}
+
+// ServeHTTP implements http.Handler: it decodes a wireRequest from the body,
+// serves it through the wrapped RoundTripper and encodes the response.
+func (h Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var wr wireRequest
+	if err := json.Unmarshal(body, &wr); err != nil {
+		http.Error(w, "bad wire request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req := &Request{
+		Method:   wr.Method,
+		URL:      wr.URL,
+		Type:     ResourceType(wr.Type),
+		Headers:  wr.Headers,
+		Body:     wr.Body,
+		ClientID: wr.ClientID,
+		TopURL:   wr.TopURL,
+		Time:     wr.Time,
+	}
+	var out wireResponse
+	resp, err := h.RT.RoundTrip(req)
+	if err != nil {
+		out.Error = err.Error()
+	} else {
+		out = wireResponse{Status: resp.Status, Headers: resp.Headers, Body: resp.Body, SetCookies: resp.SetCookies}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// NetTransport is a RoundTripper that forwards every request over real HTTP
+// to a Handler-backed server.
+type NetTransport struct {
+	// Endpoint is the bridge server URL, e.g. "http://127.0.0.1:8080/".
+	Endpoint string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+// RoundTrip implements RoundTripper over the wire.
+func (t *NetTransport) RoundTrip(req *Request) (*Response, error) {
+	payload, err := json.Marshal(wireRequest{
+		Method: req.Method, URL: req.URL, Type: string(req.Type),
+		Headers: req.Headers, Body: req.Body,
+		ClientID: req.ClientID, TopURL: req.TopURL, Time: req.Time,
+	})
+	if err != nil {
+		return nil, err
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	httpResp, err := client.Post(t.Endpoint, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("httpsim: bridge request failed: %w", err)
+	}
+	defer httpResp.Body.Close()
+	var out wireResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("httpsim: bad bridge response: %w", err)
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("httpsim: remote: %s", out.Error)
+	}
+	return &Response{Status: out.Status, Headers: out.Headers, Body: out.Body, SetCookies: out.SetCookies}, nil
+}

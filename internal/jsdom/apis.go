@@ -1,0 +1,56 @@
+package jsdom
+
+import "gullible/internal/minjs"
+
+// APIRef names one hookable API: a property on an interface prototype.
+type APIRef struct {
+	Interface string
+	Proto     *minjs.Object
+	Name      string
+	Accessor  bool // attribute getter rather than a method
+}
+
+// Path returns the canonical "Interface.property" name used in call logs.
+func (r APIRef) Path() string { return r.Interface + "." + r.Name }
+
+// documentInstrumented is the subset of Document attributes OpenWPM's default
+// configuration hooks (the rest of Document.prototype is DOM plumbing).
+var documentInstrumented = []string{
+	"cookie", "referrer", "title", "hidden", "visibilityState", "lastModified",
+}
+
+// InstrumentableAPIs enumerates the fingerprinting-related APIs that
+// OpenWPM's JS instrument hooks by default. On the Ubuntu build this yields
+// 252 APIs, on macOS 253 (Table 2: "+252 / +253 through tampering").
+func (d *DOM) InstrumentableAPIs() []APIRef {
+	var out []APIRef
+	add := func(iface string, names []string) {
+		proto := d.Protos[iface]
+		for _, n := range names {
+			p := proto.GetOwn(n)
+			if p == nil {
+				continue
+			}
+			out = append(out, APIRef{Interface: iface, Proto: proto, Name: n, Accessor: p.Accessor})
+		}
+	}
+	all := func(iface string) []string {
+		proto := d.Protos[iface]
+		var names []string
+		for _, k := range proto.OwnKeys(false) {
+			if k == "constructor" {
+				continue
+			}
+			names = append(names, k)
+		}
+		return names
+	}
+	add("Navigator", all("Navigator"))
+	add("Screen", all("Screen"))
+	add("Document", documentInstrumented)
+	add("HTMLCanvasElement", all("HTMLCanvasElement"))
+	add("CanvasRenderingContext2D", all("CanvasRenderingContext2D"))
+	add("WebGLRenderingContext", all("WebGLRenderingContext"))
+	add("AudioContext", all("AudioContext"))
+	return out
+}

@@ -1,0 +1,72 @@
+package jsdom
+
+import (
+	"gullible/internal/httpsim"
+	"gullible/internal/minjs"
+)
+
+// Host is the bridge from the object model to the embedding browser: timers,
+// network, cookies and frame creation. Package browser implements it.
+type Host interface {
+	// Now returns virtual time in milliseconds.
+	Now() float64
+	// SetTimeout schedules fn(args...) after delayMS of virtual time and
+	// returns a timer id.
+	SetTimeout(fn *minjs.Object, args []minjs.Value, delayMS float64) int
+	// ClearTimeout cancels a pending timer.
+	ClearTimeout(id int)
+	// Fetch performs a subresource request on behalf of page script.
+	Fetch(url string, rtype httpsim.ResourceType, method, body string) (status int, contentType, respBody string, err error)
+	// CookieString renders the cookies readable by document.cookie.
+	CookieString() string
+	// SetCookieString stores a document.cookie assignment.
+	SetCookieString(s string)
+	// CreateFrame synchronously creates and loads a subframe document and
+	// returns its DOM. The host decides when (and whether) frame-creation
+	// observers — e.g. the JS instrument — run; the vanilla instrument runs
+	// them a tick later, which is the unobserved-channel bug of Sec. 5.4.
+	CreateFrame(src string) (*DOM, error)
+	// OpenWindow implements window.open.
+	OpenWindow(url string) (*DOM, error)
+	// DocumentWrite lets a script append raw HTML to the current document.
+	DocumentWrite(html string)
+}
+
+// NopHost is a Host that does nothing; tests use it when only the object
+// graph matters.
+type NopHost struct{ Clock float64 }
+
+// Now implements Host.
+func (h *NopHost) Now() float64 { return h.Clock }
+
+// SetTimeout implements Host; timers never fire.
+func (h *NopHost) SetTimeout(fn *minjs.Object, args []minjs.Value, delayMS float64) int { return 0 }
+
+// ClearTimeout implements Host.
+func (h *NopHost) ClearTimeout(id int) {}
+
+// Fetch implements Host; all requests 404.
+func (h *NopHost) Fetch(url string, rtype httpsim.ResourceType, method, body string) (int, string, string, error) {
+	return 404, "text/plain", "", nil
+}
+
+// CookieString implements Host.
+func (h *NopHost) CookieString() string { return "" }
+
+// SetCookieString implements Host.
+func (h *NopHost) SetCookieString(s string) {}
+
+// CreateFrame implements Host; frames are unavailable.
+func (h *NopHost) CreateFrame(src string) (*DOM, error) { return nil, errNoFrames }
+
+// OpenWindow implements Host.
+func (h *NopHost) OpenWindow(url string) (*DOM, error) { return nil, errNoFrames }
+
+// DocumentWrite implements Host.
+func (h *NopHost) DocumentWrite(html string) {}
+
+type noFramesError struct{}
+
+func (noFramesError) Error() string { return "jsdom: host does not support frames" }
+
+var errNoFrames = noFramesError{}

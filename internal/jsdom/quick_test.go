@@ -1,0 +1,106 @@
+package jsdom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gullible/internal/minjs"
+)
+
+// Property: every standard configuration builds a realm whose core surface
+// is present and consistent — availWidth/Height never exceed width/height,
+// the window fits the screen claim, and the user agent names the version.
+func TestQuickConfigInvariants(t *testing.T) {
+	f := func(osPick, modePick, verPick, idxPick uint8) bool {
+		os := OS(osPick % 2)
+		var mode Mode
+		if os == MacOS {
+			mode = Mode(modePick % 2) // macOS: regular/headless only
+		} else {
+			mode = Mode(modePick % 4)
+		}
+		ff := 78 + int(verPick%30)
+		cfg := StandardConfig(os, mode, ff, int(idxPick%5))
+		d := Build(cfg, &NopHost{}, "https://probe.test/")
+		get := func(expr string) minjs.Value {
+			v, err := d.It.RunScript(expr, "q.js")
+			if err != nil {
+				t.Logf("%s: %v", expr, err)
+				return minjs.Undefined()
+			}
+			return v
+		}
+		if get("screen.availWidth").ToNumber() > get("screen.width").ToNumber() {
+			return false
+		}
+		if get("screen.availHeight").ToNumber() > get("screen.height").ToNumber() {
+			return false
+		}
+		if get("navigator.webdriver").Kind != minjs.KindBool {
+			return false
+		}
+		ua := get("navigator.userAgent").ToString()
+		if len(ua) == 0 {
+			return false
+		}
+		// WebGL presence must match the config
+		ctx := get(`document.createElement("canvas").getContext("webgl")`)
+		if cfg.WebGL.Present == (ctx.Kind == minjs.KindNull) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same configuration always yields template-identical realms
+// (full determinism of the object model).
+func TestQuickBuildDeterministic(t *testing.T) {
+	f := func(osPick, modePick uint8) bool {
+		os := OS(osPick % 2)
+		var mode Mode
+		if os == MacOS {
+			mode = Mode(modePick % 2)
+		} else {
+			mode = Mode(modePick % 4)
+		}
+		cfg := StandardConfig(os, mode, 90, 0)
+		a := Build(cfg, &NopHost{}, "https://probe.test/")
+		b := Build(cfg, &NopHost{}, "https://probe.test/")
+		ka := a.WebGLOwnKeyCount()
+		kb := b.WebGLOwnKeyCount()
+		if ka != kb {
+			return false
+		}
+		va, _ := a.It.RunScript("Object.getOwnPropertyNames(Object.getPrototypeOf(navigator)).length", "q.js")
+		vb, _ := b.It.RunScript("Object.getOwnPropertyNames(Object.getPrototypeOf(navigator)).length", "q.js")
+		return va.ToNumber() == vb.ToNumber()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// WebGLOwnKeyCount exposes the context's property count for tests.
+func (d *DOM) WebGLOwnKeyCount() int {
+	ctx := d.WebGL()
+	if ctx == nil {
+		return -1
+	}
+	return len(ctx.OwnKeys(false))
+}
+
+// Property: InstrumentableAPIs always resolves to live properties — every
+// entry can be found on its prototype chain.
+func TestQuickInstrumentableAPIsResolvable(t *testing.T) {
+	for _, os := range []OS{MacOS, Ubuntu} {
+		d := Build(StandardConfig(os, Regular, 90, 0), &NopHost{}, "https://probe.test/")
+		for _, api := range d.InstrumentableAPIs() {
+			if owner, prop := api.Proto.FindProperty(api.Name); owner == nil || prop == nil {
+				t.Errorf("%s: API %s unresolvable", os, api.Path())
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package minjs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Failure injection and edge cases: the interpreter must stay well-behaved
+// when scripts do hostile or degenerate things.
+
+func TestGetterThrowingDuringForIn(t *testing.T) {
+	it := New()
+	o := it.NewObjectP()
+	o.Set("ok", Int(1))
+	boom := it.NewNative("get bad", func(it *Interp, this Value, args []Value) (Value, error) {
+		return Undefined(), it.ThrowError("TypeError", "poisoned getter")
+	})
+	o.DefineAccessor("bad", boom, nil, true)
+	it.Global.Set("o", ObjectValue(o))
+	v, err := it.RunScript(`
+		var seen = [];
+		var err = "";
+		try {
+			for (var k in o) { seen.push(k + "=" + o[k]); }
+		} catch (e) { err = e.message }
+		seen.join(",") + "|" + err`, "t.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.Str, "ok=1") || !strings.Contains(v.Str, "poisoned getter") {
+		t.Errorf("got %q", v.Str)
+	}
+}
+
+func TestSetterThrowPropagates(t *testing.T) {
+	v := run(t, `
+		var o = {};
+		Object.defineProperty(o, "x", {set: function (v) { throw new Error("no-write") }});
+		var r = "";
+		try { o.x = 5 } catch (e) { r = e.message }
+		r`)
+	wantStr(t, v, "no-write")
+}
+
+func TestDeleteNonConfigurableStillRemoves(t *testing.T) {
+	// our delete is permissive (sloppy-mode semantics are enough for the
+	// study's scripts); this pins the behaviour so changes are deliberate
+	v := run(t, `var o = {}; Object.defineProperty(o, "x", {value: 1}); delete o.x; "x" in o`)
+	wantBool(t, v, false)
+}
+
+func TestPathologicalNesting(t *testing.T) {
+	// deeply nested expressions must parse without blowing the Go stack
+	depth := 200
+	src := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	v := run(t, src)
+	wantNum(t, v, 1)
+}
+
+func TestHugeStringConcatBounded(t *testing.T) {
+	// exponential string growth must be stopped by the allocation cap (a
+	// catchable RangeError, like real engines), not exhaust memory
+	it := New()
+	v, err := it.RunScript(`
+		var s = "x";
+		var r = "no-throw";
+		try { while (true) { s = s + s; } } catch (e) { r = e.name }
+		r`, "grow.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStr(t, v, "RangeError")
+
+	// and a catch-and-retry loop still hits the step interrupt
+	it2 := New()
+	it2.StepLimit = 500_000
+	_, err = it2.RunScript(`
+		while (true) {
+			var s = "x";
+			try { while (true) { s = s + s; } } catch (e) { }
+		}`, "grow2.js")
+	if _, ok := err.(*InterruptError); !ok {
+		t.Fatalf("expected interrupt, got %v", err)
+	}
+}
+
+func TestPrototypeCycleRejected(t *testing.T) {
+	// real engines refuse cyclic __proto__ values; so do we — otherwise
+	// every prototype-chain walk would loop forever
+	v := run(t, `
+		var a = {};
+		var b = Object.create(a);
+		var r = "ok";
+		try { Object.setPrototypeOf(a, b) } catch (e) { r = e.name }
+		r`)
+	wantStr(t, v, "TypeError")
+}
+
+func TestForInMutationDuringIteration(t *testing.T) {
+	v := run(t, `
+		var o = {a: 1, b: 2};
+		var seen = [];
+		for (var k in o) {
+			seen.push(k);
+			o["added_" + k] = 1; // must not loop forever
+		}
+		seen.length >= 2`)
+	wantBool(t, v, true)
+}
+
+func TestArrayHoles(t *testing.T) {
+	wantNum(t, run(t, `var a = [1]; a[5] = 9; a.length`), 6)
+	wantStr(t, run(t, `var a = [1]; a[3] = 4; typeof a[2]`), "undefined")
+	wantStr(t, run(t, `var a = [1]; a[3] = 4; a.join("-")`), "1---4")
+}
+
+func TestNegativeAndWeirdIndices(t *testing.T) {
+	wantStr(t, run(t, `var a = [1, 2]; typeof a[-1]`), "undefined")
+	wantNum(t, run(t, `var a = [1, 2]; a["1"]`), 2)
+	wantNum(t, run(t, `var a = [1, 2]; a["01"] = 7; a.length`), 2) // "01" is a plain key
+}
+
+func TestStringIndexOutOfRange(t *testing.T) {
+	wantStr(t, run(t, `typeof "ab"[5]`), "undefined")
+	wantStr(t, run(t, `"ab".charAt(99)`), "")
+}
+
+func TestThrowNonObjectValues(t *testing.T) {
+	wantStr(t, run(t, `var r; try { throw "bare string" } catch (e) { r = e } r`), "bare string")
+	wantNum(t, run(t, `var r; try { throw 42 } catch (e) { r = e } r`), 42)
+	wantStr(t, run(t, `var r; try { throw null } catch (e) { r = typeof e } r`), "object")
+}
+
+func TestFinallyOverridesReturnPath(t *testing.T) {
+	// a throwing finally replaces the pending completion
+	v := run(t, `
+		var r = "";
+		function f() {
+			try { throw new Error("first") }
+			finally { r += "fin;" }
+		}
+		try { f() } catch (e) { r += e.message }
+		r`)
+	wantStr(t, v, "fin;first")
+}
+
+func TestNestedTryRethrow(t *testing.T) {
+	v := run(t, `
+		var trail = "";
+		try {
+			try { throw new Error("inner") }
+			catch (e) { trail += "c1;"; throw new Error("re:" + e.message) }
+		} catch (e2) { trail += e2.message }
+		trail`)
+	wantStr(t, v, "c1;re:inner")
+}
+
+func TestShadowingAcrossScopes(t *testing.T) {
+	wantNum(t, run(t, `
+		var x = 1;
+		function f() { var x = 2; return x }
+		f() + x`), 3)
+	wantNum(t, run(t, `
+		var x = 1;
+		function f() { x = 5; return 0 } // no var: writes outer
+		f() + x`), 5)
+}
+
+func TestClosureCapturesLoopVariableSharing(t *testing.T) {
+	// classic var semantics: all closures share the loop binding
+	v := run(t, `
+		var fns = [];
+		for (var i = 0; i < 3; i++) { fns.push(function () { return i }) }
+		fns[0]() + "," + fns[1]() + "," + fns[2]()`)
+	wantStr(t, v, "3,3,3")
+}
+
+func TestGlobalFunctionsOverridable(t *testing.T) {
+	// pages overwrite natives; bindings must follow (the attack substrate)
+	v := run(t, `
+		var orig = parseInt;
+		parseInt = function (s) { return 999 };
+		var hijacked = parseInt("42");
+		parseInt = orig;
+		hijacked + parseInt("1")`)
+	wantNum(t, v, 1000)
+}
+
+func TestEvalSyntaxErrorIsCatchable(t *testing.T) {
+	v := run(t, `
+		var r = "";
+		try { eval("var = broken") } catch (e) { r = e.name }
+		r`)
+	wantStr(t, v, "SyntaxError")
+}
+
+func TestInterruptDuringNestedCalls(t *testing.T) {
+	it := New()
+	it.StepLimit = 50_000
+	_, err := it.RunScript(`
+		function spin(n) {
+			while (true) { n++ }
+		}
+		try { spin(0) } catch (e) { /* not catchable */ }`, "t.js")
+	if _, ok := err.(*InterruptError); !ok {
+		t.Fatalf("got %v", err)
+	}
+	// the interpreter remains usable afterwards
+	v, err := it.RunScript("1 + 1", "t2.js")
+	if err != nil || v.Num != 2 {
+		t.Fatalf("interp unusable after interrupt: %v %v", v, err)
+	}
+	if it.StackDepth() != 0 {
+		t.Fatalf("stack not unwound: depth %d", it.StackDepth())
+	}
+}
+
+func TestConstructorReturningObjectOverridesThis(t *testing.T) {
+	wantNum(t, run(t, `
+		function C() { this.a = 1; return {b: 2} }
+		new C().b`), 2)
+	wantStr(t, run(t, `
+		function C() { this.a = 1; return 42 } // primitive ignored
+		new C().a + "," + typeof new C().b`), "1,undefined")
+}
+
+func TestVoidLikePatterns(t *testing.T) {
+	wantStr(t, run(t, `typeof undefined`), "undefined")
+	wantBool(t, run(t, `undefined === undefined`), true)
+	wantBool(t, run(t, `(function () {})() === undefined`), true)
+}

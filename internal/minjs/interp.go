@@ -1,0 +1,391 @@
+package minjs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Frame is one entry of the JS call stack, used for Error stack traces.
+type Frame struct {
+	FnName string
+	Script string
+	Line   int
+}
+
+func (f Frame) String() string {
+	name := f.FnName
+	if name == "" {
+		name = "<anonymous>"
+	}
+	return fmt.Sprintf("%s@%s:%d", name, f.Script, f.Line)
+}
+
+// Throw carries a thrown JS value as a Go error.
+type Throw struct {
+	Value Value
+	Stack string
+}
+
+func (t *Throw) Error() string { return "uncaught " + t.Value.ToString() }
+
+// InterruptError aborts script execution from the host side (step limit,
+// deadline). It is not catchable by JS try/catch.
+type InterruptError struct{ Reason string }
+
+func (e *InterruptError) Error() string { return "script interrupted: " + e.Reason }
+
+// control-flow signals (never escape RunProgram/CallFunction).
+var errBreak = errors.New("minjs: break")
+var errContinue = errors.New("minjs: continue")
+
+type returnSignal struct{ val Value }
+
+func (*returnSignal) Error() string { return "minjs: return" }
+
+// Protos holds the intrinsic prototype objects of a realm.
+type Protos struct {
+	Object   *Object
+	Function *Object
+	Array    *Object
+	Error    *Object
+	String   *Object
+	Number   *Object
+	Boolean  *Object
+}
+
+// Interp is an interpreter instance bound to one global object (one realm).
+// Interpreters are not safe for concurrent use.
+type Interp struct {
+	Global *Object
+	Protos Protos
+
+	// StepLimit bounds the number of AST nodes evaluated per RunProgram /
+	// host CallFunction entry; 0 means the default of 5 million.
+	StepLimit int64
+
+	// PropAccessHook, when set, observes every successful property read on
+	// an object (including prototype-chain hits). Used by tests as a ground
+	// -truth oracle of script behaviour.
+	PropAccessHook func(owner *Object, key string)
+
+	// EvalHook, when set, observes every dynamically evaluated source text.
+	EvalHook func(src string)
+
+	// ConsoleLog collects console.log/warn/error output.
+	ConsoleLog []string
+
+	stack    []Frame // preallocated; never reallocates (maxDepth bound)
+	steps    int64
+	maxDepth int
+	root     *Scope
+	curThis  Value      // dynamic `this` for the running script function
+	rng      *rand.Rand // backs Math.random; deterministic per realm
+}
+
+// Reseed re-seeds the realm's Math.random generator.
+func (it *Interp) Reseed(seed int64) { it.rng = rand.New(rand.NewSource(seed)) }
+
+// Scope is a lexical environment. The root scope of a realm is backed by the
+// global object itself: top-level var declarations become global properties.
+// Bindings live in parallel slices — scopes are small, and linear scans beat
+// a map allocation per call.
+type Scope struct {
+	names  []string
+	vals   []Value
+	parent *Scope
+	global *Object // set only on the root scope
+}
+
+// NewScope returns a child scope of parent.
+func NewScope(parent *Scope) *Scope {
+	return &Scope{parent: parent}
+}
+
+// newScopeCap returns a child scope presized for n bindings.
+func newScopeCap(parent *Scope, n int) *Scope {
+	return &Scope{parent: parent, names: make([]string, 0, n), vals: make([]Value, 0, n)}
+}
+
+// slot returns a pointer to the binding named name in this exact scope.
+// The pointer is only valid until the next declare on this scope.
+func (s *Scope) slot(name string) *Value {
+	for i := len(s.names) - 1; i >= 0; i-- {
+		if s.names[i] == name {
+			return &s.vals[i]
+		}
+	}
+	return nil
+}
+
+// declare creates a binding in this scope (or the global object for the root).
+func (s *Scope) declare(name string, v Value) {
+	if s.global != nil {
+		s.global.Set(name, v)
+		return
+	}
+	if p := s.slot(name); p != nil {
+		*p = v
+		return
+	}
+	s.names = append(s.names, name)
+	s.vals = append(s.vals, v)
+}
+
+// New creates an interpreter with a fresh global object populated with the
+// standard built-ins (Object, Array, Error, Math, JSON, parseInt, …).
+func New() *Interp {
+	it := &Interp{maxDepth: 200}
+	it.stack = make([]Frame, 0, it.maxDepth+32)
+	it.Protos.Object = &Object{Class: "Object", props: map[string]*Property{}}
+	it.Protos.Function = NewObject(it.Protos.Object)
+	it.Protos.Function.Class = "Function"
+	it.Protos.Array = NewObject(it.Protos.Object)
+	it.Protos.Error = NewObject(it.Protos.Object)
+	it.Protos.Error.Class = "Error"
+	it.Protos.String = NewObject(it.Protos.Object)
+	it.Protos.Number = NewObject(it.Protos.Object)
+	it.Protos.Boolean = NewObject(it.Protos.Object)
+	it.Global = NewObject(it.Protos.Object)
+	it.Global.Class = "Window"
+	it.root = &Scope{global: it.Global}
+	installBuiltins(it)
+	return it
+}
+
+// NewObjectP returns a plain object using this realm's Object.prototype.
+func (it *Interp) NewObjectP() *Object { return NewObject(it.Protos.Object) }
+
+// NewArrayP returns an array using this realm's Array.prototype.
+func (it *Interp) NewArrayP(elems ...Value) *Object {
+	a := NewArray(it.Protos.Object, elems...)
+	a.Proto = it.Protos.Array
+	return a
+}
+
+// NewNative wraps a Go function as a callable JS object. Its toString
+// reports `[native code]` under the given name.
+func (it *Interp) NewNative(name string, fn NativeFunc) *Object {
+	o := NewObject(it.Protos.Function)
+	o.Class = "Function"
+	o.Native = fn
+	o.NativeName = name
+	return o
+}
+
+// NewError constructs an Error object of the given name with a captured
+// stack trace.
+func (it *Interp) NewError(name, msg string) *Object {
+	e := NewObject(it.Protos.Error)
+	e.Class = "Error"
+	e.Set("name", String(name))
+	e.Set("message", String(msg))
+	e.Set("stack", String(it.CaptureStack()))
+	return e
+}
+
+// ThrowError returns a Go error carrying a fresh JS Error.
+func (it *Interp) ThrowError(name, format string, args ...any) error {
+	e := it.NewError(name, fmt.Sprintf(format, args...))
+	return &Throw{Value: ObjectValue(e), Stack: it.CaptureStack()}
+}
+
+// CaptureStack renders the current call stack Firefox-style, innermost first.
+func (it *Interp) CaptureStack() string {
+	var b strings.Builder
+	for i := len(it.stack) - 1; i >= 0; i-- {
+		b.WriteString(it.stack[i].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StackDepth reports the current JS call-stack depth.
+func (it *Interp) StackDepth() int { return len(it.stack) }
+
+// pushFrame appends a frame to the preallocated stack and returns a pointer
+// to it; the pointer stays valid until the frame is popped (the stack's
+// backing array never reallocates thanks to the depth limit).
+func (it *Interp) pushFrame(f Frame) *Frame {
+	if len(it.stack) == cap(it.stack) {
+		// should be unreachable: CallFunction enforces maxDepth first
+		panic("minjs: frame stack overflow")
+	}
+	it.stack = append(it.stack, f)
+	return &it.stack[len(it.stack)-1]
+}
+
+func (it *Interp) popFrame() { it.stack = it.stack[:len(it.stack)-1] }
+
+// CurrentScript returns the script name of the innermost non-native frame —
+// the script whose code is executing right now.
+func (it *Interp) CurrentScript() string {
+	for i := len(it.stack) - 1; i >= 0; i-- {
+		if it.stack[i].Script != "native" {
+			return it.stack[i].Script
+		}
+	}
+	return ""
+}
+
+func (it *Interp) step() error {
+	it.steps++
+	limit := it.StepLimit
+	if limit == 0 {
+		limit = 5_000_000
+	}
+	if it.steps > limit {
+		return &InterruptError{Reason: "step limit exceeded"}
+	}
+	return nil
+}
+
+// RunProgram executes a parsed program at the top level of the realm.
+// It resets the step counter, so each program gets a fresh budget.
+func (it *Interp) RunProgram(prog *Program) (Value, error) {
+	it.steps = 0
+	frame := it.pushFrame(Frame{FnName: "<toplevel>", Script: prog.Name, Line: 1})
+	defer it.popFrame()
+	it.hoist(prog.Body, it.root)
+	var last Value
+	for _, st := range prog.Body {
+		v, err := it.evalStmt(st, it.root, frame)
+		if err != nil {
+			if rs, ok := err.(*returnSignal); ok {
+				return rs.val, nil
+			}
+			return Undefined(), err
+		}
+		last = v
+	}
+	return last, nil
+}
+
+// RunScript parses and executes src.
+func (it *Interp) RunScript(src, name string) (Value, error) {
+	prog, err := Parse(src, name)
+	if err != nil {
+		return Undefined(), err
+	}
+	return it.RunProgram(prog)
+}
+
+// hoist pre-declares function declarations in a statement list.
+func (it *Interp) hoist(body []Node, sc *Scope) {
+	for _, st := range body {
+		if fd, ok := st.(*FuncDecl); ok {
+			fn := it.makeFunction(fd.Fn, sc)
+			sc.declare(fd.Fn.Name, ObjectValue(fn))
+		}
+	}
+}
+
+// makeFunction instantiates a function object closing over sc. The "name",
+// "length" and "prototype" properties materialise lazily on first access
+// (see Interp.functionIntrinsic): most functions never have them read, and
+// page instrumentation creates hundreds of wrappers per document.
+func (it *Interp) makeFunction(lit *FuncLit, sc *Scope) *Object {
+	o := NewObject(it.Protos.Function)
+	o.Class = "Function"
+	o.Fn = lit
+	o.Env = sc
+	return o
+}
+
+// functionIntrinsic resolves the lazily materialised intrinsic properties of
+// function objects; called on the property-miss path only.
+func (it *Interp) functionIntrinsic(o *Object, key string) (Value, bool) {
+	if o.Fn == nil && o.Native == nil {
+		return Undefined(), false
+	}
+	switch key {
+	case "name":
+		if o.Native != nil {
+			return String(o.NativeName), true
+		}
+		return String(o.Fn.Name), true
+	case "length":
+		if o.Fn != nil {
+			return Int(len(o.Fn.Params)), true
+		}
+		return Int(0), true
+	case "prototype":
+		if o.Fn == nil || o.Fn.Arrow {
+			return Undefined(), false
+		}
+		protoObj := it.NewObjectP()
+		protoObj.SetNonEnum("constructor", ObjectValue(o))
+		o.SetNonEnum("prototype", ObjectValue(protoObj))
+		return ObjectValue(protoObj), true
+	}
+	return Undefined(), false
+}
+
+// CallFunction invokes a callable object from the host or the evaluator.
+func (it *Interp) CallFunction(fn *Object, this Value, args []Value) (Value, error) {
+	if fn == nil || (fn.Fn == nil && fn.Native == nil) {
+		return Undefined(), it.ThrowError("TypeError", "value is not a function")
+	}
+	if len(it.stack) >= it.maxDepth {
+		return Undefined(), it.ThrowError("InternalError", "too much recursion")
+	}
+	if fn.Native != nil {
+		it.pushFrame(Frame{FnName: fn.NativeName, Script: "native"})
+		defer it.popFrame()
+		return fn.Native(it, this, args)
+	}
+	lit := fn.Fn
+	if lit.Arrow || fn.HasThisVal {
+		this = fn.ThisVal
+	}
+	sc := newScopeCap(fn.Env, len(lit.Params)+2)
+	for i, p := range lit.Params {
+		if i < len(args) {
+			sc.declare(p, args[i])
+		} else {
+			sc.declare(p, Undefined())
+		}
+	}
+	if lit.UsesArguments {
+		sc.declare("arguments", ObjectValue(it.NewArrayP(args...)))
+	}
+	frame := it.pushFrame(Frame{FnName: lit.Name, Script: lit.Script, Line: lit.Line})
+	defer it.popFrame()
+	it.hoist(lit.Body, sc)
+	savedThis := it.curThis
+	it.curThis = this
+	defer func() { it.curThis = savedThis }()
+	for _, st := range lit.Body {
+		if _, err := it.evalStmt(st, sc, frame); err != nil {
+			if rs, ok := err.(*returnSignal); ok {
+				return rs.val, nil
+			}
+			return Undefined(), err
+		}
+	}
+	return Undefined(), nil
+}
+
+// Construct implements `new fn(args)`.
+func (it *Interp) Construct(fn *Object, args []Value) (Value, error) {
+	if fn == nil || (fn.Fn == nil && fn.Native == nil) {
+		return Undefined(), it.ThrowError("TypeError", "value is not a constructor")
+	}
+	proto := it.Protos.Object
+	if pv, err := it.GetMember(ObjectValue(fn), "prototype"); err == nil && pv.IsObject() {
+		proto = pv.Obj
+	}
+	obj := NewObject(proto)
+	res, err := it.CallFunction(fn, ObjectValue(obj), args)
+	if err != nil {
+		return Undefined(), err
+	}
+	if res.IsObject() {
+		return res, nil
+	}
+	return ObjectValue(obj), nil
+}
+
+// curThis tracks the dynamic this for non-arrow script functions.
+// (Field kept on Interp because evaluation is single-threaded per realm.)

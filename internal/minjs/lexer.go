@@ -1,0 +1,251 @@
+package minjs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError describes a lexing or parsing failure in a script.
+type SyntaxError struct {
+	Script string // script URL or name
+	Line   int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s:%d: syntax error: %s", e.Script, e.Line, e.Msg)
+}
+
+type lexer struct {
+	src    string
+	script string
+	pos    int
+	line   int
+	toks   []Token
+}
+
+// three-character and two-character punctuators, longest match first.
+var punct3 = []string{"===", "!==", "**=", "...", ">>>", "<<=", ">>="}
+var punct2 = []string{
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+	"*=", "/=", "%=", "=>", "<<", ">>", "&=", "|=", "^=", "??",
+}
+
+// lex scans src into a token slice. scriptName is used in error messages.
+func lex(src, scriptName string) ([]Token, error) {
+	l := &lexer{src: src, script: scriptName, line: 1}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.emit(Token{Kind: TokEOF, Pos: l.pos, Line: l.line})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.lexIdent()
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t Token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Script: l.script, Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	kind := TokIdent
+	if keywords[word] {
+		kind = TokKeyword
+	}
+	l.emit(Token{Kind: kind, Text: word, Pos: start, Line: l.line})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		l.pos += 2
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		n, err := strconv.ParseUint(l.src[start+2:l.pos], 16, 64)
+		if err != nil {
+			return l.errf("bad hex literal %q", l.src[start:l.pos])
+		}
+		l.emit(Token{Kind: TokNumber, Num: float64(n), Pos: start, Line: l.line})
+		return nil
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	f, err := strconv.ParseFloat(l.src[start:l.pos], 64)
+	if err != nil {
+		return l.errf("bad number literal %q", l.src[start:l.pos])
+	}
+	l.emit(Token{Kind: TokNumber, Num: f, Pos: start, Line: l.line})
+	return nil
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	startLine := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return l.errf("unterminated string literal")
+		}
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.emit(Token{Kind: TokString, Text: b.String(), Pos: start, Line: startLine})
+			return nil
+		}
+		if c == '\n' {
+			return l.errf("newline in string literal")
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			l.pos++
+			continue
+		}
+		// escape sequence
+		l.pos++
+		if l.pos >= len(l.src) {
+			return l.errf("unterminated escape sequence")
+		}
+		e := l.src[l.pos]
+		l.pos++
+		switch e {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case 'b':
+			b.WriteByte('\b')
+		case 'f':
+			b.WriteByte('\f')
+		case 'v':
+			b.WriteByte('\v')
+		case '0':
+			b.WriteByte(0)
+		case '\\', '\'', '"', '/':
+			b.WriteByte(e)
+		case 'x':
+			if l.pos+2 > len(l.src) || !isHexDigit(l.src[l.pos]) || !isHexDigit(l.src[l.pos+1]) {
+				return l.errf("bad \\x escape")
+			}
+			n, _ := strconv.ParseUint(l.src[l.pos:l.pos+2], 16, 8)
+			b.WriteByte(byte(n))
+			l.pos += 2
+		case 'u':
+			if l.pos+4 > len(l.src) {
+				return l.errf("bad \\u escape")
+			}
+			n, err := strconv.ParseUint(l.src[l.pos:l.pos+4], 16, 32)
+			if err != nil {
+				return l.errf("bad \\u escape")
+			}
+			b.WriteRune(rune(n))
+			l.pos += 4
+		case '\n':
+			l.line++ // line continuation
+		default:
+			b.WriteByte(e)
+		}
+	}
+}
+
+func (l *lexer) lexPunct() error {
+	rest := l.src[l.pos:]
+	for _, p := range punct3 {
+		if strings.HasPrefix(rest, p) {
+			l.emit(Token{Kind: TokPunct, Text: p, Pos: l.pos, Line: l.line})
+			l.pos += 3
+			return nil
+		}
+	}
+	for _, p := range punct2 {
+		if strings.HasPrefix(rest, p) {
+			l.emit(Token{Kind: TokPunct, Text: p, Pos: l.pos, Line: l.line})
+			l.pos += 2
+			return nil
+		}
+	}
+	c := rest[0]
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '!', '&', '|', '^', '~',
+		'(', ')', '{', '}', '[', ']', ';', ',', '.', ':', '?':
+		l.emit(Token{Kind: TokPunct, Text: string(c), Pos: l.pos, Line: l.line})
+		l.pos++
+		return nil
+	}
+	return l.errf("unexpected character %q", string(c))
+}

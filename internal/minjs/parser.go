@@ -1,0 +1,1004 @@
+package minjs
+
+import "fmt"
+
+// Parse lexes and parses src into a Program. name identifies the script in
+// error messages, stack traces and the call log.
+func Parse(src, name string) (*Program, error) {
+	toks, err := lex(src, name)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src, script: name}
+	prog := &Program{Source: src, Name: name}
+	prog.Line = 1
+	for !p.at(TokEOF) {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Body = append(prog.Body, st)
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for tests and embedded scripts.
+func MustParse(src, name string) *Program {
+	p, err := Parse(src, name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks   []Token
+	pos    int
+	src    string
+	script string
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(kind TokenKind) bool { return p.cur().Kind == kind }
+
+func (p *parser) atPunct(text string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == text
+}
+
+func (p *parser) atKeyword(text string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == text
+}
+
+func (p *parser) advance() Token {
+	t := p.cur()
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) eatPunct(text string) bool {
+	if p.atPunct(text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(text string) error {
+	if !p.eatPunct(text) {
+		return p.errf("expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Script: p.script, Line: p.cur().Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) line() int { return p.cur().Line }
+
+// statement parses a single statement; semicolons are optional terminators.
+func (p *parser) statement() (Node, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "var", "let", "const":
+			st, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			p.eatPunct(";")
+			return st, nil
+		case "function":
+			// function declaration (at statement position)
+			if p.peek().Kind == TokIdent {
+				line := p.line()
+				fn, err := p.funcLiteral(true)
+				if err != nil {
+					return nil, err
+				}
+				return &FuncDecl{base: base{line}, Fn: fn}, nil
+			}
+		case "if":
+			return p.ifStmt()
+		case "while":
+			return p.whileStmt()
+		case "do":
+			return p.doWhileStmt()
+		case "for":
+			return p.forStmt()
+		case "return":
+			line := p.line()
+			p.advance()
+			var x Node
+			if !p.atPunct(";") && !p.atPunct("}") && !p.at(TokEOF) {
+				var err error
+				x, err = p.expression()
+				if err != nil {
+					return nil, err
+				}
+			}
+			p.eatPunct(";")
+			return &ReturnStmt{base{line}, x}, nil
+		case "break":
+			line := p.line()
+			p.advance()
+			p.eatPunct(";")
+			return &BreakStmt{base{line}}, nil
+		case "continue":
+			line := p.line()
+			p.advance()
+			p.eatPunct(";")
+			return &ContinueStmt{base{line}}, nil
+		case "throw":
+			line := p.line()
+			p.advance()
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			p.eatPunct(";")
+			return &ThrowStmt{base{line}, x}, nil
+		case "try":
+			return p.tryStmt()
+		case "switch":
+			return p.switchStmt()
+		}
+	}
+	if p.atPunct("{") {
+		return p.block()
+	}
+	if p.eatPunct(";") {
+		return &BlockStmt{base: base{t.Line}}, nil // empty statement
+	}
+	line := p.line()
+	x, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	p.eatPunct(";")
+	return &ExprStmt{base{line}, x}, nil
+}
+
+func (p *parser) varDecl() (*VarDecl, error) {
+	line := p.line()
+	kw := p.advance().Text
+	d := &VarDecl{base: base{line}, Keyword: kw}
+	for {
+		if !p.at(TokIdent) {
+			return nil, p.errf("expected identifier in %s declaration, found %s", kw, p.cur())
+		}
+		d.Names = append(d.Names, p.advance().Text)
+		if p.eatPunct("=") {
+			init, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Inits = append(d.Inits, init)
+		} else {
+			d.Inits = append(d.Inits, nil)
+		}
+		if !p.eatPunct(",") {
+			return d, nil
+		}
+	}
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	line := p.line()
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{base: base{line}}
+	for !p.atPunct("}") {
+		if p.at(TokEOF) {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		switch st.(type) {
+		case *VarDecl, *FuncDecl:
+			b.NeedsScope = true
+		}
+		b.Body = append(b.Body, st)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+func (p *parser) ifStmt() (Node, error) {
+	line := p.line()
+	p.advance() // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	var els Node
+	if p.atKeyword("else") {
+		p.advance()
+		els, err = p.statement()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{base{line}, cond, then, els}, nil
+}
+
+func (p *parser) whileStmt() (Node, error) {
+	line := p.line()
+	p.advance() // while
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{base{line}, cond, body}, nil
+}
+
+func (p *parser) doWhileStmt() (Node, error) {
+	line := p.line()
+	p.advance() // do
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("while") {
+		return nil, p.errf("expected 'while' after do-body")
+	}
+	p.advance()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	p.eatPunct(";")
+	return &DoWhileStmt{base{line}, cond, body}, nil
+}
+
+func (p *parser) forStmt() (Node, error) {
+	line := p.line()
+	p.advance() // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+
+	// for (var x in obj) / for (x in obj) / for…of
+	if p.atKeyword("var") || p.atKeyword("let") || p.atKeyword("const") {
+		kw := p.cur().Text
+		if p.peek().Kind == TokIdent {
+			// look two ahead for `in` / `of`
+			if p.pos+2 < len(p.toks) {
+				t2 := p.toks[p.pos+2]
+				if t2.Kind == TokKeyword && (t2.Text == "in" || t2.Text == "of") {
+					p.advance() // var
+					name := p.advance().Text
+					of := p.advance().Text == "of"
+					obj, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					body, err := p.statement()
+					if err != nil {
+						return nil, err
+					}
+					return &ForInStmt{base{line}, kw, name, of, obj, body}, nil
+				}
+			}
+		}
+	} else if p.at(TokIdent) {
+		t1 := p.peek()
+		if t1.Kind == TokKeyword && (t1.Text == "in" || t1.Text == "of") {
+			name := p.advance().Text
+			of := p.advance().Text == "of"
+			obj, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			body, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			return &ForInStmt{base{line}, "", name, of, obj, body}, nil
+		}
+	}
+
+	// classic three-clause for
+	var init, cond, post Node
+	var err error
+	if !p.atPunct(";") {
+		if p.atKeyword("var") || p.atKeyword("let") || p.atKeyword("const") {
+			init, err = p.varDecl()
+		} else {
+			var x Node
+			x, err = p.expression()
+			init = &ExprStmt{base{line}, x}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(";") {
+		cond, err = p.expression()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		post, err = p.expression()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{base{line}, init, cond, post, body}, nil
+}
+
+func (p *parser) tryStmt() (Node, error) {
+	line := p.line()
+	p.advance() // try
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &TryStmt{base: base{line}, Body: body}
+	if p.atKeyword("catch") {
+		p.advance()
+		if p.eatPunct("(") {
+			if !p.at(TokIdent) {
+				return nil, p.errf("expected identifier in catch clause")
+			}
+			st.CatchName = p.advance().Text
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+		st.Catch, err = p.block()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("finally") {
+		p.advance()
+		st.Finally, err = p.block()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if st.Catch == nil && st.Finally == nil {
+		return nil, p.errf("try requires catch or finally")
+	}
+	return st, nil
+}
+
+func (p *parser) switchStmt() (Node, error) {
+	line := p.line()
+	p.advance() // switch
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	tag, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{base: base{line}, Tag: tag, DefPos: -1}
+	for !p.atPunct("}") {
+		if p.at(TokEOF) {
+			return nil, p.errf("unexpected EOF in switch")
+		}
+		if p.atKeyword("case") {
+			p.advance()
+			test, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Cases = append(st.Cases, SwitchCase{Test: test, Body: body})
+		} else if p.atKeyword("default") {
+			p.advance()
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.HasDef = true
+			st.DefPos = len(st.Cases)
+			st.Default = body
+		} else {
+			return nil, p.errf("expected case or default in switch")
+		}
+	}
+	p.advance() // }
+	return st, nil
+}
+
+func (p *parser) caseBody() ([]Node, error) {
+	var body []Node
+	for !p.atKeyword("case") && !p.atKeyword("default") && !p.atPunct("}") {
+		if p.at(TokEOF) {
+			return nil, p.errf("unexpected EOF in switch case")
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, st)
+	}
+	return body, nil
+}
+
+// funcLiteral parses `function [name](params) { body }`. The leading
+// `function` keyword is consumed here. named requires a name.
+func (p *parser) funcLiteral(named bool) (*FuncLit, error) {
+	line := p.line()
+	start := p.cur().Pos
+	p.advance() // function
+	fn := &FuncLit{base: base{line}, Script: p.script}
+	if p.at(TokIdent) {
+		fn.Name = p.advance().Text
+	} else if named {
+		return nil, p.errf("expected function name")
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.atPunct(")") {
+		if !p.at(TokIdent) {
+			return nil, p.errf("expected parameter name, found %s", p.cur())
+		}
+		fn.Params = append(fn.Params, p.advance().Text)
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body.Body
+	end := p.cur().Pos
+	fn.SrcText = trimSource(p.src, start, end)
+	for _, s := range fn.Body {
+		if usesArguments(s) {
+			fn.UsesArguments = true
+			break
+		}
+	}
+	return fn, nil
+}
+
+// trimSource slices src[start:end] and trims trailing whitespace so the
+// toString text ends at the closing brace.
+func trimSource(src string, start, end int) string {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(src) {
+		end = len(src)
+	}
+	s := src[start:end]
+	for len(s) > 0 {
+		c := s[len(s)-1]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';' {
+			s = s[:len(s)-1]
+			continue
+		}
+		break
+	}
+	return s
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *parser) expression() (Node, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (Node, error) {
+	// arrow functions: `ident => …` or `(params) => …`
+	if fn, ok, err := p.tryArrow(); err != nil {
+		return nil, err
+	} else if ok {
+		return fn, nil
+	}
+	left, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=":
+			switch left.(type) {
+			case *Ident, *MemberExpr:
+			default:
+				return nil, p.errf("invalid assignment target")
+			}
+			line := t.Line
+			p.advance()
+			val, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignExpr{base{line}, t.Text, left, val}, nil
+		}
+	}
+	return left, nil
+}
+
+// tryArrow detects and parses arrow functions with bounded lookahead.
+func (p *parser) tryArrow() (Node, bool, error) {
+	// single identifier arrow: x => body
+	if p.at(TokIdent) && p.peek().Kind == TokPunct && p.peek().Text == "=>" {
+		line := p.line()
+		start := p.cur().Pos
+		name := p.advance().Text
+		p.advance() // =>
+		return p.arrowBody(line, start, []string{name})
+	}
+	// parenthesised params: scan ahead for `) =>`
+	if !p.atPunct("(") {
+		return nil, false, nil
+	}
+	depth := 0
+	i := p.pos
+	for ; i < len(p.toks); i++ {
+		t := p.toks[i]
+		if t.Kind != TokPunct {
+			continue
+		}
+		if t.Text == "(" {
+			depth++
+		} else if t.Text == ")" {
+			depth--
+			if depth == 0 {
+				break
+			}
+		}
+	}
+	if i+1 >= len(p.toks) || p.toks[i+1].Kind != TokPunct || p.toks[i+1].Text != "=>" {
+		return nil, false, nil
+	}
+	line := p.line()
+	start := p.cur().Pos
+	p.advance() // (
+	var params []string
+	for !p.atPunct(")") {
+		if !p.at(TokIdent) {
+			return nil, false, p.errf("expected parameter name in arrow function")
+		}
+		params = append(params, p.advance().Text)
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, false, err
+	}
+	if err := p.expectPunct("=>"); err != nil {
+		return nil, false, err
+	}
+	return p.arrowBody(line, start, params)
+}
+
+func (p *parser) arrowBody(line, start int, params []string) (Node, bool, error) {
+	fn := &FuncLit{base: base{line}, Params: params, Arrow: true, Script: p.script}
+	if p.atPunct("{") {
+		body, err := p.block()
+		if err != nil {
+			return nil, false, err
+		}
+		fn.Body = body.Body
+	} else {
+		x, err := p.assignExpr()
+		if err != nil {
+			return nil, false, err
+		}
+		fn.Body = []Node{&ReturnStmt{base{line}, x}}
+	}
+	fn.SrcText = trimSource(p.src, start, p.cur().Pos)
+	return fn, true, nil
+}
+
+func (p *parser) condExpr() (Node, error) {
+	cond, err := p.binaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atPunct("?") {
+		return cond, nil
+	}
+	line := p.line()
+	p.advance()
+	then, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{base{line}, cond, then, els}, nil
+}
+
+// binary operator precedence levels.
+var binPrec = map[string]int{
+	"||": 1, "??": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6, "===": 6, "!==": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7, "instanceof": 7, "in": 7,
+	"<<": 8, ">>": 8, ">>>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) binaryExpr(minPrec int) (Node, error) {
+	left, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		var op string
+		if t.Kind == TokPunct {
+			op = t.Text
+		} else if t.Kind == TokKeyword && (t.Text == "instanceof" || t.Text == "in") {
+			op = t.Text
+		} else {
+			return left, nil
+		}
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		line := t.Line
+		p.advance()
+		right, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		if op == "&&" || op == "||" || op == "??" {
+			left = &LogicalExpr{base{line}, op, left, right}
+		} else {
+			left = &BinaryExpr{base{line}, op, left, right}
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Node, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "!", "-", "+", "~", "++", "--":
+			line := t.Line
+			p.advance()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{base{line}, t.Text, x}, nil
+		}
+	}
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "typeof", "delete":
+			line := t.Line
+			p.advance()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{base{line}, t.Text, x}, nil
+		case "new":
+			line := t.Line
+			p.advance()
+			ctor, err := p.memberOnly()
+			if err != nil {
+				return nil, err
+			}
+			var args []Node
+			if p.atPunct("(") {
+				args, err = p.callArgs()
+				if err != nil {
+					return nil, err
+				}
+			}
+			nx := Node(&NewExpr{base{line}, ctor, args})
+			return p.callTail(nx)
+		}
+	}
+	x, err := p.postfixExpr()
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+func (p *parser) postfixExpr() (Node, error) {
+	x, err := p.callExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.atPunct("++") || p.atPunct("--") {
+		t := p.advance()
+		return &PostfixExpr{base{t.Line}, t.Text, x}, nil
+	}
+	return x, nil
+}
+
+// memberOnly parses a primary expression followed by member accesses only
+// (no calls); used for the constructor of `new`.
+func (p *parser) memberOnly() (Node, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.atPunct(".") {
+			line := p.line()
+			p.advance()
+			if !p.at(TokIdent) && !p.at(TokKeyword) {
+				return nil, p.errf("expected property name after '.'")
+			}
+			name := p.advance().Text
+			x = &MemberExpr{base{line}, x, name, false, nil}
+			continue
+		}
+		if p.atPunct("[") {
+			line := p.line()
+			p.advance()
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &MemberExpr{base{line}, x, "", true, idx}
+			continue
+		}
+		return x, nil
+	}
+}
+
+func (p *parser) callExpr() (Node, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	return p.callTail(x)
+}
+
+// callTail parses trailing member accesses and calls.
+func (p *parser) callTail(x Node) (Node, error) {
+	for {
+		switch {
+		case p.atPunct("."):
+			line := p.line()
+			p.advance()
+			if !p.at(TokIdent) && !p.at(TokKeyword) {
+				return nil, p.errf("expected property name after '.'")
+			}
+			name := p.advance().Text
+			x = &MemberExpr{base{line}, x, name, false, nil}
+		case p.atPunct("["):
+			line := p.line()
+			p.advance()
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &MemberExpr{base{line}, x, "", true, idx}
+		case p.atPunct("("):
+			line := p.line()
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			x = &CallExpr{base{line}, x, args}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) callArgs() ([]Node, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []Node
+	for !p.atPunct(")") {
+		a, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) primary() (Node, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		return &Literal{base{t.Line}, Number(t.Num)}, nil
+	case TokString:
+		p.advance()
+		return &Literal{base{t.Line}, String(t.Text)}, nil
+	case TokIdent:
+		p.advance()
+		return &Ident{base{t.Line}, t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "true":
+			p.advance()
+			return &Literal{base{t.Line}, Boolean(true)}, nil
+		case "false":
+			p.advance()
+			return &Literal{base{t.Line}, Boolean(false)}, nil
+		case "null":
+			p.advance()
+			return &Literal{base{t.Line}, Null()}, nil
+		case "undefined":
+			p.advance()
+			return &Literal{base{t.Line}, Undefined()}, nil
+		case "this":
+			p.advance()
+			return &ThisExpr{base{t.Line}}, nil
+		case "function":
+			return p.funcLiteral(false)
+		}
+		return nil, p.errf("unexpected keyword %q", t.Text)
+	case TokPunct:
+		switch t.Text {
+		case "(":
+			p.advance()
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		case "[":
+			p.advance()
+			arr := &ArrayLit{base: base{t.Line}}
+			for !p.atPunct("]") {
+				el, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				arr.Elems = append(arr.Elems, el)
+				if !p.eatPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return arr, nil
+		case "{":
+			p.advance()
+			obj := &ObjectLit{base: base{t.Line}}
+			for !p.atPunct("}") {
+				kt := p.cur()
+				var key string
+				switch {
+				case kt.Kind == TokIdent || kt.Kind == TokKeyword:
+					key = kt.Text
+					p.advance()
+				case kt.Kind == TokString:
+					key = kt.Text
+					p.advance()
+				case kt.Kind == TokNumber:
+					key = numToString(kt.Num)
+					p.advance()
+				default:
+					return nil, p.errf("bad object literal key %s", kt)
+				}
+				if err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+				val, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				obj.Keys = append(obj.Keys, key)
+				obj.Vals = append(obj.Vals, val)
+				if !p.eatPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			return obj, nil
+		}
+	}
+	return nil, p.errf("unexpected token %s", t)
+}

@@ -1,0 +1,261 @@
+package minjs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// identFrom derives a valid identifier from arbitrary fuzz input.
+func identFrom(raw string, fallback string) string {
+	var b strings.Builder
+	for i := 0; i < len(raw) && b.Len() < 12; i++ {
+		c := raw[i]
+		if b.Len() == 0 && isIdentStart(c) {
+			b.WriteByte(c)
+		} else if b.Len() > 0 && isIdentPart(c) {
+			b.WriteByte(c)
+		}
+	}
+	s := b.String()
+	if s == "" || keywords[s] {
+		return fallback
+	}
+	return s
+}
+
+// Property: any string literal round-trips through the lexer via %q-style
+// escaping — what the parser decodes equals the original.
+func TestQuickStringLiteralRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if !isPlainASCII(s) {
+			return true // lexer stores bytes; restrict to ASCII payloads
+		}
+		src := "var s = " + quoteJS(s) + "; s"
+		v, err := New().RunScript(src, "q.js")
+		if err != nil {
+			t.Logf("src=%q err=%v", src, err)
+			return false
+		}
+		return v.Kind == KindString && v.Str == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isPlainASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// quoteJS escapes s as a double-quoted JS string literal.
+func quoteJS(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c == '\n':
+			b.WriteString("\\n")
+		case c == '\r':
+			b.WriteString("\\r")
+		case c < 0x20 || c == 0x7f:
+			fmt.Fprintf(&b, "\\x%02x", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Property: integer arithmetic matches Go float64 arithmetic.
+func TestQuickArithmeticMatchesGo(t *testing.T) {
+	f := func(a, b int16) bool {
+		src := fmt.Sprintf("(%d) + (%d) * 2 - (%d)", a, b, a)
+		v, err := New().RunScript(src, "q.js")
+		if err != nil {
+			return false
+		}
+		want := float64(a) + float64(b)*2 - float64(a)
+		return v.Kind == KindNumber && v.Num == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: property set-then-get returns the stored value for any valid key,
+// and delete removes exactly that key.
+func TestQuickObjectSetGetDelete(t *testing.T) {
+	f := func(rawKey string, val int32) bool {
+		key := identFrom(rawKey, "k")
+		it := New()
+		o := it.NewObjectP()
+		o.Set(key, Int(int(val)))
+		got, err := it.GetMember(ObjectValue(o), key)
+		if err != nil || got.Num != float64(val) {
+			return false
+		}
+		if !o.HasOwn(key) {
+			return false
+		}
+		o.Delete(key)
+		return !o.HasOwn(key) && len(o.OwnKeys(false)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prototype-chain lookup finds a property defined at any depth,
+// and FindProperty returns the owning object.
+func TestQuickPrototypeChainLookup(t *testing.T) {
+	f := func(depth uint8, val int32) bool {
+		d := int(depth%10) + 1
+		it := New()
+		rootObj := it.NewObjectP()
+		rootObj.Set("needle", Int(int(val)))
+		cur := rootObj
+		for i := 0; i < d; i++ {
+			cur = NewObject(cur)
+		}
+		owner, prop := cur.FindProperty("needle")
+		if owner != rootObj || prop == nil || prop.Value.Num != float64(val) {
+			return false
+		}
+		v, err := it.GetMember(ObjectValue(cur), "needle")
+		return err == nil && v.Num == float64(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for…in enumeration order equals insertion order for own
+// enumerable properties.
+func TestQuickEnumerationOrder(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%20) + 1
+		it := New()
+		o := it.NewObjectP()
+		var want []string
+		for i := 0; i < count; i++ {
+			k := fmt.Sprintf("k%d", i)
+			o.Set(k, Int(i))
+			want = append(want, k)
+		}
+		got := o.OwnKeys(true)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StrictEquals is reflexive for non-NaN values and symmetric.
+func TestQuickStrictEqualsProperties(t *testing.T) {
+	mk := func(tag uint8, n float64, s string) Value {
+		switch tag % 5 {
+		case 0:
+			return Undefined()
+		case 1:
+			return Null()
+		case 2:
+			return Boolean(n > 0)
+		case 3:
+			return Number(n)
+		default:
+			return String(s)
+		}
+	}
+	f := func(t1, t2 uint8, n1, n2 float64, s1, s2 string) bool {
+		a, b := mk(t1, n1, s1), mk(t2, n2, s2)
+		// symmetry
+		if StrictEquals(a, b) != StrictEquals(b, a) {
+			return false
+		}
+		// reflexivity (except NaN)
+		if a.Kind == KindNumber && math.IsNaN(a.Num) {
+			return !StrictEquals(a, a)
+		}
+		return StrictEquals(a, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: JSON stringify→parse round-trips flat string maps.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(vals []int32) bool {
+		it := New()
+		o := it.NewObjectP()
+		for i, v := range vals {
+			if i >= 8 {
+				break
+			}
+			o.Set(fmt.Sprintf("f%d", i), Int(int(v)))
+		}
+		s, err := jsonStringify(ObjectValue(o), map[*Object]bool{})
+		if err != nil {
+			return false
+		}
+		back, err := jsonParse(it, s)
+		if err != nil || !back.IsObject() {
+			return false
+		}
+		for i, v := range vals {
+			if i >= 8 {
+				break
+			}
+			got, _ := it.GetMember(back, fmt.Sprintf("f%d", i))
+			if got.Num != float64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a getter installed over any data property preserves reads
+// (the wrap-without-behaviour-change invariant the instrumentation needs).
+func TestQuickAccessorWrapPreservesReads(t *testing.T) {
+	f := func(rawKey string, val int32) bool {
+		key := identFrom(rawKey, "p")
+		it := New()
+		o := it.NewObjectP()
+		o.Set(key, Int(int(val)))
+		orig := o.GetOwn(key).Value
+		getter := it.NewNative("get "+key, func(it *Interp, this Value, args []Value) (Value, error) {
+			return orig, nil
+		})
+		o.DefineAccessor(key, getter, nil, true)
+		v, err := it.GetMember(ObjectValue(o), key)
+		return err == nil && StrictEquals(v, Int(int(val)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,507 @@
+package minjs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime value categories.
+type Kind int
+
+// Value kinds.
+const (
+	KindUndefined Kind = iota
+	KindNull
+	KindBool
+	KindNumber
+	KindString
+	KindObject
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	case KindObject:
+		return "object"
+	}
+	return "invalid"
+}
+
+// Value is a JavaScript value. The zero Value is undefined.
+type Value struct {
+	Kind Kind
+	Num  float64
+	Str  string
+	Bool bool
+	Obj  *Object
+}
+
+// Undefined returns the undefined value.
+func Undefined() Value { return Value{} }
+
+// Null returns the null value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// Boolean wraps a Go bool.
+func Boolean(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// Number wraps a Go float64.
+func Number(f float64) Value { return Value{Kind: KindNumber, Num: f} }
+
+// Int wraps a Go int as a JS number.
+func Int(i int) Value { return Number(float64(i)) }
+
+// String wraps a Go string.
+func String(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// ObjectValue wraps an object pointer; a nil object yields null.
+func ObjectValue(o *Object) Value {
+	if o == nil {
+		return Null()
+	}
+	return Value{Kind: KindObject, Obj: o}
+}
+
+// IsUndefined reports whether v is undefined.
+func (v Value) IsUndefined() bool { return v.Kind == KindUndefined }
+
+// IsNullish reports whether v is undefined or null.
+func (v Value) IsNullish() bool { return v.Kind == KindUndefined || v.Kind == KindNull }
+
+// IsObject reports whether v holds an object.
+func (v Value) IsObject() bool { return v.Kind == KindObject }
+
+// IsFunction reports whether v is a callable object.
+func (v Value) IsFunction() bool {
+	return v.Kind == KindObject && v.Obj != nil && (v.Obj.Fn != nil || v.Obj.Native != nil)
+}
+
+// Truthy implements ToBoolean.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindUndefined, KindNull:
+		return false
+	case KindBool:
+		return v.Bool
+	case KindNumber:
+		return v.Num != 0 && !math.IsNaN(v.Num)
+	case KindString:
+		return v.Str != ""
+	default:
+		return true
+	}
+}
+
+// TypeOf implements the typeof operator.
+func (v Value) TypeOf() string {
+	switch v.Kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "object"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	default:
+		if v.IsFunction() {
+			return "function"
+		}
+		return "object"
+	}
+}
+
+// ToString implements a pragmatic ToString: objects use their class or
+// function source, arrays join with commas.
+func (v Value) ToString() string {
+	switch v.Kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	case KindNumber:
+		return numToString(v.Num)
+	case KindString:
+		return v.Str
+	default:
+		o := v.Obj
+		if o == nil {
+			return "null"
+		}
+		if o.Fn != nil || o.Native != nil {
+			return o.FunctionSource()
+		}
+		switch o.Class {
+		case "Array":
+			parts := make([]string, len(o.Elems))
+			for i, e := range o.Elems {
+				if !e.IsNullish() {
+					parts[i] = e.ToString()
+				}
+			}
+			return strings.Join(parts, ",")
+		case "Error":
+			name := "Error"
+			if n, ok := o.lookupOwn("name"); ok && n.Value.Kind == KindString {
+				name = n.Value.Str
+			}
+			msg := ""
+			if m, ok := o.lookupOwn("message"); ok {
+				msg = m.Value.ToString()
+			}
+			if msg == "" {
+				return name
+			}
+			return name + ": " + msg
+		}
+		return "[object " + o.Class + "]"
+	}
+}
+
+// ToNumber implements a pragmatic ToNumber.
+func (v Value) ToNumber() float64 {
+	switch v.Kind {
+	case KindUndefined:
+		return math.NaN()
+	case KindNull:
+		return 0
+	case KindBool:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	case KindNumber:
+		return v.Num
+	case KindString:
+		s := strings.TrimSpace(v.Str)
+		if s == "" {
+			return 0
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	default:
+		// objects: use array-of-one / string content; else NaN
+		return Value{Kind: KindString, Str: v.ToString()}.ToNumber()
+	}
+}
+
+func numToString(f float64) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	if math.IsInf(f, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(f, -1) {
+		return "-Infinity"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e21 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// StrictEquals implements ===.
+func StrictEquals(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindUndefined, KindNull:
+		return true
+	case KindBool:
+		return a.Bool == b.Bool
+	case KindNumber:
+		return a.Num == b.Num // NaN !== NaN falls out naturally
+	case KindString:
+		return a.Str == b.Str
+	default:
+		return a.Obj == b.Obj
+	}
+}
+
+// LooseEquals implements == with the common coercions.
+func LooseEquals(a, b Value) bool {
+	if a.Kind == b.Kind {
+		return StrictEquals(a, b)
+	}
+	if a.IsNullish() && b.IsNullish() {
+		return true
+	}
+	if a.IsNullish() || b.IsNullish() {
+		return false
+	}
+	// number/string/bool cross-comparisons via ToNumber
+	if a.Kind != KindObject && b.Kind != KindObject {
+		return a.ToNumber() == b.ToNumber()
+	}
+	// object vs primitive: compare via ToString/ToNumber
+	if a.Kind == KindObject {
+		return LooseEquals(String(a.ToString()), b)
+	}
+	return LooseEquals(a, String(b.ToString()))
+}
+
+// NativeFunc is the host-function bridge signature. this is the receiver
+// value, args the call arguments.
+type NativeFunc func(it *Interp, this Value, args []Value) (Value, error)
+
+// Property is a property slot: either a data property (Value) or an accessor
+// (Get/Set). The flags mirror JS property attributes.
+type Property struct {
+	Value        Value
+	Get, Set     *Object
+	Accessor     bool
+	Enumerable   bool
+	Writable     bool
+	Configurable bool
+}
+
+// Object is a JavaScript object: an ordered property map with a prototype
+// link. Functions and arrays are Objects with extra slots.
+type Object struct {
+	Class string // "Object", "Function", "Array", "Error", or a host class name
+	Proto *Object
+
+	props map[string]*Property
+	keys  []string // insertion order, for for…in
+
+	// Function slots: exactly one of Fn/Native is set for callables.
+	Fn         *FuncLit // script function body
+	Env        *Scope   // closure environment for script functions
+	ThisVal    Value    // bound this for arrow functions / bind
+	HasThisVal bool
+	Native     NativeFunc // host function
+	NativeName string     // name reported by native toString
+	// ToStringOverride, when non-empty, is returned by
+	// Function.prototype.toString instead of the real source. The stealth
+	// instrumentation uses this to mimic exportFunction: the wrapper's
+	// source text is indistinguishable from the native function's.
+	ToStringOverride string
+
+	// Array element storage (Class == "Array").
+	Elems []Value
+
+	// Host is an opaque pointer back to the host-side entity (DOM node,
+	// browser, instrument channel, …).
+	Host any
+
+	// NotExtensible prevents adding new properties (Object.freeze-lite).
+	NotExtensible bool
+}
+
+// NewObject returns a plain object with the given prototype. The property
+// map is created lazily on first definition.
+func NewObject(proto *Object) *Object {
+	return &Object{Class: "Object", Proto: proto}
+}
+
+// NewArray returns an array object with the given elements.
+func NewArray(proto *Object, elems ...Value) *Object {
+	o := NewObject(proto)
+	o.Class = "Array"
+	o.Elems = append([]Value(nil), elems...)
+	return o
+}
+
+// lookupOwn returns the own property named key.
+func (o *Object) lookupOwn(key string) (*Property, bool) {
+	p, ok := o.props[key]
+	return p, ok
+}
+
+// GetOwn returns the own property, or nil.
+func (o *Object) GetOwn(key string) *Property {
+	return o.props[key]
+}
+
+// HasOwn reports whether o itself holds key (including array indices/length).
+func (o *Object) HasOwn(key string) bool {
+	if _, ok := o.props[key]; ok {
+		return true
+	}
+	if o.Class == "Array" {
+		if key == "length" {
+			return true
+		}
+		if idx, ok := arrayIndex(key); ok && idx < len(o.Elems) {
+			return true
+		}
+	}
+	return false
+}
+
+// Has reports whether key is reachable on o or its prototype chain.
+func (o *Object) Has(key string) bool {
+	for cur := o; cur != nil; cur = cur.Proto {
+		if cur.HasOwn(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindProperty walks the prototype chain and returns the first object owning
+// key along with its property slot.
+func (o *Object) FindProperty(key string) (*Object, *Property) {
+	for cur := o; cur != nil; cur = cur.Proto {
+		if p, ok := cur.lookupOwn(key); ok {
+			return cur, p
+		}
+	}
+	return nil, nil
+}
+
+// Set defines or overwrites key as an enumerable, writable, configurable
+// data property.
+func (o *Object) Set(key string, v Value) {
+	o.DefineProperty(key, &Property{Value: v, Enumerable: true, Writable: true, Configurable: true})
+}
+
+// SetNonEnum defines key as a non-enumerable data property; used for
+// built-ins and prototype methods.
+func (o *Object) SetNonEnum(key string, v Value) {
+	o.DefineProperty(key, &Property{Value: v, Enumerable: false, Writable: true, Configurable: true})
+}
+
+// DefineProperty installs prop under key, preserving insertion order for
+// first-time definitions.
+func (o *Object) DefineProperty(key string, prop *Property) {
+	if o.props == nil {
+		o.props = make(map[string]*Property, 4)
+	}
+	if _, exists := o.props[key]; !exists {
+		o.keys = append(o.keys, key)
+	}
+	o.props[key] = prop
+}
+
+// DefineAccessor installs a getter/setter pair (either may be nil).
+func (o *Object) DefineAccessor(key string, get, set *Object, enumerable bool) {
+	o.DefineProperty(key, &Property{Get: get, Set: set, Accessor: true, Enumerable: enumerable, Configurable: true})
+}
+
+// Delete removes an own property; it reports whether the property existed.
+func (o *Object) Delete(key string) bool {
+	if _, ok := o.props[key]; !ok {
+		return false
+	}
+	delete(o.props, key)
+	for i, k := range o.keys {
+		if k == key {
+			o.keys = append(o.keys[:i:i], o.keys[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// OwnKeys returns own enumerable-and-not property names in insertion order;
+// array objects report indices and length first.
+func (o *Object) OwnKeys(enumerableOnly bool) []string {
+	var out []string
+	if o.Class == "Array" {
+		for i := range o.Elems {
+			out = append(out, strconv.Itoa(i))
+		}
+	}
+	for _, k := range o.keys {
+		p := o.props[k]
+		if p == nil {
+			continue
+		}
+		if enumerableOnly && !p.Enumerable {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// EnumerateAll returns own + inherited enumerable property names in
+// prototype-chain order, deduplicated; this is the for…in order.
+func (o *Object) EnumerateAll() []string {
+	seen := map[string]bool{}
+	var out []string
+	for cur := o; cur != nil; cur = cur.Proto {
+		for _, k := range cur.OwnKeys(true) {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// SortedOwnKeys returns own property names sorted; handy for deterministic
+// host-side inspection.
+func (o *Object) SortedOwnKeys() []string {
+	ks := o.OwnKeys(false)
+	sort.Strings(ks)
+	return ks
+}
+
+// FunctionSource returns the text Function.prototype.toString reports.
+func (o *Object) FunctionSource() string {
+	if o.ToStringOverride != "" {
+		return o.ToStringOverride
+	}
+	if o.Native != nil {
+		return NativeSource(o.NativeName)
+	}
+	if o.Fn != nil {
+		if o.Fn.SrcText != "" {
+			return o.Fn.SrcText
+		}
+		return "function " + o.Fn.Name + "() { }"
+	}
+	return "function () { }"
+}
+
+// NativeSource formats the `[native code]` toString body for a function name.
+func NativeSource(name string) string {
+	return "function " + name + "() {\n    [native code]\n}"
+}
+
+// IsNativeSource reports whether src looks like a native-function toString.
+func IsNativeSource(src string) bool {
+	return strings.Contains(src, "[native code]")
+}
+
+func arrayIndex(key string) (int, bool) {
+	if key == "" {
+		return 0, false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] < '0' || key[i] > '9' {
+			return 0, false
+		}
+	}
+	n, err := strconv.Atoi(key)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,64 @@
+package openwpm
+
+import (
+	"strings"
+	"testing"
+
+	"gullible/internal/httpsim"
+	"gullible/internal/jsdom"
+)
+
+// hoverPage registers its detection probe behind a mouseover listener: the
+// default crawl never executes it, interaction simulation does.
+const hoverPage = `<script>
+	document.addEventListener("mouseover", function (e) {
+		if (navigator.webdriver === true) {
+			navigator.sendBeacon("https://detect.example/flag", "hover");
+		}
+	});
+</script>`
+
+func hoverWeb() *web {
+	return &web{pages: map[string]*httpsim.Response{
+		"https://a.com/": htmlPage(hoverPage, nil),
+	}}
+}
+
+func TestHoverDetectorInvisibleWithoutInteraction(t *testing.T) {
+	w := hoverWeb()
+	tm := tmFor(w)
+	if _, err := tm.VisitSite("https://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if n := tm.Storage.JSCallsBySymbol()["Navigator.webdriver"]; n != 0 {
+		t.Errorf("hover-gated probe executed without interaction (%d records)", n)
+	}
+	if w.log.CountByType()[httpsim.TypeBeacon] != 0 {
+		t.Error("flag beacon fired without interaction")
+	}
+}
+
+func TestHoverDetectorVisibleWithInteraction(t *testing.T) {
+	w := hoverWeb()
+	tm := NewTaskManager(CrawlConfig{
+		OS: jsdom.Ubuntu, Mode: jsdom.Regular,
+		Transport: w, DwellSeconds: 1,
+		JSInstrument: true, HTTPInstrument: true,
+		SimulateInteraction: true,
+	})
+	if _, err := tm.VisitSite("https://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if n := tm.Storage.JSCallsBySymbol()["Navigator.webdriver"]; n == 0 {
+		t.Error("interaction simulation did not execute the hover-gated probe")
+	}
+	var beacon bool
+	for _, r := range tm.Storage.Requests {
+		if r.Type == httpsim.TypeBeacon && strings.Contains(r.URL, "detect.example") {
+			beacon = true
+		}
+	}
+	if !beacon {
+		t.Error("hover detector's flag beacon missing")
+	}
+}

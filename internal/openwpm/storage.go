@@ -1,0 +1,180 @@
+// Package openwpm simulates the OpenWPM measurement framework on top of the
+// simulated browser: a TaskManager orchestrating visits, a BrowserManager
+// restarting crashed browsers, and the three instruments the paper studies —
+// JavaScript call recording, HTTP traffic recording and cookie recording.
+// The vanilla JS instrument deliberately reproduces the weaknesses the paper
+// identifies (Secs. 3.1.4 and 5); package stealth provides the hardened
+// variant (WPM_hide).
+package openwpm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+
+	"gullible/internal/httpsim"
+)
+
+// JSCall is one recorded JavaScript API interaction.
+type JSCall struct {
+	TopURL    string // set host-side; a page cannot spoof it (Sec. 5.2)
+	FrameURL  string
+	Symbol    string // "Interface.property"
+	Operation string // "get", "set" or "call"
+	Value     string
+	Args      string
+	ScriptURL string // as reported by the in-page instrumentation
+	Time      float64
+}
+
+// RequestRecord is one recorded HTTP request.
+type RequestRecord struct {
+	URL      string
+	TopURL   string
+	Type     httpsim.ResourceType
+	Method   string
+	Status   int
+	CType    string
+	Time     float64
+	BodySize int
+}
+
+// CookieEntry is one recorded cookie store operation.
+type CookieEntry struct {
+	Name       string
+	Value      string
+	Domain     string
+	TopURL     string
+	Expires    float64
+	ViaJS      bool
+	FirstParty bool
+	Time       float64
+}
+
+// ScriptFile is a stored response body (a JavaScript file, or any body in
+// full-coverage mode). Identical content is stored once; URLs lists every
+// location it was served from.
+type ScriptFile struct {
+	URL     string // first URL observed
+	SHA256  string
+	Content string
+	CType   string
+	URLs    []string // all URLs serving this content, deduplicated
+}
+
+// VisitRecord summarises one page visit.
+type VisitRecord struct {
+	SiteURL    string
+	FinalURL   string
+	Subpage    bool
+	OK         bool
+	Error      string
+	CSPReports int
+	// InstrumentInstalled reports whether the JS instrument attached
+	// successfully (CSP can block the vanilla injection, Sec. 5.1.2).
+	InstrumentInstalled bool
+}
+
+// Storage is OpenWPM's data store. Inputs that originate in page-controlled
+// data pass through Sanitize, mirroring the parameterised SQLite layer the
+// paper found to be injection-safe (Sec. 5.3).
+type Storage struct {
+	JSCalls     []JSCall
+	Requests    []RequestRecord
+	Cookies     []CookieEntry
+	ScriptFiles map[string]ScriptFile // keyed by content hash
+	Visits      []VisitRecord
+}
+
+// NewStorage returns an empty store.
+func NewStorage() *Storage {
+	return &Storage{ScriptFiles: map[string]ScriptFile{}}
+}
+
+// Sanitize neutralises page-controlled strings before storage: quotes are
+// escaped and length is bounded, so stored fields can never break out of a
+// record (the SQL-injection surface of RQ7).
+func Sanitize(s string) string {
+	s = strings.ReplaceAll(s, "'", "''")
+	s = strings.ReplaceAll(s, "\x00", "")
+	s = strings.ReplaceAll(s, "\n", "\\n")
+	if len(s) > 512 {
+		s = s[:512]
+	}
+	return s
+}
+
+// AddJSCall stores a JS call record, sanitising page-controlled fields.
+func (s *Storage) AddJSCall(c JSCall) {
+	c.Symbol = Sanitize(c.Symbol)
+	c.Value = Sanitize(c.Value)
+	c.Args = Sanitize(c.Args)
+	c.ScriptURL = Sanitize(c.ScriptURL)
+	s.JSCalls = append(s.JSCalls, c)
+}
+
+// AddScriptFile stores a response body keyed by hash, tracking every URL
+// that served it.
+func (s *Storage) AddScriptFile(url, content, ctype string) {
+	sum := sha256.Sum256([]byte(content))
+	key := hex.EncodeToString(sum[:])
+	f, ok := s.ScriptFiles[key]
+	if !ok {
+		s.ScriptFiles[key] = ScriptFile{URL: url, SHA256: key, Content: content, CType: ctype, URLs: []string{url}}
+		return
+	}
+	for _, u := range f.URLs {
+		if u == url {
+			return
+		}
+	}
+	f.URLs = append(f.URLs, url)
+	s.ScriptFiles[key] = f
+}
+
+// Merge folds other's records into s (used to combine per-worker storages
+// after a sharded crawl).
+func (s *Storage) Merge(other *Storage) {
+	s.JSCalls = append(s.JSCalls, other.JSCalls...)
+	s.Requests = append(s.Requests, other.Requests...)
+	s.Cookies = append(s.Cookies, other.Cookies...)
+	s.Visits = append(s.Visits, other.Visits...)
+	for key, f := range other.ScriptFiles {
+		existing, ok := s.ScriptFiles[key]
+		if !ok {
+			s.ScriptFiles[key] = f
+			continue
+		}
+		for _, u := range f.URLs {
+			dup := false
+			for _, eu := range existing.URLs {
+				if eu == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				existing.URLs = append(existing.URLs, u)
+			}
+		}
+		s.ScriptFiles[key] = existing
+	}
+}
+
+// JSCallsBySymbol tallies recorded calls per symbol.
+func (s *Storage) JSCallsBySymbol() map[string]int {
+	out := map[string]int{}
+	for _, c := range s.JSCalls {
+		out[c.Symbol]++
+	}
+	return out
+}
+
+// RequestsByType tallies requests per resource type.
+func (s *Storage) RequestsByType() map[httpsim.ResourceType]int {
+	out := map[httpsim.ResourceType]int{}
+	for _, r := range s.Requests {
+		out[r.Type]++
+	}
+	return out
+}

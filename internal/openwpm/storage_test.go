@@ -1,0 +1,110 @@
+package openwpm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gullible/internal/httpsim"
+)
+
+func TestStorageMergeCombinesRecords(t *testing.T) {
+	a := NewStorage()
+	b := NewStorage()
+	a.AddJSCall(JSCall{Symbol: "Navigator.userAgent"})
+	b.AddJSCall(JSCall{Symbol: "Screen.width"})
+	a.Requests = append(a.Requests, RequestRecord{URL: "https://x/a", Type: httpsim.TypeScript})
+	b.Requests = append(b.Requests, RequestRecord{URL: "https://x/b", Type: httpsim.TypeImage})
+	a.AddScriptFile("https://x/a.js", "shared content", "text/javascript")
+	b.AddScriptFile("https://y/b.js", "shared content", "text/javascript")
+	b.AddScriptFile("https://y/c.js", "other content", "text/javascript")
+
+	a.Merge(b)
+	if len(a.JSCalls) != 2 || len(a.Requests) != 2 {
+		t.Fatalf("merge lost records: %d calls, %d requests", len(a.JSCalls), len(a.Requests))
+	}
+	if len(a.ScriptFiles) != 2 {
+		t.Fatalf("script files = %d, want 2 unique contents", len(a.ScriptFiles))
+	}
+	for _, f := range a.ScriptFiles {
+		if f.Content == "shared content" && len(f.URLs) != 2 {
+			t.Errorf("shared content URLs = %v, want both", f.URLs)
+		}
+	}
+}
+
+func TestStorageMergeIdempotentURLs(t *testing.T) {
+	a := NewStorage()
+	b := NewStorage()
+	a.AddScriptFile("https://x/a.js", "same", "text/javascript")
+	b.AddScriptFile("https://x/a.js", "same", "text/javascript")
+	a.Merge(b)
+	for _, f := range a.ScriptFiles {
+		if len(f.URLs) != 1 {
+			t.Errorf("duplicate URL retained: %v", f.URLs)
+		}
+	}
+}
+
+func TestSanitizeProperties(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 600 {
+			s = s[:600]
+		}
+		out := Sanitize(s)
+		if len(out) > 512 {
+			return false
+		}
+		// no lone quotes: every ' must be part of a doubled pair
+		for i := 0; i < len(out); i++ {
+			if out[i] != '\'' {
+				continue
+			}
+			// count the run of quotes
+			j := i
+			for j < len(out) && out[j] == '\'' {
+				j++
+			}
+			if (j-i)%2 != 0 {
+				return false
+			}
+			i = j - 1
+		}
+		// no raw newlines or NULs
+		for i := 0; i < len(out); i++ {
+			if out[i] == '\n' || out[i] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoneyNamesStableAndDistinct(t *testing.T) {
+	a := HoneyNames("client", 4)
+	b := HoneyNames("client", 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("honey names not stable per seed")
+		}
+	}
+	c := HoneyNames("other", 4)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("honey names identical across seeds")
+	}
+	seen := map[string]bool{}
+	for _, n := range a {
+		if seen[n] {
+			t.Fatalf("duplicate honey name %q", n)
+		}
+		seen[n] = true
+	}
+}

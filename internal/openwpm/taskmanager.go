@@ -1,0 +1,317 @@
+package openwpm
+
+import (
+	"fmt"
+	"strings"
+
+	"gullible/internal/browser"
+	"gullible/internal/httpsim"
+	"gullible/internal/jsdom"
+)
+
+// CrawlConfig selects platform, run mode, instruments and crawl behaviour.
+type CrawlConfig struct {
+	OS             jsdom.OS
+	Mode           jsdom.Mode
+	FirefoxVersion int
+
+	Transport httpsim.RoundTripper
+	ClientID  string
+	// DwellSeconds is the post-load idle time (60 s in the paper's scans).
+	DwellSeconds float64
+
+	// Instrument toggles.
+	JSInstrument     bool
+	HTTPInstrument   bool
+	CookieInstrument bool
+	// HTTPFilterJSOnly stores only JavaScript response bodies instead of
+	// all bodies (Sec. 5.4.2 attacks this mode).
+	HTTPFilterJSOnly bool
+	// LegacyInstrumentGlobals selects the OpenWPM 0.10.0 window globals.
+	LegacyInstrumentGlobals bool
+	// HoneyProps adds this many randomly named bait properties to navigator
+	// and window to identify property iterators (Sec. 4.1.3).
+	HoneyProps int
+
+	// Stealth, when non-nil, replaces the vanilla JS instrument with a
+	// hardened one (package stealth) and masks automation.
+	Stealth Instrumentor
+
+	// MaxSubpages is how many same-site subpages to visit after the front
+	// page (the paper's scan uses 3).
+	MaxSubpages int
+	// SimulateInteraction fires mouseover/scroll listeners after page load.
+	// OpenWPM's default crawls perform no interaction (Table 1), which is
+	// why hover-gated detection code never executes under dynamic analysis;
+	// this option closes that gap.
+	SimulateInteraction bool
+	// MaxRetries bounds browser restarts per page on failure.
+	MaxRetries int
+}
+
+// SiteVisit is the outcome of visiting a site (front page + subpages).
+type SiteVisit struct {
+	Site     string
+	Front    *browser.VisitResult
+	Subpages []*browser.VisitResult
+	// Restarts counts browser-manager recoveries during this site.
+	Restarts int
+}
+
+// TaskManager orchestrates crawls: it creates browsers, attaches
+// instruments, visits sites and funnels records to Storage.
+type TaskManager struct {
+	Cfg     CrawlConfig
+	Storage *Storage
+
+	js        Instrumentor
+	browserNo int
+}
+
+// NewTaskManager creates a TaskManager with fresh storage.
+func NewTaskManager(cfg CrawlConfig) *TaskManager {
+	if cfg.DwellSeconds == 0 {
+		cfg.DwellSeconds = 60
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.ClientID == "" {
+		cfg.ClientID = "openwpm-client"
+	}
+	tm := &TaskManager{Cfg: cfg, Storage: NewStorage()}
+	if cfg.Stealth != nil {
+		tm.js = cfg.Stealth
+	} else if cfg.JSInstrument {
+		tm.js = &JSInstrument{
+			Legacy:     cfg.LegacyInstrumentGlobals,
+			HoneyProps: HoneyNames(cfg.ClientID, cfg.HoneyProps),
+		}
+	}
+	return tm
+}
+
+// HoneyNames derives n random-looking property names, stable per client so
+// analyses can recognise them later.
+func HoneyNames(seed string, n int) []string {
+	var out []string
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(seed) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	for i := 0; i < n; i++ {
+		h = (h ^ uint64(i+1)) * 1099511628211
+		out = append(out, fmt.Sprintf("zx%08x", uint32(h)))
+	}
+	return out
+}
+
+// NewBrowser builds a fresh, instrumented browser (a fresh profile: the
+// default OpenWPM crawl is stateless across sites).
+func (tm *TaskManager) NewBrowser() *browser.Browser {
+	cfg := jsdom.StandardConfig(tm.Cfg.OS, tm.Cfg.Mode, tm.firefoxVersion(), tm.browserNo)
+	tm.browserNo++
+	b := browser.New(browser.Options{
+		Config:       cfg,
+		Transport:    tm.Cfg.Transport,
+		ClientID:     tm.Cfg.ClientID,
+		DwellSeconds: tm.Cfg.DwellSeconds,
+	})
+	tm.attach(b)
+	return b
+}
+
+func (tm *TaskManager) firefoxVersion() int {
+	if tm.Cfg.FirefoxVersion == 0 {
+		return 90
+	}
+	return tm.Cfg.FirefoxVersion
+}
+
+// attach wires the configured instruments into a browser.
+func (tm *TaskManager) attach(b *browser.Browser) {
+	st := tm.Storage
+	if tm.js != nil {
+		js := tm.js
+		b.OnWindowCreated = func(d *jsdom.DOM, top bool) {
+			js.OnWindow(b, st, d, top)
+		}
+	}
+	if tm.Cfg.HTTPInstrument {
+		AttachHTTPInstrument(b, st, tm.Cfg.HTTPFilterJSOnly)
+	}
+	if tm.Cfg.CookieInstrument {
+		AttachCookieInstrument(b, st)
+	}
+}
+
+// VisitSite crawls one site: the front page and up to MaxSubpages same-site
+// subpages, with browser restarts on failure (the BrowserManager role).
+func (tm *TaskManager) VisitSite(url string) (*SiteVisit, error) {
+	bm := &BrowserManager{tm: tm}
+	sv := &SiteVisit{Site: url}
+
+	front, err := bm.Visit(url)
+	sv.Restarts = bm.Restarts
+	if err != nil {
+		tm.recordVisit(url, nil, false, err)
+		return sv, err
+	}
+	sv.Front = front
+	tm.recordVisit(url, front, false, nil)
+
+	// Subpage selection (Sec. 4.1.2): same-eTLD+1 links from the landing
+	// page, deduplicated, capped.
+	if tm.Cfg.MaxSubpages > 0 {
+		for _, sub := range SelectSubpages(front.FinalURL, front.Links, tm.Cfg.MaxSubpages) {
+			res, err := bm.Visit(sub)
+			sv.Restarts = bm.Restarts
+			if err != nil {
+				tm.recordVisit(sub, nil, true, err)
+				continue
+			}
+			// same-origin redirects to foreign domains are skipped
+			if res.OffDomain {
+				tm.recordVisit(sub, res, true, fmt.Errorf("left site via redirect"))
+				continue
+			}
+			sv.Subpages = append(sv.Subpages, res)
+			tm.recordVisit(sub, res, true, nil)
+		}
+	}
+	return sv, nil
+}
+
+func (tm *TaskManager) recordVisit(url string, res *browser.VisitResult, subpage bool, err error) {
+	rec := VisitRecord{SiteURL: url, Subpage: subpage}
+	if err != nil {
+		rec.Error = err.Error()
+	} else if res != nil {
+		rec.OK = true
+		rec.FinalURL = res.FinalURL
+		rec.CSPReports = res.CSPReports
+		rec.InstrumentInstalled = tm.js == nil || tm.js.TopInstallError() == nil
+	}
+	tm.Storage.Visits = append(tm.Storage.Visits, rec)
+}
+
+// Crawl visits every URL in order; per-site errors are recorded, not fatal.
+func (tm *TaskManager) Crawl(urls []string) {
+	for _, u := range urls {
+		tm.VisitSite(u)
+	}
+}
+
+// SelectSubpages picks up to max same-site URLs from links.
+func SelectSubpages(base string, links []string, max int) []string {
+	seen := map[string]bool{base: true}
+	var out []string
+	for _, l := range links {
+		if len(out) >= max {
+			break
+		}
+		if seen[l] || !httpsim.SameSite(base, l) {
+			continue
+		}
+		if strings.HasPrefix(l, "javascript:") {
+			continue
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	return out
+}
+
+// BrowserManager owns one live browser, restarting it after crashes — the
+// monitoring/recovery role of OpenWPM's framework layer.
+type BrowserManager struct {
+	tm       *TaskManager
+	b        *browser.Browser
+	Restarts int
+}
+
+// Visit loads url, restarting the browser on failure up to MaxRetries.
+func (bm *BrowserManager) Visit(url string) (*browser.VisitResult, error) {
+	var lastErr error
+	for attempt := 0; attempt <= bm.tm.Cfg.MaxRetries; attempt++ {
+		if bm.b == nil {
+			bm.b = bm.tm.NewBrowser()
+		}
+		res, err := bm.b.Visit(url)
+		if err == nil {
+			if bm.tm.Cfg.SimulateInteraction {
+				bm.b.FireListeners("mouseover")
+				bm.b.FireListeners("scroll")
+				bm.b.Idle(5) // let interaction-triggered beacons fire
+			}
+			return res, nil
+		}
+		lastErr = err
+		// crash: discard the browser and restart with a fresh profile
+		bm.b = nil
+		bm.Restarts++
+	}
+	return nil, lastErr
+}
+
+// Browser exposes the live browser (tests inspect realms after visits).
+func (bm *BrowserManager) Browser() *browser.Browser { return bm.b }
+
+// AttachHTTPInstrument records every request; response bodies are stored
+// according to the filter mode.
+func AttachHTTPInstrument(b *browser.Browser, st *Storage, filterJSOnly bool) {
+	b.OnRequest = func(req *httpsim.Request, resp *httpsim.Response) {
+		rec := RequestRecord{
+			URL:    req.URL,
+			TopURL: req.TopURL,
+			Type:   req.Type,
+			Method: req.Method,
+			Time:   req.Time,
+		}
+		if resp != nil {
+			rec.Status = resp.Status
+			rec.CType = resp.Header("Content-Type")
+			rec.BodySize = len(resp.Body)
+		}
+		st.Requests = append(st.Requests, rec)
+		if resp == nil || resp.Status != 200 {
+			return
+		}
+		if filterJSOnly {
+			if isJavaScript(req, resp) {
+				st.AddScriptFile(req.URL, resp.Body, rec.CType)
+			}
+			return
+		}
+		st.AddScriptFile(req.URL, resp.Body, rec.CType)
+	}
+}
+
+// isJavaScript is the JS-only storage filter: resource type, extension or
+// content type must say "JavaScript". Sec. 5.4.2 shows how to evade all
+// three at once.
+func isJavaScript(req *httpsim.Request, resp *httpsim.Response) bool {
+	if req.Type == httpsim.TypeScript {
+		return true
+	}
+	if strings.HasSuffix(httpsim.Path(req.URL), ".js") {
+		return true
+	}
+	return strings.Contains(resp.Header("Content-Type"), "javascript")
+}
+
+// AttachCookieInstrument records jar writes.
+func AttachCookieInstrument(b *browser.Browser, st *Storage) {
+	b.OnCookieStored = func(rec browser.CookieRecord) {
+		st.Cookies = append(st.Cookies, CookieEntry{
+			Name:       Sanitize(rec.Cookie.Name),
+			Value:      Sanitize(rec.Cookie.Value),
+			Domain:     rec.Cookie.Domain,
+			TopURL:     rec.TopURL,
+			Expires:    rec.Cookie.Expires,
+			ViaJS:      rec.ViaJS,
+			FirstParty: rec.FirstParty(),
+			Time:       rec.SetAt,
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilcoxonDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		base := rng.Float64() * 100
+		x[i] = base
+		y[i] = base + 5 + rng.Float64()*2 // consistent upward shift
+	}
+	res := Wilcoxon(x, y)
+	if !res.OK {
+		t.Fatal("test did not run")
+	}
+	if res.P > 0.0001 {
+		t.Errorf("p = %v, want < 0.0001 for a consistent shift", res.P)
+	}
+}
+
+func TestWilcoxonNoShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	res := Wilcoxon(x, y)
+	if !res.OK {
+		t.Fatal("test did not run")
+	}
+	if res.P < 0.01 {
+		t.Errorf("p = %v; independent noise should not be significant", res.P)
+	}
+}
+
+func TestWilcoxonIdenticalSamples(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	res := Wilcoxon(x, x)
+	if res.OK {
+		t.Error("all-zero differences must not produce a result")
+	}
+	if res.N != 0 {
+		t.Errorf("N = %d", res.N)
+	}
+}
+
+func TestWilcoxonSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 10
+			y[i] = rng.Float64() * 10
+		}
+		a := Wilcoxon(x, y)
+		b := Wilcoxon(y, x)
+		// swapping the samples must not change W or p
+		return a.W == b.W && a.P == b.P
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	if got := PercentChange(100, 105); got != 5 {
+		t.Errorf("PercentChange = %v", got)
+	}
+	if got := PercentChange(200, 150); got != -25 {
+		t.Errorf("PercentChange = %v", got)
+	}
+	if got := PercentChange(0, 0); got != 0 {
+		t.Errorf("PercentChange(0,0) = %v", got)
+	}
+}

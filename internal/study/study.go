@@ -1,0 +1,309 @@
+// Package study embeds the paper's literature-survey datasets: the 72
+// peer-reviewed OpenWPM-based studies of Table 15 (with the derived Table 1
+// tallies), the Firefox-integration timeline of Table 14, and the
+// prior-measurement comparison rows of Table 11. The rows were transcribed
+// from the paper; cells the source table leaves blank default to false.
+package study
+
+import "time"
+
+// RunMode is the Table 15 run-mode code.
+type RunMode string
+
+// Run modes as abbreviated in Table 15.
+const (
+	ModeUnspecified RunMode = "u"
+	ModeNative      RunMode = "n"
+	ModeHeadless    RunMode = "h"
+	ModeXvfb        RunMode = "x"
+	ModeDocker      RunMode = "d"
+	ModeNativeXvfb  RunMode = "n/x"
+	ModeNativeHL    RunMode = "n/h"
+)
+
+// Study is one row of Table 15.
+type Study struct {
+	Year   int
+	Ref    int
+	Venue  string
+	Author string
+	Mode   RunMode
+	VM     bool
+
+	// Measures. "o" cells (measured out of band, e.g. via a proxy) count as
+	// not relying on OpenWPM's instrumentation.
+	Cookies, HTTP, JS bool
+	OutOfBand         bool // at least one 'o' cell
+
+	// Interaction.
+	Scrolling, Clicking, Typing bool
+
+	Subpages   bool
+	AntiBD     bool // uses anti-bot-detection measures
+	MentionsBD bool
+}
+
+// Studies is the embedded Table 15 dataset.
+var Studies = []Study{
+	{Year: 2014, Ref: 2, Venue: "CCS", Author: "Acar", Mode: ModeUnspecified, VM: true, JS: true, OutOfBand: true},
+	{Year: 2015, Ref: 69, Venue: "CoSN", Author: "Robinson", Mode: ModeUnspecified, Clicking: true, Typing: true},
+	{Year: 2015, Ref: 30, Venue: "NDSS", Author: "Kranch", Mode: ModeUnspecified, VM: true, Cookies: true, OutOfBand: true},
+	{Year: 2015, Ref: 7, Venue: "Tech Science", Author: "Altaweel", Mode: ModeHeadless, Cookies: true, HTTP: true},
+	{Year: 2015, Ref: 34, Venue: "W2SP", Author: "Fruchter", Mode: ModeUnspecified, Cookies: true, HTTP: true, Clicking: true, Subpages: true},
+	{Year: 2016, Ref: 8, Venue: "IFIP AICT", Author: "Andersdotter", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2016, Ref: 29, Venue: "CCS", Author: "Englehardt", Mode: ModeXvfb, VM: true, Cookies: true, HTTP: true, JS: true, Subpages: true},
+	{Year: 2016, Ref: 84, Venue: "WWW", Author: "Starov", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2017, Ref: 61, Venue: "NDSS", Author: "Miramirkhani", Mode: ModeUnspecified, VM: true, HTTP: true, Clicking: true, OutOfBand: true},
+	{Year: 2017, Ref: 13, Venue: "PETS", Author: "Brookman", Mode: ModeUnspecified, Cookies: true, HTTP: true, JS: true},
+	{Year: 2017, Ref: 66, Venue: "CODASPY", Author: "Reed", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2017, Ref: 64, Venue: "IWPE", Author: "Olejnik", Mode: ModeUnspecified, JS: true},
+	{Year: 2017, Ref: 57, Venue: "APF", Author: "Maass", Mode: ModeUnspecified, Cookies: true, HTTP: true},
+	{Year: 2017, Ref: 55, Venue: "USENIX", Author: "Liu", Mode: ModeHeadless},
+	{Year: 2017, Ref: 74, Venue: "Appl. Econ. Letters", Author: "Schmeiser", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2018, Ref: 35, Venue: "PETS", Author: "Goldfeder", Mode: ModeUnspecified, HTTP: true, Clicking: true, Typing: true, Subpages: true, MentionsBD: true},
+	{Year: 2018, Ref: 28, Venue: "PETS", Author: "Englehardt", Mode: ModeUnspecified, HTTP: true, Cookies: true},
+	{Year: 2018, Ref: 10, Venue: "ACM ToIT", Author: "Binns", Mode: ModeHeadless, Cookies: true, HTTP: true},
+	{Year: 2018, Ref: 25, Venue: "CCS", Author: "Das", Mode: ModeUnspecified, JS: true},
+	{Year: 2018, Ref: 91, Venue: "ACSAC", Author: "Van Acker", Mode: ModeUnspecified, HTTP: true, MentionsBD: true},
+	{Year: 2018, Ref: 23, Venue: "AINTEC", Author: "Dao", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2019, Ref: 20, Venue: "IRCDL", Author: "Cozza", Mode: ModeUnspecified, Scrolling: true, Clicking: true, Typing: true, Subpages: true},
+	{Year: 2019, Ref: 36, Venue: "WorldCIST", Author: "Gomes", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2019, Ref: 92, Venue: "ConPro", Author: "van Eijk", Mode: ModeDocker, HTTP: true},
+	{Year: 2019, Ref: 83, Venue: "WWW", Author: "Sørensen", Mode: ModeUnspecified, VM: true, HTTP: true, Subpages: true},
+	{Year: 2019, Ref: 54, Venue: "EuroS&P", Author: "Liu", Mode: ModeUnspecified, HTTP: true, MentionsBD: true},
+	{Year: 2019, Ref: 58, Venue: "CSCW", Author: "Mathur", Mode: ModeUnspecified, HTTP: true, Clicking: true, Subpages: true},
+	{Year: 2019, Ref: 59, Venue: "Comput. Comm.", Author: "Mazel", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2019, Ref: 6, Venue: "DPM", Author: "Ali", Mode: ModeUnspecified, Cookies: true},
+	{Year: 2019, Ref: 73, Venue: "Comp. Secur.", Author: "Samarasinghe", Mode: ModeUnspecified, HTTP: true, MentionsBD: true},
+	{Year: 2019, Ref: 56, Venue: "APF", Author: "Maass", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2019, Ref: 81, Venue: "RAID", Author: "Solomos", Mode: ModeUnspecified, Scrolling: true, Clicking: true},
+	{Year: 2019, Ref: 45, Venue: "ESORICS", Author: "Jonker", Mode: ModeHeadless, Cookies: true, HTTP: true, JS: true, OutOfBand: true, MentionsBD: true},
+	{Year: 2019, Ref: 88, Venue: "DPM", Author: "Urban", Mode: ModeUnspecified, Cookies: true, HTTP: true, Subpages: true},
+	{Year: 2019, Ref: 71, Venue: "SPW", Author: "Sakamoto", Mode: ModeUnspecified, Cookies: true},
+	{Year: 2020, Ref: 31, Venue: "PETS", Author: "Fouad", Mode: ModeUnspecified, HTTP: true, Subpages: true},
+	{Year: 2020, Ref: 19, Venue: "PETS", Author: "Cook", Mode: ModeUnspecified, Scrolling: true, AntiBD: true, MentionsBD: true},
+	{Year: 2020, Ref: 99, Venue: "PETS", Author: "Yang", Mode: ModeUnspecified, Cookies: true, HTTP: true, JS: true, Scrolling: true, Subpages: true},
+	{Year: 2020, Ref: 1, Venue: "PETS", Author: "Acar", Mode: ModeUnspecified, VM: true, HTTP: true, JS: true, Subpages: true, AntiBD: true, MentionsBD: true},
+	{Year: 2020, Ref: 48, Venue: "PETS", Author: "Koop", Mode: ModeDocker, Cookies: true, HTTP: true, JS: true, Clicking: true, AntiBD: true},
+	{Year: 2020, Ref: 101, Venue: "WWW", Author: "Zeber", Mode: ModeNativeXvfb, VM: true, Cookies: true, HTTP: true, JS: true, AntiBD: true, MentionsBD: true},
+	{Year: 2020, Ref: 5, Venue: "WWW", Author: "Ahmad", Mode: ModeUnspecified, HTTP: true, JS: true, MentionsBD: true},
+	{Year: 2020, Ref: 4, Venue: "WWW", Author: "Agarwal", Mode: ModeHeadless, VM: true, Cookies: true, HTTP: true, JS: true},
+	{Year: 2020, Ref: 87, Venue: "WWW", Author: "Urban", Mode: ModeUnspecified, VM: true, Cookies: true, HTTP: true, JS: true, Scrolling: true, Subpages: true, AntiBD: true, MentionsBD: true},
+	{Year: 2020, Ref: 89, Venue: "AsiaCCS", Author: "Urban", Mode: ModeUnspecified, Cookies: true, HTTP: true, Subpages: true},
+	{Year: 2020, Ref: 65, Venue: "PAM", Author: "Pouryousef", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2020, Ref: 32, Venue: "EuroS&P", Author: "Fouad", Mode: ModeUnspecified, Cookies: true, HTTP: true},
+	{Year: 2020, Ref: 79, Venue: "PrivacyCon", Author: "Sivan-Sevilla", Mode: ModeUnspecified, VM: true, Cookies: true, HTTP: true, JS: true, AntiBD: true, MentionsBD: true},
+	{Year: 2020, Ref: 41, Venue: "EuroS&P", Author: "Hu", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2020, Ref: 21, Venue: "TMA", Author: "Dao", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2020, Ref: 82, Venue: "TMA", Author: "Solomos", Mode: ModeUnspecified, Cookies: true, HTTP: true},
+	{Year: 2020, Ref: 22, Venue: "GLOBECOM", Author: "Dao", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2020, Ref: 27, Venue: "ConPro", Author: "van Eijk", Mode: ModeDocker, Clicking: true},
+	{Year: 2021, Ref: 14, Venue: "NDSS", Author: "Calzavara", Mode: ModeUnspecified, Cookies: true, HTTP: true, MentionsBD: true},
+	{Year: 2021, Ref: 68, Venue: "PETS", Author: "Rizzo", Mode: ModeUnspecified, VM: true, HTTP: true},
+	{Year: 2021, Ref: 43, Venue: "S&P", Author: "Iqbal", Mode: ModeUnspecified, HTTP: true, JS: true, Subpages: true},
+	{Year: 2021, Ref: 37, Venue: "IMC", Author: "Goßen", Mode: ModeNative, HTTP: true, Scrolling: true, Clicking: true, Typing: true, MentionsBD: true},
+	{Year: 2021, Ref: 85, Venue: "PETS", Author: "Di Tizio", Mode: ModeUnspecified, HTTP: true},
+	{Year: 2021, Ref: 40, Venue: "PETS", Author: "Hosseini", Mode: ModeUnspecified, HTTP: true, Subpages: true},
+	{Year: 2021, Ref: 95, Venue: "WebSci", Author: "Vekaria", Mode: ModeUnspecified, Cookies: true, HTTP: true, JS: true, Subpages: true},
+	{Year: 2021, Ref: 24, Venue: "IEEE TNSM", Author: "Dao", Mode: ModeUnspecified, HTTP: true, Clicking: true},
+	{Year: 2021, Ref: 16, Venue: "WWW", Author: "Chen", Mode: ModeUnspecified, Cookies: true, JS: true},
+	{Year: 2021, Ref: 67, Venue: "PETS", Author: "Reitinger", Mode: ModeUnspecified, JS: true},
+	{Year: 2022, Ref: 15, Venue: "PETS", Author: "Cassel", Mode: ModeUnspecified, Cookies: true, OutOfBand: true, MentionsBD: true},
+	{Year: 2022, Ref: 77, Venue: "USENIX", Author: "Siby", Mode: ModeUnspecified, JS: true},
+	{Year: 2022, Ref: 44, Venue: "USENIX", Author: "Iqbal", Mode: ModeUnspecified, Cookies: true, HTTP: true, JS: true, Clicking: true, Subpages: true, MentionsBD: true},
+	{Year: 2022, Ref: 33, Venue: "PETS", Author: "Fouad", Mode: ModeUnspecified, Cookies: true, HTTP: true, JS: true, Subpages: true},
+	{Year: 2022, Ref: 26, Venue: "WWW", Author: "Demir", Mode: ModeNativeHL, VM: true, Cookies: true, HTTP: true, JS: true, Typing: true, Subpages: true, MentionsBD: true},
+	{Year: 2022, Ref: 100, Venue: "EuroS&PW", Author: "Yu", Mode: ModeHeadless, Cookies: true, HTTP: true, JS: true},
+	{Year: 2022, Ref: 62, Venue: "PETS", Author: "Musa", Mode: ModeUnspecified, HTTP: true, AntiBD: true, MentionsBD: true},
+	{Year: 2022, Ref: 72, Venue: "WWW", Author: "Samarasinghe", Mode: ModeUnspecified, VM: true, Cookies: true, HTTP: true, JS: true},
+	{Year: 2022, Ref: 12, Venue: "USENIX", Author: "Bollinger", Mode: ModeUnspecified, Cookies: true, HTTP: true, Clicking: true, Subpages: true, MentionsBD: true},
+}
+
+// Table1 is the derived tally of Table 1.
+type Table1 struct {
+	Total int
+
+	MeasuresHTTP    int
+	MeasuresCookies int
+	MeasuresJS      int
+	MeasuresOther   int // automation only: no instrument-based measure
+
+	NoInteraction int
+	Clicking      int
+	Scrolling     int
+	Typing        int
+
+	SubpagesVisited    int
+	SubpagesNotVisited int
+
+	BDIgnored   int
+	BDDiscussed int
+	AntiBD      int
+
+	ModeCounts map[RunMode]int
+	VMCount    int
+}
+
+// Tally derives Table 1 from the embedded study list.
+func Tally() Table1 {
+	t := Table1{ModeCounts: map[RunMode]int{}}
+	for _, s := range Studies {
+		t.Total++
+		if s.HTTP {
+			t.MeasuresHTTP++
+		}
+		if s.Cookies {
+			t.MeasuresCookies++
+		}
+		if s.JS {
+			t.MeasuresJS++
+		}
+		if !s.HTTP && !s.Cookies && !s.JS {
+			t.MeasuresOther++
+		}
+		if s.Clicking {
+			t.Clicking++
+		}
+		if s.Scrolling {
+			t.Scrolling++
+		}
+		if s.Typing {
+			t.Typing++
+		}
+		if !s.Clicking && !s.Scrolling && !s.Typing {
+			t.NoInteraction++
+		}
+		if s.Subpages {
+			t.SubpagesVisited++
+		} else {
+			t.SubpagesNotVisited++
+		}
+		if s.MentionsBD {
+			t.BDDiscussed++
+		} else {
+			t.BDIgnored++
+		}
+		if s.AntiBD {
+			t.AntiBD++
+		}
+		t.ModeCounts[s.Mode]++
+		if s.VM {
+			t.VMCount++
+		}
+	}
+	return t
+}
+
+// PaperTable1 are the values Table 1 of the paper states, for side-by-side
+// comparison with the derived tally.
+var PaperTable1 = map[string]int{
+	"http": 56, "cookies": 35, "js": 22, "other": 6,
+	"no-interaction": 55, "clicking": 11, "scrolling": 8, "typing": 5,
+	"subpages-visited": 19, "subpages-not-visited": 53,
+	"bd-ignored": 55, "bd-discussed": 17,
+}
+
+// Release pairs a Firefox release with the OpenWPM version integrating it
+// (Table 14).
+type Release struct {
+	Firefox     string
+	ReleaseDate string // YYYY-MM-DD
+	OpenWPM     string // "" when skipped
+	Integrated  string // YYYY-MM-DD, "" when skipped
+}
+
+// Releases is the Table 14 timeline, newest first.
+var Releases = []Release{
+	{"104.0", "2022-07-23", "", ""},
+	{"101.0", "2022-05-31", "", ""},
+	{"100.0", "2022-05-03", "0.20.0", "2022-05-05"},
+	{"99.0", "2022-04-05", "", ""},
+	{"98.0", "2022-03-08", "0.19.0", "2022-03-10"},
+	{"96.0", "2022-01-11", "", ""},
+	{"95.0", "2021-12-07", "0.18.0", "2021-12-16"},
+	{"91.0", "2021-08-10", "", ""},
+	{"90.0", "2021-07-13", "0.17.0", "2021-07-24"},
+	{"89.0", "2021-06-01", "0.16.0", "2021-06-10"},
+	{"88.0", "2021-04-19", "0.15.0", "2021-05-10"},
+	{"87.0", "2021-03-23", "", ""},
+	{"86.0.1", "2021-03-11", "0.14.0", "2021-03-12"},
+	{"84.0", "2020-12-15", "", ""},
+	{"83.0", "2020-11-18", "0.13.0", "2020-11-19"},
+	{"81.0", "2020-09-22", "", ""},
+	{"80.0", "2020-08-25", "0.12.0", "2020-08-26"},
+	{"79.0", "2020-07-28", "", ""},
+	{"78.0.1", "2020-07-01", "0.11.0", "2020-07-09"},
+	{"78.0", "2020-06-30", "", ""},
+	{"77.0", "2020-06-03", "0.10.0", "2020-06-23"},
+}
+
+// OutdatedStats computes, over the window from the first Firefox release to
+// the last, how many days OpenWPM shipped an outdated Firefox (Sec. 3.2:
+// 540 of 780 days, 69%).
+func OutdatedStats() (windowDays, outdatedDays int, fraction float64) {
+	parse := func(s string) time.Time {
+		t, err := time.Parse("2006-01-02", s)
+		if err != nil {
+			panic("study: bad date " + s)
+		}
+		return t
+	}
+	first := parse(Releases[len(Releases)-1].ReleaseDate)
+	last := parse(Releases[0].ReleaseDate)
+	windowDays = int(last.Sub(first).Hours() / 24)
+
+	// Walk days; OpenWPM is outdated on a day when a newer Firefox exists
+	// than the one the then-current OpenWPM integrates. An OpenWPM release
+	// integrates the Firefox released on (or just before) its integration
+	// date.
+	type ev struct {
+		day time.Time
+		ff  string // a Firefox release became current
+		wpm string // OpenWPM integrated this Firefox version
+	}
+	var events []ev
+	for _, r := range Releases {
+		events = append(events, ev{day: parse(r.ReleaseDate), ff: r.Firefox})
+		if r.OpenWPM != "" {
+			events = append(events, ev{day: parse(r.Integrated), wpm: r.Firefox})
+		}
+	}
+	currentFF := ""
+	wpmFF := ""
+	for day := first; day.Before(last); day = day.AddDate(0, 0, 1) {
+		for _, e := range events {
+			if e.day.Equal(day) {
+				if e.ff != "" {
+					currentFF = e.ff
+				}
+				if e.wpm != "" {
+					wpmFF = e.wpm
+				}
+			}
+		}
+		if wpmFF != "" && currentFF != wpmFF {
+			outdatedDays++
+		}
+	}
+	fraction = float64(outdatedDays) / float64(windowDays)
+	return windowDays, outdatedDays, fraction
+}
+
+// PriorWebdriverStudy is one comparison row of Table 11.
+type PriorWebdriverStudy struct {
+	Ref      string
+	When     string
+	Analysis string
+	Corpus   string
+	Sites    int
+	Percent  float64
+}
+
+// Table11Prior holds the paper's Table 11 rows (the prior study and the
+// paper's own measurement), against which the simulation's scan is compared.
+var Table11Prior = []PriorWebdriverStudy{
+	{Ref: "[46] Jueckstock & Kapravelos", When: "2019-10", Analysis: "dynamic", Corpus: "Alexa 50K", Sites: 2756, Percent: 5.51},
+	{Ref: "Krumnow et al. (combined)", When: "2020-07", Analysis: "combined", Corpus: "Tranco 100K", Sites: 13989, Percent: 13.99},
+	{Ref: "Krumnow et al. (static)", When: "2020-07", Analysis: "static", Corpus: "Tranco 100K", Sites: 11957, Percent: 11.96},
+	{Ref: "Krumnow et al. (dynamic)", When: "2020-07", Analysis: "dynamic", Corpus: "Tranco 100K", Sites: 12194, Percent: 12.19},
+}

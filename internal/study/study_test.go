@@ -1,0 +1,66 @@
+package study
+
+import "testing"
+
+func TestStudyCount(t *testing.T) {
+	if len(Studies) != 72 {
+		t.Fatalf("studies = %d, want 72 (Table 1)", len(Studies))
+	}
+}
+
+func TestTallyApproximatesPaperTable1(t *testing.T) {
+	tl := Tally()
+	within := func(name string, got, want, tol int) {
+		t.Helper()
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %d, want %d ± %d", name, got, want, tol)
+		}
+	}
+	within("HTTP measures", tl.MeasuresHTTP, PaperTable1["http"], 4)
+	within("cookie measures", tl.MeasuresCookies, PaperTable1["cookies"], 4)
+	within("JS measures", tl.MeasuresJS, PaperTable1["js"], 4)
+	within("other", tl.MeasuresOther, PaperTable1["other"], 3)
+	within("no interaction", tl.NoInteraction, PaperTable1["no-interaction"], 4)
+	within("clicking", tl.Clicking, PaperTable1["clicking"], 3)
+	within("scrolling", tl.Scrolling, PaperTable1["scrolling"], 3)
+	within("typing", tl.Typing, PaperTable1["typing"], 3)
+	within("subpages visited", tl.SubpagesVisited, PaperTable1["subpages-visited"], 3)
+	within("BD discussed", tl.BDDiscussed, PaperTable1["bd-discussed"], 3)
+	if tl.Total != 72 {
+		t.Errorf("total = %d", tl.Total)
+	}
+	if tl.SubpagesVisited+tl.SubpagesNotVisited != tl.Total {
+		t.Error("subpage tallies do not partition the studies")
+	}
+	if tl.BDIgnored+tl.BDDiscussed != tl.Total {
+		t.Error("bot-detection tallies do not partition the studies")
+	}
+}
+
+func TestOutdatedStats(t *testing.T) {
+	window, outdated, frac := OutdatedStats()
+	// Sec. 3.2 / Appendix C: 780-day window, outdated 540 days (69%)
+	if window < 770 || window > 790 {
+		t.Errorf("window = %d days, want ≈ 780", window)
+	}
+	if outdated < 480 || outdated > 600 {
+		t.Errorf("outdated = %d days, want ≈ 540", outdated)
+	}
+	if frac < 0.60 || frac > 0.78 {
+		t.Errorf("fraction = %.2f, want ≈ 0.69", frac)
+	}
+}
+
+func TestReleasesChronology(t *testing.T) {
+	// newest first; every integrated OpenWPM release follows its Firefox
+	for i := 1; i < len(Releases); i++ {
+		if Releases[i-1].ReleaseDate < Releases[i].ReleaseDate {
+			t.Errorf("releases out of order at %d: %s before %s", i, Releases[i-1].Firefox, Releases[i].Firefox)
+		}
+	}
+	for _, r := range Releases {
+		if r.OpenWPM != "" && r.Integrated < r.ReleaseDate {
+			t.Errorf("OpenWPM %s integrated %s before Firefox release %s", r.OpenWPM, r.Integrated, r.ReleaseDate)
+		}
+	}
+}

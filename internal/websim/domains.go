@@ -1,0 +1,156 @@
+// Package websim generates a deterministic synthetic web standing in for the
+// Tranco Top-100K of the paper's measurement: ranked sites with categories,
+// subpages, ad/tracker third parties, bot detectors (generic Selenium
+// detectors, OpenWPM-specific detectors, and commercial first-party
+// detectors), Content Security Policies, cookies, and server-side cloaking
+// for clients that were detected as bots. All content is a pure function of
+// (seed, rank); only the per-client detection state is mutable.
+package websim
+
+import (
+	"fmt"
+
+	"gullible/internal/blocklist"
+)
+
+// Third-party detector hosting domains with Table 7 inclusion weights
+// (per mille of third-party inclusions).
+var thirdPartyHosts = []struct {
+	Host    string
+	Weight  int // ‰ of inclusions
+	Purpose string
+}{
+	{"yandex.ru", 180, "advertising/analytics"},
+	{"adsafeprotected.com", 108, "advertising"},
+	{"moatads.com", 102, "advertising"},
+	{"webgains.io", 98, "advertising"},
+	{"crazyegg.com", 73, "analytics"},
+	{"intercomcdn.com", 50, "live chat"},
+	{"teads.tv", 40, "advertising"},
+	{"jsdelivr.net", 20, "cdn"},
+	{"mxcdn.net", 20, "advertising"},
+	{"mgid.com", 19, "advertising"},
+}
+
+// longTailHostCount approximates the paper's "remaining 704 domains".
+const longTailHostCount = 704
+
+// longTailHost names the i-th long-tail detector host.
+func longTailHost(i int) string { return fmt.Sprintf("adnet%03d.example", i%longTailHostCount) }
+
+// OpenWPM-specific detector providers (Table 6).
+const (
+	HostCheqzone   = "cheqzone.com"
+	HostGoogleSynd = "googlesyndication.com"
+	HostGoogle     = "google.com"
+	HostAdzouk     = "adzouk1tag.com"
+)
+
+// Ad/tracker infrastructure that is NOT bot-detecting (classified only by
+// the blocklists).
+var adHosts = []string{
+	"bannerfarm.example", "adserve1.example", "adserve2.example",
+	"popmedia.example", "clickbid.example",
+}
+
+var trackerHosts = []string{
+	"pixeltrack.example", "statcount.example", "audiencesync.example",
+	"metricsbeacon.example",
+}
+
+var cdnHosts = []string{"sitecdn.example", "fontlib.example"}
+
+// EasyList returns the synthetic EasyList: ad-serving domains and URL
+// patterns, mirroring how the paper classifies ad requests (Sec. 6.3.2).
+func EasyList() *blocklist.List {
+	lines := []string{
+		"! synthetic EasyList for the simulated web",
+		"||adsafeprotected.com^", "||moatads.com^", "||webgains.io^",
+		"||teads.tv^", "||mxcdn.net^", "||mgid.com^", "||adzouk1tag.com^",
+		"||googlesyndication.com^",
+		"||bannerfarm.example^", "||adserve1.example^", "||adserve2.example^",
+		"||popmedia.example^", "||clickbid.example^",
+		"/adframe.", "/banner/", "/ads/unit",
+	}
+	for i := 0; i < longTailHostCount; i++ {
+		lines = append(lines, "||"+longTailHost(i)+"^")
+	}
+	return blocklist.Parse("EasyList", lines)
+}
+
+// EasyPrivacy returns the synthetic EasyPrivacy: tracking and analytics.
+func EasyPrivacy() *blocklist.List {
+	return blocklist.Parse("EasyPrivacy", []string{
+		"! synthetic EasyPrivacy for the simulated web",
+		"||pixeltrack.example^", "||statcount.example^",
+		"||audiencesync.example^", "||metricsbeacon.example^",
+		"||crazyegg.com^", "||yandex.ru/metrika",
+		"/pixel.gif", "/sync?", "/beacon?",
+	})
+}
+
+// Categories with global weights (per mille); Fig. 5's conditioning happens
+// in site generation.
+var categories = []struct {
+	Name   string
+	Weight int
+}{
+	{"News", 120}, {"Shopping", 100}, {"Technology", 90}, {"Business", 80},
+	{"Entertainment", 70}, {"Finance", 60}, {"Travel", 50}, {"Sports", 50},
+	{"Education", 50}, {"Health", 50}, {"Games", 50}, {"Social", 40},
+	{"Reference", 40}, {"Food", 40}, {"Government", 30}, {"Adult", 30},
+	{"Other", 50},
+}
+
+// tlds gives the synthetic web some registrable-domain variety.
+var tlds = []string{".com", ".net", ".org", ".io", ".de", ".co.uk", ".fr", ".com.br"}
+
+// SiteDomain is the registrable domain of the site at 1-based rank.
+func SiteDomain(rank int) string {
+	return fmt.Sprintf("site%06d%s", rank, tlds[rank%len(tlds)])
+}
+
+// SiteURL is the front-page URL of the site at rank.
+func SiteURL(rank int) string { return "https://www." + SiteDomain(rank) + "/" }
+
+// Tranco returns the ranked front-page URL list (ranks 1..n), the stand-in
+// for the Tranco Top-100K.
+func Tranco(n int) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = SiteURL(i + 1)
+	}
+	return out
+}
+
+// fnv hashes the parts into a stable 64-bit value; all site attributes
+// derive from it.
+func fnv(parts ...any) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+		h = (h ^ 0x1f) * 1099511628211
+	}
+	for _, p := range parts {
+		mix(fmt.Sprint(p))
+	}
+	return h
+}
+
+// pick selects an index from per-mille weights using hash h.
+func pickWeighted(h uint64, weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	x := int(h % uint64(total))
+	for i, w := range weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}

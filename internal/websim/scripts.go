@@ -1,0 +1,321 @@
+package websim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Detector script templates. Each reports findings to its host's /flag
+// endpoint; the server then cloaks the flagged client (Sec. 4.3.2).
+
+// plainDetectorJS is the garden-variety Selenium detector: found by both
+// static and dynamic analysis.
+func plainDetectorJS(flagURL string) string {
+	return fmt.Sprintf(`(function () {
+    var signals = [];
+    if (navigator.webdriver === true) { signals.push("webdriver"); }
+    if (window.innerWidth === 1366 && window.innerHeight === 683) { signals.push("geometry"); }
+    var gc = document.createElement("canvas").getContext;
+    if (gc.toString().indexOf("[native code]") < 0) { signals.push("tostring"); }
+    if (signals.length > 0) {
+        navigator.sendBeacon("%s", signals.join(","));
+    }
+}());`, flagURL)
+}
+
+// hoverDetectorJS registers its probe behind a mouseover listener: static
+// analysis sees the pattern, dynamic analysis never observes execution.
+func hoverDetectorJS(flagURL string) string {
+	return fmt.Sprintf(`(function () {
+    document.addEventListener("mouseover", function (e) {
+        if (navigator.webdriver === true) {
+            navigator.sendBeacon("%s", "webdriver-on-hover");
+        }
+    });
+}());`, flagURL)
+}
+
+// concatDetectorJS assembles the property name at runtime: dynamic analysis
+// records the access, static pattern matching finds nothing.
+func concatDetectorJS(flagURL string) string {
+	return fmt.Sprintf(`(function () {
+    var p = "web" + "dri" + "ver";
+    var n = window["navi" + "gator"];
+    if (n[p] === true) {
+        navigator.sendBeacon("%s", "wd");
+    }
+}());`, flagURL)
+}
+
+// openwpmDetectorJS additionally probes an OpenWPM marker property
+// (Table 6). Obfuscated variants build the marker name at runtime.
+func openwpmDetectorJS(flagURL, marker string, obfuscated bool) string {
+	markerExpr := fmt.Sprintf("window.%s", marker)
+	wdExpr := "navigator.webdriver === true"
+	if obfuscated {
+		half := len(marker) / 2
+		markerExpr = fmt.Sprintf(`window[%q + %q]`, marker[:half], marker[half:])
+		wdExpr = `window["navi" + "gator"]["web" + "driver"] === true`
+	}
+	return fmt.Sprintf(`(function () {
+    var signals = [];
+    if (%s) { signals.push("wd"); }
+    if (typeof %s !== "undefined") { signals.push("openwpm"); }
+    if (signals.length > 0) {
+        navigator.sendBeacon("%s", signals.join(","));
+    }
+}());`, wdExpr, markerExpr, flagURL)
+}
+
+// fingerprinterJS iterates navigator and window wholesale — it touches the
+// webdriver property and every honey property, landing in the dynamic
+// method's 'inconclusive' bucket (Sec. 4.1.3).
+func fingerprinterJS(collectURL string) string {
+	return fmt.Sprintf(`(function () {
+    var out = [];
+    for (var k in navigator) { out.push(k + "=" + navigator[k]); }
+    for (var k2 in window) {
+        if (out.length > 400) { break; }
+        out.push(k2 + "=" + (typeof window[k2]));
+    }
+    var img = new Image();
+    img.src = "%s?n=" + out.length;
+}());`, collectURL)
+}
+
+// viewabilityJS is an ad-viewability measurement tag: it creates a probe
+// iframe and reads its window IMMEDIATELY at creation — the access pattern
+// vanilla OpenWPM cannot observe (Sec. 5.4.1) — plus delayed reads that any
+// instrumentation catches. The mix drives the per-API coverage of Fig. 6.
+func viewabilityJS(host string) string {
+	return fmt.Sprintf(`(function () {
+    var f = document.createElement("iframe");
+    document.body.appendChild(f);
+    var cw = f.contentWindow;
+    if (cw !== null) {
+        // immediate reads: unobserved by deferred frame instrumentation
+        var geo = [cw.screen.availLeft, cw.screen.availLeft, cw.screen.availTop, cw.navigator.userAgent];
+        setTimeout(function () {
+            // delayed reads: observed by everyone
+            var late = [cw.screen.top, cw.screen.top, cw.screen.top,
+                cw.screen.availLeft, cw.screen.availLeft, cw.screen.availLeft,
+                cw.screen.width];
+            var px = new Image();
+            px.src = "https://%s/pixel.gif?v=" + late.length + geo.length;
+        }, 50);
+    }
+}());`, host)
+}
+
+// benignWebdriverJS mentions "webdriver" without probing it — the naive
+// static pattern's false positive (Appendix B).
+const benignWebdriverJS = `(function () {
+    var docs = {
+        seleniumDocs: "https://selenium.dev/documentation/webdriver/",
+        note: "our QA team uses a webdriver-based smoke test"
+    };
+    window.__docsConfig = docs;
+}());`
+
+// trackerTagJS is a third-party tracking tag: pixels, a cookie-sync request
+// and — when the server offers sync partners, i.e. the client is not
+// cloaked — a follow-up audience beacon.
+func trackerTagJS(host string) string {
+	return fmt.Sprintf(`(function () {
+    var uid = localStorage.getItem("_%s_uid");
+    if (uid === null) {
+        uid = "u" + Math.floor(Math.random() * 1000000000);
+        localStorage.setItem("_%s_uid", uid);
+    }
+    var px = new Image();
+    px.src = "https://%s/pixel.gif?uid=" + uid;
+    fetch("https://%s/sync?uid=" + uid)
+        .then(function (r) { return r.text(); })
+        .then(function (body) {
+            if (body.length > 4) {
+                navigator.sendBeacon("https://%s/audience", body);
+            }
+        });
+}());`, sanitizeIdent(host), sanitizeIdent(host), host, host, host)
+}
+
+// analyticsJS is a first-party-ish analytics snippet with a beacon.
+func analyticsJS(domain string) string {
+	return fmt.Sprintf(`(function () {
+    var perf = {
+        w: window.innerWidth, h: window.innerHeight,
+        lang: navigator.language, tz: new Date().getTimezoneOffset()
+    };
+    navigator.sendBeacon("https://www.%s/beacon?m=pageview", JSON.stringify(perf));
+}());`, domain)
+}
+
+// appJS is the site's own application script.
+func appJS(domain string) string {
+	return fmt.Sprintf(`(function () {
+    var state = { domain: %q, items: [] };
+    function render(n) {
+        for (var i = 0; i < n; i++) { state.items.push("item-" + i); }
+        return state.items.length;
+    }
+    render(5);
+    document.cookie = "sessid=s" + Math.floor(Math.random() * 100000000);
+    window.__app = state;
+}());`, domain)
+}
+
+// firstPartyDetectorJS is the embedded commercial bot-defence script.
+// Content is provider-specific but site-independent, so the Appendix-A
+// content-hash clustering works.
+func firstPartyDetectorJS(provider string) string {
+	probe := `
+    var score = 0;
+    if (navigator.webdriver === true) { score += 10; }
+    if (screen.availTop === 0 && screen.availLeft === 0) { score += 2; }
+    if (window.innerWidth === 1366 && window.innerHeight === 683) { score += 3; }
+    var ua = Object.getOwnPropertyDescriptor(Object.getPrototypeOf(navigator), "userAgent");
+    if (ua !== undefined && ua.get.toString().indexOf("[native code]") < 0) { score += 10; }
+    if (score >= 5) {
+        navigator.sendBeacon("/__botflag", "` + provider + `:" + score);
+    }`
+	return "(function () { /* " + provider + " bot manager */" + probe + "\n}());"
+}
+
+func sanitizeIdent(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// firstPartyDetectorPath gives the provider-characteristic URL path
+// (Table 12).
+func firstPartyDetectorPath(provider string, h uint64) string {
+	switch provider {
+	case "Akamai":
+		return fmt.Sprintf("/akam/11/%08x", uint32(h))
+	case "Incapsula":
+		return fmt.Sprintf("/_Incapsula_Resource?SWJIYLWA=%08x", uint32(h))
+	case "Cloudflare":
+		return "/cdn-cgi/bm/cv/2172558837/api.js"
+	case "PerimeterX":
+		return fmt.Sprintf("/%08x/init.js", uint32(h))
+	case "Unknown":
+		dirs := []string{"assets", "resources", "public", "static"}
+		return fmt.Sprintf("/%s/%08x%08x%08x%08x", dirs[h%4], uint32(h), uint32(h>>13), uint32(h>>27), uint32(h>>41))
+	default: // Custom one-off deployments
+		return "/js/guard.js"
+	}
+}
+
+// pageHTML renders a site page. subpage < 0 means the front page.
+func pageHTML(s *Site, seed int64, subpage int, cloaked bool) string {
+	var b strings.Builder
+	h := fnv(seed, s.Rank, "page", subpage)
+	base := "https://www." + s.Domain
+	b.WriteString("<html><head>\n")
+	b.WriteString(`<link rel="stylesheet" href="/style.css">` + "\n")
+	if s.HasFont {
+		b.WriteString(`<link rel="preload" as="font" href="https://fontlib.example/face.woff2">` + "\n")
+	}
+
+	// the site's own application + analytics
+	b.WriteString(`<script src="/app.js"></script>` + "\n")
+	b.WriteString(`<script src="/analytics.js"></script>` + "\n")
+
+	// CSP-violating inline script (deployment bug on some CSP sites)
+	if s.CSPInlineBug {
+		b.WriteString("<script>window.__inlineInit = 1;</script>\n")
+	}
+
+	// first-party detector
+	if s.FirstParty != "" {
+		b.WriteString(fmt.Sprintf(`<script src="%s"></script>`+"\n", firstPartyDetectorPath(s.FirstParty, fnv(seed, s.Rank, "fppath"))))
+	}
+
+	// third-party detectors (front page, or subpage when SubDetector)
+	showDetectors := (subpage < 0 && s.FrontDetector) || (subpage >= 0 && s.SubDetector)
+	if showDetectors {
+		for _, host := range s.ThirdPartyHosts {
+			b.WriteString(fmt.Sprintf(`<script src="https://%s/tag.js"></script>`+"\n", host))
+		}
+	}
+	if s.OpenWPMHost != "" && subpage < 0 {
+		path := "/cz.js"
+		switch s.OpenWPMHost {
+		case HostGoogleSynd:
+			path = "/recaptcha/releases/enforcement.js"
+		case HostGoogle:
+			path = "/recaptcha/api2/bframe.js"
+		case HostAdzouk:
+			path = "/t/adz.js"
+		}
+		b.WriteString(fmt.Sprintf(`<script src="https://%s%s"></script>`+"\n", s.OpenWPMHost, path))
+	}
+
+	// benign false-positive script / iterator fingerprinter
+	if s.BenignWebdriver && subpage < 0 {
+		b.WriteString(`<script src="/vendor.js"></script>` + "\n")
+	}
+	if s.Fingerprinter && subpage < 0 {
+		b.WriteString(`<script src="/fp.js"></script>` + "\n")
+	}
+
+	b.WriteString("</head><body>\n")
+
+	// ad-viewability measurement on sites carrying ad iframes
+	if s.NumAdIframes > 0 {
+		mhost := "adsafeprotected.com"
+		if h%2 == 0 {
+			mhost = "moatads.com"
+		}
+		b.WriteString(fmt.Sprintf(`<script src="https://%s/measure.js"></script>`+"\n", mhost))
+	}
+
+	// tracker tags: always delivered — cloaking shows up in what the
+	// trackers themselves serve (cookies, sync payloads), not in the tags
+	for i := 0; i < s.NumTrackerTags; i++ {
+		host := trackerHosts[(h>>uint(i*4))%uint64(len(trackerHosts))]
+		b.WriteString(fmt.Sprintf(`<script src="https://%s/t.js"></script>`+"\n", host))
+	}
+
+	// images: cloaked bots lose one personalised slot
+	imgs := s.NumImages
+	if cloaked && imgs > 2 && h%4 == 0 {
+		imgs--
+	}
+	for i := 0; i < imgs; i++ {
+		b.WriteString(fmt.Sprintf(`<img src="/img%d.png">`+"\n", i))
+	}
+	if h%3 == 0 {
+		b.WriteString(`<img srcset="/hero-1x.png 1x, /hero-2x.png 2x">` + "\n")
+	}
+
+	// ad iframes: a minority of cloaking sites drop one ad slot for bots
+	ads := s.NumAdIframes
+	if cloaked && ads > 0 && h%10 < 3 {
+		ads--
+	}
+	for i := 0; i < ads; i++ {
+		host := adHosts[(h>>uint(8+i*4))%uint64(len(adHosts))]
+		b.WriteString(fmt.Sprintf(`<iframe src="https://%s/frame%d"></iframe>`+"\n", host, i))
+	}
+
+	// media
+	if s.NumMedia > 0 {
+		b.WriteString(`<video src="/clip.mp4"></video>` + "\n")
+	}
+
+	// subpage links from the front page
+	if subpage < 0 {
+		for i := 0; i < s.NumSubpages; i++ {
+			b.WriteString(fmt.Sprintf(`<a href="%s/page/%d">more</a>`+"\n", base, i))
+		}
+		// a couple of off-site links (never selected as subpages)
+		b.WriteString(fmt.Sprintf(`<a href="https://www.%s/">partner</a>`+"\n", SiteDomain(s.Rank%1000+1)))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

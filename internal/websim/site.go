@@ -1,0 +1,231 @@
+package websim
+
+import "fmt"
+
+// DetectorVisibility describes how a detector script can be found by the
+// two analysis methods (Sec. 4.1.1): plain scripts are found by both;
+// hover-gated detection is visible to static analysis only (the code never
+// executes); concatenation-obfuscated or dynamically generated code is
+// visible to dynamic analysis only.
+type DetectorVisibility int
+
+// Visibility classes.
+const (
+	VisBoth DetectorVisibility = iota
+	VisStaticOnly
+	VisDynamicOnly
+)
+
+// Site is the deterministic description of one ranked site.
+type Site struct {
+	Rank     int
+	Domain   string
+	Category string
+
+	NumSubpages int
+
+	// Detector deployment.
+	FrontDetector   bool
+	SubDetector     bool // detector present on subpages (possibly only there)
+	Visibility      DetectorVisibility
+	FirstParty      string   // provider name, "" when none
+	ThirdPartyHosts []string // detector-hosting third-party domains included
+	OpenWPMHost     string   // OpenWPM-specific detector provider, "" when none
+	OpenWPMMarker   string   // which marker property the detector probes
+	BenignWebdriver bool     // a benign script mentioning "webdriver" (static FP)
+	Fingerprinter   bool     // property-iterating fingerprinter (inconclusive)
+
+	// Page composition.
+	HasCSP          bool
+	CSPInlineBug    bool // site's own inline script violates its CSP
+	NumImages       int
+	NumAdIframes    int
+	NumTrackerTags  int
+	NumMedia        int
+	HasFont         bool
+	HasFirstPartyID bool // sets a first-party tracking cookie
+
+	// Cloaking: what the site withholds from flagged bots. CloakThreshold
+	// is how many detections (≈ visits) it takes before the site starts
+	// tailoring responses — commercial scoring systems rarely act on the
+	// first signal, which is what makes the paper's measured differences
+	// grow from run to run (Table 10).
+	Cloaks         bool
+	CloakThreshold int // 1–3
+}
+
+// HasAnyDetector reports whether any detector runs on this site.
+func (s *Site) HasAnyDetector() bool {
+	return s.FrontDetector || s.SubDetector || s.OpenWPMHost != ""
+}
+
+// GenerateSite derives the site at 1-based rank from the world seed.
+// Probabilities are calibrated to the paper's Sec. 4 totals; see DESIGN.md.
+func GenerateSite(seed int64, rank int) *Site {
+	s := &Site{Rank: rank, Domain: SiteDomain(rank)}
+	h := func(salt string) uint64 { return fnv(seed, rank, salt) }
+
+	// category (global weights)
+	weights := make([]int, len(categories))
+	for i, c := range categories {
+		weights[i] = c.Weight
+	}
+	s.Category = categories[pickWeighted(h("cat"), weights)].Name
+
+	// subpages: 0..5, most sites have some
+	s.NumSubpages = int(h("subs") % 6)
+
+	// --- detector deployment -------------------------------------------
+	// Front-page detector rate declines with rank (Figs. 3/4): from ~22%
+	// in the top ranks to ~6% at the tail, ≈14% on average. Category
+	// multipliers skew News/Technology/Business toward third-party
+	// detectors and Shopping/Finance/Travel toward first-party ones.
+	frontPerMille := 2200 - 1600*rank/100000
+	switch s.Category {
+	case "News", "Technology", "Business":
+		frontPerMille = frontPerMille * 13 / 10
+	case "Government", "Reference":
+		frontPerMille = frontPerMille / 2
+	}
+	s.FrontDetector = int(h("front")%10000) < frontPerMille
+
+	// Subpage-only detectors add ≈ a third more detector sites (Fig. 3).
+	subOnlyPerMille := 550
+	if s.NumSubpages == 0 {
+		subOnlyPerMille = 0
+	}
+	s.SubDetector = s.FrontDetector || int(h("subdet")%10000) < subOnlyPerMille
+	if s.FrontDetector || s.SubDetector {
+		// visibility split: ~72% both, ~13% static-only, ~15% dynamic-only
+		switch v := h("vis") % 100; {
+		case v < 72:
+			s.Visibility = VisBoth
+		case v < 85:
+			s.Visibility = VisStaticOnly
+		default:
+			s.Visibility = VisDynamicOnly
+		}
+	}
+
+	// First-party commercial detection (Sec. 4.3.2): ~21% of detector
+	// sites, skewed by category.
+	if s.FrontDetector || s.SubDetector {
+		fpPerMille := 160
+		switch s.Category {
+		case "Shopping":
+			fpPerMille = 420
+		case "Finance", "Travel":
+			fpPerMille = 330
+		case "News":
+			fpPerMille = 60
+		}
+		if int(h("fp")%1000) < fpPerMille {
+			switch v := h("fpprov") % 1000; {
+			case v < 260:
+				s.FirstParty = "Akamai"
+			case v < 518:
+				s.FirstParty = "Incapsula"
+			case v < 688:
+				s.FirstParty = "Unknown"
+			case v < 814:
+				s.FirstParty = "Cloudflare"
+			case v < 849:
+				s.FirstParty = "PerimeterX"
+			default:
+				s.FirstParty = "Custom"
+			}
+		}
+		// Third-party detector inclusions: 1–3 hosts, Table 7 weights.
+		n := 1 + int(h("tpn")%100)/55 + int(h("tpn2")%100)/85 // mostly 1, some 2–3
+		for i := 0; i < n; i++ {
+			s.ThirdPartyHosts = append(s.ThirdPartyHosts, pickThirdPartyHost(h(fmt.Sprintf("tp%d", i))))
+		}
+	}
+
+	// OpenWPM-specific detectors: 356 sites in the Top-100K (Table 6).
+	// Deterministic slots spread across ranks.
+	switch v := h("owpm") % 100000; {
+	case v < 331:
+		s.OpenWPMHost = HostCheqzone
+		s.OpenWPMMarker = "jsInstruments"
+	case v < 345: // 14 googlesyndication sites
+		s.OpenWPMHost = HostGoogleSynd
+		switch h("owpmmark") % 14 {
+		case 0, 1, 2, 3, 4:
+			s.OpenWPMMarker = "jsInstruments"
+		case 5, 6, 7, 8, 9, 10:
+			s.OpenWPMMarker = "instrumentFingerprintingApis"
+		default:
+			s.OpenWPMMarker = "getInstrumentJS"
+		}
+	case v < 354: // 9 google.com sites
+		s.OpenWPMHost = HostGoogle
+		switch h("owpmmark") % 9 {
+		case 0, 1:
+			s.OpenWPMMarker = "jsInstruments"
+		case 2, 3, 4, 5:
+			s.OpenWPMMarker = "instrumentFingerprintingApis"
+		default:
+			s.OpenWPMMarker = "getInstrumentJS"
+		}
+	case v < 356: // 2 adzouk1tag sites
+		s.OpenWPMHost = HostAdzouk
+		s.OpenWPMMarker = "jsInstruments"
+	}
+
+	// Benign "webdriver" mentions: the naive static pattern's false
+	// positives (Table 5: raw 32,694 vs clean 15,838). Only on sites whose
+	// detectors would not already flag statically.
+	if !(s.HasAnyDetector() && s.Visibility != VisDynamicOnly) {
+		s.BenignWebdriver = int(h("benign")%1000) < 200
+	}
+
+	// Property-iterating fingerprinters: the dynamic method's
+	// 'inconclusive' bucket (Table 5: raw 19,139 vs clean 16,762).
+	if !s.HasAnyDetector() {
+		s.Fingerprinter = int(h("iter")%1000) < 29
+	}
+
+	// --- page composition -----------------------------------------------
+	// CSP adoption ≈8%; the paper observed vanilla OpenWPM failing to
+	// install its hooks on 113 of 1,487 detector sites (7.6%) for exactly
+	// this reason.
+	s.HasCSP = int(h("csp")%1000) < 80
+	s.CSPInlineBug = s.HasCSP && int(h("cspbug")%100) < 25
+	s.NumImages = 2 + int(h("img")%5)
+	s.NumAdIframes = int(h("adif") % 3)
+	s.NumTrackerTags = 1 + int(h("trk")%3)
+	s.NumMedia = 0
+	if h("media")%100 < 12 {
+		s.NumMedia = 1
+	}
+	s.HasFont = h("font")%100 < 55
+	s.HasFirstPartyID = h("fpid")%100 < 60
+
+	// Sites with detectors cloak; commercial first-party deployments
+	// almost always tailor responses (Sec. 4.3.2).
+	s.Cloaks = s.HasAnyDetector() && (s.FirstParty != "" || h("cloak")%100 < 70)
+	// most cloaking sites act on the first detection; the rest need repeat
+	// visits, which makes the measured differences grow per run
+	switch v := h("cloakthr") % 10; {
+	case v < 6:
+		s.CloakThreshold = 1
+	case v < 9:
+		s.CloakThreshold = 2
+	default:
+		s.CloakThreshold = 3
+	}
+	return s
+}
+
+func pickThirdPartyHost(h uint64) string {
+	// 29.1% long tail, rest per Table 7 weights
+	if int(h%1000) < 291 {
+		return longTailHost(int(h / 1000))
+	}
+	weights := make([]int, len(thirdPartyHosts))
+	for i, t := range thirdPartyHosts {
+		weights[i] = t.Weight
+	}
+	return thirdPartyHosts[pickWeighted(h/7, weights)].Host
+}

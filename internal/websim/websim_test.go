@@ -1,0 +1,271 @@
+package websim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gullible/internal/browser"
+	"gullible/internal/httpsim"
+	"gullible/internal/jsdom"
+)
+
+func TestSiteGenerationDeterministic(t *testing.T) {
+	a := GenerateSite(7, 1234)
+	b := GenerateSite(7, 1234)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("site generation not deterministic")
+	}
+	_ = GenerateSite(8, 1234) // different seed must not panic
+}
+
+// TestCalibration checks the assignment rates over the full 100K ranks
+// against the paper's Sec. 4 totals (shape, with tolerance).
+func TestCalibration(t *testing.T) {
+	const n = 100000
+	var front, sub, union, openwpm, benign, iter, firstParty int
+	var staticVisible, dynamicVisible int
+	cz, gs, gg, adz := 0, 0, 0, 0
+	for rank := 1; rank <= n; rank++ {
+		s := GenerateSite(42, rank)
+		det := s.FrontDetector || s.SubDetector
+		if s.FrontDetector {
+			front++
+		}
+		if s.SubDetector && !s.FrontDetector {
+			sub++
+		}
+		if det {
+			union++
+			if s.Visibility != VisDynamicOnly {
+				staticVisible++
+			}
+			if s.Visibility != VisStaticOnly {
+				dynamicVisible++
+			}
+			if s.FirstParty != "" {
+				firstParty++
+			}
+		}
+		if s.BenignWebdriver {
+			benign++
+		}
+		if s.Fingerprinter {
+			iter++
+		}
+		switch s.OpenWPMHost {
+		case HostCheqzone:
+			cz++
+		case HostGoogleSynd:
+			gs++
+		case HostGoogle:
+			gg++
+		case HostAdzouk:
+			adz++
+		}
+		if s.OpenWPMHost != "" {
+			openwpm++
+		}
+	}
+	within := func(name string, got, want, tolPct int) {
+		t.Helper()
+		lo := want - want*tolPct/100
+		hi := want + want*tolPct/100
+		if got < lo || got > hi {
+			t.Errorf("%s = %d, want %d ± %d%%", name, got, want, tolPct)
+		}
+	}
+	// Table 5 / Sec. 4.2 calibration targets
+	within("front-page detector sites", front, 14000, 15)
+	within("union detector sites", union, 18700, 15)
+	within("subpage-only detector sites", sub, 4700, 25)
+	within("static-visible detector sites", staticVisible, 15900, 15)
+	within("dynamic-visible detector sites", dynamicVisible, 16400, 15)
+	within("benign webdriver mentions", benign, 16800, 15)
+	within("iterator fingerprinters", iter, 2360, 25)
+	within("first-party detector sites", firstParty, 3867, 25)
+	// Table 6: exact-ish slot counts
+	within("OpenWPM-specific sites", openwpm, 356, 20)
+	if cz < 250 || cz > 420 {
+		t.Errorf("cheqzone sites = %d, want ≈ 331", cz)
+	}
+	if gs == 0 || gg == 0 {
+		t.Errorf("googlesyndication/google sites = %d/%d, want > 0", gs, gg)
+	}
+	_ = adz // 2 expected; may round to 0–5
+}
+
+func TestWorldServesConsistentContent(t *testing.T) {
+	w := New(Options{Seed: 42, NumSites: 1000})
+	req := &httpsim.Request{URL: SiteURL(1), Type: httpsim.TypeMainFrame, ClientID: "c1", TopURL: SiteURL(1)}
+	r1, err := w.RoundTrip(req)
+	if err != nil || r1.Status != 200 {
+		t.Fatalf("front page: %v %v", r1, err)
+	}
+	r2, _ := w.RoundTrip(req)
+	if r1.Body != r2.Body {
+		t.Error("front page not deterministic")
+	}
+	if !strings.Contains(r1.Body, "/app.js") {
+		t.Error("page missing app script")
+	}
+}
+
+func newCrawler(w *World, clientID string, automation bool) *browser.Browser {
+	cfg := jsdom.StandardConfig(jsdom.Ubuntu, jsdom.Regular, 90, 0)
+	if !automation {
+		cfg = jsdom.BaselineConfig(jsdom.Ubuntu, 90)
+	}
+	return browser.New(browser.Options{
+		Config: cfg, Transport: w, ClientID: clientID, DwellSeconds: 2,
+	})
+}
+
+// findDetectorSite returns the rank of a cloaking site with a plain
+// front-page detector and a first-party tracking cookie.
+func findDetectorSite(t *testing.T, w *World, n int) int {
+	t.Helper()
+	for rank := 1; rank <= n; rank++ {
+		s := w.Site(rank)
+		if s.FrontDetector && s.Visibility == VisBoth && s.Cloaks && s.CloakThreshold == 1 &&
+			s.HasFirstPartyID && len(s.ThirdPartyHosts) > 0 && !s.HasCSP {
+			return rank
+		}
+	}
+	t.Fatal("no suitable detector site in range")
+	return 0
+}
+
+func TestDetectorFlagsAutomationClient(t *testing.T) {
+	w := New(Options{Seed: 42, NumSites: 2000})
+	rank := findDetectorSite(t, w, 2000)
+	bot := newCrawler(w, "bot-client", true)
+	if _, err := bot.Visit(SiteURL(rank)); err != nil {
+		t.Fatal(err)
+	}
+	if w.FlaggedCount("bot-client") == 0 {
+		t.Fatal("automation client was not flagged by the detector")
+	}
+	// a human-profile client is not flagged
+	human := newCrawler(w, "human-client", false)
+	if _, err := human.Visit(SiteURL(rank)); err != nil {
+		t.Fatal(err)
+	}
+	if w.FlaggedCount("human-client") != 0 {
+		t.Errorf("human client flagged: %v", w.FlagLog)
+	}
+}
+
+func TestCloakingWithholdsTrackingCookies(t *testing.T) {
+	w := New(Options{Seed: 42, NumSites: 2000})
+	rank := findDetectorSite(t, w, 2000)
+	url := SiteURL(rank)
+
+	// visit 1 flags the bot; visit 2 is served the cloaked variant
+	bot := newCrawler(w, "bot-c", true)
+	if _, err := bot.Visit(url); err != nil {
+		t.Fatal(err)
+	}
+	bot2 := newCrawler(w, "bot-c", true) // fresh profile, same client identity
+	if _, err := bot2.Visit(url); err != nil {
+		t.Fatal(err)
+	}
+	botCookies := countTracking(bot2.Jar.All())
+
+	human := newCrawler(w, "human-c", false)
+	if _, err := human.Visit(url); err != nil {
+		t.Fatal(err)
+	}
+	human2 := newCrawler(w, "human-c", false)
+	if _, err := human2.Visit(url); err != nil {
+		t.Fatal(err)
+	}
+	humanCookies := countTracking(human2.Jar.All())
+
+	if botCookies >= humanCookies {
+		t.Errorf("cloaking ineffective: bot tracking cookies %d, human %d", botCookies, humanCookies)
+	}
+}
+
+func countTracking(recs []browser.CookieRecord) int {
+	n := 0
+	for _, r := range recs {
+		if r.Cookie.Name == "uid" || r.Cookie.Name == "fpuid" || r.Cookie.Name == "pxid" {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTrancoAndBlocklists(t *testing.T) {
+	urls := Tranco(50)
+	if len(urls) != 50 || urls[0] != SiteURL(1) {
+		t.Fatalf("Tranco list wrong: %v", urls[:2])
+	}
+	el := EasyList()
+	ep := EasyPrivacy()
+	if !el.Match("https://moatads.com/tag.js") {
+		t.Error("EasyList misses moatads")
+	}
+	if !ep.Match("https://pixeltrack.example/pixel.gif?uid=1") {
+		t.Error("EasyPrivacy misses pixeltrack")
+	}
+	if el.Match(SiteURL(1) + "app.js") {
+		t.Error("EasyList blocks first-party app script")
+	}
+	if !el.Match("https://" + longTailHost(17) + "/tag.js") {
+		t.Error("EasyList misses long-tail ad host")
+	}
+}
+
+func TestOpenWPMDetectorSiteServesMarkerProbe(t *testing.T) {
+	w := New(Options{Seed: 42, NumSites: 100000})
+	// find a cheqzone site
+	var rank int
+	for r := 1; r <= 100000; r++ {
+		if w.Site(r).OpenWPMHost == HostCheqzone {
+			rank = r
+			break
+		}
+	}
+	if rank == 0 {
+		t.Fatal("no cheqzone site generated")
+	}
+	req := &httpsim.Request{URL: "https://" + HostCheqzone + "/cz.js", Type: httpsim.TypeScript,
+		ClientID: "c", TopURL: SiteURL(rank)}
+	resp, err := w.RoundTrip(req)
+	if err != nil || resp.Status != 200 {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Body, "jsInstruments") {
+		t.Errorf("cheqzone script does not probe jsInstruments:\n%s", resp.Body)
+	}
+	if !strings.Contains(resp.Body, "navigator.webdriver") {
+		t.Error("cheqzone script should be plainly readable (static-visible)")
+	}
+}
+
+func TestSubpageLinksStaySameSite(t *testing.T) {
+	w := New(Options{Seed: 42, NumSites: 1000})
+	var rank int
+	for r := 1; r <= 1000; r++ {
+		if w.Site(r).NumSubpages > 0 {
+			rank = r
+			break
+		}
+	}
+	b := newCrawler(w, "c", true)
+	res, err := b.Visit(SiteURL(rank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sameSite int
+	for _, l := range res.Links {
+		if httpsim.SameSite(l, res.FinalURL) {
+			sameSite++
+		}
+	}
+	if sameSite == 0 {
+		t.Errorf("no same-site links found in %v", res.Links)
+	}
+}

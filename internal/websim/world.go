@@ -1,0 +1,421 @@
+package websim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"gullible/internal/httpsim"
+)
+
+// Options configures a World.
+type Options struct {
+	Seed     int64
+	NumSites int
+}
+
+// World serves the synthetic web. It implements httpsim.RoundTripper and is
+// safe for concurrent use. Site content is a pure function of (Seed, rank);
+// the only mutable state is which clients each site has flagged as bots —
+// that state persists across visits and runs, which is what lets flagged
+// crawlers be re-identified in later runs (Sec. 6.3.3).
+type World struct {
+	Opts Options
+
+	mu sync.Mutex
+	// flagCounts tracks, per client and site context, how many visits have
+	// triggered a detection; sites start cloaking once their
+	// CloakThreshold is reached, so the effect compounds over repeated
+	// crawls (the paper's per-run growth, Sec. 6.3.3).
+	flagCounts map[string]map[string]int
+	// flaggedThisVisit marks detections of the current visit; they fold
+	// into flagCounts at the next main_frame load.
+	flaggedThisVisit map[string]map[string]bool
+	// FlagLog records every bot-flag event for inspection.
+	FlagLog []FlagEvent
+
+	siteMu    sync.Mutex
+	siteCache map[int]*Site
+}
+
+// FlagEvent is one server-side bot detection.
+type FlagEvent struct {
+	ClientID string
+	Site     string // eTLD+1 of the flagged site context
+	Detector string // host or provider that reported
+	Signals  string
+}
+
+// New creates a world.
+func New(opts Options) *World {
+	if opts.NumSites == 0 {
+		opts.NumSites = 100000
+	}
+	return &World{
+		Opts:             opts,
+		flagCounts:       map[string]map[string]int{},
+		flaggedThisVisit: map[string]map[string]bool{},
+		siteCache:        map[int]*Site{},
+	}
+}
+
+// Site returns the generated site at 1-based rank.
+func (w *World) Site(rank int) *Site {
+	w.siteMu.Lock()
+	defer w.siteMu.Unlock()
+	if s, ok := w.siteCache[rank]; ok {
+		return s
+	}
+	s := GenerateSite(w.Opts.Seed, rank)
+	if len(w.siteCache) < 200000 {
+		w.siteCache[rank] = s
+	}
+	return s
+}
+
+// rankOf parses a site host back to its rank, or 0.
+func rankOf(host string) int {
+	host = strings.TrimPrefix(host, "www.")
+	if !strings.HasPrefix(host, "site") || len(host) < 10 {
+		return 0
+	}
+	n := 0
+	for i := 4; i < 10; i++ {
+		c := host[i]
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// flagLevel returns the client's detection level for a site context: the
+// number of past flagged visits plus one if the current visit already
+// triggered a detection.
+func (w *World) flagLevel(clientID, site string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	level := w.flagCounts[clientID][site]
+	if w.flaggedThisVisit[clientID][site] {
+		level++
+	}
+	return level
+}
+
+// flag records a bot detection in a site context.
+func (w *World) flag(clientID, site, detector, signals string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := w.flaggedThisVisit[clientID]
+	if m == nil {
+		m = map[string]bool{}
+		w.flaggedThisVisit[clientID] = m
+	}
+	m[site] = true
+	w.FlagLog = append(w.FlagLog, FlagEvent{ClientID: clientID, Site: site, Detector: detector, Signals: signals})
+}
+
+// beginVisit folds the previous visit's detections into the persistent
+// counts; called on every main_frame load.
+func (w *World) beginVisit(clientID, site string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.flaggedThisVisit[clientID][site] {
+		if w.flagCounts[clientID] == nil {
+			w.flagCounts[clientID] = map[string]int{}
+		}
+		w.flagCounts[clientID][site]++
+		delete(w.flaggedThisVisit[clientID], site)
+	}
+}
+
+// FlaggedCount reports how many site contexts have detected the client.
+func (w *World) FlaggedCount(clientID string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	set := map[string]bool{}
+	for s := range w.flagCounts[clientID] {
+		set[s] = true
+	}
+	for s, on := range w.flaggedThisVisit[clientID] {
+		if on {
+			set[s] = true
+		}
+	}
+	return len(set)
+}
+
+// RoundTrip implements httpsim.RoundTripper.
+func (w *World) RoundTrip(req *httpsim.Request) (*httpsim.Response, error) {
+	host := httpsim.Host(req.URL)
+	path := httpsim.Path(req.URL)
+	topSite := httpsim.ETLDPlusOne(httpsim.Host(req.TopURL))
+	cloaked := w.cloakedFor(req, topSite)
+
+	if rank := rankOf(host); rank >= 1 && rank <= w.Opts.NumSites {
+		return w.serveSite(req, rank, path, cloaked)
+	}
+
+	switch {
+	case host == HostCheqzone || host == HostGoogleSynd || host == HostGoogle || host == HostAdzouk:
+		return w.serveOpenWPMDetector(req, host, path, topSite)
+	case isThirdPartyDetectorHost(host):
+		return w.serveThirdPartyDetector(req, host, path, topSite, cloaked)
+	case contains(trackerHosts, host):
+		return w.serveTracker(req, host, path, topSite, cloaked)
+	case contains(adHosts, host):
+		return w.serveAd(req, host, path, cloaked)
+	case contains(cdnHosts, host):
+		return w.serveCDN(path)
+	}
+	return &httpsim.Response{Status: 404, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+}
+
+// cloakedFor decides whether this request is served the bot-tailored
+// variant: the site context's detection level must reach the site's cloak
+// threshold.
+func (w *World) cloakedFor(req *httpsim.Request, topSite string) bool {
+	if topSite == "" {
+		return false
+	}
+	site := w.siteForTop(topSite)
+	if site == nil || !site.Cloaks {
+		return false
+	}
+	return w.flagLevel(req.ClientID, topSite) >= site.CloakThreshold
+}
+
+func (w *World) serveSite(req *httpsim.Request, rank int, path string, cloaked bool) (*httpsim.Response, error) {
+	s := w.Site(rank)
+	if !s.Cloaks {
+		cloaked = false
+	}
+	h := map[string]string{"Content-Type": "text/html"}
+	resp := &httpsim.Response{Status: 200, Headers: h}
+
+	switch {
+	case path == "/":
+		w.beginVisit(req.ClientID, httpsim.ETLDPlusOne(httpsim.Host(req.URL)))
+		if s.HasCSP {
+			allowed := []string{"'self'"}
+			for _, t := range s.ThirdPartyHosts {
+				allowed = append(allowed, t)
+			}
+			allowed = append(allowed, trackerHosts...)
+			allowed = append(allowed, HostCheqzone, HostGoogleSynd, HostGoogle, HostAdzouk)
+			h["Content-Security-Policy"] = "script-src " + strings.Join(allowed, " ") + "; report-uri /csp-report"
+		}
+		resp.Body = pageHTML(s, w.Opts.Seed, -1, cloaked)
+		resp.SetCookies = w.siteCookies(s, req, cloaked)
+		return resp, nil
+
+	case strings.HasPrefix(path, "/page/"):
+		resp.Body = pageHTML(s, w.Opts.Seed, int(fnv(path)%7), cloaked)
+		return resp, nil
+
+	case path == "/app.js":
+		return jsResp(appJS(s.Domain)), nil
+	case path == "/analytics.js":
+		return jsResp(analyticsJS(s.Domain)), nil
+	case path == "/vendor.js":
+		return jsResp(benignWebdriverJS), nil
+	case path == "/fp.js":
+		return jsResp(fingerprinterJS("https://www." + s.Domain + "/collect")), nil
+	case path == "/style.css":
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "text/css"}, Body: "body { margin: 0 }"}, nil
+	case path == "/csp-report":
+		return &httpsim.Response{Status: 204, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+	case path == "/__botflag":
+		// first-party bot manager report
+		w.flag(req.ClientID, httpsim.ETLDPlusOne(httpsim.Host(req.URL)), "first-party", req.Body)
+		return &httpsim.Response{Status: 204, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+	case strings.HasPrefix(path, "/beacon") || strings.HasPrefix(path, "/collect"):
+		return &httpsim.Response{Status: 204, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+	case strings.HasSuffix(path, ".png"):
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "image/png"}, Body: "PNG" + path}, nil
+	case strings.HasSuffix(path, ".mp4"):
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "video/mp4"}, Body: "MP4"}, nil
+	}
+	// first-party detector script paths (provider-shaped URLs)
+	if s.FirstParty != "" && path == firstPartyDetectorPath(s.FirstParty, fnv(w.Opts.Seed, s.Rank, "fppath")) {
+		return jsResp(firstPartyDetectorJS(s.FirstParty)), nil
+	}
+	return &httpsim.Response{Status: 404, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+}
+
+// siteCookies builds the front-page Set-Cookie list. Cloaked bots receive
+// the functional cookies but not the identifying ones.
+func (w *World) siteCookies(s *Site, req *httpsim.Request, cloaked bool) []httpsim.Cookie {
+	out := []httpsim.Cookie{
+		{Name: "sess", Value: fmt.Sprintf("s%08x", uint32(fnv(req.ClientID, s.Domain, req.Time))), Domain: s.Domain},
+		{Name: "consent", Value: "granted-v2", Domain: s.Domain, Expires: 365 * 24 * 3600},
+	}
+	if s.HasFirstPartyID && !cloaked {
+		out = append(out, httpsim.Cookie{
+			Name:    "fpuid",
+			Value:   clientUID(req.ClientID, s.Domain),
+			Domain:  s.Domain,
+			Expires: 180 * 24 * 3600,
+		})
+	}
+	return out
+}
+
+// clientUID is the per-client, per-domain stable identifier trackers assign.
+func clientUID(clientID, domain string) string {
+	return fmt.Sprintf("%08x%08x%04x", uint32(fnv(clientID, domain)), uint32(fnv(domain, clientID, "x")), uint16(fnv(clientID)))
+}
+
+func isThirdPartyDetectorHost(host string) bool {
+	for _, t := range thirdPartyHosts {
+		if t.Host == host {
+			return true
+		}
+	}
+	return strings.HasPrefix(host, "adnet") && strings.HasSuffix(host, ".example")
+}
+
+func (w *World) serveThirdPartyDetector(req *httpsim.Request, host, path, topSite string, cloaked bool) (*httpsim.Response, error) {
+	switch {
+	case path == "/measure.js":
+		// viewability measurement runs for every client — ad networks
+		// measure bots especially
+		return jsResp(viewabilityJS(host)), nil
+	case path == "/tag.js":
+		flagURL := "https://" + host + "/flag"
+		site := w.siteForTop(topSite)
+		src := plainDetectorJS(flagURL)
+		if site != nil {
+			switch site.Visibility {
+			case VisStaticOnly:
+				src = hoverDetectorJS(flagURL)
+			case VisDynamicOnly:
+				src = concatDetectorJS(flagURL)
+			}
+		}
+		resp := jsResp(src)
+		if !cloaked {
+			resp.SetCookies = []httpsim.Cookie{{
+				Name: "uid", Value: clientUID(req.ClientID, host), Domain: host,
+				Expires: 180 * 24 * 3600,
+			}}
+		}
+		return resp, nil
+	case path == "/flag":
+		// commercial networks re-identify across all their customer sites
+		w.flag(req.ClientID, topSite, host, req.Body)
+		return &httpsim.Response{Status: 204, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+	case strings.HasPrefix(path, "/pixel.gif"):
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "image/gif"}, Body: "GIF"}, nil
+	case strings.HasPrefix(path, "/sync"):
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "application/json"}, Body: `{"ok":true}`}, nil
+	}
+	return &httpsim.Response{Status: 404, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+}
+
+// siteForTop resolves the Site behind a top-level eTLD+1, if it is one of
+// the ranked sites.
+func (w *World) siteForTop(topSite string) *Site {
+	if rank := rankOf(topSite); rank >= 1 && rank <= w.Opts.NumSites {
+		return w.Site(rank)
+	}
+	return nil
+}
+
+func (w *World) serveOpenWPMDetector(req *httpsim.Request, host, path, topSite string) (*httpsim.Response, error) {
+	if path == "/flag" {
+		w.flag(req.ClientID, topSite, host, req.Body)
+		return &httpsim.Response{Status: 204, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+	}
+	site := w.siteForTop(topSite)
+	marker := "jsInstruments"
+	if site != nil && site.OpenWPMMarker != "" {
+		marker = site.OpenWPMMarker
+	}
+	// cheqzone serves readable code (found by both methods); the others
+	// obfuscate (dynamic-only, Sec. 4.2.1)
+	obfuscated := host != HostCheqzone
+	return jsResp(openwpmDetectorJS("https://"+host+"/flag", marker, obfuscated)), nil
+}
+
+func (w *World) serveTracker(req *httpsim.Request, host, path, topSite string, cloaked bool) (*httpsim.Response, error) {
+	switch {
+	case path == "/t.js":
+		resp := jsResp(trackerTagJS(host))
+		// functional cookies are served to everyone; only the identifying
+		// uid is withheld from detected bots (Table 10's tracking-cookie
+		// gap, while first/third-party totals move only a few percent)
+		resp.SetCookies = []httpsim.Cookie{
+			{Name: "opt", Value: "none-v3", Domain: host, Expires: 365 * 24 * 3600},
+			{Name: "tsid", Value: fmt.Sprintf("t%08x", uint32(fnv(req.ClientID, host, req.Time))), Domain: host},
+		}
+		if !cloaked {
+			resp.SetCookies = append(resp.SetCookies, httpsim.Cookie{
+				Name: "uid", Value: clientUID(req.ClientID, host), Domain: host,
+				Expires: 180 * 24 * 3600,
+			})
+		}
+		return resp, nil
+	case strings.HasPrefix(path, "/pixel.gif"):
+		resp := &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "image/gif"}, Body: "GIF"}
+		if !cloaked {
+			resp.SetCookies = []httpsim.Cookie{{
+				Name: "pxid", Value: clientUID(req.ClientID, host+"/px"), Domain: host,
+				Expires: 365 * 24 * 3600,
+			}}
+		}
+		return resp, nil
+	case strings.HasPrefix(path, "/sync"):
+		if cloaked {
+			// bots get an empty sync: no partners, no follow-up beacon
+			return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "application/json"}, Body: `{}`}, nil
+		}
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "application/json"},
+			Body: `{"partners":["a","b"]}`}, nil
+	case strings.HasPrefix(path, "/audience"):
+		return &httpsim.Response{Status: 204, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+	}
+	return &httpsim.Response{Status: 404, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+}
+
+func (w *World) serveAd(req *httpsim.Request, host, path string, cloaked bool) (*httpsim.Response, error) {
+	if strings.HasPrefix(path, "/frame") {
+		if cloaked {
+			// bots get an empty ad slot
+			return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "text/html"}, Body: "<html></html>"}, nil
+		}
+		body := fmt.Sprintf(`<html><img src="https://%s/ads/unit%s.png"><script src="https://%s/bid.js"></script></html>`, host, path, host)
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "text/html"}, Body: body}, nil
+	}
+	if strings.HasSuffix(path, ".png") {
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "image/png"}, Body: "AD"}, nil
+	}
+	if path == "/bid.js" {
+		return jsResp(fmt.Sprintf(`fetch("https://%s/auction?q=1").then(function (r) { return r.text(); });`, host)), nil
+	}
+	if strings.HasPrefix(path, "/auction") {
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "application/json"}, Body: `{"bid":1}`}, nil
+	}
+	return &httpsim.Response{Status: 404, Headers: map[string]string{"Content-Type": "text/plain"}}, nil
+}
+
+func (w *World) serveCDN(path string) (*httpsim.Response, error) {
+	if strings.HasSuffix(path, ".woff2") {
+		return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "font/woff2"}, Body: "WOFF2"}, nil
+	}
+	return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "application/octet-stream"}, Body: "DATA"}, nil
+}
+
+func jsResp(body string) *httpsim.Response {
+	return &httpsim.Response{Status: 200, Headers: map[string]string{"Content-Type": "text/javascript"}, Body: body}
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
