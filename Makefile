@@ -1,0 +1,16 @@
+.PHONY: verify test build vet race
+
+verify: ## vet + build + race-enabled tests
+	./scripts/verify.sh
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...

@@ -2,15 +2,21 @@
 // client crawls the ranked synthetic web (front page + up to three
 // subpages), and static + dynamic analyses identify bot detectors. It prints
 // Tables 5–7 and 11–13 and Figures 3–5.
+//
+// The -faults flag injects a seeded fault profile into the crawl and the
+// -max-visit-s flag arms the per-visit watchdog, turning the scan into a
+// reliability experiment; the crawl report is printed to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"gullible/internal/experiments"
+	"gullible/internal/faults"
 	"gullible/internal/websim"
 )
 
@@ -18,15 +24,48 @@ func main() {
 	sites := flag.Int("sites", 100000, "number of ranked sites to scan")
 	subpages := flag.Int("subpages", 3, "maximum subpages per site")
 	seed := flag.Int64("seed", 42, "world seed")
+	faultMode := flag.String("faults", "off", "fault profile to inject: off|default|heavy")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
+	maxVisitS := flag.Float64("max-visit-s", 0, "per-visit virtual watchdog budget in seconds (0 = off)")
 	flag.Parse()
+
+	opts := experiments.ScanOptions{MaxSubpages: *subpages, MaxVisitSeconds: *maxVisitS, FaultSeed: *faultSeed}
+	switch *faultMode {
+	case "off":
+	case "default":
+		p := faults.DefaultProfile()
+		opts.FaultProfile = &p
+	case "heavy":
+		p := faults.HeavyProfile()
+		opts.FaultProfile = &p
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -faults mode %q (want off|default|heavy)\n", *faultMode)
+		os.Exit(2)
+	}
 
 	world := websim.New(websim.Options{Seed: *seed, NumSites: *sites})
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "scanning %d sites (subpages ≤ %d)...\n", *sites, *subpages)
-	r := experiments.RunScan(world, *sites, *subpages, func(done, total int) {
+	fmt.Fprintf(os.Stderr, "scanning %d sites (subpages ≤ %d, faults %s)...\n", *sites, *subpages, *faultMode)
+	r := experiments.RunScanOpts(world, *sites, opts, func(done, total int) {
 		fmt.Fprintf(os.Stderr, "  %d/%d sites (%.0fs elapsed)\n", done, total, time.Since(start).Seconds())
 	})
 	fmt.Fprintf(os.Stderr, "scan finished in %s\n\n", time.Since(start).Round(time.Second))
+	if r.Report != nil {
+		fmt.Fprint(os.Stderr, r.Report.String())
+		if len(r.FaultKinds) > 0 {
+			kinds := make([]string, 0, len(r.FaultKinds))
+			for k := range r.FaultKinds {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			fmt.Fprint(os.Stderr, "injected faults:")
+			for _, k := range kinds {
+				fmt.Fprintf(os.Stderr, " %s=%d", k, r.FaultKinds[k])
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 
 	fmt.Println(experiments.Table5(r))
 	fmt.Println(experiments.Table6(r))

@@ -26,15 +26,10 @@ func main() {
 		MaxSubpages: 3,
 	})
 
-	// 3. Crawl.
-	for _, url := range websim.Tranco(5) {
-		sv, err := tm.VisitSite(url)
-		if err != nil {
-			fmt.Printf("%s: %v\n", url, err)
-			continue
-		}
-		fmt.Printf("visited %s (+%d subpages)\n", sv.Front.FinalURL, len(sv.Subpages))
-	}
+	// 3. Crawl. The report accounts for every input site — completed,
+	//    salvaged, failed or skipped, never silently lost.
+	report := tm.Crawl(websim.Tranco(5))
+	fmt.Print(report.String())
 
 	// 4. What the instruments saw.
 	st := tm.Storage

@@ -23,6 +23,25 @@ import (
 // DOM script injection.
 var ErrCSPBlocked = errors.New("browser: script injection blocked by Content Security Policy")
 
+// ErrVisitBudget is returned when a visit exhausts MaxVisitSeconds of
+// virtual time — the watchdog verdict on hung or tarpitted pages.
+var ErrVisitBudget = errors.New("browser: visit exceeded MaxVisitSeconds (watchdog)")
+
+// ErrRedirectLoop is returned when a document chain exceeds MaxRedirects.
+var ErrRedirectLoop = errors.New("browser: too many redirects")
+
+// StatusError reports a main document that answered with an error status.
+// It is deterministic server behaviour, not a flake, so the framework layer
+// classifies it as permanent.
+type StatusError struct {
+	URL    string
+	Status int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("browser: document %s returned status %d", e.URL, e.Status)
+}
+
 // Options configures a Browser.
 type Options struct {
 	Config    jsdom.Config
@@ -33,7 +52,11 @@ type Options struct {
 	// DwellSeconds is how long the browser idles on a page after load
 	// (the paper's crawls use 60 s).
 	DwellSeconds float64
-	MaxRedirects int
+	// MaxVisitSeconds caps the virtual time one visit may consume; 0
+	// disables the watchdog. When the budget runs out the visit aborts with
+	// ErrVisitBudget but keeps whatever it captured so far.
+	MaxVisitSeconds float64
+	MaxRedirects    int
 	// MaxFrameDepth bounds nested frame creation.
 	MaxFrameDepth int
 }
@@ -54,6 +77,9 @@ type VisitResult struct {
 	Links        []string
 	CSPReports   int
 	ScriptErrors []string
+	// Aborted marks a visit cut short by a crash or the visit watchdog;
+	// the other fields hold whatever was captured before the abort.
+	Aborted bool
 }
 
 // Browser is one simulated browser instance. Not safe for concurrent use.
@@ -76,9 +102,11 @@ type Browser struct {
 	// Scripts lists every script payload executed during the current visit.
 	Scripts []ScriptRecord
 
-	clockMS  float64
-	timers   []*timer
-	timerSeq int
+	clockMS      float64
+	visitStartMS float64
+	abortErr     error
+	timers       []*timer
+	timerSeq     int
 
 	csp        CSP
 	visitURL   string
@@ -129,10 +157,17 @@ func (b *Browser) Visit(url string) (*VisitResult, error) {
 	b.scriptErrs = nil
 	b.Scripts = nil
 	b.timers = nil
+	b.visitStartMS = b.clockMS
+	b.abortErr = nil
 
 	resp, finalURL, err := b.fetchDocument(url, httpsim.TypeMainFrame)
 	if err != nil {
 		return nil, fmt.Errorf("browser: visiting %s: %w", url, err)
+	}
+	if resp.Status >= 400 {
+		// a deterministic server-side refusal: surface it as permanent
+		// rather than silently executing an error page
+		return nil, fmt.Errorf("browser: visiting %s: %w", url, &StatusError{URL: finalURL, Status: resp.Status})
 	}
 	b.finalURL = finalURL
 	b.csp = ParseCSP(resp.Header("Content-Security-Policy"))
@@ -140,16 +175,24 @@ func (b *Browser) Visit(url string) (*VisitResult, error) {
 	top := b.newWindow(finalURL, true, nil)
 	b.Top = top
 	b.loadHTML(top, resp.Body)
-	b.Idle(b.Opts.DwellSeconds)
+	if b.abortErr == nil {
+		b.Idle(b.Opts.DwellSeconds)
+	}
 
-	return &VisitResult{
+	res := &VisitResult{
 		RequestedURL: url,
 		FinalURL:     finalURL,
 		OffDomain:    !httpsim.SameSite(url, finalURL),
 		Links:        b.links,
 		CSPReports:   b.cspReports,
 		ScriptErrors: b.scriptErrs,
-	}, nil
+		Aborted:      b.abortErr != nil,
+	}
+	if b.abortErr != nil {
+		// partial result: the caller decides whether to salvage it
+		return res, fmt.Errorf("browser: visiting %s: %w", url, b.abortErr)
+	}
+	return res, nil
 }
 
 // fetchDocument fetches a document URL following redirects.
@@ -170,12 +213,19 @@ func (b *Browser) fetchDocument(url string, rtype httpsim.ResourceType) (*httpsi
 		}
 		return resp, cur, nil
 	}
-	return nil, cur, fmt.Errorf("too many redirects")
+	return nil, cur, ErrRedirectLoop
 }
 
 // fetch performs one request through the transport, stores cookies and fires
 // the request hook.
 func (b *Browser) fetch(url string, rtype httpsim.ResourceType, method, body string) (*httpsim.Response, error) {
+	if b.abortErr != nil {
+		return nil, b.abortErr
+	}
+	if b.budgetExhausted() {
+		b.abortErr = ErrVisitBudget
+		return nil, ErrVisitBudget
+	}
 	req := &httpsim.Request{
 		Method:   method,
 		URL:      url,
@@ -192,10 +242,31 @@ func (b *Browser) fetch(url string, rtype httpsim.ResourceType, method, body str
 	}
 	resp, err := b.Opts.Transport.RoundTrip(req)
 	if err != nil {
+		// some failures consume virtual time before surfacing (hangs burn
+		// the watchdog budget) or kill the whole visit (crashes); both are
+		// expressed through optional interfaces so the transport layer needs
+		// no dependency on the fault package
+		if vc, ok := err.(interface{ VirtualCost() float64 }); ok {
+			b.chargeSeconds(vc.VirtualCost())
+		}
+		if ab, ok := err.(interface{ AbortsVisit() bool }); ok && ab.AbortsVisit() {
+			b.abortErr = err
+		}
 		if b.OnRequest != nil {
 			b.OnRequest(req, nil)
 		}
 		return nil, err
+	}
+	if resp.DelaySeconds > 0 {
+		b.chargeSeconds(resp.DelaySeconds)
+		if b.budgetExhausted() {
+			// the response arrived only after the watchdog gave up
+			b.abortErr = ErrVisitBudget
+			if b.OnRequest != nil {
+				b.OnRequest(req, nil)
+			}
+			return nil, ErrVisitBudget
+		}
 	}
 	before := len(b.Jar.History)
 	b.Jar.StoreFromResponse(resp, url, b.finalURL, b.clockMS)
@@ -209,6 +280,31 @@ func (b *Browser) fetch(url string, rtype httpsim.ResourceType, method, body str
 	}
 	return resp, nil
 }
+
+// chargeSeconds advances the virtual clock by server latency, clamped so a
+// single slow response cannot overshoot far past the visit budget.
+func (b *Browser) chargeSeconds(s float64) {
+	if s <= 0 {
+		return
+	}
+	ms := s * 1000
+	if b.Opts.MaxVisitSeconds > 0 {
+		end := b.visitStartMS + b.Opts.MaxVisitSeconds*1000
+		if b.clockMS+ms > end {
+			b.clockMS = end
+			return
+		}
+	}
+	b.clockMS += ms
+}
+
+// budgetExhausted reports whether the current visit has used up its budget.
+func (b *Browser) budgetExhausted() bool {
+	return b.Opts.MaxVisitSeconds > 0 && b.clockMS-b.visitStartMS >= b.Opts.MaxVisitSeconds*1000
+}
+
+// AbortError returns the error that aborted the current visit, if any.
+func (b *Browser) AbortError() error { return b.abortErr }
 
 // newWindow creates a realm for a document and fires the window hook.
 func (b *Browser) newWindow(url string, top bool, parent *jsdom.DOM) *jsdom.DOM {
@@ -244,6 +340,11 @@ func seedFor(clientID, url string) int64 {
 func (b *Browser) loadHTML(d *jsdom.DOM, body string) {
 	docHost := httpsim.Host(d.URL)
 	for _, item := range ParseHTML(body) {
+		if b.abortErr != nil && item.Tag != "a" {
+			// aborted: no further fetches or script execution, but anchor
+			// harvesting is pure parsing and feeds partial-result salvage
+			continue
+		}
 		switch item.Tag {
 		case "script":
 			if src := item.Attrs["src"]; src != "" {
@@ -417,6 +518,9 @@ func (b *Browser) addTimer(d *jsdom.DOM, fn *minjs.Object, args []minjs.Value, d
 func (b *Browser) Idle(seconds float64) {
 	deadline := b.clockMS + seconds*1000
 	for iter := 0; iter < 100000; iter++ {
+		if b.abortErr != nil {
+			return
+		}
 		t := b.nextTimer(deadline)
 		if t == nil {
 			break

@@ -1,0 +1,142 @@
+package browser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gullible/internal/httpsim"
+)
+
+// abortingErr stands in for an injected crash/hang: it aborts the visit and
+// charges virtual time, without this package importing the faults package.
+type abortingErr struct{ cost float64 }
+
+func (e *abortingErr) Error() string        { return "simulated crash" }
+func (e *abortingErr) AbortsVisit() bool    { return true }
+func (e *abortingErr) VirtualCost() float64 { return e.cost }
+
+// crashWeb fails a specific URL with an aborting error; everything else is
+// served from the inner fakeWeb.
+type crashWeb struct {
+	inner   *fakeWeb
+	crashOn string
+	cost    float64
+}
+
+func (w *crashWeb) RoundTrip(req *httpsim.Request) (*httpsim.Response, error) {
+	if req.URL == w.crashOn {
+		return nil, &abortingErr{cost: w.cost}
+	}
+	return w.inner.RoundTrip(req)
+}
+
+func tarpitSite() *fakeWeb {
+	slow := &httpsim.Response{Status: 200, Body: "var x = 1;",
+		Headers: map[string]string{"Content-Type": "text/javascript"}, DelaySeconds: 40}
+	return &fakeWeb{pages: map[string]*httpsim.Response{
+		"https://slow.com/": page(`<html><head>
+			<script src="/a.js"></script>
+			<script src="/b.js"></script>
+			<script src="/c.js"></script>
+			</head><body><a href="/next">next</a></body></html>`, nil),
+		"https://slow.com/a.js": slow,
+		"https://slow.com/b.js": slow,
+		"https://slow.com/c.js": slow,
+	}}
+}
+
+func TestDelaySecondsChargesClock(t *testing.T) {
+	w := tarpitSite()
+	b := newTestBrowser(w) // no watchdog
+	start := b.Now()
+	if _, err := b.Visit("https://slow.com/"); err != nil {
+		t.Fatal(err)
+	}
+	// three 40 s tarpits ⇒ at least 120 virtual seconds on the clock
+	if elapsed := float64(b.Now()-start) / 1000; elapsed < 120 {
+		t.Fatalf("virtual clock advanced only %.1fs, want ≥ 120s", elapsed)
+	}
+}
+
+func TestWatchdogAbortsTarpittedVisit(t *testing.T) {
+	w := tarpitSite()
+	b := newTestBrowser(w)
+	b.Opts.MaxVisitSeconds = 60
+	start := b.Now()
+	res, err := b.Visit("https://slow.com/")
+	if !errors.Is(err, ErrVisitBudget) {
+		t.Fatalf("want ErrVisitBudget, got %v", err)
+	}
+	if res == nil || !res.Aborted {
+		t.Fatalf("want partial aborted result, got %+v", res)
+	}
+	// partial salvage: the main document loaded, so its link survived
+	if len(res.Links) != 1 || !strings.Contains(res.Links[0], "/next") {
+		t.Fatalf("partial result lost the parsed links: %v", res.Links)
+	}
+	// the clock is clamped to the budget, not left at the full tarpit cost
+	if elapsed := float64(b.Now()-start) / 1000; elapsed > 61 {
+		t.Fatalf("clock ran %.1fs past the 60s budget", elapsed)
+	}
+	// later fetches on the same visit fail fast
+	if _, err := b.fetch("https://slow.com/c.js", httpsim.TypeScript, "GET", ""); !errors.Is(err, ErrVisitBudget) {
+		t.Fatalf("post-abort fetch: %v", err)
+	}
+}
+
+func TestWatchdogResetsBetweenVisits(t *testing.T) {
+	w := &fakeWeb{pages: map[string]*httpsim.Response{
+		"https://fast.com/": page("<html><body>ok</body></html>", nil),
+	}}
+	b := newTestBrowser(w)
+	b.Opts.MaxVisitSeconds = 30
+	for i := 0; i < 5; i++ {
+		if _, err := b.Visit("https://fast.com/"); err != nil {
+			t.Fatalf("visit %d: %v", i, err)
+		}
+	}
+}
+
+func TestCrashAbortsVisitKeepsPartial(t *testing.T) {
+	w := &crashWeb{
+		inner: &fakeWeb{pages: map[string]*httpsim.Response{
+			"https://c.com/": page(`<html><head><script src="/ok.js"></script>
+				<script src="/boom.js"></script></head>
+				<body><img src="/logo.png"><a href="/about">about</a></body></html>`, nil),
+			"https://c.com/ok.js":    {Status: 200, Body: "var ok = 1;", Headers: map[string]string{"Content-Type": "text/javascript"}},
+			"https://c.com/logo.png": {Status: 200, Body: "PNG", Headers: map[string]string{"Content-Type": "image/png"}},
+		}},
+		crashOn: "https://c.com/boom.js",
+		cost:    7,
+	}
+	b := newTestBrowser(w.inner)
+	b.Opts.Transport = w
+	start := b.Now()
+	res, err := b.Visit("https://c.com/")
+	if err == nil || !strings.Contains(err.Error(), "simulated crash") {
+		t.Fatalf("want crash error, got %v", err)
+	}
+	if res == nil || !res.Aborted {
+		t.Fatalf("want partial result, got %+v", res)
+	}
+	if len(res.Links) != 1 {
+		t.Fatalf("partial result lost links: %v", res.Links)
+	}
+	if elapsed := float64(b.Now()-start) / 1000; elapsed < 7 {
+		t.Fatalf("VirtualCost not charged: %.1fs elapsed", elapsed)
+	}
+}
+
+func TestNon200MainDocumentIsPermanent(t *testing.T) {
+	w := &fakeWeb{pages: map[string]*httpsim.Response{}} // fakeWeb 404s unknowns
+	b := newTestBrowser(w)
+	res, err := b.Visit("https://gone.com/")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != 404 {
+		t.Fatalf("want StatusError{404}, got %v", err)
+	}
+	if res != nil {
+		t.Fatalf("a non-200 main document has nothing to salvage, got %+v", res)
+	}
+}

@@ -38,9 +38,7 @@ func AblationMethods(world *websim.World, n int) *Table {
 	cfg := scanCrawlConfig(world, 3)
 	cfg.SimulateInteraction = true
 	tm := openwpm.NewTaskManager(cfg)
-	for _, u := range websim.Tranco(n) {
-		tm.VisitSite(u)
-	}
+	tm.Crawl(websim.Tranco(n))
 	inter := Analyze(world, tm, n)
 
 	row := func(name string, found map[string]bool) {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"gullible/internal/analysis"
+	"gullible/internal/faults"
 	"gullible/internal/httpsim"
 	"gullible/internal/jsdom"
 	"gullible/internal/openwpm"
@@ -43,6 +44,13 @@ type ScanResult struct {
 
 	// Site rank per eTLD+1 (for bucket figures) and category lookup.
 	SiteRank map[string]int
+
+	// Report is the crawl-level reliability accounting (completion,
+	// restarts, error taxonomy), merged across workers.
+	Report *openwpm.CrawlReport
+	// FaultKinds tallies injected faults by kind name, merged across the
+	// per-worker injectors (empty when the scan ran fault-free).
+	FaultKinds map[string]int
 }
 
 // scanCrawlConfig is the Sec. 4 crawler configuration.
@@ -58,40 +66,97 @@ func scanCrawlConfig(world *websim.World, maxSubpages int) openwpm.CrawlConfig {
 	}
 }
 
+// ScanOptions augments the Sec. 4 scan with reliability controls: a fault
+// profile to inject, and the hardening knobs forwarded to the crawler.
+type ScanOptions struct {
+	MaxSubpages int
+
+	// FaultProfile, when non-nil, wraps the world in a per-worker seeded
+	// fault injector.
+	FaultProfile *faults.Profile
+	FaultSeed    int64
+
+	// Hardening knobs (zero values = vanilla behaviour).
+	MaxVisitSeconds  float64
+	MaxRetries       int
+	BreakerThreshold int
+}
+
 // RunScan crawls the top numSites sites of the synthetic web with a vanilla
 // OpenWPM client (regular mode, JS+HTTP instruments, honey properties,
 // subpage crawling) and derives all detector classifications. Sites are
 // sharded across GOMAXPROCS parallel browsers — OpenWPM, too, runs multiple
 // browsers against the same measurement database.
 func RunScan(world *websim.World, numSites, maxSubpages int, progress func(done, total int)) *ScanResult {
+	return RunScanOpts(world, numSites, ScanOptions{MaxSubpages: maxSubpages}, progress)
+}
+
+// RunScanOpts is RunScan with fault injection and hardening options. Each
+// worker gets its own injector (same seed) so fault sequencing stays
+// deterministic within a worker's shard.
+func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress func(done, total int)) *ScanResult {
 	urls := websim.Tranco(numSites)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(urls) {
 		workers = 1
 	}
+	injectors := make([]*faults.Injector, workers)
+	workerConfig := func(w int) openwpm.CrawlConfig {
+		cfg := scanCrawlConfig(world, opts.MaxSubpages)
+		cfg.MaxVisitSeconds = opts.MaxVisitSeconds
+		if opts.MaxRetries > 0 {
+			cfg.MaxRetries = opts.MaxRetries
+		}
+		cfg.BreakerThreshold = opts.BreakerThreshold
+		if opts.FaultProfile != nil {
+			inj := faults.NewInjector(opts.FaultSeed, *opts.FaultProfile, world)
+			inj.RankOf = func(u string) int { return websim.RankOf(httpsim.Host(u)) }
+			cfg.Transport = inj
+			injectors[w] = inj
+		}
+		return cfg
+	}
 	storages := make([]*openwpm.Storage, workers)
+	reports := make([]*openwpm.CrawlReport, workers)
 	var done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			tm := openwpm.NewTaskManager(scanCrawlConfig(world, maxSubpages))
+			tm := openwpm.NewTaskManager(workerConfig(w))
+			rep := openwpm.NewCrawlReport()
 			for i := w; i < len(urls); i += workers {
-				tm.VisitSite(urls[i])
+				sv, err := tm.VisitSite(urls[i])
+				rep.Absorb(sv, err)
 				if n := done.Add(1); progress != nil && n%1000 == 0 {
 					progress(int(n), len(urls))
 				}
 			}
+			rep.DroppedWrites = tm.Storage.DroppedTotal()
 			storages[w] = tm.Storage
+			reports[w] = rep
 		}(w)
 	}
 	wg.Wait()
-	merged := openwpm.NewTaskManager(scanCrawlConfig(world, maxSubpages))
-	for _, st := range storages {
-		merged.Storage.Merge(st)
+	merged := openwpm.NewTaskManager(scanCrawlConfig(world, opts.MaxSubpages))
+	report := openwpm.NewCrawlReport()
+	for w := range storages {
+		merged.Storage.Merge(storages[w])
+		report.Merge(reports[w])
 	}
-	return Analyze(world, merged, numSites)
+	r := Analyze(world, merged, numSites)
+	r.Report = report
+	r.FaultKinds = map[string]int{}
+	for _, inj := range injectors {
+		if inj == nil {
+			continue
+		}
+		for k, n := range inj.CountsByName() {
+			r.FaultKinds[k] += n
+		}
+	}
+	return r
 }
 
 // Analyze derives the scan classifications from a completed crawl.

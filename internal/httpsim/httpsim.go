@@ -57,6 +57,10 @@ type Response struct {
 	Headers    map[string]string
 	Body       string
 	SetCookies []Cookie
+	// DelaySeconds is the server-side latency of this response in virtual
+	// seconds. The browser charges it to its virtual clock, which is how
+	// tarpits interact with visit watchdogs.
+	DelaySeconds float64
 }
 
 // Header returns a response header (case-insensitive on common casings).

@@ -73,6 +73,24 @@ type VisitRecord struct {
 	// InstrumentInstalled reports whether the JS instrument attached
 	// successfully (CSP can block the vanilla injection, Sec. 5.1.2).
 	InstrumentInstalled bool
+	// Restarts counts browser restarts consumed reaching this outcome.
+	Restarts int
+	// Salvaged marks a partial record: the visit aborted (crash/watchdog)
+	// but whatever was captured before the abort was kept.
+	Salvaged bool
+	// ErrorClass is the recovery taxonomy of Error ("transient",
+	// "permanent", "hang", "crash", "crawl-budget"), empty on success.
+	ErrorClass string
+}
+
+// CrashRecord mirrors OpenWPM's crash table: one row per browser restart,
+// with the page being visited and why the browser was discarded.
+type CrashRecord struct {
+	SiteURL string
+	PageURL string
+	Attempt int
+	Class   string
+	Error   string
 }
 
 // Storage is OpenWPM's data store. Inputs that originate in page-controlled
@@ -84,11 +102,68 @@ type Storage struct {
 	Cookies     []CookieEntry
 	ScriptFiles map[string]ScriptFile // keyed by content hash
 	Visits      []VisitRecord
+	Crashes     []CrashRecord
+
+	// FaultFn, when set, simulates storage-layer write failures: a true
+	// return drops the write. Instrument tables honour it; the visit and
+	// crash tables never do — site accounting must survive storage faults.
+	FaultFn func(table string) bool
+	// Dropped counts writes lost to storage faults, per table.
+	Dropped map[string]int
 }
 
 // NewStorage returns an empty store.
 func NewStorage() *Storage {
-	return &Storage{ScriptFiles: map[string]ScriptFile{}}
+	return &Storage{ScriptFiles: map[string]ScriptFile{}, Dropped: map[string]int{}}
+}
+
+// dropWrite consults the storage fault hook for one write to table.
+func (s *Storage) dropWrite(table string) bool {
+	if s.FaultFn != nil && s.FaultFn(table) {
+		if s.Dropped == nil {
+			s.Dropped = map[string]int{}
+		}
+		s.Dropped[table]++
+		return true
+	}
+	return false
+}
+
+// DroppedTotal is the number of writes lost across all tables.
+func (s *Storage) DroppedTotal() int {
+	n := 0
+	for _, c := range s.Dropped {
+		n += c
+	}
+	return n
+}
+
+// AddVisit stores a visit record. Visit rows are exempt from storage
+// faults: losing one would silently lose a site from the crawl accounting.
+func (s *Storage) AddVisit(rec VisitRecord) {
+	s.Visits = append(s.Visits, rec)
+}
+
+// AddCrash stores a crash record (exempt from storage faults, like visits).
+func (s *Storage) AddCrash(rec CrashRecord) {
+	rec.Error = Sanitize(rec.Error)
+	s.Crashes = append(s.Crashes, rec)
+}
+
+// AddRequest stores an HTTP request record.
+func (s *Storage) AddRequest(rec RequestRecord) {
+	if s.dropWrite("http_requests") {
+		return
+	}
+	s.Requests = append(s.Requests, rec)
+}
+
+// AddCookie stores a cookie record.
+func (s *Storage) AddCookie(c CookieEntry) {
+	if s.dropWrite("javascript_cookies") {
+		return
+	}
+	s.Cookies = append(s.Cookies, c)
 }
 
 // Sanitize neutralises page-controlled strings before storage: quotes are
@@ -106,6 +181,9 @@ func Sanitize(s string) string {
 
 // AddJSCall stores a JS call record, sanitising page-controlled fields.
 func (s *Storage) AddJSCall(c JSCall) {
+	if s.dropWrite("javascript") {
+		return
+	}
 	c.Symbol = Sanitize(c.Symbol)
 	c.Value = Sanitize(c.Value)
 	c.Args = Sanitize(c.Args)
@@ -116,6 +194,9 @@ func (s *Storage) AddJSCall(c JSCall) {
 // AddScriptFile stores a response body keyed by hash, tracking every URL
 // that served it.
 func (s *Storage) AddScriptFile(url, content, ctype string) {
+	if s.dropWrite("content") {
+		return
+	}
 	sum := sha256.Sum256([]byte(content))
 	key := hex.EncodeToString(sum[:])
 	f, ok := s.ScriptFiles[key]
@@ -139,6 +220,15 @@ func (s *Storage) Merge(other *Storage) {
 	s.Requests = append(s.Requests, other.Requests...)
 	s.Cookies = append(s.Cookies, other.Cookies...)
 	s.Visits = append(s.Visits, other.Visits...)
+	s.Crashes = append(s.Crashes, other.Crashes...)
+	if len(other.Dropped) > 0 {
+		if s.Dropped == nil {
+			s.Dropped = map[string]int{}
+		}
+		for table, n := range other.Dropped {
+			s.Dropped[table] += n
+		}
+	}
 	for key, f := range other.ScriptFiles {
 		existing, ok := s.ScriptFiles[key]
 		if !ok {

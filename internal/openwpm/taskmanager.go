@@ -1,10 +1,13 @@
 package openwpm
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"gullible/internal/browser"
+	"gullible/internal/faults"
 	"gullible/internal/httpsim"
 	"gullible/internal/jsdom"
 )
@@ -47,6 +50,53 @@ type CrawlConfig struct {
 	SimulateInteraction bool
 	// MaxRetries bounds browser restarts per page on failure.
 	MaxRetries int
+
+	// --- reliability hardening ------------------------------------------
+
+	// MaxVisitSeconds is the per-visit virtual-clock watchdog: a visit that
+	// burns this much virtual time is aborted and classified as a hang.
+	// 0 disables the watchdog (vanilla OpenWPM behaviour).
+	MaxVisitSeconds float64
+	// MaxCrawlSeconds caps the whole crawl's virtual time (visiting plus
+	// backoff). Once exhausted, remaining sites are recorded as skipped
+	// rather than visited — never silently dropped. 0 means unlimited.
+	MaxCrawlSeconds float64
+	// BackoffBaseSeconds enables exponential backoff between browser
+	// restarts (base * 2^attempt, plus deterministic jitter). 0 disables.
+	BackoffBaseSeconds float64
+	// BackoffMaxSeconds caps one backoff interval (default unlimited).
+	BackoffMaxSeconds float64
+	// BreakerThreshold is the per-site circuit breaker: after this many
+	// consecutive page failures the remaining subpages of the site are
+	// skipped. 0 disables the breaker.
+	BreakerThreshold int
+	// BlindRetry restores the pre-hardening recovery loop: every error is
+	// retried identically, with no classification, no watchdog salvage, no
+	// backoff and no breaker. Kept for vanilla-vs-hardened comparisons
+	// (experiments.RunReliability).
+	BlindRetry bool
+}
+
+// Hardened fills in the reliability defaults the vanilla configuration
+// leaves at zero: watchdog, extra retry, backoff and circuit breaker.
+func (c CrawlConfig) Hardened() CrawlConfig {
+	if c.MaxVisitSeconds == 0 {
+		c.MaxVisitSeconds = 90
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BackoffBaseSeconds == 0 {
+		c.BackoffBaseSeconds = 1
+	}
+	if c.BackoffMaxSeconds == 0 {
+		c.BackoffMaxSeconds = 60
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	c.BlindRetry = false
+	return c
 }
 
 // SiteVisit is the outcome of visiting a site (front page + subpages).
@@ -56,6 +106,22 @@ type SiteVisit struct {
 	Subpages []*browser.VisitResult
 	// Restarts counts browser-manager recoveries during this site.
 	Restarts int
+	// Salvaged marks a site whose front page aborted mid-visit but whose
+	// partial records were kept (crash/watchdog salvage).
+	Salvaged bool
+	// CircuitBroken marks a site whose remaining subpages were skipped by
+	// the per-site circuit breaker.
+	CircuitBroken bool
+	// ErrorClass is the taxonomy class of the site-level failure, "" when
+	// the site completed cleanly.
+	ErrorClass string
+	// PageErrors counts subpage visits that failed (the front page failing
+	// fails the whole site instead).
+	PageErrors int
+	// VirtualSeconds and BackoffSeconds are the virtual time this site
+	// consumed visiting and backing off.
+	VirtualSeconds float64
+	BackoffSeconds float64
 }
 
 // TaskManager orchestrates crawls: it creates browsers, attaches
@@ -80,6 +146,12 @@ func NewTaskManager(cfg CrawlConfig) *TaskManager {
 		cfg.ClientID = "openwpm-client"
 	}
 	tm := &TaskManager{Cfg: cfg, Storage: NewStorage()}
+	// a fault-injecting transport may also fail storage writes; the hook is
+	// an optional interface so this package stays decoupled from faults'
+	// injector type
+	if sf, ok := cfg.Transport.(interface{ StorageFault(table string) bool }); ok {
+		tm.Storage.FaultFn = sf.StorageFault
+	}
 	if cfg.Stealth != nil {
 		tm.js = cfg.Stealth
 	} else if cfg.JSInstrument {
@@ -112,10 +184,11 @@ func (tm *TaskManager) NewBrowser() *browser.Browser {
 	cfg := jsdom.StandardConfig(tm.Cfg.OS, tm.Cfg.Mode, tm.firefoxVersion(), tm.browserNo)
 	tm.browserNo++
 	b := browser.New(browser.Options{
-		Config:       cfg,
-		Transport:    tm.Cfg.Transport,
-		ClientID:     tm.Cfg.ClientID,
-		DwellSeconds: tm.Cfg.DwellSeconds,
+		Config:          cfg,
+		Transport:       tm.Cfg.Transport,
+		ClientID:        tm.Cfg.ClientID,
+		DwellSeconds:    tm.Cfg.DwellSeconds,
+		MaxVisitSeconds: tm.Cfg.MaxVisitSeconds,
 	})
 	tm.attach(b)
 	return b
@@ -145,61 +218,286 @@ func (tm *TaskManager) attach(b *browser.Browser) {
 	}
 }
 
+// classifyError maps a visit error to the recovery taxonomy. Watchdog and
+// deterministic browser failures are recognised here; everything else
+// defers to the fault taxonomy (unknown errors count as transient).
+func classifyError(err error) faults.Class {
+	if err == nil {
+		return faults.ClassNone
+	}
+	if errors.Is(err, browser.ErrVisitBudget) {
+		return faults.ClassHang
+	}
+	if errors.Is(err, browser.ErrRedirectLoop) {
+		return faults.ClassPermanent
+	}
+	var se *browser.StatusError
+	if errors.As(err, &se) {
+		return faults.ClassPermanent
+	}
+	return faults.Classify(err)
+}
+
+// validateURL rejects URLs no browser could load — retrying those only
+// burns restarts, which is exactly the pre-hardening bug.
+func validateURL(url string) error {
+	scheme, host, _ := httpsim.URLParts(url)
+	if scheme != "http" && scheme != "https" {
+		return faults.Permanentf("openwpm: malformed URL %q: unsupported scheme", url)
+	}
+	if host == "" {
+		return faults.Permanentf("openwpm: malformed URL %q: missing host", url)
+	}
+	return nil
+}
+
+// visitMeta carries recovery bookkeeping into a VisitRecord.
+type visitMeta struct {
+	restarts int
+	salvaged bool
+	class    string
+}
+
 // VisitSite crawls one site: the front page and up to MaxSubpages same-site
 // subpages, with browser restarts on failure (the BrowserManager role).
 func (tm *TaskManager) VisitSite(url string) (*SiteVisit, error) {
-	bm := &BrowserManager{tm: tm}
+	bm := &BrowserManager{tm: tm, site: url}
 	sv := &SiteVisit{Site: url}
+	finish := func() {
+		sv.Restarts = bm.Restarts
+		sv.VirtualSeconds = bm.virtualSeconds
+		sv.BackoffSeconds = bm.backoffSeconds
+	}
 
 	front, err := bm.Visit(url)
-	sv.Restarts = bm.Restarts
 	if err != nil {
-		tm.recordVisit(url, nil, false, err)
+		finish()
+		class := classifyError(err)
+		sv.ErrorClass = class.String()
+		if front != nil {
+			// salvage: the visit aborted mid-flight, but the records its
+			// instruments captured up to the abort are already in Storage —
+			// keep them, tagged, instead of pretending the site was never
+			// seen. The link list is partial, so subpages are not attempted.
+			sv.Front = front
+			sv.Salvaged = true
+			tm.recordVisit(url, front, false, err, visitMeta{bm.Restarts, true, sv.ErrorClass})
+			return sv, nil
+		}
+		tm.recordVisit(url, nil, false, err, visitMeta{bm.Restarts, false, sv.ErrorClass})
 		return sv, err
 	}
 	sv.Front = front
-	tm.recordVisit(url, front, false, nil)
+	tm.recordVisit(url, front, false, nil, visitMeta{restarts: bm.Restarts})
 
 	// Subpage selection (Sec. 4.1.2): same-eTLD+1 links from the landing
 	// page, deduplicated, capped.
 	if tm.Cfg.MaxSubpages > 0 {
 		for _, sub := range SelectSubpages(front.FinalURL, front.Links, tm.Cfg.MaxSubpages) {
+			if bm.tripped {
+				sv.CircuitBroken = true
+				break
+			}
 			res, err := bm.Visit(sub)
-			sv.Restarts = bm.Restarts
 			if err != nil {
-				tm.recordVisit(sub, nil, true, err)
+				sv.PageErrors++
+				salvaged := res != nil
+				tm.recordVisit(sub, res, true, err, visitMeta{bm.Restarts, salvaged, classifyError(err).String()})
 				continue
 			}
 			// same-origin redirects to foreign domains are skipped
 			if res.OffDomain {
-				tm.recordVisit(sub, res, true, fmt.Errorf("left site via redirect"))
+				tm.recordVisit(sub, res, true, fmt.Errorf("left site via redirect"), visitMeta{restarts: bm.Restarts})
 				continue
 			}
 			sv.Subpages = append(sv.Subpages, res)
-			tm.recordVisit(sub, res, true, nil)
+			tm.recordVisit(sub, res, true, nil, visitMeta{restarts: bm.Restarts})
 		}
 	}
+	finish()
 	return sv, nil
 }
 
-func (tm *TaskManager) recordVisit(url string, res *browser.VisitResult, subpage bool, err error) {
-	rec := VisitRecord{SiteURL: url, Subpage: subpage}
+func (tm *TaskManager) recordVisit(url string, res *browser.VisitResult, subpage bool, err error, meta visitMeta) {
+	rec := VisitRecord{
+		SiteURL:    url,
+		Subpage:    subpage,
+		Restarts:   meta.restarts,
+		Salvaged:   meta.salvaged,
+		ErrorClass: meta.class,
+	}
 	if err != nil {
 		rec.Error = err.Error()
-	} else if res != nil {
-		rec.OK = true
+	}
+	if res != nil {
+		rec.OK = err == nil
 		rec.FinalURL = res.FinalURL
 		rec.CSPReports = res.CSPReports
 		rec.InstrumentInstalled = tm.js == nil || tm.js.TopInstallError() == nil
 	}
-	tm.Storage.Visits = append(tm.Storage.Visits, rec)
+	tm.Storage.AddVisit(rec)
+}
+
+// errCrawlBudget marks sites skipped because the crawl-level virtual-time
+// budget ran out before they could be visited.
+var errCrawlBudget = errors.New("openwpm: crawl virtual-time budget exhausted before visit")
+
+// crawlBudgetClass is the taxonomy label for budget-skipped sites.
+const crawlBudgetClass = "crawl-budget"
+
+// CrawlReport is the accounting a crawl returns: every input site ends in
+// exactly one of Completed, Salvaged, Failed or Skipped — nothing is lost
+// silently (the reliability property the paper's Sec. 3 audit demands).
+type CrawlReport struct {
+	Sites     int
+	Completed int
+	Salvaged  int
+	Failed    int
+	Skipped   int
+
+	CircuitBroken int
+	Restarts      int
+	PageVisits    int
+	PageErrors    int
+	DroppedWrites int
+
+	// ErrorClasses histograms site-level failures by taxonomy class.
+	ErrorClasses map[string]int
+
+	VirtualSeconds float64
+	BackoffSeconds float64
+}
+
+// NewCrawlReport returns an empty report.
+func NewCrawlReport() *CrawlReport {
+	return &CrawlReport{ErrorClasses: map[string]int{}}
+}
+
+// Absorb folds one site outcome into the report.
+func (r *CrawlReport) Absorb(sv *SiteVisit, err error) {
+	r.Sites++
+	r.Restarts += sv.Restarts
+	r.PageVisits += 1 + len(sv.Subpages) + sv.PageErrors
+	r.PageErrors += sv.PageErrors
+	r.VirtualSeconds += sv.VirtualSeconds
+	r.BackoffSeconds += sv.BackoffSeconds
+	if sv.CircuitBroken {
+		r.CircuitBroken++
+	}
+	if sv.ErrorClass != "" {
+		r.ErrorClasses[sv.ErrorClass]++
+	}
+	switch {
+	case err != nil:
+		r.Failed++
+	case sv.Salvaged:
+		r.Salvaged++
+	default:
+		r.Completed++
+	}
+}
+
+// absorbSkipped records a site the crawl never reached.
+func (r *CrawlReport) absorbSkipped() {
+	r.Sites++
+	r.Skipped++
+	r.ErrorClasses[crawlBudgetClass]++
+}
+
+// Merge folds another report into r (sharded crawls).
+func (r *CrawlReport) Merge(o *CrawlReport) {
+	r.Sites += o.Sites
+	r.Completed += o.Completed
+	r.Salvaged += o.Salvaged
+	r.Failed += o.Failed
+	r.Skipped += o.Skipped
+	r.CircuitBroken += o.CircuitBroken
+	r.Restarts += o.Restarts
+	r.PageVisits += o.PageVisits
+	r.PageErrors += o.PageErrors
+	r.DroppedWrites += o.DroppedWrites
+	r.VirtualSeconds += o.VirtualSeconds
+	r.BackoffSeconds += o.BackoffSeconds
+	for k, n := range o.ErrorClasses {
+		r.ErrorClasses[k] += n
+	}
+}
+
+// CompletionRate is the fraction of sites that produced usable data
+// (completed or salvaged).
+func (r *CrawlReport) CompletionRate() float64 {
+	if r.Sites == 0 {
+		return 0
+	}
+	return float64(r.Completed+r.Salvaged) / float64(r.Sites)
+}
+
+// Accounted verifies the invariant that every site landed in exactly one
+// outcome bucket.
+func (r *CrawlReport) Accounted() bool {
+	return r.Completed+r.Salvaged+r.Failed+r.Skipped == r.Sites
+}
+
+// String renders the report deterministically (same crawl ⇒ same bytes).
+func (r *CrawlReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "crawl: %d sites — %d completed, %d salvaged, %d failed, %d skipped (completion %.1f%%)\n",
+		r.Sites, r.Completed, r.Salvaged, r.Failed, r.Skipped, 100*r.CompletionRate())
+	fmt.Fprintf(&sb, "recovery: %d restarts, %d circuit-broken sites, %d page visits, %d page errors, %d dropped writes\n",
+		r.Restarts, r.CircuitBroken, r.PageVisits, r.PageErrors, r.DroppedWrites)
+	fmt.Fprintf(&sb, "virtual time: %.1fs visiting, %.1fs backing off\n", r.VirtualSeconds, r.BackoffSeconds)
+	if len(r.ErrorClasses) > 0 {
+		keys := make([]string, 0, len(r.ErrorClasses))
+		for k := range r.ErrorClasses {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("errors:")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%d", k, r.ErrorClasses[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Checkpoint is resumable crawl state: how many input URLs are done and the
+// report accumulated so far. An interrupted ranked scan resumes from the
+// last completed rank by passing the same Checkpoint back to CrawlFrom.
+type Checkpoint struct {
+	Done   int
+	Report *CrawlReport
 }
 
 // Crawl visits every URL in order; per-site errors are recorded, not fatal.
-func (tm *TaskManager) Crawl(urls []string) {
-	for _, u := range urls {
-		tm.VisitSite(u)
+// The returned report accounts for every input site.
+func (tm *TaskManager) Crawl(urls []string) *CrawlReport {
+	return tm.CrawlFrom(urls, &Checkpoint{})
+}
+
+// CrawlFrom continues a crawl from a checkpoint, updating it after every
+// site so callers can persist progress and survive interruption.
+func (tm *TaskManager) CrawlFrom(urls []string, cp *Checkpoint) *CrawlReport {
+	if cp.Report == nil {
+		cp.Report = NewCrawlReport()
 	}
+	r := cp.Report
+	dropped0 := tm.Storage.DroppedTotal()
+	for cp.Done < len(urls) {
+		u := urls[cp.Done]
+		if tm.Cfg.MaxCrawlSeconds > 0 && r.VirtualSeconds+r.BackoffSeconds >= tm.Cfg.MaxCrawlSeconds {
+			// out of crawl budget: account for the site instead of dropping it
+			tm.recordVisit(u, nil, false, errCrawlBudget, visitMeta{class: crawlBudgetClass})
+			r.absorbSkipped()
+			cp.Done++
+			continue
+		}
+		sv, err := tm.VisitSite(u)
+		r.Absorb(sv, err)
+		cp.Done++
+	}
+	r.DroppedWrites += tm.Storage.DroppedTotal() - dropped0
+	return r
 }
 
 // SelectSubpages picks up to max same-site URLs from links.
@@ -227,35 +525,145 @@ func SelectSubpages(base string, links []string, max int) []string {
 type BrowserManager struct {
 	tm       *TaskManager
 	b        *browser.Browser
+	site     string
 	Restarts int
+
+	consecFails    int
+	tripped        bool
+	virtualSeconds float64
+	backoffSeconds float64
 }
 
-// Visit loads url, restarting the browser on failure up to MaxRetries.
+// Visit loads url with classified recovery: permanent failures fail fast,
+// transient/hang/crash failures restart the browser (with backoff) up to
+// MaxRetries, and an aborted attempt's partial result is returned alongside
+// the error so the caller can salvage it.
 func (bm *BrowserManager) Visit(url string) (*browser.VisitResult, error) {
+	if err := validateURL(url); err != nil {
+		bm.noteFailure()
+		return nil, err
+	}
+	if bm.tm.Cfg.BlindRetry {
+		return bm.visitBlind(url)
+	}
 	var lastErr error
+	var partial *browser.VisitResult
 	for attempt := 0; attempt <= bm.tm.Cfg.MaxRetries; attempt++ {
-		if bm.b == nil {
-			bm.b = bm.tm.NewBrowser()
-		}
-		res, err := bm.b.Visit(url)
+		res, err := bm.visitOnce(url)
 		if err == nil {
-			if bm.tm.Cfg.SimulateInteraction {
-				bm.b.FireListeners("mouseover")
-				bm.b.FireListeners("scroll")
-				bm.b.Idle(5) // let interaction-triggered beacons fire
-			}
+			bm.noteSuccess()
 			return res, nil
 		}
 		lastErr = err
-		// crash: discard the browser and restart with a fresh profile
-		bm.b = nil
-		bm.Restarts++
+		if res != nil {
+			partial = res
+		}
+		class := classifyError(err)
+		if class == faults.ClassPermanent {
+			// deterministic failure: retrying cannot change the outcome
+			break
+		}
+		// transient, hang or crash: discard the browser, note the restart,
+		// back off, try again with a fresh profile
+		bm.recordRestart(url, attempt, class, err)
+		bm.discard()
+		bm.backoff(url, attempt)
+	}
+	bm.noteFailure()
+	return partial, lastErr
+}
+
+// visitBlind is the pre-hardening loop: retry everything identically, no
+// classification, no salvage, no backoff.
+func (bm *BrowserManager) visitBlind(url string) (*browser.VisitResult, error) {
+	var lastErr error
+	for attempt := 0; attempt <= bm.tm.Cfg.MaxRetries; attempt++ {
+		res, err := bm.visitOnce(url)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		bm.recordRestart(url, attempt, classifyError(err), err)
+		bm.discard()
 	}
 	return nil, lastErr
 }
 
+// visitOnce runs a single attempt, charging its virtual time to the site.
+func (bm *BrowserManager) visitOnce(url string) (*browser.VisitResult, error) {
+	if bm.b == nil {
+		bm.b = bm.tm.NewBrowser()
+	}
+	start := bm.b.Now()
+	res, err := bm.b.Visit(url)
+	if err == nil && bm.tm.Cfg.SimulateInteraction {
+		bm.b.FireListeners("mouseover")
+		bm.b.FireListeners("scroll")
+		bm.b.Idle(5) // let interaction-triggered beacons fire
+	}
+	bm.virtualSeconds += (bm.b.Now() - start) / 1000
+	return res, err
+}
+
+// discard throws the browser away; the next attempt gets a fresh profile.
+func (bm *BrowserManager) discard() {
+	bm.b = nil
+	bm.Restarts++
+}
+
+// recordRestart writes a crash-table row for a browser restart.
+func (bm *BrowserManager) recordRestart(url string, attempt int, class faults.Class, err error) {
+	bm.tm.Storage.AddCrash(CrashRecord{
+		SiteURL: bm.site,
+		PageURL: url,
+		Attempt: attempt,
+		Class:   class.String(),
+		Error:   err.Error(),
+	})
+}
+
+// backoff sleeps (in virtual time) exponentially with deterministic jitter:
+// the same client and URL always wait the same schedule, so crawls stay
+// reproducible.
+func (bm *BrowserManager) backoff(url string, attempt int) {
+	base := bm.tm.Cfg.BackoffBaseSeconds
+	if base <= 0 {
+		return
+	}
+	d := base * float64(uint64(1)<<uint(attempt))
+	if max := bm.tm.Cfg.BackoffMaxSeconds; max > 0 && d > max {
+		d = max
+	}
+	d += base * float64(fnv64(bm.tm.Cfg.ClientID, url, fmt.Sprint(attempt))%1000) / 1000
+	bm.backoffSeconds += d
+}
+
+// noteSuccess / noteFailure drive the per-site circuit breaker.
+func (bm *BrowserManager) noteSuccess() { bm.consecFails = 0 }
+
+func (bm *BrowserManager) noteFailure() {
+	bm.consecFails++
+	if th := bm.tm.Cfg.BreakerThreshold; th > 0 && bm.consecFails >= th {
+		bm.tripped = true
+	}
+}
+
+// Tripped reports whether the per-site circuit breaker has opened.
+func (bm *BrowserManager) Tripped() bool { return bm.tripped }
+
 // Browser exposes the live browser (tests inspect realms after visits).
 func (bm *BrowserManager) Browser() *browser.Browser { return bm.b }
+
+func fnv64(parts ...string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h = (h ^ uint64(p[i])) * 1099511628211
+		}
+		h = (h ^ 0x3d) * 1099511628211
+	}
+	return h
+}
 
 // AttachHTTPInstrument records every request; response bodies are stored
 // according to the filter mode.
@@ -273,7 +681,7 @@ func AttachHTTPInstrument(b *browser.Browser, st *Storage, filterJSOnly bool) {
 			rec.CType = resp.Header("Content-Type")
 			rec.BodySize = len(resp.Body)
 		}
-		st.Requests = append(st.Requests, rec)
+		st.AddRequest(rec)
 		if resp == nil || resp.Status != 200 {
 			return
 		}
@@ -303,7 +711,7 @@ func isJavaScript(req *httpsim.Request, resp *httpsim.Response) bool {
 // AttachCookieInstrument records jar writes.
 func AttachCookieInstrument(b *browser.Browser, st *Storage) {
 	b.OnCookieStored = func(rec browser.CookieRecord) {
-		st.Cookies = append(st.Cookies, CookieEntry{
+		st.AddCookie(CookieEntry{
 			Name:       Sanitize(rec.Cookie.Name),
 			Value:      Sanitize(rec.Cookie.Value),
 			Domain:     rec.Cookie.Domain,

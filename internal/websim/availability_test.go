@@ -1,0 +1,90 @@
+package websim
+
+import (
+	"errors"
+	"testing"
+
+	"gullible/internal/faults"
+	"gullible/internal/httpsim"
+)
+
+// findAttackSite scans ranks for a cloaking site with the given availability
+// attack.
+func findAttackSite(t *testing.T, w *World, kind AvailabilityAttack) *Site {
+	t.Helper()
+	for rank := 1; rank <= w.Opts.NumSites; rank++ {
+		if s := w.Site(rank); s.Cloaks && s.Availability == kind {
+			return s
+		}
+	}
+	t.Fatalf("no cloaking site with availability attack %d in %d ranks", kind, w.Opts.NumSites)
+	return nil
+}
+
+// flagClient raises the client's detection level for the site past any cloak
+// threshold, the way a first-party bot manager would.
+func flagClient(w *World, clientID string, s *Site) {
+	top := "https://www." + s.Domain + "/"
+	for i := 0; i < 3; i++ {
+		w.RoundTrip(&httpsim.Request{
+			Method: "POST", URL: top + "__botflag", TopURL: top,
+			Type: httpsim.TypeXHR, ClientID: clientID, Body: "sig",
+		})
+		// the next main-frame load folds the in-visit flag into the
+		// persistent count
+		w.RoundTrip(&httpsim.Request{
+			Method: "GET", URL: top, TopURL: top,
+			Type: httpsim.TypeMainFrame, ClientID: clientID,
+		})
+	}
+}
+
+func TestAvailabilityCrashAttackOnFlaggedClient(t *testing.T) {
+	w := New(Options{Seed: 42, NumSites: 500, AvailabilityAttacks: true})
+	s := findAttackSite(t, w, AttackCrash)
+	top := "https://www." + s.Domain + "/"
+	appJS := &httpsim.Request{Method: "GET", URL: top + "app.js", TopURL: top, Type: httpsim.TypeScript, ClientID: "bot"}
+
+	// unflagged clients are served normally
+	if resp, err := w.RoundTrip(appJS); err != nil || resp.Status != 200 {
+		t.Fatalf("unflagged client: %v %v", resp, err)
+	}
+
+	flagClient(w, "bot", s)
+	_, err := w.RoundTrip(appJS)
+	var fe *faults.FaultError
+	if !errors.As(err, &fe) || fe.Kind != faults.KindCrash {
+		t.Fatalf("flagged client should hit a crash attack, got %v", err)
+	}
+}
+
+func TestAvailabilityTarpitAttackOnFlaggedClient(t *testing.T) {
+	w := New(Options{Seed: 42, NumSites: 500, AvailabilityAttacks: true})
+	s := findAttackSite(t, w, AttackTarpit)
+	top := "https://www." + s.Domain + "/"
+	front := &httpsim.Request{Method: "GET", URL: top, TopURL: top, Type: httpsim.TypeMainFrame, ClientID: "bot"}
+
+	if resp, err := w.RoundTrip(front); err != nil || resp.DelaySeconds != 0 {
+		t.Fatalf("unflagged client tarpitted: %v %v", resp, err)
+	}
+
+	flagClient(w, "bot", s)
+	resp, err := w.RoundTrip(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.DelaySeconds < TarpitAttackSeconds {
+		t.Fatalf("DelaySeconds = %v, want ≥ %v", resp.DelaySeconds, TarpitAttackSeconds)
+	}
+}
+
+func TestAvailabilityAttacksOffByDefault(t *testing.T) {
+	w := New(Options{Seed: 42, NumSites: 500})
+	s := findAttackSite(t, w, AttackCrash)
+	top := "https://www." + s.Domain + "/"
+	flagClient(w, "bot", s)
+	resp, err := w.RoundTrip(&httpsim.Request{Method: "GET", URL: top + "app.js", TopURL: top, Type: httpsim.TypeScript, ClientID: "bot"})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("attacks must stay off unless opted in: %v %v", resp, err)
+	}
+}

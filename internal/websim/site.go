@@ -52,7 +52,24 @@ type Site struct {
 	// grow from run to run (Table 10).
 	Cloaks         bool
 	CloakThreshold int // 1–3
+
+	// Availability is the site's counter-attack on a flagged crawler:
+	// instead of (only) tailoring content, some cloaking sites degrade the
+	// framework's availability — tarpitting every response or crashing the
+	// visiting browser (an extension of the Sec. 5 attack family).
+	Availability AvailabilityAttack
 }
+
+// AvailabilityAttack enumerates availability counter-attacks served to
+// flagged bots.
+type AvailabilityAttack int
+
+// Availability attack kinds.
+const (
+	AttackNone   AvailabilityAttack = iota
+	AttackTarpit                    // responses slow to a crawl
+	AttackCrash                     // a resource kills the visiting browser
+)
 
 // HasAnyDetector reports whether any detector runs on this site.
 func (s *Site) HasAnyDetector() bool {
@@ -214,6 +231,16 @@ func GenerateSite(seed int64, rank int) *Site {
 		s.CloakThreshold = 2
 	default:
 		s.CloakThreshold = 3
+	}
+	// A minority of cloaking sites fight back on availability once the
+	// client is flagged: ~6% tarpit, ~4% crash the browser.
+	if s.Cloaks {
+		switch v := h("avail") % 100; {
+		case v < 6:
+			s.Availability = AttackTarpit
+		case v < 10:
+			s.Availability = AttackCrash
+		}
 	}
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"gullible/internal/faults"
 	"gullible/internal/httpsim"
 )
 
@@ -12,6 +13,11 @@ import (
 type Options struct {
 	Seed     int64
 	NumSites int
+	// AvailabilityAttacks arms the cloaking sites' availability
+	// counter-attacks (tarpits, browser crashes) against flagged clients.
+	// Off by default: the attacks extend the paper's attack family, and the
+	// Sec. 4 reproduction scans must not be perturbed by them.
+	AvailabilityAttacks bool
 }
 
 // World serves the synthetic web. It implements httpsim.RoundTripper and is
@@ -89,6 +95,10 @@ func rankOf(host string) int {
 	}
 	return n
 }
+
+// RankOf parses a site host back to its 1-based rank, or 0 for non-ranked
+// hosts. Fault injectors use it to pick per-rank-bucket fault profiles.
+func RankOf(host string) int { return rankOf(host) }
 
 // flagLevel returns the client's detection level for a site context: the
 // number of past flagged visits plus one if the current visit already
@@ -191,6 +201,26 @@ func (w *World) serveSite(req *httpsim.Request, rank int, path string, cloaked b
 	if !s.Cloaks {
 		cloaked = false
 	}
+	// Availability counter-attacks against flagged crawlers (Sec. 5 attack
+	// family extended to the framework's availability): crash-attack sites
+	// kill the browser on their main script; tarpit sites slow every
+	// response below.
+	attack := w.Opts.AvailabilityAttacks && cloaked
+	if attack && s.Availability == AttackCrash && path == "/app.js" {
+		return nil, &faults.FaultError{Kind: faults.KindCrash, URL: req.URL}
+	}
+	resp, err := w.serveSitePage(req, s, path, cloaked)
+	if attack && s.Availability == AttackTarpit && resp != nil {
+		resp.DelaySeconds += TarpitAttackSeconds
+	}
+	return resp, err
+}
+
+// TarpitAttackSeconds is the per-response virtual delay a tarpit-attacking
+// site imposes on flagged clients.
+const TarpitAttackSeconds = 30
+
+func (w *World) serveSitePage(req *httpsim.Request, s *Site, path string, cloaked bool) (*httpsim.Response, error) {
 	h := map[string]string{"Content-Type": "text/html"}
 	resp := &httpsim.Response{Status: 200, Headers: h}
 

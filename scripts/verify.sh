@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full verification: vet, build, then the test suite with the race detector.
+# The experiments package crawls large synthetic webs, so the race run takes
+# a few minutes; plain `go test ./...` is the quick tier-1 check.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
