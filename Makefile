@@ -1,6 +1,6 @@
-.PHONY: verify test build vet race
+.PHONY: verify test build vet race fmt
 
-verify: ## vet + build + race-enabled tests
+verify: ## gofmt + vet + build + race-enabled tests
 	./scripts/verify.sh
 
 build:
@@ -8,6 +8,9 @@ build:
 
 vet:
 	go vet ./...
+
+fmt:
+	gofmt -l -w .
 
 test:
 	go test ./...

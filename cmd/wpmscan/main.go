@@ -6,6 +6,11 @@
 // The -faults flag injects a seeded fault profile into the crawl and the
 // -max-visit-s flag arms the per-visit watchdog, turning the scan into a
 // reliability experiment; the crawl report is printed to stderr.
+//
+// The -record-bundle flag archives the scan into an execution bundle file
+// (forcing a single worker for a totally ordered recording), and
+// -replay-bundle re-runs the scan offline from such a file, with -miss
+// selecting the policy for requests the bundle never saw.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"gullible/internal/bundle"
 	"gullible/internal/experiments"
 	"gullible/internal/faults"
 	"gullible/internal/websim"
@@ -27,9 +33,32 @@ func main() {
 	faultMode := flag.String("faults", "off", "fault profile to inject: off|default|heavy")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	maxVisitS := flag.Float64("max-visit-s", 0, "per-visit virtual watchdog budget in seconds (0 = off)")
+	recordPath := flag.String("record-bundle", "", "archive the scan into an execution bundle at this path")
+	replayPath := flag.String("replay-bundle", "", "replay the scan offline from this execution bundle")
+	missMode := flag.String("miss", "fail", "replay miss policy: fail|passthrough|synthesize-404")
 	flag.Parse()
 
 	opts := experiments.ScanOptions{MaxSubpages: *subpages, MaxVisitSeconds: *maxVisitS, FaultSeed: *faultSeed}
+	if *recordPath != "" {
+		opts.RecordBundle = true
+		opts.BundleMeta = map[string]string{
+			"tool": "wpmscan", "worldSeed": fmt.Sprint(*seed), "faults": *faultMode,
+		}
+	}
+	if *replayPath != "" {
+		b, err := bundle.ReadFile(*replayPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load bundle: %v\n", err)
+			os.Exit(1)
+		}
+		policy, err := bundle.ParseMissPolicy(*missMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.ReplayBundle = b
+		opts.MissPolicy = policy
+	}
 	switch *faultMode {
 	case "off":
 	case "default":
@@ -65,6 +94,17 @@ func main() {
 			fmt.Fprintln(os.Stderr)
 		}
 		fmt.Fprintln(os.Stderr)
+	}
+	if *recordPath != "" {
+		if r.Bundle == nil {
+			fmt.Fprintln(os.Stderr, "scan produced no bundle")
+			os.Exit(1)
+		}
+		if err := r.Bundle.WriteFile(*recordPath); err != nil {
+			fmt.Fprintf(os.Stderr, "write bundle: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%s\nwrote %s (digest %s)\n\n", r.Bundle.Stats(), *recordPath, r.Bundle.Digest)
 	}
 
 	fmt.Println(experiments.Table5(r))

@@ -1,11 +1,13 @@
 // The quickstart example builds a small synthetic web, crawls five sites
-// with an instrumented OpenWPM client, and prints what the instruments
-// recorded — the minimal end-to-end tour of the public pipeline.
+// with an instrumented OpenWPM client while recording an execution bundle,
+// replays the bundle offline, and prints what the instruments recorded —
+// the minimal end-to-end tour of the public pipeline.
 package main
 
 import (
 	"fmt"
 
+	"gullible/internal/bundle"
 	"gullible/internal/jsdom"
 	"gullible/internal/openwpm"
 	"gullible/internal/websim"
@@ -15,21 +17,38 @@ func main() {
 	// 1. A deterministic synthetic web standing in for the Tranco list.
 	world := websim.New(websim.Options{Seed: 42, NumSites: 1000})
 
-	// 2. An OpenWPM-style task manager: Ubuntu, regular mode, Firefox 90,
-	//    all three instruments, three subpages per site.
-	tm := openwpm.NewTaskManager(openwpm.CrawlConfig{
+	// 2. An OpenWPM-style crawl configuration: Ubuntu, regular mode,
+	//    Firefox 90, all three instruments, three subpages per site.
+	cfg := openwpm.CrawlConfig{
 		OS:           jsdom.Ubuntu,
 		Mode:         jsdom.Regular,
 		Transport:    world,
 		DwellSeconds: 60, // virtual seconds — free
 		JSInstrument: true, HTTPInstrument: true, CookieInstrument: true,
 		MaxSubpages: 3,
-	})
+	}
 
-	// 3. Crawl. The report accounts for every input site — completed,
-	//    salvaged, failed or skipped, never silently lost.
-	report := tm.Crawl(websim.Tranco(5))
+	// 3. Crawl under recording: every HTTP exchange, script file, JS call
+	//    and cookie is archived into a sealed execution bundle. The report
+	//    accounts for every input site — completed, salvaged, failed or
+	//    skipped, never silently lost.
+	b, report, tm, err := bundle.RecordCrawl(cfg, websim.Tranco(5), map[string]string{"example": "quickstart"})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Print(report.String())
+	fmt.Println(b.Stats())
+
+	// 4. Replay the crawl offline from the bundle — no live web needed —
+	//    and check the replayed instruments saw the identical JS activity.
+	_, tm2, _ := bundle.ReplayCrawl(b, bundle.MissFail, nil)
+	replayed := tm2.Storage.JSCallsBySymbol()
+	for sym, n := range tm.Storage.JSCallsBySymbol() {
+		if replayed[sym] != n {
+			panic(fmt.Sprintf("replay diverged: %s recorded %d times live, %d on replay", sym, n, replayed[sym]))
+		}
+	}
+	fmt.Printf("offline replay reproduced all %d JS-call symbols exactly\n", len(replayed))
 
 	// 4. What the instruments saw.
 	st := tm.Storage

@@ -1,0 +1,342 @@
+package bundle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffReport is the structured comparison of two bundles: per-visit request,
+// body, JS-symbol, cookie and outcome deltas, plus crawl-level divergence.
+// It is how nondeterminism, cloaking and instrument divergence surface as
+// data rather than anecdote.
+type DiffReport struct {
+	// ConfigChanges lists configuration fields that differ, as
+	// "field: a → b" strings in sorted order.
+	ConfigChanges []string
+	// ReportsDiffer is set when the two crawl reports render differently.
+	ReportsDiffer bool
+	// CrashesA and CrashesB count browser restarts on each side.
+	CrashesA, CrashesB int
+	// OnlyInA and OnlyInB list visit keys present on one side only.
+	OnlyInA, OnlyInB []string
+	// Visits holds the per-visit comparisons that found differences;
+	// identical visits are omitted.
+	Visits []VisitDiff
+}
+
+// VisitDiff compares one visit present in both bundles.
+type VisitDiff struct {
+	// Key identifies the visit: "site|page|occurrence".
+	Key string
+	// OutcomeA and OutcomeB summarise the visit outcome when it changed
+	// ("ok", "salvaged", or the error class), empty when identical.
+	OutcomeA, OutcomeB string
+	// RequestsOnlyInA and RequestsOnlyInB list "METHOD url" keys whose
+	// request counts differ (a request fetched twice on one side and once
+	// on the other appears here too).
+	RequestsOnlyInA, RequestsOnlyInB []string
+	// BodyChanged lists URLs served with different body digests.
+	BodyChanged []string
+	// StatusChanged lists "METHOD url: a → b" status deltas.
+	StatusChanged []string
+	// JSSymbols lists per-symbol call-count deltas.
+	JSSymbols []SymbolDelta
+	// CookiesOnlyInA and CookiesOnlyInB list "domain:name" cookie keys
+	// whose store counts differ.
+	CookiesOnlyInA, CookiesOnlyInB []string
+}
+
+// SymbolDelta is one JS symbol whose recorded call count changed.
+type SymbolDelta struct {
+	Symbol string
+	A, B   int
+}
+
+// empty reports whether the visit comparison found nothing.
+func (v *VisitDiff) empty() bool {
+	return v.OutcomeA == "" && v.OutcomeB == "" &&
+		len(v.RequestsOnlyInA) == 0 && len(v.RequestsOnlyInB) == 0 &&
+		len(v.BodyChanged) == 0 && len(v.StatusChanged) == 0 &&
+		len(v.JSSymbols) == 0 &&
+		len(v.CookiesOnlyInA) == 0 && len(v.CookiesOnlyInB) == 0
+}
+
+// Empty reports whether the two bundles are observationally identical.
+func (d *DiffReport) Empty() bool {
+	return len(d.ConfigChanges) == 0 && !d.ReportsDiffer &&
+		d.CrashesA == d.CrashesB &&
+		len(d.OnlyInA) == 0 && len(d.OnlyInB) == 0 && len(d.Visits) == 0
+}
+
+// visitKey identifies a visit within a bundle: site, page, and the
+// occurrence index for pages visited more than once.
+func visitKey(v Visit, occurrence int) string {
+	return fmt.Sprintf("%s|%s|%d", v.Record.Site, v.Record.SiteURL, occurrence)
+}
+
+// outcomeOf renders a visit outcome for comparison.
+func outcomeOf(v Visit) string {
+	switch {
+	case v.Record.OK:
+		return "ok"
+	case v.Record.Salvaged:
+		return "salvaged:" + v.Record.ErrorClass
+	case v.Record.ErrorClass != "":
+		return v.Record.ErrorClass
+	default:
+		return "error"
+	}
+}
+
+// indexVisits keys a bundle's visits, numbering repeat visits to a page.
+func indexVisits(b *Bundle) (map[string]Visit, []string) {
+	seen := map[string]int{}
+	out := map[string]Visit{}
+	var order []string
+	for _, v := range b.Visits {
+		page := v.Record.Site + "|" + v.Record.SiteURL
+		k := visitKey(v, seen[page])
+		seen[page]++
+		out[k] = v
+		order = append(order, k)
+	}
+	return out, order
+}
+
+// sortedDelta compares two count maps and splits the differences into keys
+// over-represented in a and in b, each sorted.
+func sortedDelta(a, b map[string]int) (onlyA, onlyB []string) {
+	for k, na := range a {
+		if nb := b[k]; na > nb {
+			onlyA = append(onlyA, k)
+		}
+	}
+	for k, nb := range b {
+		if na := a[k]; nb > na {
+			onlyB = append(onlyB, k)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return onlyA, onlyB
+}
+
+// diffVisit compares one visit across the two bundles.
+func diffVisit(key string, va, vb Visit) VisitDiff {
+	d := VisitDiff{Key: key}
+
+	if oa, ob := outcomeOf(va), outcomeOf(vb); oa != ob {
+		d.OutcomeA, d.OutcomeB = oa, ob
+	}
+
+	// request-count deltas, body digests and statuses by "METHOD url"
+	reqA, reqB := map[string]int{}, map[string]int{}
+	bodyA, bodyB := map[string]string{}, map[string]string{}
+	statA, statB := map[string]int{}, map[string]int{}
+	index := func(v Visit, req map[string]int, body map[string]string, stat map[string]int) {
+		for _, e := range v.Exchanges {
+			k := e.Method + " " + e.URL
+			req[k]++
+			if e.BodySHA != "" {
+				body[e.URL] = e.BodySHA
+			}
+			if e.Status != 0 {
+				stat[k] = e.Status
+			}
+		}
+	}
+	index(va, reqA, bodyA, statA)
+	index(vb, reqB, bodyB, statB)
+	d.RequestsOnlyInA, d.RequestsOnlyInB = sortedDelta(reqA, reqB)
+	for url, sa := range bodyA {
+		if sb, ok := bodyB[url]; ok && sa != sb {
+			d.BodyChanged = append(d.BodyChanged, url)
+		}
+	}
+	sort.Strings(d.BodyChanged)
+	for k, sa := range statA {
+		if sb, ok := statB[k]; ok && sa != sb {
+			d.StatusChanged = append(d.StatusChanged, fmt.Sprintf("%s: %d → %d", k, sa, sb))
+		}
+	}
+	sort.Strings(d.StatusChanged)
+
+	// per-symbol JS call counts
+	symA, symB := map[string]int{}, map[string]int{}
+	for _, c := range va.JSCalls {
+		symA[c.Symbol]++
+	}
+	for _, c := range vb.JSCalls {
+		symB[c.Symbol]++
+	}
+	syms := map[string]bool{}
+	for s := range symA {
+		syms[s] = true
+	}
+	for s := range symB {
+		syms[s] = true
+	}
+	for s := range syms {
+		if symA[s] != symB[s] {
+			d.JSSymbols = append(d.JSSymbols, SymbolDelta{Symbol: s, A: symA[s], B: symB[s]})
+		}
+	}
+	sort.Slice(d.JSSymbols, func(i, j int) bool { return d.JSSymbols[i].Symbol < d.JSSymbols[j].Symbol })
+
+	// cookie stores by domain:name
+	ckA, ckB := map[string]int{}, map[string]int{}
+	for _, c := range va.Cookies {
+		ckA[c.Domain+":"+c.Name]++
+	}
+	for _, c := range vb.Cookies {
+		ckB[c.Domain+":"+c.Name]++
+	}
+	d.CookiesOnlyInA, d.CookiesOnlyInB = sortedDelta(ckA, ckB)
+
+	return d
+}
+
+// diffConfig lists configuration fields that differ, sorted.
+func diffConfig(a, b Config) []string {
+	var out []string
+	add := func(field string, va, vb any) {
+		if va != vb {
+			out = append(out, fmt.Sprintf("%s: %v → %v", field, va, vb))
+		}
+	}
+	add("os", a.OS, b.OS)
+	add("mode", a.Mode, b.Mode)
+	add("firefoxVersion", a.FirefoxVersion, b.FirefoxVersion)
+	add("clientID", a.ClientID, b.ClientID)
+	add("dwellSeconds", a.DwellSeconds, b.DwellSeconds)
+	add("jsInstrument", a.JSInstrument, b.JSInstrument)
+	add("httpInstrument", a.HTTPInstrument, b.HTTPInstrument)
+	add("cookieInstrument", a.CookieInstrument, b.CookieInstrument)
+	add("httpFilterJSOnly", a.HTTPFilterJSOnly, b.HTTPFilterJSOnly)
+	add("legacyInstrumentGlobals", a.LegacyInstrumentGlobals, b.LegacyInstrumentGlobals)
+	add("honeyProps", a.HoneyProps, b.HoneyProps)
+	add("stealth", a.Stealth, b.Stealth)
+	add("maxSubpages", a.MaxSubpages, b.MaxSubpages)
+	add("simulateInteraction", a.SimulateInteraction, b.SimulateInteraction)
+	add("maxRetries", a.MaxRetries, b.MaxRetries)
+	add("maxVisitSeconds", a.MaxVisitSeconds, b.MaxVisitSeconds)
+	add("maxCrawlSeconds", a.MaxCrawlSeconds, b.MaxCrawlSeconds)
+	add("backoffBaseSeconds", a.BackoffBaseSeconds, b.BackoffBaseSeconds)
+	add("backoffMaxSeconds", a.BackoffMaxSeconds, b.BackoffMaxSeconds)
+	add("breakerThreshold", a.BreakerThreshold, b.BreakerThreshold)
+	add("blindRetry", a.BlindRetry, b.BlindRetry)
+	sort.Strings(out)
+	return out
+}
+
+// Diff compares two bundles per-visit and returns the structured report.
+// Visit order does not matter; visits are matched by (site, page,
+// occurrence).
+func Diff(a, b *Bundle) *DiffReport {
+	d := &DiffReport{
+		ConfigChanges: diffConfig(a.Config, b.Config),
+		CrashesA:      len(a.Crashes),
+		CrashesB:      len(b.Crashes),
+	}
+	if (a.Report == nil) != (b.Report == nil) {
+		d.ReportsDiffer = true
+	} else if a.Report != nil && a.Report.String() != b.Report.String() {
+		d.ReportsDiffer = true
+	}
+
+	va, orderA := indexVisits(a)
+	vb, orderB := indexVisits(b)
+	for _, k := range orderA {
+		if _, ok := vb[k]; !ok {
+			d.OnlyInA = append(d.OnlyInA, k)
+		}
+	}
+	for _, k := range orderB {
+		if _, ok := va[k]; !ok {
+			d.OnlyInB = append(d.OnlyInB, k)
+		}
+	}
+	for _, k := range orderA {
+		xb, ok := vb[k]
+		if !ok {
+			continue
+		}
+		if vd := diffVisit(k, va[k], xb); !vd.empty() {
+			d.Visits = append(d.Visits, vd)
+		}
+	}
+	return d
+}
+
+// maxListed caps per-section listings in String so huge diffs stay readable.
+const maxListed = 10
+
+func listCapped(sb *strings.Builder, label string, items []string) {
+	if len(items) == 0 {
+		return
+	}
+	fmt.Fprintf(sb, "  %s (%d):", label, len(items))
+	for i, it := range items {
+		if i >= maxListed {
+			fmt.Fprintf(sb, " … +%d more", len(items)-maxListed)
+			break
+		}
+		sb.WriteString(" " + it)
+	}
+	sb.WriteByte('\n')
+}
+
+// String renders the diff deterministically.
+func (d *DiffReport) String() string {
+	if d.Empty() {
+		return "bundles identical\n"
+	}
+	var sb strings.Builder
+	if len(d.ConfigChanges) > 0 {
+		sb.WriteString("config changes:\n")
+		for _, c := range d.ConfigChanges {
+			fmt.Fprintf(&sb, "  %s\n", c)
+		}
+	}
+	if d.ReportsDiffer {
+		sb.WriteString("crawl reports differ\n")
+	}
+	if d.CrashesA != d.CrashesB {
+		fmt.Fprintf(&sb, "crashes: %d → %d\n", d.CrashesA, d.CrashesB)
+	}
+	if len(d.OnlyInA) > 0 || len(d.OnlyInB) > 0 {
+		sb.WriteString("visit coverage:\n")
+		listCapped(&sb, "only in A", d.OnlyInA)
+		listCapped(&sb, "only in B", d.OnlyInB)
+	}
+	fmt.Fprintf(&sb, "visits differing: %d\n", len(d.Visits))
+	for i, v := range d.Visits {
+		if i >= maxListed {
+			fmt.Fprintf(&sb, "… +%d more visits\n", len(d.Visits)-maxListed)
+			break
+		}
+		fmt.Fprintf(&sb, "visit %s:\n", v.Key)
+		if v.OutcomeA != "" || v.OutcomeB != "" {
+			fmt.Fprintf(&sb, "  outcome: %s → %s\n", v.OutcomeA, v.OutcomeB)
+		}
+		listCapped(&sb, "requests only in A", v.RequestsOnlyInA)
+		listCapped(&sb, "requests only in B", v.RequestsOnlyInB)
+		listCapped(&sb, "body changed", v.BodyChanged)
+		listCapped(&sb, "status changed", v.StatusChanged)
+		if len(v.JSSymbols) > 0 {
+			fmt.Fprintf(&sb, "  js symbols (%d):", len(v.JSSymbols))
+			for i, s := range v.JSSymbols {
+				if i >= maxListed {
+					fmt.Fprintf(&sb, " … +%d more", len(v.JSSymbols)-maxListed)
+					break
+				}
+				fmt.Fprintf(&sb, " %s %d→%d", s.Symbol, s.A, s.B)
+			}
+			sb.WriteByte('\n')
+		}
+		listCapped(&sb, "cookies only in A", v.CookiesOnlyInA)
+		listCapped(&sb, "cookies only in B", v.CookiesOnlyInB)
+	}
+	return sb.String()
+}

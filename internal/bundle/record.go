@@ -1,0 +1,206 @@
+package bundle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+
+	"gullible/internal/faults"
+	"gullible/internal/httpsim"
+	"gullible/internal/openwpm"
+)
+
+// Recorder archives a crawl into a Bundle. It implements openwpm.Recorder:
+// a transport wrapper captures every HTTP exchange (responses and errors
+// alike) and every storage-fault drop decision, while the storage-observer
+// side receives each accepted record. Visits arrive last for their page, so
+// everything buffered since the previous visit row belongs to them.
+//
+// A Recorder serves one crawl on one goroutine (sharded crawls need one
+// recorder per worker); Finalize assembles the Bundle.
+type Recorder struct {
+	meta map[string]string
+
+	bodies map[string]string
+
+	// per-visit buffers, flushed by ObserveVisit
+	pendingExchanges []Exchange
+	pendingJSCalls   []openwpm.JSCall
+	pendingCookies   []openwpm.CookieEntry
+	pendingScripts   []ScriptRef
+
+	visits  []Visit
+	crashes []openwpm.CrashRecord
+
+	// storage-fault archive: writeSeq counts fault-filter consultations per
+	// table; drops holds the 1-based sequence numbers that were dropped.
+	writeSeq map[string]int
+	drops    map[string][]int
+}
+
+// NewRecorder creates a Recorder. meta labels the bundle manifest; it must
+// be deterministic content (seeds, scenario names — never timestamps).
+func NewRecorder(meta map[string]string) *Recorder {
+	return &Recorder{
+		meta:     meta,
+		bodies:   map[string]string{},
+		writeSeq: map[string]int{},
+		drops:    map[string][]int{},
+	}
+}
+
+// intern stores content in the body pool and returns its SHA-256 key.
+func (r *Recorder) intern(content string) string {
+	sum := sha256.Sum256([]byte(content))
+	key := hex.EncodeToString(sum[:])
+	if _, ok := r.bodies[key]; !ok {
+		r.bodies[key] = content
+	}
+	return key
+}
+
+// WrapTransport implements openwpm.Recorder.
+func (r *Recorder) WrapTransport(rt httpsim.RoundTripper) httpsim.RoundTripper {
+	return &recorderTransport{rec: r, next: rt}
+}
+
+// recorderTransport records every round trip. It always advertises the
+// StorageFault capability: delegating to the wrapped transport when present,
+// archiving each drop decision either way, so replays can reproduce the
+// exact storage losses of a faulted crawl.
+type recorderTransport struct {
+	rec  *Recorder
+	next httpsim.RoundTripper
+}
+
+// RoundTrip archives the exchange and passes the result through unchanged —
+// the browser type-asserts fault metadata on the raw error, so errors must
+// not be wrapped here.
+func (t *recorderTransport) RoundTrip(req *httpsim.Request) (*httpsim.Response, error) {
+	resp, err := t.next.RoundTrip(req)
+	e := Exchange{
+		Method: req.Method,
+		URL:    req.URL,
+		Type:   string(req.Type),
+		TopURL: req.TopURL,
+	}
+	if err != nil {
+		e.Err = err.Error()
+		e.ErrClass = faults.Classify(err).String()
+		if vc, ok := err.(interface{ VirtualCost() float64 }); ok {
+			e.ErrSeconds = vc.VirtualCost()
+		}
+		if ab, ok := err.(interface{ AbortsVisit() bool }); ok {
+			e.ErrAborts = ab.AbortsVisit()
+		}
+	} else if resp != nil {
+		e.Status = resp.Status
+		e.Headers = resp.Headers
+		e.SetCookies = resp.SetCookies
+		e.DelaySeconds = resp.DelaySeconds
+		if resp.Body != "" {
+			e.BodySHA = t.rec.intern(resp.Body)
+		}
+	}
+	t.rec.pendingExchanges = append(t.rec.pendingExchanges, e)
+	return resp, err
+}
+
+// StorageFault implements the storage fault hook, archiving the decision.
+func (t *recorderTransport) StorageFault(table string) bool {
+	r := t.rec
+	r.writeSeq[table]++
+	drop := false
+	if sf, ok := t.next.(interface{ StorageFault(table string) bool }); ok {
+		drop = sf.StorageFault(table)
+	}
+	if drop {
+		r.drops[table] = append(r.drops[table], r.writeSeq[table])
+	}
+	return drop
+}
+
+// ObserveVisit closes out the current page: everything buffered since the
+// previous visit row rode along with this one.
+func (r *Recorder) ObserveVisit(rec openwpm.VisitRecord) {
+	r.visits = append(r.visits, Visit{
+		Record:    rec,
+		Exchanges: r.pendingExchanges,
+		JSCalls:   r.pendingJSCalls,
+		Cookies:   r.pendingCookies,
+		Scripts:   r.pendingScripts,
+	})
+	r.pendingExchanges = nil
+	r.pendingJSCalls = nil
+	r.pendingCookies = nil
+	r.pendingScripts = nil
+}
+
+// ObserveCrash archives a browser-restart row (crashes happen mid-visit, so
+// they keep their own table rather than a per-visit buffer).
+func (r *Recorder) ObserveCrash(rec openwpm.CrashRecord) {
+	r.crashes = append(r.crashes, rec)
+}
+
+// ObserveRequest is a no-op: the transport wrapper sees the same traffic
+// with bodies and fault metadata the request table lacks.
+func (r *Recorder) ObserveRequest(openwpm.RequestRecord) {}
+
+// ObserveCookie buffers a cookie row for the current visit.
+func (r *Recorder) ObserveCookie(c openwpm.CookieEntry) {
+	r.pendingCookies = append(r.pendingCookies, c)
+}
+
+// ObserveJSCall buffers a JS-call row for the current visit.
+func (r *Recorder) ObserveJSCall(c openwpm.JSCall) {
+	r.pendingJSCalls = append(r.pendingJSCalls, c)
+}
+
+// ObserveScriptFile buffers a stored script body for the current visit.
+func (r *Recorder) ObserveScriptFile(url, sha, content, ctype string) {
+	if _, ok := r.bodies[sha]; !ok {
+		r.bodies[sha] = content
+	}
+	r.pendingScripts = append(r.pendingScripts, ScriptRef{URL: url, SHA: sha, CType: ctype})
+}
+
+// Finalize assembles and seals the bundle for a finished crawl. cfg should
+// be the task manager's effective configuration (tm.Cfg) so defaulted fields
+// are archived as they ran.
+func (r *Recorder) Finalize(cfg openwpm.CrawlConfig, sites []string, report *openwpm.CrawlReport) (*Bundle, error) {
+	b := &Bundle{
+		Manifest: Manifest{Format: Format, Tool: Tool, Meta: r.meta},
+		Config:   ConfigOf(cfg),
+		Sites:    append([]string(nil), sites...),
+		Visits:   r.visits,
+		Crashes:  r.crashes,
+		Bodies:   r.bodies,
+		Report:   report,
+	}
+	if len(r.drops) > 0 {
+		b.StorageDrops = map[string][]int{}
+		for table, seqs := range r.drops {
+			b.StorageDrops[table] = append([]int(nil), seqs...)
+			sort.Ints(b.StorageDrops[table])
+		}
+	}
+	if err := b.Seal(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// RecordCrawl runs a complete crawl under recording and returns the sealed
+// bundle alongside the report and task manager (whose storage callers can
+// digest or inspect).
+func RecordCrawl(cfg openwpm.CrawlConfig, sites []string, meta map[string]string) (*Bundle, *openwpm.CrawlReport, *openwpm.TaskManager, error) {
+	rec := NewRecorder(meta)
+	cfg.Recorder = rec
+	tm := openwpm.NewTaskManager(cfg)
+	report := tm.Crawl(sites)
+	b, err := rec.Finalize(tm.Cfg, sites, report)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return b, report, tm, nil
+}

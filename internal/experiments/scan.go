@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"gullible/internal/analysis"
+	"gullible/internal/bundle"
 	"gullible/internal/faults"
 	"gullible/internal/httpsim"
 	"gullible/internal/jsdom"
@@ -48,6 +49,9 @@ type ScanResult struct {
 	// Report is the crawl-level reliability accounting (completion,
 	// restarts, error taxonomy), merged across workers.
 	Report *openwpm.CrawlReport
+	// Bundle is the sealed execution bundle when the scan ran with
+	// ScanOptions.RecordBundle.
+	Bundle *bundle.Bundle
 	// FaultKinds tallies injected faults by kind name, merged across the
 	// per-worker injectors (empty when the scan ran fault-free).
 	FaultKinds map[string]int
@@ -80,6 +84,21 @@ type ScanOptions struct {
 	MaxVisitSeconds  float64
 	MaxRetries       int
 	BreakerThreshold int
+
+	// RecordBundle archives the scan into an execution bundle. Recording
+	// forces a single worker: a bundle is a totally ordered exchange
+	// stream, which sharding would interleave.
+	RecordBundle bool
+	// BundleMeta labels the recorded bundle's manifest (seeds, scenario
+	// names — deterministic content only).
+	BundleMeta map[string]string
+
+	// ReplayBundle, when non-nil, serves the scan from the archived crawl
+	// instead of the live world (each worker gets its own replay cursor
+	// over the shared read-only bundle). MissPolicy governs requests the
+	// bundle never saw.
+	ReplayBundle *bundle.Bundle
+	MissPolicy   bundle.MissPolicy
 }
 
 // RunScan crawls the top numSites sites of the synthetic web with a vanilla
@@ -97,10 +116,11 @@ func RunScan(world *websim.World, numSites, maxSubpages int, progress func(done,
 func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress func(done, total int)) *ScanResult {
 	urls := websim.Tranco(numSites)
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(urls) {
+	if workers > len(urls) || opts.RecordBundle {
 		workers = 1
 	}
 	injectors := make([]*faults.Injector, workers)
+	recorders := make([]*bundle.Recorder, workers)
 	workerConfig := func(w int) openwpm.CrawlConfig {
 		cfg := scanCrawlConfig(world, opts.MaxSubpages)
 		cfg.MaxVisitSeconds = opts.MaxVisitSeconds
@@ -108,16 +128,27 @@ func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress f
 			cfg.MaxRetries = opts.MaxRetries
 		}
 		cfg.BreakerThreshold = opts.BreakerThreshold
-		if opts.FaultProfile != nil {
+		switch {
+		case opts.ReplayBundle != nil:
+			// offline re-analysis: serve the archived crawl; the recorded
+			// faults (errors and storage drops) replay with it, so a live
+			// injector on top would double-fault
+			cfg.Transport = bundle.NewReplayTransport(opts.ReplayBundle, opts.MissPolicy, nil)
+		case opts.FaultProfile != nil:
 			inj := faults.NewInjector(opts.FaultSeed, *opts.FaultProfile, world)
 			inj.RankOf = func(u string) int { return websim.RankOf(httpsim.Host(u)) }
 			cfg.Transport = inj
 			injectors[w] = inj
 		}
+		if opts.RecordBundle {
+			recorders[w] = bundle.NewRecorder(opts.BundleMeta)
+			cfg.Recorder = recorders[w]
+		}
 		return cfg
 	}
 	storages := make([]*openwpm.Storage, workers)
 	reports := make([]*openwpm.CrawlReport, workers)
+	tms := make([]*openwpm.TaskManager, workers)
 	var done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -136,6 +167,7 @@ func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress f
 			rep.DroppedWrites = tm.Storage.DroppedTotal()
 			storages[w] = tm.Storage
 			reports[w] = rep
+			tms[w] = tm
 		}(w)
 	}
 	wg.Wait()
@@ -147,6 +179,11 @@ func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress f
 	}
 	r := Analyze(world, merged, numSites)
 	r.Report = report
+	if opts.RecordBundle && recorders[0] != nil {
+		if b, err := recorders[0].Finalize(tms[0].Cfg, urls, report); err == nil {
+			r.Bundle = b
+		}
+	}
 	r.FaultKinds = map[string]int{}
 	for _, inj := range injectors {
 		if inj == nil {

@@ -10,7 +10,10 @@ package openwpm
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
+	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"gullible/internal/httpsim"
 )
@@ -64,8 +67,12 @@ type ScriptFile struct {
 
 // VisitRecord summarises one page visit.
 type VisitRecord struct {
-	SiteURL    string
-	FinalURL   string
+	SiteURL  string
+	FinalURL string
+	// Site is the crawl input URL this page belongs to (equal to SiteURL
+	// for front pages); it lets archival consumers group subpage visits
+	// under their root site.
+	Site       string
 	Subpage    bool
 	OK         bool
 	Error      string
@@ -110,6 +117,26 @@ type Storage struct {
 	FaultFn func(table string) bool
 	// Dropped counts writes lost to storage faults, per table.
 	Dropped map[string]int
+
+	// Observer, when set, sees every record the store accepts — after
+	// sanitisation and after the fault filter, so an observer archives
+	// exactly what the measurement database holds. Package bundle
+	// implements it to record crawls into execution bundles.
+	Observer StorageObserver
+}
+
+// StorageObserver receives every accepted storage write. Implementations
+// must tolerate being called from the single goroutine driving a crawl;
+// sharded crawls use one observer per worker storage.
+type StorageObserver interface {
+	ObserveVisit(VisitRecord)
+	ObserveCrash(CrashRecord)
+	ObserveRequest(RequestRecord)
+	ObserveCookie(CookieEntry)
+	ObserveJSCall(JSCall)
+	// ObserveScriptFile reports one accepted body write (url may repeat
+	// for deduplicated content; sha identifies the content).
+	ObserveScriptFile(url, sha, content, ctype string)
 }
 
 // NewStorage returns an empty store.
@@ -142,12 +169,18 @@ func (s *Storage) DroppedTotal() int {
 // faults: losing one would silently lose a site from the crawl accounting.
 func (s *Storage) AddVisit(rec VisitRecord) {
 	s.Visits = append(s.Visits, rec)
+	if s.Observer != nil {
+		s.Observer.ObserveVisit(rec)
+	}
 }
 
 // AddCrash stores a crash record (exempt from storage faults, like visits).
 func (s *Storage) AddCrash(rec CrashRecord) {
 	rec.Error = Sanitize(rec.Error)
 	s.Crashes = append(s.Crashes, rec)
+	if s.Observer != nil {
+		s.Observer.ObserveCrash(rec)
+	}
 }
 
 // AddRequest stores an HTTP request record.
@@ -156,6 +189,9 @@ func (s *Storage) AddRequest(rec RequestRecord) {
 		return
 	}
 	s.Requests = append(s.Requests, rec)
+	if s.Observer != nil {
+		s.Observer.ObserveRequest(rec)
+	}
 }
 
 // AddCookie stores a cookie record.
@@ -164,17 +200,37 @@ func (s *Storage) AddCookie(c CookieEntry) {
 		return
 	}
 	s.Cookies = append(s.Cookies, c)
+	if s.Observer != nil {
+		s.Observer.ObserveCookie(c)
+	}
 }
+
+// maxSanitized bounds the stored length of page-controlled strings.
+const maxSanitized = 512
 
 // Sanitize neutralises page-controlled strings before storage: quotes are
 // escaped and length is bounded, so stored fields can never break out of a
-// record (the SQL-injection surface of RQ7).
+// record (the SQL-injection surface of RQ7). Truncation never splits a
+// multi-byte rune or an escape pair, so sanitised fields stay valid UTF-8
+// and serialise canonically (bundle archival relies on this).
 func Sanitize(s string) string {
 	s = strings.ReplaceAll(s, "'", "''")
 	s = strings.ReplaceAll(s, "\x00", "")
 	s = strings.ReplaceAll(s, "\n", "\\n")
-	if len(s) > 512 {
-		s = s[:512]
+	if len(s) > maxSanitized {
+		cut := maxSanitized
+		for cut > maxSanitized-utf8.UTFMax && !utf8.RuneStart(s[cut]) {
+			cut--
+		}
+		s = s[:cut]
+		// an odd run of trailing quotes means the cut split a doubled pair
+		run := 0
+		for run < len(s) && s[len(s)-1-run] == '\'' {
+			run++
+		}
+		if run%2 == 1 {
+			s = s[:len(s)-1]
+		}
 	}
 	return s
 }
@@ -189,6 +245,9 @@ func (s *Storage) AddJSCall(c JSCall) {
 	c.Args = Sanitize(c.Args)
 	c.ScriptURL = Sanitize(c.ScriptURL)
 	s.JSCalls = append(s.JSCalls, c)
+	if s.Observer != nil {
+		s.Observer.ObserveJSCall(c)
+	}
 }
 
 // AddScriptFile stores a response body keyed by hash, tracking every URL
@@ -199,6 +258,9 @@ func (s *Storage) AddScriptFile(url, content, ctype string) {
 	}
 	sum := sha256.Sum256([]byte(content))
 	key := hex.EncodeToString(sum[:])
+	if s.Observer != nil {
+		s.Observer.ObserveScriptFile(url, key, content, ctype)
+	}
 	f, ok := s.ScriptFiles[key]
 	if !ok {
 		s.ScriptFiles[key] = ScriptFile{URL: url, SHA256: key, Content: content, CType: ctype, URLs: []string{url}}
@@ -267,4 +329,53 @@ func (s *Storage) RequestsByType() map[httpsim.ResourceType]int {
 		out[r.Type]++
 	}
 	return out
+}
+
+// Digest is a deterministic SHA-256 over every table: two crawls that
+// stored the same records in the same order share a digest. Record-ordered
+// tables hash in insertion order; the content-addressed script store and
+// the dropped-write counters hash in sorted key order. Replaying a crawl
+// from its execution bundle must reproduce this digest exactly.
+func (s *Storage) Digest() string {
+	h := sha256.New()
+	for _, v := range s.Visits {
+		fmt.Fprintf(h, "visit|%s|%s|%s|%t|%t|%q|%d|%t|%d|%s|%t\n",
+			v.SiteURL, v.FinalURL, v.Site, v.Subpage, v.OK, v.Error,
+			v.CSPReports, v.InstrumentInstalled, v.Restarts, v.ErrorClass, v.Salvaged)
+	}
+	for _, c := range s.Crashes {
+		fmt.Fprintf(h, "crash|%s|%s|%d|%s|%q\n", c.SiteURL, c.PageURL, c.Attempt, c.Class, c.Error)
+	}
+	for _, r := range s.Requests {
+		fmt.Fprintf(h, "request|%s|%s|%s|%s|%d|%s|%g|%d\n",
+			r.Method, r.URL, r.TopURL, r.Type, r.Status, r.CType, r.Time, r.BodySize)
+	}
+	for _, c := range s.JSCalls {
+		fmt.Fprintf(h, "jscall|%s|%s|%s|%q|%q|%q|%s|%g\n",
+			c.TopURL, c.FrameURL, c.Symbol, c.Operation, c.Value, c.Args, c.ScriptURL, c.Time)
+	}
+	for _, c := range s.Cookies {
+		fmt.Fprintf(h, "cookie|%q|%q|%s|%s|%g|%t|%t|%g\n",
+			c.Name, c.Value, c.Domain, c.TopURL, c.Expires, c.ViaJS, c.FirstParty, c.Time)
+	}
+	hashes := make([]string, 0, len(s.ScriptFiles))
+	for k := range s.ScriptFiles {
+		hashes = append(hashes, k)
+	}
+	sort.Strings(hashes)
+	for _, k := range hashes {
+		f := s.ScriptFiles[k]
+		urls := append([]string(nil), f.URLs...)
+		sort.Strings(urls)
+		fmt.Fprintf(h, "script|%s|%s|%s\n", k, f.CType, strings.Join(urls, ","))
+	}
+	tables := make([]string, 0, len(s.Dropped))
+	for t := range s.Dropped {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		fmt.Fprintf(h, "dropped|%s|%d\n", t, s.Dropped[t])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,8 +1,10 @@
 package openwpm
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 
 	"gullible/internal/httpsim"
 )
@@ -42,6 +44,114 @@ func TestStorageMergeIdempotentURLs(t *testing.T) {
 		if len(f.URLs) != 1 {
 			t.Errorf("duplicate URL retained: %v", f.URLs)
 		}
+	}
+}
+
+func TestStorageMergeAfterFaultInjection(t *testing.T) {
+	// a worker storage that lost writes to injected storage faults must
+	// merge its dropped-write counters and crash records into the combined
+	// store — the sharded-scan accounting depends on it
+	worker := NewStorage()
+	drop := true
+	worker.FaultFn = func(table string) bool {
+		drop = !drop
+		return drop // every second write fails
+	}
+	for i := 0; i < 6; i++ {
+		worker.AddJSCall(JSCall{Symbol: "Navigator.userAgent"})
+	}
+	for i := 0; i < 4; i++ {
+		worker.AddCookie(CookieEntry{Name: "id", Domain: "x.com"})
+	}
+	worker.AddCrash(CrashRecord{SiteURL: "https://x.com/", PageURL: "https://x.com/", Attempt: 0, Class: "crash", Error: "boom"})
+	worker.AddCrash(CrashRecord{SiteURL: "https://y.com/", PageURL: "https://y.com/p", Attempt: 1, Class: "hang", Error: "stall"})
+	if worker.DroppedTotal() != 5 {
+		t.Fatalf("fault fn dropped %d writes, want 5", worker.DroppedTotal())
+	}
+
+	other := NewStorage()
+	other.FaultFn = func(string) bool { return true }
+	other.AddJSCall(JSCall{Symbol: "Screen.width"}) // dropped
+
+	merged := NewStorage()
+	merged.Dropped = nil // Merge must handle a nil counter map
+	merged.Merge(worker)
+	merged.Merge(other)
+
+	if got := merged.DroppedTotal(); got != 6 {
+		t.Fatalf("merged dropped total = %d, want 6", got)
+	}
+	if merged.Dropped["javascript"] != 4 || merged.Dropped["javascript_cookies"] != 2 {
+		t.Fatalf("per-table dropped counters not carried over: %v", merged.Dropped)
+	}
+	if len(merged.Crashes) != 2 {
+		t.Fatalf("crash records lost in merge: %d, want 2", len(merged.Crashes))
+	}
+	if merged.Crashes[0].SiteURL != "https://x.com/" || merged.Crashes[1].Class != "hang" {
+		t.Fatalf("crash records corrupted in merge: %+v", merged.Crashes)
+	}
+	if len(merged.JSCalls) != 3 || len(merged.Cookies) != 2 {
+		t.Fatalf("surviving records lost: %d calls, %d cookies", len(merged.JSCalls), len(merged.Cookies))
+	}
+}
+
+func TestSanitizeEdgeCases(t *testing.T) {
+	if got := Sanitize(""); got != "" {
+		t.Fatalf("Sanitize(%q) = %q, want empty", "", got)
+	}
+	// benign input below the length bound passes through unchanged
+	clean := "https://example.com/script.js?v=3"
+	if got := Sanitize(clean); got != clean {
+		t.Fatalf("Sanitize(%q) = %q, want unchanged", clean, got)
+	}
+	// quotes double; doubling again is well-formed (pairs stay paired)
+	once := Sanitize("it's")
+	if once != "it''s" {
+		t.Fatalf("Sanitize quote escape = %q, want it''s", once)
+	}
+	twice := Sanitize(once)
+	if twice != "it''''s" {
+		t.Fatalf("double sanitisation = %q, want it''''s", twice)
+	}
+	// truncation must not split multi-byte runes: output stays valid UTF-8
+	long := strings.Repeat("é", 400) // 800 bytes of 2-byte runes
+	got := Sanitize(long)
+	if len(got) > 512 {
+		t.Fatalf("sanitized length = %d, want ≤ 512", len(got))
+	}
+	if !utf8.ValidString(got) {
+		t.Fatalf("truncation produced invalid UTF-8: %q", got[len(got)-4:])
+	}
+	for _, r := range got {
+		if r != 'é' {
+			t.Fatalf("truncation corrupted a rune to %q", r)
+		}
+	}
+	// a quote pair straddling the cut is removed whole
+	pairStraddle := strings.Repeat("a", 511) + "'x"
+	got = Sanitize(pairStraddle)
+	if strings.HasSuffix(got, "'") {
+		t.Fatalf("truncation left a lone quote: %q", got[len(got)-4:])
+	}
+}
+
+func TestStorageDigestDeterministicAndSensitive(t *testing.T) {
+	build := func() *Storage {
+		s := NewStorage()
+		s.AddVisit(VisitRecord{SiteURL: "https://a/", Site: "https://a/", OK: true})
+		s.AddJSCall(JSCall{Symbol: "Navigator.webdriver", Operation: "get"})
+		s.AddCookie(CookieEntry{Name: "id", Value: "1", Domain: "a"})
+		s.AddScriptFile("https://a/x.js", "content", "text/javascript")
+		s.AddCrash(CrashRecord{SiteURL: "https://a/", Class: "crash"})
+		return s
+	}
+	a, b := build(), build()
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical stores produced different digests")
+	}
+	b.AddJSCall(JSCall{Symbol: "Screen.width"})
+	if a.Digest() == b.Digest() {
+		t.Fatal("digest insensitive to an extra record")
 	}
 }
 

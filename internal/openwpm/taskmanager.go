@@ -75,6 +75,26 @@ type CrawlConfig struct {
 	// backoff and no breaker. Kept for vanilla-vs-hardened comparisons
 	// (experiments.RunReliability).
 	BlindRetry bool
+
+	// --- archival -------------------------------------------------------
+
+	// Recorder, when non-nil, archives the crawl into an execution bundle:
+	// the transport is wrapped so every HTTP exchange (responses and
+	// errors alike) is captured, and the storage layer reports every
+	// accepted record. Package bundle provides the implementation.
+	Recorder Recorder
+}
+
+// Recorder archives a crawl. It observes the storage layer for accepted
+// records and interposes on the transport for the raw HTTP exchanges —
+// together the two feeds make a crawl replayable offline.
+type Recorder interface {
+	StorageObserver
+	// WrapTransport interposes the recorder on the HTTP path; the returned
+	// transport must forward to rt. Wrappers should also preserve the
+	// optional StorageFault(table) bool capability of rt so storage-layer
+	// fault injection keeps working under recording.
+	WrapTransport(rt httpsim.RoundTripper) httpsim.RoundTripper
 }
 
 // Hardened fills in the reliability defaults the vanilla configuration
@@ -145,6 +165,12 @@ func NewTaskManager(cfg CrawlConfig) *TaskManager {
 	if cfg.ClientID == "" {
 		cfg.ClientID = "openwpm-client"
 	}
+	if cfg.Recorder != nil {
+		// wrap before the StorageFault sniff below: the recorder's wrapper
+		// re-exposes the underlying transport's fault hook while archiving
+		// each drop decision, so faulted crawls replay their lost writes
+		cfg.Transport = cfg.Recorder.WrapTransport(cfg.Transport)
+	}
 	tm := &TaskManager{Cfg: cfg, Storage: NewStorage()}
 	// a fault-injecting transport may also fail storage writes; the hook is
 	// an optional interface so this package stays decoupled from faults'
@@ -152,6 +178,7 @@ func NewTaskManager(cfg CrawlConfig) *TaskManager {
 	if sf, ok := cfg.Transport.(interface{ StorageFault(table string) bool }); ok {
 		tm.Storage.FaultFn = sf.StorageFault
 	}
+	tm.Storage.Observer = cfg.Recorder
 	if cfg.Stealth != nil {
 		tm.js = cfg.Stealth
 	} else if cfg.JSInstrument {
@@ -281,14 +308,14 @@ func (tm *TaskManager) VisitSite(url string) (*SiteVisit, error) {
 			// seen. The link list is partial, so subpages are not attempted.
 			sv.Front = front
 			sv.Salvaged = true
-			tm.recordVisit(url, front, false, err, visitMeta{bm.Restarts, true, sv.ErrorClass})
+			tm.recordVisit(url, url, front, false, err, visitMeta{bm.Restarts, true, sv.ErrorClass})
 			return sv, nil
 		}
-		tm.recordVisit(url, nil, false, err, visitMeta{bm.Restarts, false, sv.ErrorClass})
+		tm.recordVisit(url, url, nil, false, err, visitMeta{bm.Restarts, false, sv.ErrorClass})
 		return sv, err
 	}
 	sv.Front = front
-	tm.recordVisit(url, front, false, nil, visitMeta{restarts: bm.Restarts})
+	tm.recordVisit(url, url, front, false, nil, visitMeta{restarts: bm.Restarts})
 
 	// Subpage selection (Sec. 4.1.2): same-eTLD+1 links from the landing
 	// page, deduplicated, capped.
@@ -302,25 +329,26 @@ func (tm *TaskManager) VisitSite(url string) (*SiteVisit, error) {
 			if err != nil {
 				sv.PageErrors++
 				salvaged := res != nil
-				tm.recordVisit(sub, res, true, err, visitMeta{bm.Restarts, salvaged, classifyError(err).String()})
+				tm.recordVisit(url, sub, res, true, err, visitMeta{bm.Restarts, salvaged, classifyError(err).String()})
 				continue
 			}
 			// same-origin redirects to foreign domains are skipped
 			if res.OffDomain {
-				tm.recordVisit(sub, res, true, fmt.Errorf("left site via redirect"), visitMeta{restarts: bm.Restarts})
+				tm.recordVisit(url, sub, res, true, fmt.Errorf("left site via redirect"), visitMeta{restarts: bm.Restarts})
 				continue
 			}
 			sv.Subpages = append(sv.Subpages, res)
-			tm.recordVisit(sub, res, true, nil, visitMeta{restarts: bm.Restarts})
+			tm.recordVisit(url, sub, res, true, nil, visitMeta{restarts: bm.Restarts})
 		}
 	}
 	finish()
 	return sv, nil
 }
 
-func (tm *TaskManager) recordVisit(url string, res *browser.VisitResult, subpage bool, err error, meta visitMeta) {
+func (tm *TaskManager) recordVisit(site, url string, res *browser.VisitResult, subpage bool, err error, meta visitMeta) {
 	rec := VisitRecord{
 		SiteURL:    url,
+		Site:       site,
 		Subpage:    subpage,
 		Restarts:   meta.restarts,
 		Salvaged:   meta.salvaged,
@@ -487,7 +515,7 @@ func (tm *TaskManager) CrawlFrom(urls []string, cp *Checkpoint) *CrawlReport {
 		u := urls[cp.Done]
 		if tm.Cfg.MaxCrawlSeconds > 0 && r.VirtualSeconds+r.BackoffSeconds >= tm.Cfg.MaxCrawlSeconds {
 			// out of crawl budget: account for the site instead of dropping it
-			tm.recordVisit(u, nil, false, errCrawlBudget, visitMeta{class: crawlBudgetClass})
+			tm.recordVisit(u, u, nil, false, errCrawlBudget, visitMeta{class: crawlBudgetClass})
 			r.absorbSkipped()
 			cp.Done++
 			continue
