@@ -1,7 +1,10 @@
-.PHONY: verify test build vet race fmt
+.PHONY: verify test build vet race fmt telemetry-demo
 
 verify: ## gofmt + vet + build + race-enabled tests
 	./scripts/verify.sh
+
+telemetry-demo: ## quickstart crawl with metrics + span trace on stdout
+	go run ./examples/quickstart -telemetry - -trace -
 
 build:
 	go build ./...

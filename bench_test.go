@@ -15,6 +15,7 @@ import (
 	"gullible/internal/jsdom"
 	"gullible/internal/minjs"
 	"gullible/internal/openwpm"
+	"gullible/internal/telemetry"
 	"gullible/internal/websim"
 )
 
@@ -55,6 +56,23 @@ func BenchmarkScanCrawl(b *testing.B) {
 		OS: jsdom.Ubuntu, Mode: jsdom.Regular, Transport: world,
 		DwellSeconds: 60, JSInstrument: true, HTTPInstrument: true,
 		CookieInstrument: true, HTTPFilterJSOnly: true, HoneyProps: 4, MaxSubpages: 3,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.VisitSite(websim.SiteURL(i%100000 + 1))
+	}
+}
+
+// BenchmarkScanCrawlTelemetry is BenchmarkScanCrawl with full telemetry
+// (metrics, spans, no log sink) enabled; the delta between the two is the
+// instrumentation overhead budget asserted in BENCH_telemetry.json.
+func BenchmarkScanCrawlTelemetry(b *testing.B) {
+	world := websim.New(websim.Options{Seed: 9, NumSites: 100000})
+	tm := openwpm.NewTaskManager(openwpm.CrawlConfig{
+		OS: jsdom.Ubuntu, Mode: jsdom.Regular, Transport: world,
+		DwellSeconds: 60, JSInstrument: true, HTTPInstrument: true,
+		CookieInstrument: true, HTTPFilterJSOnly: true, HoneyProps: 4, MaxSubpages: 3,
+		Telemetry: telemetry.New(),
 	})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -4,9 +4,15 @@
 // loop, once with the hardened pipeline (watchdog, error taxonomy, backoff,
 // circuit breaker, partial-result salvage) — and the completion accounting
 // of both runs is compared.
+//
+// The -telemetry flag instruments both runs (each with its own registry) and
+// writes their metrics snapshots as one JSON document keyed by pipeline;
+// -trace writes both span traces as JSON lines, each event wrapped with a
+// "run" tag. Either flag enables instrumentation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,13 +20,55 @@ import (
 
 	"gullible/internal/experiments"
 	"gullible/internal/faults"
+	"gullible/internal/telemetry"
 )
+
+// writeSnapshots writes the vanilla and hardened metrics snapshots as a
+// single canonical JSON document.
+func writeSnapshots(r *experiments.ReliabilityResult, path string) error {
+	doc := map[string]*telemetry.Snapshot{
+		"vanilla":  r.Vanilla.Metrics,
+		"hardened": r.Hardened.Metrics,
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeTraces writes both runs' span events as JSON lines, tagging each line
+// with the pipeline it came from.
+func writeTraces(r *experiments.ReliabilityResult, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, run := range []struct {
+		name   string
+		events []telemetry.SpanEvent
+	}{{"vanilla", r.VanillaTrace}, {"hardened", r.HardenedTrace}} {
+		for _, ev := range run.events {
+			if err := enc.Encode(struct {
+				Run string `json:"run"`
+				telemetry.SpanEvent
+			}{run.name, ev}); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	return f.Close()
+}
 
 func main() {
 	sites := flag.Int("sites", 500, "number of ranked sites to crawl")
 	seed := flag.Int64("seed", 42, "world seed")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	heavy := flag.Bool("heavy", false, "use the heavy (4x) fault profile")
+	telemetryPath := flag.String("telemetry", "", "write both runs' metrics snapshots (JSON, keyed vanilla/hardened) to this file")
+	tracePath := flag.String("trace", "", "write both runs' span traces as JSON lines to this file")
 	flag.Parse()
 
 	profile := faults.DefaultProfile()
@@ -31,10 +79,26 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "crawling %d sites twice (vanilla + hardened) under fault seed %d...\n", *sites, *faultSeed)
 	r := experiments.RunReliability(*seed, *faultSeed, experiments.ReliabilityOptions{
-		NumSites: *sites,
-		Profile:  profile,
+		NumSites:  *sites,
+		Profile:   profile,
+		Telemetry: *telemetryPath != "" || *tracePath != "",
 	})
 	fmt.Fprintf(os.Stderr, "done in %s\n\n", time.Since(start).Round(time.Second))
+
+	if *telemetryPath != "" {
+		if err := writeSnapshots(r, *telemetryPath); err != nil {
+			fmt.Fprintf(os.Stderr, "write telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshots to %s\n", *telemetryPath)
+	}
+	if *tracePath != "" {
+		if err := writeTraces(r, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote span traces to %s\n", *tracePath)
+	}
 
 	fmt.Println(experiments.TableReliability(r))
 	fmt.Println("vanilla " + r.Vanilla.String())

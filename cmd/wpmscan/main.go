@@ -11,6 +11,12 @@
 // (forcing a single worker for a totally ordered recording), and
 // -replay-bundle re-runs the scan offline from such a file, with -miss
 // selecting the policy for requests the bundle never saw.
+//
+// The -telemetry flag writes the scan's canonical-JSON metrics snapshot to a
+// file and switches the live progress line to registry-derived counters
+// (restarts, watchdog fires, faults, dropped writes); -trace writes the
+// flight recorder's span events as JSON lines. Either flag enables
+// instrumentation.
 package main
 
 import (
@@ -23,8 +29,38 @@ import (
 	"gullible/internal/bundle"
 	"gullible/internal/experiments"
 	"gullible/internal/faults"
+	"gullible/internal/telemetry"
 	"gullible/internal/websim"
 )
+
+// writeTelemetry dumps the metrics snapshot and/or span trace to files.
+func writeTelemetry(tel *telemetry.Telemetry, metricsPath, tracePath string) {
+	if metricsPath != "" {
+		data, err := tel.Snapshot().CanonicalJSON()
+		if err == nil {
+			err = os.WriteFile(metricsPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", metricsPath)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err == nil {
+			err = telemetry.WriteTrace(f, tel.Spans.Events())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote span trace to %s\n", tracePath)
+	}
+}
 
 func main() {
 	sites := flag.Int("sites", 100000, "number of ranked sites to scan")
@@ -36,9 +72,16 @@ func main() {
 	recordPath := flag.String("record-bundle", "", "archive the scan into an execution bundle at this path")
 	replayPath := flag.String("replay-bundle", "", "replay the scan offline from this execution bundle")
 	missMode := flag.String("miss", "fail", "replay miss policy: fail|passthrough|synthesize-404")
+	telemetryPath := flag.String("telemetry", "", "write the canonical-JSON metrics snapshot to this file (enables instrumentation)")
+	tracePath := flag.String("trace", "", "write flight-recorder span events as JSON lines to this file (enables instrumentation)")
 	flag.Parse()
 
 	opts := experiments.ScanOptions{MaxSubpages: *subpages, MaxVisitSeconds: *maxVisitS, FaultSeed: *faultSeed}
+	var tel *telemetry.Telemetry
+	if *telemetryPath != "" || *tracePath != "" {
+		tel = telemetry.New()
+		opts.Telemetry = tel
+	}
 	if *recordPath != "" {
 		opts.RecordBundle = true
 		opts.BundleMeta = map[string]string{
@@ -76,9 +119,23 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "scanning %d sites (subpages ≤ %d, faults %s)...\n", *sites, *subpages, *faultMode)
 	r := experiments.RunScanOpts(world, *sites, opts, func(done, total int) {
+		if tel.Enabled() {
+			// Live progress straight from the registry: the same counters the
+			// snapshot will report, read mid-crawl.
+			s := tel.Snapshot()
+			fmt.Fprintf(os.Stderr, "  %d/%d sites — %d restarts, %d watchdog fires, %d faults, %d dropped writes (%.0fs elapsed)\n",
+				done, total,
+				s.Total("crawl_restarts_total"), s.Total("browser_watchdog_fires_total"),
+				s.Total("faults_injected_total"), s.Total("storage_drops_total"),
+				time.Since(start).Seconds())
+			return
+		}
 		fmt.Fprintf(os.Stderr, "  %d/%d sites (%.0fs elapsed)\n", done, total, time.Since(start).Seconds())
 	})
 	fmt.Fprintf(os.Stderr, "scan finished in %s\n\n", time.Since(start).Round(time.Second))
+	if tel.Enabled() {
+		writeTelemetry(tel, *telemetryPath, *tracePath)
+	}
 	if r.Report != nil {
 		fmt.Fprint(os.Stderr, r.Report.String())
 		if len(r.FaultKinds) > 0 {

@@ -2,20 +2,51 @@
 // with an instrumented OpenWPM client while recording an execution bundle,
 // replays the bundle offline, and prints what the instruments recorded —
 // the minimal end-to-end tour of the public pipeline.
+//
+// The -telemetry and -trace flags ("-" = stdout) dump the crawl's metrics
+// snapshot and flight-recorder span trace; `make telemetry-demo` runs the
+// example with both enabled.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"gullible/internal/bundle"
 	"gullible/internal/jsdom"
 	"gullible/internal/openwpm"
+	"gullible/internal/telemetry"
 	"gullible/internal/websim"
 )
 
+// dump writes to path, with "-" meaning stdout.
+func dump(path string, write func(f *os.File) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			panic(err)
+		}
+		defer f.Close()
+	}
+	if err := write(f); err != nil {
+		panic(err)
+	}
+}
+
 func main() {
+	telemetryPath := flag.String("telemetry", "", "write the metrics snapshot as canonical JSON to this file (\"-\" = stdout)")
+	tracePath := flag.String("trace", "", "write the span trace as JSON lines to this file (\"-\" = stdout)")
+	flag.Parse()
+
 	// 1. A deterministic synthetic web standing in for the Tranco list.
 	world := websim.New(websim.Options{Seed: 42, NumSites: 1000})
+
+	var tel *telemetry.Telemetry
+	if *telemetryPath != "" || *tracePath != "" {
+		tel = telemetry.New()
+	}
 
 	// 2. An OpenWPM-style crawl configuration: Ubuntu, regular mode,
 	//    Firefox 90, all three instruments, three subpages per site.
@@ -26,6 +57,7 @@ func main() {
 		DwellSeconds: 60, // virtual seconds — free
 		JSInstrument: true, HTTPInstrument: true, CookieInstrument: true,
 		MaxSubpages: 3,
+		Telemetry:   tel,
 	}
 
 	// 3. Crawl under recording: every HTTP exchange, script file, JS call
@@ -68,4 +100,23 @@ func main() {
 	}
 	fmt.Printf("unique script files stored: %d\n", len(st.ScriptFiles))
 	fmt.Printf("\nsites that flagged this client as a bot: %d\n", world.FlaggedCount("openwpm-client"))
+
+	// 5. What the telemetry layer saw, if it was on: the metrics snapshot is
+	//    canonical JSON (byte-identical across identical runs), the trace is
+	//    one JSON line per span begin/end over virtual time.
+	if *telemetryPath != "" {
+		dump(*telemetryPath, func(f *os.File) error {
+			data, err := tel.Snapshot().CanonicalJSON()
+			if err != nil {
+				return err
+			}
+			_, err = f.Write(append(data, '\n'))
+			return err
+		})
+	}
+	if *tracePath != "" {
+		dump(*tracePath, func(f *os.File) error {
+			return telemetry.WriteTrace(f, tel.Spans.Events())
+		})
+	}
 }

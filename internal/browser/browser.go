@@ -17,6 +17,7 @@ import (
 	"gullible/internal/httpsim"
 	"gullible/internal/jsdom"
 	"gullible/internal/minjs"
+	"gullible/internal/telemetry"
 )
 
 // ErrCSPBlocked is returned by InjectPageScript when the page's CSP forbids
@@ -59,6 +60,10 @@ type Options struct {
 	MaxRedirects    int
 	// MaxFrameDepth bounds nested frame creation.
 	MaxFrameDepth int
+	// Telemetry, when non-nil, records page-load / script-exec /
+	// http-exchange spans over the virtual clock, watchdog events and
+	// interpreter work counters. Nil costs a nil check per site.
+	Telemetry *telemetry.Telemetry
 }
 
 // ScriptRecord is one JavaScript payload the browser executed.
@@ -102,6 +107,20 @@ type Browser struct {
 	// Scripts lists every script payload executed during the current visit.
 	Scripts []ScriptRecord
 
+	// SpanParent is the telemetry span id the next page-load span nests
+	// under (the framework layer's visit span); 0 means root.
+	SpanParent int64
+
+	tel       *telemetry.Telemetry
+	visitSpan int64
+	// pre-resolved metric handles; nil when telemetry is off, so the hot
+	// paths pay one nil check per update
+	mTimerFires    *telemetry.Counter
+	mWatchdogFires *telemetry.Counter
+	mScriptErrors  *telemetry.Counter
+	mInterpSteps   *telemetry.Counter
+	mInterpAllocs  *telemetry.Counter
+
 	clockMS      float64
 	visitStartMS float64
 	abortErr     error
@@ -141,7 +160,16 @@ func New(opts Options) *Browser {
 	if opts.ClientID == "" {
 		opts.ClientID = "client-0"
 	}
-	return &Browser{Opts: opts, Jar: NewCookieJar()}
+	b := &Browser{Opts: opts, Jar: NewCookieJar()}
+	if tel := opts.Telemetry; tel.Enabled() {
+		b.tel = tel
+		b.mTimerFires = tel.Counter("browser_timer_fires_total")
+		b.mWatchdogFires = tel.Counter("browser_watchdog_fires_total")
+		b.mScriptErrors = tel.Counter("browser_script_errors_total")
+		b.mInterpSteps = tel.Counter("interp_steps_total")
+		b.mInterpAllocs = tel.Counter("interp_allocs_total")
+	}
+	return b
 }
 
 // Now returns the browser's virtual clock in milliseconds.
@@ -159,6 +187,14 @@ func (b *Browser) Visit(url string) (*VisitResult, error) {
 	b.timers = nil
 	b.visitStartMS = b.clockMS
 	b.abortErr = nil
+	visitOutcome := "error"
+	if b.tel.Enabled() {
+		b.visitSpan = b.tel.Begin("page-load", b.SpanParent, b.clockMS, telemetry.L("url", url))
+		defer func() {
+			b.tel.End(b.visitSpan, "page-load", b.clockMS, telemetry.L("outcome", visitOutcome))
+			b.visitSpan = 0
+		}()
+	}
 
 	resp, finalURL, err := b.fetchDocument(url, httpsim.TypeMainFrame)
 	if err != nil {
@@ -188,10 +224,13 @@ func (b *Browser) Visit(url string) (*VisitResult, error) {
 		ScriptErrors: b.scriptErrs,
 		Aborted:      b.abortErr != nil,
 	}
+	b.mScriptErrors.Add(int64(len(b.scriptErrs)))
 	if b.abortErr != nil {
+		visitOutcome = "aborted"
 		// partial result: the caller decides whether to salvage it
 		return res, fmt.Errorf("browser: visiting %s: %w", url, b.abortErr)
 	}
+	visitOutcome = "ok"
 	return res, nil
 }
 
@@ -224,7 +263,13 @@ func (b *Browser) fetch(url string, rtype httpsim.ResourceType, method, body str
 	}
 	if b.budgetExhausted() {
 		b.abortErr = ErrVisitBudget
+		b.noteWatchdogFire(url)
 		return nil, ErrVisitBudget
+	}
+	var span int64
+	if b.tel.Enabled() {
+		span = b.tel.Begin("http-exchange", b.visitSpan, b.clockMS,
+			telemetry.L("url", url), telemetry.L("type", string(rtype)))
 	}
 	req := &httpsim.Request{
 		Method:   method,
@@ -252,6 +297,9 @@ func (b *Browser) fetch(url string, rtype httpsim.ResourceType, method, body str
 		if ab, ok := err.(interface{ AbortsVisit() bool }); ok && ab.AbortsVisit() {
 			b.abortErr = err
 		}
+		if span != 0 {
+			b.tel.End(span, "http-exchange", b.clockMS, telemetry.L("status", "error"))
+		}
 		if b.OnRequest != nil {
 			b.OnRequest(req, nil)
 		}
@@ -262,6 +310,10 @@ func (b *Browser) fetch(url string, rtype httpsim.ResourceType, method, body str
 		if b.budgetExhausted() {
 			// the response arrived only after the watchdog gave up
 			b.abortErr = ErrVisitBudget
+			b.noteWatchdogFire(url)
+			if span != 0 {
+				b.tel.End(span, "http-exchange", b.clockMS, telemetry.L("status", "watchdog"))
+			}
 			if b.OnRequest != nil {
 				b.OnRequest(req, nil)
 			}
@@ -278,7 +330,19 @@ func (b *Browser) fetch(url string, rtype httpsim.ResourceType, method, body str
 	if b.OnRequest != nil {
 		b.OnRequest(req, resp)
 	}
+	if span != 0 {
+		b.tel.End(span, "http-exchange", b.clockMS, telemetry.L("status", fmt.Sprint(resp.Status)))
+	}
 	return resp, nil
+}
+
+// noteWatchdogFire records the visit watchdog aborting the current visit.
+func (b *Browser) noteWatchdogFire(url string) {
+	b.mWatchdogFires.Inc()
+	if b.tel.Enabled() {
+		b.tel.Event(telemetry.LevelWarn, "watchdog-fire", b.clockMS,
+			telemetry.L("url", url), telemetry.L("visit", b.visitURL))
+	}
 }
 
 // chargeSeconds advances the virtual clock by server latency, clamped so a
@@ -459,9 +523,23 @@ func (b *Browser) runScript(d *jsdom.DOM, source, url string, inline bool) {
 		b.scriptErrs = append(b.scriptErrs, err.Error())
 		return
 	}
-	if _, err := d.It.RunProgram(prog); err != nil {
+	if !b.tel.Enabled() {
+		if _, err := d.It.RunProgram(prog); err != nil {
+			b.scriptErrs = append(b.scriptErrs, err.Error())
+		}
+		return
+	}
+	span := b.tel.Begin("script-exec", b.visitSpan, b.clockMS, telemetry.L("url", url))
+	allocs0 := d.It.Allocs()
+	_, err = d.It.RunProgram(prog)
+	if err != nil {
 		b.scriptErrs = append(b.scriptErrs, err.Error())
 	}
+	// RunProgram resets the step counter on entry, so Steps() is this
+	// program's cost; allocs is cumulative, so take the delta
+	b.mInterpSteps.Add(d.It.Steps())
+	b.mInterpAllocs.Add(d.It.Allocs() - allocs0)
+	b.tel.End(span, "script-exec", b.clockMS, telemetry.L("steps", fmt.Sprint(d.It.Steps())))
 }
 
 // createFrame builds a subframe realm for src. The frame's own content loads
@@ -527,6 +605,7 @@ func (b *Browser) Idle(seconds float64) {
 		}
 		t.gone = true
 		b.clockMS = t.at
+		b.mTimerFires.Inc()
 		if _, err := t.dom.It.CallFunction(t.fn, minjs.Undefined(), t.args); err != nil {
 			b.scriptErrs = append(b.scriptErrs, err.Error())
 		}

@@ -7,6 +7,7 @@ import (
 	"gullible/internal/httpsim"
 	"gullible/internal/jsdom"
 	"gullible/internal/openwpm"
+	"gullible/internal/telemetry"
 	"gullible/internal/websim"
 )
 
@@ -24,6 +25,11 @@ type ReliabilityResult struct {
 
 	Vanilla  *openwpm.CrawlReport
 	Hardened *openwpm.CrawlReport
+
+	// VanillaTrace and HardenedTrace hold each run's flight-recorder span
+	// events when ReliabilityOptions.Telemetry is set (nil otherwise).
+	VanillaTrace  []telemetry.SpanEvent
+	HardenedTrace []telemetry.SpanEvent
 }
 
 // ReliabilityOptions configures RunReliability.
@@ -38,6 +44,10 @@ type ReliabilityOptions struct {
 	// hurt the vanilla pipeline: with no watchdog, each hang burns minutes
 	// of it.
 	CrawlSecondsPerSite float64
+	// Telemetry instruments both runs. Each run gets its own fresh registry
+	// (attached to its CrawlReport.Metrics) so the vanilla and hardened
+	// pipelines can be compared metric by metric, not just by report.
+	Telemetry bool
 }
 
 // RunReliability crawls the same ranked prefix twice under the same fault
@@ -59,16 +69,23 @@ func RunReliability(worldSeed, faultSeed int64, opts ReliabilityOptions) *Reliab
 		opts.Profile = faults.DefaultProfile()
 	}
 
-	run := func(hardened bool) (*openwpm.CrawlReport, map[string]int) {
+	run := func(hardened bool) (*openwpm.CrawlReport, []telemetry.SpanEvent, map[string]int) {
 		world := websim.New(websim.Options{Seed: worldSeed, NumSites: opts.NumSites, AvailabilityAttacks: true})
 		inj := faults.NewInjector(faultSeed, opts.Profile, world)
 		inj.RankOf = func(u string) int { return websim.RankOf(httpsim.Host(u)) }
+		var tel *telemetry.Telemetry
+		if opts.Telemetry {
+			// one registry per run: vanilla and hardened metrics must not mix
+			tel = telemetry.New()
+			inj.SetTelemetry(tel)
+		}
 		cfg := openwpm.CrawlConfig{
 			OS: jsdom.Ubuntu, Mode: jsdom.Regular,
 			Transport: inj, ClientID: "reliability-client",
 			DwellSeconds:   opts.DwellSeconds,
 			HTTPInstrument: true, CookieInstrument: true,
 			MaxCrawlSeconds: float64(opts.NumSites) * opts.CrawlSecondsPerSite,
+			Telemetry:       tel,
 		}
 		if hardened {
 			cfg = cfg.Hardened()
@@ -77,18 +94,24 @@ func RunReliability(worldSeed, faultSeed int64, opts ReliabilityOptions) *Reliab
 		}
 		tm := openwpm.NewTaskManager(cfg)
 		rep := tm.Crawl(websim.Tranco(opts.NumSites))
-		return rep, inj.CountsByName()
+		var trace []telemetry.SpanEvent
+		if tel.Enabled() {
+			trace = tel.Spans.Events()
+		}
+		return rep, trace, inj.CountsByName()
 	}
 
-	vanilla, _ := run(false)
-	hardened, kinds := run(true)
+	vanilla, vtrace, _ := run(false)
+	hardened, htrace, kinds := run(true)
 	return &ReliabilityResult{
-		Sites:      opts.NumSites,
-		WorldSeed:  worldSeed,
-		FaultSeed:  faultSeed,
-		FaultKinds: kinds,
-		Vanilla:    vanilla,
-		Hardened:   hardened,
+		Sites:         opts.NumSites,
+		WorldSeed:     worldSeed,
+		FaultSeed:     faultSeed,
+		FaultKinds:    kinds,
+		Vanilla:       vanilla,
+		Hardened:      hardened,
+		VanillaTrace:  vtrace,
+		HardenedTrace: htrace,
 	}
 }
 

@@ -12,8 +12,27 @@ import (
 	"gullible/internal/httpsim"
 	"gullible/internal/jsdom"
 	"gullible/internal/openwpm"
+	"gullible/internal/telemetry"
 	"gullible/internal/websim"
 )
+
+// ProgressObserver receives scan progress. The scan also keeps the
+// crawl_progress_done/crawl_progress_total gauges current when running with
+// telemetry, so registry consumers see progress without a callback.
+type ProgressObserver interface {
+	OnProgress(done, total int)
+}
+
+// ProgressFunc adapts the legacy progress callback signature to
+// ProgressObserver; a nil func observes nothing.
+type ProgressFunc func(done, total int)
+
+// OnProgress implements ProgressObserver.
+func (f ProgressFunc) OnProgress(done, total int) {
+	if f != nil {
+		f(done, total)
+	}
+}
 
 // ScanResult carries the Sec. 4 scan of the synthetic Tranco list plus the
 // derived per-site classifications used by Tables 5–7 and 11–12 and
@@ -55,6 +74,9 @@ type ScanResult struct {
 	// FaultKinds tallies injected faults by kind name, merged across the
 	// per-worker injectors (empty when the scan ran fault-free).
 	FaultKinds map[string]int
+	// Metrics is the final telemetry snapshot when the scan ran with
+	// ScanOptions.Telemetry (nil otherwise).
+	Metrics *telemetry.Snapshot
 }
 
 // scanCrawlConfig is the Sec. 4 crawler configuration.
@@ -99,6 +121,13 @@ type ScanOptions struct {
 	// bundle never saw.
 	ReplayBundle *bundle.Bundle
 	MissPolicy   bundle.MissPolicy
+
+	// Telemetry, when non-nil, instruments the scan end to end. Worker
+	// TaskManagers share this one registry (counters and histograms are
+	// atomic and order-independent, so sharded snapshots stay
+	// deterministic); the final whole-scan snapshot lands in
+	// ScanResult.Metrics and Report.Metrics.
+	Telemetry *telemetry.Telemetry
 }
 
 // RunScan crawls the top numSites sites of the synthetic web with a vanilla
@@ -110,10 +139,18 @@ func RunScan(world *websim.World, numSites, maxSubpages int, progress func(done,
 	return RunScanOpts(world, numSites, ScanOptions{MaxSubpages: maxSubpages}, progress)
 }
 
-// RunScanOpts is RunScan with fault injection and hardening options. Each
-// worker gets its own injector (same seed) so fault sequencing stays
-// deterministic within a worker's shard.
+// RunScanOpts is RunScan with fault injection and hardening options; the
+// legacy callback signature adapts onto RunScanObserved.
 func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress func(done, total int)) *ScanResult {
+	return RunScanObserved(world, numSites, opts, ProgressFunc(progress))
+}
+
+// RunScanObserved is the primary scan entry point: progress flows through a
+// ProgressObserver and, when opts.Telemetry is set, through the registry's
+// progress gauges updated on every visit. Each worker gets its own injector
+// (same seed) so fault sequencing stays deterministic within a worker's
+// shard.
+func RunScanObserved(world *websim.World, numSites int, opts ScanOptions, obs ProgressObserver) *ScanResult {
 	urls := websim.Tranco(numSites)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(urls) || opts.RecordBundle {
@@ -137,6 +174,7 @@ func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress f
 		case opts.FaultProfile != nil:
 			inj := faults.NewInjector(opts.FaultSeed, *opts.FaultProfile, world)
 			inj.RankOf = func(u string) int { return websim.RankOf(httpsim.Host(u)) }
+			inj.SetTelemetry(opts.Telemetry)
 			cfg.Transport = inj
 			injectors[w] = inj
 		}
@@ -144,11 +182,14 @@ func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress f
 			recorders[w] = bundle.NewRecorder(opts.BundleMeta)
 			cfg.Recorder = recorders[w]
 		}
+		cfg.Telemetry = opts.Telemetry
 		return cfg
 	}
 	storages := make([]*openwpm.Storage, workers)
 	reports := make([]*openwpm.CrawlReport, workers)
 	tms := make([]*openwpm.TaskManager, workers)
+	gDone := opts.Telemetry.Gauge("crawl_progress_done")
+	opts.Telemetry.Gauge("crawl_progress_total").Set(int64(len(urls)))
 	var done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -160,8 +201,10 @@ func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress f
 			for i := w; i < len(urls); i += workers {
 				sv, err := tm.VisitSite(urls[i])
 				rep.Absorb(sv, err)
-				if n := done.Add(1); progress != nil && n%1000 == 0 {
-					progress(int(n), len(urls))
+				n := done.Add(1)
+				gDone.Set(n)
+				if obs != nil && n%1000 == 0 {
+					obs.OnProgress(int(n), len(urls))
 				}
 			}
 			rep.DroppedWrites = tm.Storage.DroppedTotal()
@@ -179,6 +222,13 @@ func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress f
 	}
 	r := Analyze(world, merged, numSites)
 	r.Report = report
+	if opts.Telemetry.Enabled() {
+		// snapshot once, after every worker finished: the workers share one
+		// registry, so per-worker snapshots would multiply-count the crawl.
+		// Attached before bundle finalisation so recorded bundles embed it.
+		r.Metrics = opts.Telemetry.Snapshot()
+		report.Metrics = r.Metrics
+	}
 	if opts.RecordBundle && recorders[0] != nil {
 		if b, err := recorders[0].Finalize(tms[0].Cfg, urls, report); err == nil {
 			r.Bundle = b

@@ -1,0 +1,80 @@
+package httpsim
+
+import (
+	"gullible/internal/telemetry"
+)
+
+// meter instruments a RoundTripper with per-exchange telemetry: exchange
+// counts by resource type, error counts, body bytes and the server-latency
+// distribution. Counters are resolved once at construction, so the per-
+// request cost is a handful of atomic adds.
+type meter struct {
+	next    RoundTripper
+	byType  map[ResourceType]*telemetry.Counter
+	other   *telemetry.Counter
+	errors  *telemetry.Counter
+	bytes   *telemetry.Counter
+	latency *telemetry.Histogram
+}
+
+// storageFaulter is the optional storage-fault capability some transports
+// (the fault injector, recorder wrappers) expose; package openwpm sniffs it.
+type storageFaulter interface {
+	StorageFault(table string) bool
+}
+
+// faultMeter is a meter whose underlying transport has the StorageFault
+// capability; it forwards the hook so wrapping does not hide it.
+type faultMeter struct {
+	meter
+	sf storageFaulter
+}
+
+// StorageFault delegates to the wrapped transport's fault hook.
+func (m *faultMeter) StorageFault(table string) bool { return m.sf.StorageFault(table) }
+
+// Meter wraps rt so every HTTP exchange feeds the telemetry registry. With
+// nil telemetry (or nil rt) the transport is returned unwrapped, so the
+// disabled path costs nothing. If rt exposes StorageFault(table) bool the
+// wrapper preserves it.
+func Meter(rt RoundTripper, tel *telemetry.Telemetry) RoundTripper {
+	if tel == nil || rt == nil {
+		return rt
+	}
+	m := meter{
+		next:    rt,
+		byType:  make(map[ResourceType]*telemetry.Counter, len(AllResourceTypes)),
+		other:   tel.Counter("http_exchanges_total", telemetry.L("type", "unknown")),
+		errors:  tel.Counter("http_errors_total"),
+		bytes:   tel.Counter("http_body_bytes_total"),
+		latency: tel.Histogram("http_delay_seconds", telemetry.SecondsBuckets),
+	}
+	for _, t := range AllResourceTypes {
+		m.byType[t] = tel.Counter("http_exchanges_total", telemetry.L("type", string(t)))
+	}
+	if sf, ok := rt.(storageFaulter); ok {
+		return &faultMeter{meter: m, sf: sf}
+	}
+	return &m
+}
+
+// RoundTrip implements RoundTripper.
+func (m *meter) RoundTrip(req *Request) (*Response, error) {
+	c, ok := m.byType[req.Type]
+	if !ok {
+		c = m.other
+	}
+	c.Inc()
+	resp, err := m.next.RoundTrip(req)
+	if err != nil {
+		m.errors.Inc()
+		return resp, err
+	}
+	if resp != nil {
+		m.bytes.Add(int64(len(resp.Body)))
+		if resp.DelaySeconds > 0 {
+			m.latency.Observe(resp.DelaySeconds)
+		}
+	}
+	return resp, nil
+}

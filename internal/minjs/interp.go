@@ -78,6 +78,7 @@ type Interp struct {
 
 	stack    []Frame // preallocated; never reallocates (maxDepth bound)
 	steps    int64
+	allocs   int64 // objects allocated through the it.New* helpers
 	maxDepth int
 	root     *Scope
 	curThis  Value      // dynamic `this` for the running script function
@@ -155,10 +156,14 @@ func New() *Interp {
 }
 
 // NewObjectP returns a plain object using this realm's Object.prototype.
-func (it *Interp) NewObjectP() *Object { return NewObject(it.Protos.Object) }
+func (it *Interp) NewObjectP() *Object {
+	it.allocs++
+	return NewObject(it.Protos.Object)
+}
 
 // NewArrayP returns an array using this realm's Array.prototype.
 func (it *Interp) NewArrayP(elems ...Value) *Object {
+	it.allocs++
 	a := NewArray(it.Protos.Object, elems...)
 	a.Proto = it.Protos.Array
 	return a
@@ -167,6 +172,7 @@ func (it *Interp) NewArrayP(elems ...Value) *Object {
 // NewNative wraps a Go function as a callable JS object. Its toString
 // reports `[native code]` under the given name.
 func (it *Interp) NewNative(name string, fn NativeFunc) *Object {
+	it.allocs++
 	o := NewObject(it.Protos.Function)
 	o.Class = "Function"
 	o.Native = fn
@@ -177,6 +183,7 @@ func (it *Interp) NewNative(name string, fn NativeFunc) *Object {
 // NewError constructs an Error object of the given name with a captured
 // stack trace.
 func (it *Interp) NewError(name, msg string) *Object {
+	it.allocs++
 	e := NewObject(it.Protos.Error)
 	e.Class = "Error"
 	e.Set("name", String(name))
@@ -203,6 +210,14 @@ func (it *Interp) CaptureStack() string {
 
 // StackDepth reports the current JS call-stack depth.
 func (it *Interp) StackDepth() int { return len(it.stack) }
+
+// Steps reports AST nodes evaluated since the last RunProgram entry (the
+// counter resets per program, so after a run this is that program's cost).
+func (it *Interp) Steps() int64 { return it.steps }
+
+// Allocs reports objects allocated through the interpreter's constructors
+// over the realm's lifetime; callers interested in one program take deltas.
+func (it *Interp) Allocs() int64 { return it.allocs }
 
 // pushFrame appends a frame to the preallocated stack and returns a pointer
 // to it; the pointer stays valid until the frame is popped (the stack's
@@ -286,6 +301,7 @@ func (it *Interp) hoist(body []Node, sc *Scope) {
 // (see Interp.functionIntrinsic): most functions never have them read, and
 // page instrumentation creates hundreds of wrappers per document.
 func (it *Interp) makeFunction(lit *FuncLit, sc *Scope) *Object {
+	it.allocs++
 	o := NewObject(it.Protos.Function)
 	o.Class = "Function"
 	o.Fn = lit

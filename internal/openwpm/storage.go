@@ -16,6 +16,7 @@ import (
 	"unicode/utf8"
 
 	"gullible/internal/httpsim"
+	"gullible/internal/telemetry"
 )
 
 // JSCall is one recorded JavaScript API interaction.
@@ -123,6 +124,33 @@ type Storage struct {
 	// exactly what the measurement database holds. Package bundle
 	// implements it to record crawls into execution bundles.
 	Observer StorageObserver
+
+	// telemetry handles, pre-resolved per table by SetTelemetry. Lookups on
+	// the nil maps return nil counters, whose updates are no-ops, so the
+	// disabled path needs no branches.
+	tel         *telemetry.Telemetry
+	writeMeters map[string]*telemetry.Counter
+	dropMeters  map[string]*telemetry.Counter
+}
+
+// storageTables lists every table name the store writes, fault-exempt ones
+// included.
+var storageTables = []string{"site_visits", "crashes", "http_requests", "javascript_cookies", "javascript", "content"}
+
+// SetTelemetry wires the store into a telemetry registry: per-table write
+// and drop counters plus a storage-drop event per lost write. Call before
+// crawling; a nil argument leaves telemetry off.
+func (s *Storage) SetTelemetry(tel *telemetry.Telemetry) {
+	if !tel.Enabled() {
+		return
+	}
+	s.tel = tel
+	s.writeMeters = make(map[string]*telemetry.Counter, len(storageTables))
+	s.dropMeters = make(map[string]*telemetry.Counter, len(storageTables))
+	for _, t := range storageTables {
+		s.writeMeters[t] = tel.Counter("storage_writes_total", telemetry.L("table", t))
+		s.dropMeters[t] = tel.Counter("storage_drops_total", telemetry.L("table", t))
+	}
 }
 
 // StorageObserver receives every accepted storage write. Implementations
@@ -151,8 +179,13 @@ func (s *Storage) dropWrite(table string) bool {
 			s.Dropped = map[string]int{}
 		}
 		s.Dropped[table]++
+		s.dropMeters[table].Inc()
+		if s.tel.Enabled() {
+			s.tel.Event(telemetry.LevelWarn, "storage-drop", 0, telemetry.L("table", table))
+		}
 		return true
 	}
+	s.writeMeters[table].Inc()
 	return false
 }
 
@@ -168,6 +201,7 @@ func (s *Storage) DroppedTotal() int {
 // AddVisit stores a visit record. Visit rows are exempt from storage
 // faults: losing one would silently lose a site from the crawl accounting.
 func (s *Storage) AddVisit(rec VisitRecord) {
+	s.writeMeters["site_visits"].Inc()
 	s.Visits = append(s.Visits, rec)
 	if s.Observer != nil {
 		s.Observer.ObserveVisit(rec)
@@ -176,6 +210,7 @@ func (s *Storage) AddVisit(rec VisitRecord) {
 
 // AddCrash stores a crash record (exempt from storage faults, like visits).
 func (s *Storage) AddCrash(rec CrashRecord) {
+	s.writeMeters["crashes"].Inc()
 	rec.Error = Sanitize(rec.Error)
 	s.Crashes = append(s.Crashes, rec)
 	if s.Observer != nil {

@@ -10,6 +10,7 @@ import (
 	"gullible/internal/faults"
 	"gullible/internal/httpsim"
 	"gullible/internal/jsdom"
+	"gullible/internal/telemetry"
 )
 
 // CrawlConfig selects platform, run mode, instruments and crawl behaviour.
@@ -83,6 +84,14 @@ type CrawlConfig struct {
 	// errors alike) is captured, and the storage layer reports every
 	// accepted record. Package bundle provides the implementation.
 	Recorder Recorder
+
+	// --- observability ---------------------------------------------------
+
+	// Telemetry, when non-nil, instruments the whole pipeline: crawl/visit
+	// spans over virtual time, outcome and recovery counters, per-table
+	// storage metering and HTTP exchange metering. Nil (the default) keeps
+	// every instrumentation point a nil check.
+	Telemetry *telemetry.Telemetry
 }
 
 // Recorder archives a crawl. It observes the storage layer for accepted
@@ -152,6 +161,44 @@ type TaskManager struct {
 
 	js        Instrumentor
 	browserNo int
+
+	// virtualMS is the crawl's accumulated virtual clock (visiting plus
+	// backoff), the time base for crawl- and visit-level telemetry spans.
+	virtualMS    float64
+	crawlSpan    int64
+	curVisitSpan int64
+	meters       *crawlMeters
+}
+
+// crawlMeters holds the framework layer's pre-resolved metric handles; nil
+// when telemetry is off.
+type crawlMeters struct {
+	completed    *telemetry.Counter
+	salvaged     *telemetry.Counter
+	failed       *telemetry.Counter
+	skipped      *telemetry.Counter
+	pages        *telemetry.Counter
+	breakerTrips *telemetry.Counter
+	budgetSkips  *telemetry.Counter
+	visitSeconds *telemetry.Histogram
+	backoff      *telemetry.Histogram
+}
+
+func newCrawlMeters(tel *telemetry.Telemetry) *crawlMeters {
+	if !tel.Enabled() {
+		return nil
+	}
+	return &crawlMeters{
+		completed:    tel.Counter("crawl_sites_total", telemetry.L("outcome", "completed")),
+		salvaged:     tel.Counter("crawl_sites_total", telemetry.L("outcome", "salvaged")),
+		failed:       tel.Counter("crawl_sites_total", telemetry.L("outcome", "failed")),
+		skipped:      tel.Counter("crawl_sites_total", telemetry.L("outcome", "skipped")),
+		pages:        tel.Counter("crawl_pages_total"),
+		breakerTrips: tel.Counter("crawl_breaker_trips_total"),
+		budgetSkips:  tel.Counter("crawl_budget_skips_total"),
+		visitSeconds: tel.Histogram("visit_virtual_seconds", telemetry.SecondsBuckets),
+		backoff:      tel.Histogram("crawl_backoff_seconds", telemetry.SecondsBuckets),
+	}
 }
 
 // NewTaskManager creates a TaskManager with fresh storage.
@@ -171,7 +218,11 @@ func NewTaskManager(cfg CrawlConfig) *TaskManager {
 		// each drop decision, so faulted crawls replay their lost writes
 		cfg.Transport = cfg.Recorder.WrapTransport(cfg.Transport)
 	}
-	tm := &TaskManager{Cfg: cfg, Storage: NewStorage()}
+	// the meter goes outermost so it counts exactly what the browser sees;
+	// it too preserves the StorageFault capability for the sniff below
+	cfg.Transport = httpsim.Meter(cfg.Transport, cfg.Telemetry)
+	tm := &TaskManager{Cfg: cfg, Storage: NewStorage(), meters: newCrawlMeters(cfg.Telemetry)}
+	tm.Storage.SetTelemetry(cfg.Telemetry)
 	// a fault-injecting transport may also fail storage writes; the hook is
 	// an optional interface so this package stays decoupled from faults'
 	// injector type
@@ -216,7 +267,9 @@ func (tm *TaskManager) NewBrowser() *browser.Browser {
 		ClientID:        tm.Cfg.ClientID,
 		DwellSeconds:    tm.Cfg.DwellSeconds,
 		MaxVisitSeconds: tm.Cfg.MaxVisitSeconds,
+		Telemetry:       tm.Cfg.Telemetry,
 	})
+	b.SpanParent = tm.curVisitSpan
 	tm.attach(b)
 	return b
 }
@@ -286,8 +339,48 @@ type visitMeta struct {
 }
 
 // VisitSite crawls one site: the front page and up to MaxSubpages same-site
-// subpages, with browser restarts on failure (the BrowserManager role).
+// subpages, with browser restarts on failure (the BrowserManager role). With
+// telemetry enabled the whole site is recorded as a "visit" span on the
+// crawl's accumulated virtual clock, and its outcome feeds the registry.
 func (tm *TaskManager) VisitSite(url string) (*SiteVisit, error) {
+	tel := tm.Cfg.Telemetry
+	if tel.Enabled() {
+		tm.curVisitSpan = tel.Begin("visit", tm.crawlSpan, tm.virtualMS, telemetry.L("site", url))
+	}
+	sv, err := tm.visitSite(url)
+	tm.virtualMS += (sv.VirtualSeconds + sv.BackoffSeconds) * 1000
+	outcome := "completed"
+	switch {
+	case err != nil:
+		outcome = "failed"
+	case sv.Salvaged:
+		outcome = "salvaged"
+	}
+	if m := tm.meters; m != nil {
+		switch outcome {
+		case "failed":
+			m.failed.Inc()
+		case "salvaged":
+			m.salvaged.Inc()
+		default:
+			m.completed.Inc()
+		}
+		m.pages.Add(int64(1 + len(sv.Subpages) + sv.PageErrors))
+		m.visitSeconds.Observe(sv.VirtualSeconds)
+	}
+	if tel.Enabled() {
+		if sv.Salvaged {
+			tel.Event(telemetry.LevelWarn, "salvage", tm.virtualMS,
+				telemetry.L("site", url), telemetry.L("class", sv.ErrorClass))
+		}
+		tel.End(tm.curVisitSpan, "visit", tm.virtualMS, telemetry.L("outcome", outcome))
+		tm.curVisitSpan = 0
+	}
+	return sv, err
+}
+
+// visitSite is VisitSite without the telemetry envelope.
+func (tm *TaskManager) visitSite(url string) (*SiteVisit, error) {
 	bm := &BrowserManager{tm: tm, site: url}
 	sv := &SiteVisit{Site: url}
 	finish := func() {
@@ -394,6 +487,11 @@ type CrawlReport struct {
 
 	VirtualSeconds float64
 	BackoffSeconds float64
+
+	// Metrics is the telemetry snapshot of the crawl, attached when the
+	// crawl ran with CrawlConfig.Telemetry (omitted otherwise, so archived
+	// reports from telemetry-free crawls serialise unchanged).
+	Metrics *telemetry.Snapshot `json:"Metrics,omitempty"`
 }
 
 // NewCrawlReport returns an empty report.
@@ -403,6 +501,10 @@ func NewCrawlReport() *CrawlReport {
 
 // Absorb folds one site outcome into the report.
 func (r *CrawlReport) Absorb(sv *SiteVisit, err error) {
+	if r.ErrorClasses == nil {
+		// tolerate zero-value reports (&CrawlReport{}), not just NewCrawlReport
+		r.ErrorClasses = map[string]int{}
+	}
 	r.Sites++
 	r.Restarts += sv.Restarts
 	r.PageVisits += 1 + len(sv.Subpages) + sv.PageErrors
@@ -427,13 +529,26 @@ func (r *CrawlReport) Absorb(sv *SiteVisit, err error) {
 
 // absorbSkipped records a site the crawl never reached.
 func (r *CrawlReport) absorbSkipped() {
+	if r.ErrorClasses == nil {
+		r.ErrorClasses = map[string]int{}
+	}
 	r.Sites++
 	r.Skipped++
 	r.ErrorClasses[crawlBudgetClass]++
 }
 
-// Merge folds another report into r (sharded crawls).
+// Merge folds another report into r (sharded crawls). The receiver may be a
+// zero-value report: nil maps are initialised rather than written through.
+// Metrics snapshots are not summed — sharded workers share one registry, so
+// the first non-nil snapshot wins and callers overwrite it with a final
+// whole-crawl snapshot after merging.
 func (r *CrawlReport) Merge(o *CrawlReport) {
+	if r.ErrorClasses == nil && len(o.ErrorClasses) > 0 {
+		r.ErrorClasses = map[string]int{}
+	}
+	if r.Metrics == nil {
+		r.Metrics = o.Metrics
+	}
 	r.Sites += o.Sites
 	r.Completed += o.Completed
 	r.Salvaged += o.Salvaged
@@ -452,12 +567,22 @@ func (r *CrawlReport) Merge(o *CrawlReport) {
 }
 
 // CompletionRate is the fraction of sites that produced usable data
-// (completed or salvaged).
+// (completed or salvaged). Salvaged sites carry only partial records —
+// FullCompletionRate excludes them when the distinction matters.
 func (r *CrawlReport) CompletionRate() float64 {
 	if r.Sites == 0 {
 		return 0
 	}
 	return float64(r.Completed+r.Salvaged) / float64(r.Sites)
+}
+
+// FullCompletionRate is the fraction of sites that completed cleanly, with
+// salvaged partials excluded.
+func (r *CrawlReport) FullCompletionRate() float64 {
+	if r.Sites == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(r.Sites)
 }
 
 // Accounted verifies the invariant that every site landed in exactly one
@@ -467,10 +592,17 @@ func (r *CrawlReport) Accounted() bool {
 }
 
 // String renders the report deterministically (same crawl ⇒ same bytes).
+// Salvaged and skipped sites are called out separately: a salvaged site kept
+// partial records, while a skipped site was never visited at all — folding
+// the two together is exactly the silent-loss reporting the paper faults.
 func (r *CrawlReport) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "crawl: %d sites — %d completed, %d salvaged, %d failed, %d skipped (completion %.1f%%)\n",
-		r.Sites, r.Completed, r.Salvaged, r.Failed, r.Skipped, 100*r.CompletionRate())
+	fmt.Fprintf(&sb, "crawl: %d sites — %d completed, %d salvaged, %d failed, %d skipped (completion %.1f%%, full %.1f%%)\n",
+		r.Sites, r.Completed, r.Salvaged, r.Failed, r.Skipped, 100*r.CompletionRate(), 100*r.FullCompletionRate())
+	if r.Salvaged > 0 || r.Skipped > 0 {
+		fmt.Fprintf(&sb, "data loss: %d sites salvaged (partial records kept), %d sites skipped (never visited, no records)\n",
+			r.Salvaged, r.Skipped)
+	}
 	fmt.Fprintf(&sb, "recovery: %d restarts, %d circuit-broken sites, %d page visits, %d page errors, %d dropped writes\n",
 		r.Restarts, r.CircuitBroken, r.PageVisits, r.PageErrors, r.DroppedWrites)
 	fmt.Fprintf(&sb, "virtual time: %.1fs visiting, %.1fs backing off\n", r.VirtualSeconds, r.BackoffSeconds)
@@ -510,6 +642,11 @@ func (tm *TaskManager) CrawlFrom(urls []string, cp *Checkpoint) *CrawlReport {
 		cp.Report = NewCrawlReport()
 	}
 	r := cp.Report
+	tel := tm.Cfg.Telemetry
+	if tel.Enabled() {
+		tm.crawlSpan = tel.Begin("crawl", 0, tm.virtualMS,
+			telemetry.L("sites", fmt.Sprint(len(urls))))
+	}
 	dropped0 := tm.Storage.DroppedTotal()
 	for cp.Done < len(urls) {
 		u := urls[cp.Done]
@@ -517,6 +654,13 @@ func (tm *TaskManager) CrawlFrom(urls []string, cp *Checkpoint) *CrawlReport {
 			// out of crawl budget: account for the site instead of dropping it
 			tm.recordVisit(u, u, nil, false, errCrawlBudget, visitMeta{class: crawlBudgetClass})
 			r.absorbSkipped()
+			if m := tm.meters; m != nil {
+				m.skipped.Inc()
+				m.budgetSkips.Inc()
+			}
+			if tel.Enabled() {
+				tel.Event(telemetry.LevelWarn, "budget-skip", tm.virtualMS, telemetry.L("site", u))
+			}
 			cp.Done++
 			continue
 		}
@@ -525,6 +669,12 @@ func (tm *TaskManager) CrawlFrom(urls []string, cp *Checkpoint) *CrawlReport {
 		cp.Done++
 	}
 	r.DroppedWrites += tm.Storage.DroppedTotal() - dropped0
+	if tel.Enabled() {
+		tel.End(tm.crawlSpan, "crawl", tm.virtualMS,
+			telemetry.L("completed", fmt.Sprint(r.Completed)))
+		tm.crawlSpan = 0
+		r.Metrics = tel.Snapshot()
+	}
 	return r
 }
 
@@ -639,8 +789,21 @@ func (bm *BrowserManager) discard() {
 	bm.Restarts++
 }
 
-// recordRestart writes a crash-table row for a browser restart.
+// nowMS is the crawl-level virtual clock including the current site's
+// elapsed time, the time base for recovery events.
+func (bm *BrowserManager) nowMS() float64 {
+	return bm.tm.virtualMS + (bm.virtualSeconds+bm.backoffSeconds)*1000
+}
+
+// recordRestart writes a crash-table row for a browser restart and reports
+// it to the telemetry layer (restart counter by class, retry event).
 func (bm *BrowserManager) recordRestart(url string, attempt int, class faults.Class, err error) {
+	if tel := bm.tm.Cfg.Telemetry; tel.Enabled() {
+		tel.Counter("crawl_restarts_total", telemetry.L("class", class.String())).Inc()
+		tel.Event(telemetry.LevelWarn, "retry", bm.nowMS(),
+			telemetry.L("site", bm.site), telemetry.L("url", url),
+			telemetry.L("class", class.String()), telemetry.L("attempt", fmt.Sprint(attempt)))
+	}
 	bm.tm.Storage.AddCrash(CrashRecord{
 		SiteURL: bm.site,
 		PageURL: url,
@@ -664,6 +827,13 @@ func (bm *BrowserManager) backoff(url string, attempt int) {
 	}
 	d += base * float64(fnv64(bm.tm.Cfg.ClientID, url, fmt.Sprint(attempt))%1000) / 1000
 	bm.backoffSeconds += d
+	if m := bm.tm.meters; m != nil {
+		m.backoff.Observe(d)
+	}
+	if tel := bm.tm.Cfg.Telemetry; tel.Enabled() {
+		tel.Event(telemetry.LevelInfo, "backoff", bm.nowMS(),
+			telemetry.L("site", bm.site), telemetry.L("seconds", fmt.Sprintf("%.3f", d)))
+	}
 }
 
 // noteSuccess / noteFailure drive the per-site circuit breaker.
@@ -671,8 +841,15 @@ func (bm *BrowserManager) noteSuccess() { bm.consecFails = 0 }
 
 func (bm *BrowserManager) noteFailure() {
 	bm.consecFails++
-	if th := bm.tm.Cfg.BreakerThreshold; th > 0 && bm.consecFails >= th {
+	if th := bm.tm.Cfg.BreakerThreshold; th > 0 && bm.consecFails >= th && !bm.tripped {
 		bm.tripped = true
+		if m := bm.tm.meters; m != nil {
+			m.breakerTrips.Inc()
+		}
+		if tel := bm.tm.Cfg.Telemetry; tel.Enabled() {
+			tel.Event(telemetry.LevelWarn, "breaker-trip", bm.nowMS(),
+				telemetry.L("site", bm.site), telemetry.L("fails", fmt.Sprint(bm.consecFails)))
+		}
 	}
 }
 

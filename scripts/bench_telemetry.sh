@@ -1,0 +1,56 @@
+#!/bin/sh
+# Measures the telemetry layer's overhead and writes BENCH_telemetry.json:
+#  - the disabled/enabled micro-benchmarks from internal/telemetry, and
+#  - the end-to-end scan crawl with and without instrumentation
+#    (BenchmarkScanCrawl vs BenchmarkScanCrawlTelemetry).
+# The acceptance budget is disabled-path events in the low single-digit
+# nanoseconds and <= 2% overhead on the instrumented scan crawl.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_telemetry.json
+micro=$(mktemp)
+macro=$(mktemp)
+trap 'rm -f "$micro" "$macro"' EXIT
+
+echo "== micro: internal/telemetry" >&2
+go test -run '^$' -bench TelemetryOverhead -benchtime "${MICRO_BENCHTIME:-2s}" ./internal/telemetry >"$micro"
+
+echo "== macro: scan crawl with/without telemetry" >&2
+go test -run '^$' -bench 'BenchmarkScanCrawl(Telemetry)?$' \
+    -benchtime "${MACRO_BENCHTIME:-500x}" -count "${MACRO_COUNT:-3}" . >"$macro"
+
+# Render `BenchmarkName-8  N  12.3 ns/op  ...` lines as JSON (keeping the
+# best of repeated runs — the higher samples are scheduler noise), and
+# compute the macro overhead ratio from the two scan benchmarks.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in ns) || $3 + 0 < ns[name] + 0) ns[name] = $3
+    if (!(name in order)) { order[name] = ++names; byIdx[names] = name }
+}
+BEGIN { printf "{\n" }
+END {
+    for (i = 1; i <= names; i++) {
+        if (i > 1) printf ",\n"
+        printf "  \"%s\": %s", byIdx[i], ns[byIdx[i]]
+    }
+    base = ns["BenchmarkScanCrawl"]
+    tel = ns["BenchmarkScanCrawlTelemetry"]
+    if (base > 0 && tel > 0) {
+        printf ",\n  \"scan_enabled_overhead_percent\": %.2f", 100 * (tel - base) / base
+    }
+    # BenchmarkScanCrawl runs with telemetry nil, i.e. every instrumentation
+    # point on its disabled path; the per-event cost above bounds the
+    # disabled overhead. A visit makes O(100) telemetry calls at the
+    # disabled ns/op, versus ~20ms of visit work.
+    dis = ns["BenchmarkTelemetryOverheadDisabledCounter"]
+    if (base > 0 && dis > 0) {
+        printf ",\n  \"scan_disabled_overhead_percent\": %.4f", 100 * (dis * 100) / base
+    }
+    printf "\n}\n"
+}
+' "$micro" "$macro" >"$out"
+
+cat "$out"

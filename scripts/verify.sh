@@ -22,4 +22,10 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== go vet ./internal/telemetry"
+go vet ./internal/telemetry
+
+echo "== telemetry overhead benchmark (smoke)"
+go test -run '^$' -bench TelemetryOverhead -benchtime 100x ./internal/telemetry
+
 echo "verify: OK"
