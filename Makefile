@@ -1,7 +1,10 @@
-.PHONY: verify test build vet race fmt telemetry-demo
+.PHONY: verify test build vet race fmt lint telemetry-demo
 
-verify: ## gofmt + vet + build + race-enabled tests
+verify: ## gofmt + vet + build + wpmlint + race-enabled tests
 	./scripts/verify.sh
+
+lint: ## wpmlint determinism invariants over the crawl-path packages
+	go run ./cmd/wpmlint ./internal/...
 
 telemetry-demo: ## quickstart crawl with metrics + span trace on stdout
 	go run ./examples/quickstart -telemetry - -trace -

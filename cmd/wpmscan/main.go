@@ -17,6 +17,10 @@
 // (restarts, watchdog fires, faults, dropped writes); -trace writes the
 // flight recorder's span events as JSON lines. Either flag enables
 // instrumentation.
+//
+// The -agreement flag appends the per-rule static-vs-dynamic tamper
+// agreement table: AST findings from the persisted javascript_tamper table
+// cross-checked against the JS instrumentation log.
 package main
 
 import (
@@ -74,6 +78,7 @@ func main() {
 	missMode := flag.String("miss", "fail", "replay miss policy: fail|passthrough|synthesize-404")
 	telemetryPath := flag.String("telemetry", "", "write the canonical-JSON metrics snapshot to this file (enables instrumentation)")
 	tracePath := flag.String("trace", "", "write flight-recorder span events as JSON lines to this file (enables instrumentation)")
+	agreement := flag.Bool("agreement", false, "also print the per-rule static-vs-dynamic tamper agreement table")
 	flag.Parse()
 
 	opts := experiments.ScanOptions{MaxSubpages: *subpages, MaxVisitSeconds: *maxVisitS, FaultSeed: *faultSeed}
@@ -173,4 +178,7 @@ func main() {
 	fmt.Println(experiments.Figure3(r))
 	fmt.Println(experiments.Figure4(r))
 	fmt.Println(experiments.Figure5(r))
+	if *agreement {
+		fmt.Println(experiments.TableAgreement(experiments.AgreementFromScan(r)))
+	}
 }

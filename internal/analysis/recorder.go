@@ -1,0 +1,20 @@
+package analysis
+
+import "gullible/internal/openwpm"
+
+// TamperRecorder adapts Analyze onto openwpm.TamperFunc: wire it as
+// CrawlConfig.Tamper and every first-seen script body is statically analysed
+// at storage time, its findings persisted next to the content table (and,
+// when a crawl is recorded, into the bundle). Parsed scripts with no
+// findings store nothing — the tamper table holds signal, not bulk.
+func TamperRecorder(content string) (openwpm.TamperRecord, bool) {
+	rep := Analyze(content)
+	if len(rep.Findings) == 0 {
+		return openwpm.TamperRecord{}, false
+	}
+	rec := openwpm.TamperRecord{Parsed: rep.Parsed, Findings: make([]openwpm.TamperFinding, len(rep.Findings))}
+	for i, f := range rep.Findings {
+		rec.Findings[i] = openwpm.TamperFinding{Rule: f.Rule, Line: f.Line, Detail: f.Detail}
+	}
+	return rec, true
+}

@@ -147,11 +147,16 @@ type StaticResult struct {
 	SeleniumDetector bool     // context-aware webdriver access
 	OpenWPMProps     []string // OpenWPM markers referenced
 	PatternHits      []string
+	// Tamper is the AST-grade report behind the classification (tamper.go).
+	Tamper TamperReport
 }
 
-// AnalyzeStatic preprocesses a script and applies the final pattern set: the
-// context-aware navigator.webdriver patterns classify Selenium detectors;
-// the three marker patterns classify OpenWPM-specific detectors.
+// AnalyzeStatic classifies a script. The AST tamper pass (tamper.go) is
+// primary: SeleniumDetector and OpenWPMProps come from its rule hits, which
+// fold constructed property names the regexes cannot see. The Table 13
+// pattern hits are still computed over the deobfuscated source — they are
+// the paper's evaluated artifact — and double as the fallback signal when a
+// script does not parse.
 func AnalyzeStatic(src string) StaticResult {
 	clean := Deobfuscate(src)
 	var r StaticResult
@@ -160,10 +165,16 @@ func AnalyzeStatic(src string) StaticResult {
 			r.PatternHits = append(r.PatternHits, p.Name)
 		}
 	}
-	r.SeleniumDetector = strings.Contains(clean, "navigator.webdriver") ||
-		reBracketWebdriver.MatchString(clean)
+	r.Tamper = Analyze(src)
+	r.SeleniumDetector = r.Tamper.Has(RuleWebdriverProbe)
+	markers := map[string]bool{}
+	for _, f := range r.Tamper.Findings {
+		if f.Rule == RuleOpenWPMMarker {
+			markers[f.Detail] = true
+		}
+	}
 	for _, m := range OpenWPMMarkers {
-		if strings.Contains(clean, m) {
+		if markers[m] {
 			r.OpenWPMProps = append(r.OpenWPMProps, m)
 		}
 	}

@@ -1,0 +1,591 @@
+// AST-grade tamper detection. Where static.go's Table 13 patterns match
+// substrings of deobfuscated source, this file parses scripts with minjs and
+// walks the AST with constant folding of string construction, so probes the
+// paper shows evading regexes — navigator["web"+"driver"], hex/unicode
+// escapes, String.fromCharCode, alias chains — are still attributed to the
+// detection primitive they implement.
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"gullible/internal/minjs"
+)
+
+// Rule identifiers, one per detection primitive from the paper.
+const (
+	// RuleWebdriverProbe: a read of navigator.webdriver, however the
+	// property name or receiver is constructed (Sec. 3.1).
+	RuleWebdriverProbe = "webdriver-probe"
+	// RuleOpenWPMMarker: a reference to a property unique to OpenWPM's JS
+	// instrument (Sec. 3.2, the OpenWPMMarkers set).
+	RuleOpenWPMMarker = "openwpm-marker"
+	// RuleDescriptorRead: Object.getOwnPropertyDescriptor on a potentially
+	// instrumented API — getters replaced by instrumentation are visible in
+	// the descriptor (Sec. 3.3).
+	RuleDescriptorRead = "descriptor-read"
+	// RuleToStringLeak: comparing or searching a function's toString output
+	// for "[native code]", or reaching Function.prototype.toString
+	// indirectly, to unmask wrapped natives (Sec. 3.3).
+	RuleToStringLeak = "tostring-leak"
+	// RuleStackIntrospection: reading .stack off a caught or constructed
+	// Error to spot instrumentation frames (Sec. 3.3).
+	RuleStackIntrospection = "stack-introspection"
+	// RuleHoneyEnumeration: enumerating navigator/window properties, the
+	// access pattern that trips every honey property at once (Sec. 4.1.2).
+	RuleHoneyEnumeration = "honey-enumeration"
+	// RulePrototypeWalk: Object.getPrototypeOf inside a loop — walking the
+	// prototype chain looking for tampered links.
+	RulePrototypeWalk = "prototype-walk"
+)
+
+// AllRules lists every rule ID in reporting order.
+var AllRules = []string{
+	RuleWebdriverProbe,
+	RuleOpenWPMMarker,
+	RuleDescriptorRead,
+	RuleToStringLeak,
+	RuleStackIntrospection,
+	RuleHoneyEnumeration,
+	RulePrototypeWalk,
+}
+
+// Finding is one rule hit with its source position.
+type Finding struct {
+	Rule   string `json:"rule"`
+	Line   int    `json:"line"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// TamperReport is the static analysis of one script.
+type TamperReport struct {
+	// Parsed is false when minjs could not parse the script and the legacy
+	// regex pass supplied the findings instead (Detail "regex-fallback").
+	Parsed   bool      `json:"parsed"`
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+// Has reports whether any finding matched the given rule.
+func (r TamperReport) Has(rule string) bool {
+	for _, f := range r.Findings {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// Rules returns the distinct rule IDs hit, in AllRules order.
+func (r TamperReport) Rules() []string {
+	var out []string
+	for _, rule := range AllRules {
+		if r.Has(rule) {
+			out = append(out, rule)
+		}
+	}
+	return out
+}
+
+// Analyze parses src and runs the tamper rule set over its AST. Sources the
+// parser rejects (or that panic it) fall back to the legacy regex pass, so
+// Analyze never fails: it degrades to exactly the pre-AST behaviour.
+func Analyze(src string) (rep TamperReport) {
+	defer func() {
+		if recover() != nil {
+			rep = fallbackReport(src)
+		}
+	}()
+	prog, err := minjs.Parse(src, "static-analysis")
+	if err != nil {
+		return fallbackReport(src)
+	}
+	w := newTamperWalker(prog)
+	return TamperReport{Parsed: true, Findings: w.run()}
+}
+
+// fallbackReport applies the legacy regex pass (static.go) to an unparsable
+// script. Positions are unknown; Detail marks the downgrade.
+func fallbackReport(src string) TamperReport {
+	clean := Deobfuscate(src)
+	var r TamperReport
+	if strings.Contains(clean, "navigator.webdriver") || reBracketWebdriver.MatchString(clean) {
+		r.Findings = append(r.Findings, Finding{Rule: RuleWebdriverProbe, Detail: "regex-fallback"})
+	}
+	for _, m := range OpenWPMMarkers {
+		if strings.Contains(clean, m) {
+			r.Findings = append(r.Findings, Finding{Rule: RuleOpenWPMMarker, Detail: m})
+		}
+	}
+	return r
+}
+
+// ---- constant folding ----
+
+// absKind classifies a folded abstract value.
+type absKind int
+
+const (
+	absNone absKind = iota
+	absStr          // a known string (or stringified primitive)
+	absObj          // a known global object: "navigator", "window", …
+)
+
+// absValue is the result of folding an expression without executing it.
+// wasString distinguishes genuine string construction from stringified
+// numbers, so "+" only folds as concatenation when a string is involved.
+type absValue struct {
+	kind      absKind
+	str       string
+	obj       string
+	wasString bool
+}
+
+func absString(s string) absValue { return absValue{kind: absStr, str: s, wasString: true} }
+func absGlobal(name string) absValue {
+	return absValue{kind: absObj, obj: name}
+}
+
+// globalObjects maps identifier names to the abstract global they denote.
+// self and globalThis alias window.
+var globalObjects = map[string]string{
+	"navigator":  "navigator",
+	"window":     "window",
+	"self":       "window",
+	"globalThis": "window",
+	"document":   "document",
+	"screen":     "screen",
+	"Object":     "Object",
+	"Function":   "Function",
+	"String":     "String",
+}
+
+// tamperWalker carries the two-pass state: pass 1 collects single-assignment
+// variable initialisers (anything reassigned, incremented, shadowed or bound
+// by a loop/function is tainted and never folded); pass 2 walks the tree
+// applying rules, folding through the collected bindings on demand.
+type tamperWalker struct {
+	prog      *minjs.Program
+	inits     map[string]minjs.Node
+	tainted   map[string]bool
+	resolved  map[string]absValue
+	resolving map[string]bool
+	seen      map[Finding]bool
+	findings  []Finding
+	loopDepth int
+	catchVars map[string]bool
+}
+
+func newTamperWalker(prog *minjs.Program) *tamperWalker {
+	w := &tamperWalker{
+		prog:      prog,
+		inits:     map[string]minjs.Node{},
+		tainted:   map[string]bool{},
+		resolved:  map[string]absValue{},
+		resolving: map[string]bool{},
+		seen:      map[Finding]bool{},
+		catchVars: map[string]bool{},
+	}
+	w.collect()
+	return w
+}
+
+// collect is pass 1: record candidate constant bindings and taint every name
+// that is written more than once or bound dynamically. Scoping is ignored —
+// a name declared twice anywhere in the script is tainted, a deliberate
+// over-approximation that keeps folding sound.
+func (w *tamperWalker) collect() {
+	taint := func(name string) { w.tainted[name] = true }
+	bind := func(name string, init minjs.Node) {
+		if init == nil {
+			taint(name)
+			return
+		}
+		if _, dup := w.inits[name]; dup {
+			taint(name)
+			return
+		}
+		w.inits[name] = init
+	}
+	minjs.Walk(w.prog, func(n minjs.Node) bool {
+		switch x := n.(type) {
+		case *minjs.VarDecl:
+			for i, name := range x.Names {
+				var init minjs.Node
+				if i < len(x.Inits) {
+					init = x.Inits[i]
+				}
+				bind(name, init)
+			}
+		case *minjs.AssignExpr:
+			if id, ok := x.Target.(*minjs.Ident); ok {
+				taint(id.Name)
+			}
+		case *minjs.UnaryExpr:
+			if x.Op == "++" || x.Op == "--" {
+				if id, ok := x.X.(*minjs.Ident); ok {
+					taint(id.Name)
+				}
+			}
+		case *minjs.PostfixExpr:
+			if id, ok := x.X.(*minjs.Ident); ok {
+				taint(id.Name)
+			}
+		case *minjs.ForInStmt:
+			taint(x.Name)
+		case *minjs.FuncDecl:
+			if x.Fn != nil {
+				taint(x.Fn.Name)
+			}
+		case *minjs.FuncLit:
+			if x.Name != "" {
+				taint(x.Name)
+			}
+			for _, p := range x.Params {
+				taint(p)
+			}
+		case *minjs.TryStmt:
+			if x.CatchName != "" {
+				taint(x.CatchName)
+			}
+		}
+		return true
+	})
+}
+
+// resolveName folds the recorded initialiser of a single-assignment name,
+// memoised, with a cycle guard for self-referential declarations.
+func (w *tamperWalker) resolveName(name string) absValue {
+	if w.tainted[name] || w.resolving[name] {
+		return absValue{}
+	}
+	if v, ok := w.resolved[name]; ok {
+		return v
+	}
+	init, ok := w.inits[name]
+	if !ok {
+		return absValue{}
+	}
+	w.resolving[name] = true
+	v := w.fold(init)
+	delete(w.resolving, name)
+	w.resolved[name] = v
+	return v
+}
+
+// fold evaluates an expression abstractly: string literals and their
+// concatenations, escape sequences (decoded by the lexer before folding sees
+// them), String.fromCharCode over literal codes, ["a","b"].join(sep), alias
+// chains through single-assignment variables, and global-object aliases like
+// window["navi"+"gator"].
+func (w *tamperWalker) fold(n minjs.Node) absValue {
+	switch x := n.(type) {
+	case *minjs.Literal:
+		switch x.Val.Kind {
+		case minjs.KindString:
+			return absString(x.Val.Str)
+		case minjs.KindNumber, minjs.KindBool:
+			return absValue{kind: absStr, str: x.Val.ToString()}
+		}
+	case *minjs.Ident:
+		if g, ok := globalObjects[x.Name]; ok && !w.tainted[x.Name] {
+			return absGlobal(g)
+		}
+		return w.resolveName(x.Name)
+	case *minjs.ThisExpr:
+		// Top-level `this` is the window; inside methods this is an
+		// over-approximation we accept.
+		return absGlobal("window")
+	case *minjs.BinaryExpr:
+		if x.Op == "+" {
+			l, r := w.fold(x.L), w.fold(x.R)
+			if l.kind == absStr && r.kind == absStr && (l.wasString || r.wasString) {
+				return absString(l.str + r.str)
+			}
+		}
+	case *minjs.CondExpr:
+		t, e := w.fold(x.Then), w.fold(x.Else)
+		if t == e {
+			return t
+		}
+	case *minjs.MemberExpr:
+		obj := w.fold(x.Obj)
+		prop, ok := w.memberProp(x)
+		if !ok || obj.kind != absObj {
+			return absValue{}
+		}
+		if obj.obj == "window" {
+			switch prop {
+			case "navigator", "document", "screen":
+				return absGlobal(prop)
+			case "window", "self", "globalThis":
+				return absGlobal("window")
+			case "Object", "Function", "String":
+				return absGlobal(prop)
+			}
+		}
+		if obj.obj == "Function" && prop == "prototype" {
+			return absGlobal("Function.prototype")
+		}
+	case *minjs.CallExpr:
+		return w.foldCall(x)
+	}
+	return absValue{}
+}
+
+// foldCall folds String.fromCharCode(...literal codes) and
+// [..literal strings].join(sep).
+func (w *tamperWalker) foldCall(c *minjs.CallExpr) absValue {
+	m, ok := c.Fn.(*minjs.MemberExpr)
+	if !ok {
+		return absValue{}
+	}
+	prop, ok := w.memberProp(m)
+	if !ok {
+		return absValue{}
+	}
+	switch prop {
+	case "fromCharCode":
+		if w.fold(m.Obj).obj != "String" {
+			return absValue{}
+		}
+		var b strings.Builder
+		for _, a := range c.Args {
+			lit, ok := a.(*minjs.Literal)
+			if !ok || lit.Val.Kind != minjs.KindNumber {
+				return absValue{}
+			}
+			b.WriteRune(rune(int(lit.Val.Num)))
+		}
+		return absString(b.String())
+	case "join":
+		arr, ok := m.Obj.(*minjs.ArrayLit)
+		if !ok {
+			return absValue{}
+		}
+		sep := ","
+		if len(c.Args) > 0 {
+			sv := w.fold(c.Args[0])
+			if sv.kind != absStr {
+				return absValue{}
+			}
+			sep = sv.str
+		}
+		parts := make([]string, 0, len(arr.Elems))
+		for _, e := range arr.Elems {
+			ev := w.fold(e)
+			if ev.kind != absStr {
+				return absValue{}
+			}
+			parts = append(parts, ev.str)
+		}
+		return absString(strings.Join(parts, sep))
+	}
+	return absValue{}
+}
+
+// memberProp resolves the property name of a member access: the literal
+// name for dot access, the folded index for computed access.
+func (w *tamperWalker) memberProp(m *minjs.MemberExpr) (string, bool) {
+	if !m.Computed {
+		return m.Name, true
+	}
+	v := w.fold(m.Index)
+	if v.kind == absStr {
+		return v.str, true
+	}
+	return "", false
+}
+
+// constructedIndex reports whether a computed member index is built rather
+// than written down: anything other than a plain string literal. Only
+// constructed indexes on unknown receivers are suspicious — x["webdriver"]
+// on an unknown x keeps the legacy bracket-pattern precision.
+func constructedIndex(m *minjs.MemberExpr) bool {
+	if !m.Computed {
+		return false
+	}
+	lit, ok := m.Index.(*minjs.Literal)
+	return !ok || lit.Val.Kind != minjs.KindString
+}
+
+// ---- rule application (pass 2) ----
+
+func (w *tamperWalker) emit(rule string, n minjs.Node, detail string) {
+	f := Finding{Rule: rule, Line: minjs.Line(n), Detail: detail}
+	if w.seen[f] {
+		return
+	}
+	w.seen[f] = true
+	w.findings = append(w.findings, f)
+}
+
+func (w *tamperWalker) run() []Finding {
+	w.visit(w.prog)
+	sort.SliceStable(w.findings, func(i, j int) bool {
+		a, b := w.findings[i], w.findings[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Detail < b.Detail
+	})
+	return w.findings
+}
+
+// visit drives pass 2 with loop-depth and catch-variable context; default
+// traversal order comes from minjs.Children.
+func (w *tamperWalker) visit(n minjs.Node) {
+	if n == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *minjs.WhileStmt, *minjs.DoWhileStmt, *minjs.ForStmt:
+		w.loopDepth++
+		for _, c := range minjs.Children(n) {
+			w.visit(c)
+		}
+		w.loopDepth--
+		return
+	case *minjs.ForInStmt:
+		if !x.Of {
+			if obj := w.fold(x.Obj); obj.kind == absObj && (obj.obj == "navigator" || obj.obj == "window") {
+				w.emit(RuleHoneyEnumeration, x, "for-in "+obj.obj)
+			}
+		}
+		w.loopDepth++
+		for _, c := range minjs.Children(n) {
+			w.visit(c)
+		}
+		w.loopDepth--
+		return
+	case *minjs.TryStmt:
+		if x.Body != nil {
+			w.visit(x.Body)
+		}
+		if x.Catch != nil {
+			had := w.catchVars[x.CatchName]
+			w.catchVars[x.CatchName] = true
+			w.visit(x.Catch)
+			if !had {
+				delete(w.catchVars, x.CatchName)
+			}
+		}
+		if x.Finally != nil {
+			w.visit(x.Finally)
+		}
+		return
+	case *minjs.MemberExpr:
+		w.checkMember(x)
+	case *minjs.CallExpr:
+		w.checkCall(x)
+	case *minjs.BinaryExpr:
+		w.checkCompare(x)
+	case *minjs.Ident:
+		for _, m := range OpenWPMMarkers {
+			if x.Name == m && !w.tainted[m] {
+				w.emit(RuleOpenWPMMarker, x, m)
+			}
+		}
+	}
+	for _, c := range minjs.Children(n) {
+		w.visit(c)
+	}
+}
+
+func (w *tamperWalker) checkMember(m *minjs.MemberExpr) {
+	prop, propKnown := w.memberProp(m)
+	obj := w.fold(m.Obj)
+
+	if propKnown && prop == "webdriver" {
+		switch {
+		case obj.obj == "navigator":
+			w.emit(RuleWebdriverProbe, m, "navigator.webdriver")
+		case constructedIndex(m):
+			// Property name assembled at runtime on an unknown receiver:
+			// the signature regexes cannot see this at all.
+			w.emit(RuleWebdriverProbe, m, "constructed-index")
+		}
+	}
+	if propKnown {
+		for _, marker := range OpenWPMMarkers {
+			if prop == marker {
+				w.emit(RuleOpenWPMMarker, m, marker)
+			}
+		}
+	}
+	if propKnown && prop == "stack" {
+		switch o := m.Obj.(type) {
+		case *minjs.Ident:
+			if w.catchVars[o.Name] {
+				w.emit(RuleStackIntrospection, m, "catch "+o.Name)
+			}
+		case *minjs.NewExpr:
+			if id, ok := o.Ctor.(*minjs.Ident); ok && strings.HasSuffix(id.Name, "Error") {
+				w.emit(RuleStackIntrospection, m, "new "+id.Name)
+			}
+		}
+	}
+	if propKnown && prop == "toString" && obj.obj == "Function.prototype" {
+		w.emit(RuleToStringLeak, m, "Function.prototype.toString")
+	}
+}
+
+func (w *tamperWalker) checkCall(c *minjs.CallExpr) {
+	m, ok := c.Fn.(*minjs.MemberExpr)
+	if !ok {
+		return
+	}
+	prop, ok := w.memberProp(m)
+	if !ok {
+		return
+	}
+	obj := w.fold(m.Obj)
+	switch prop {
+	case "indexOf", "includes":
+		if len(c.Args) > 0 {
+			if a := w.fold(c.Args[0]); a.kind == absStr && a.str == "[native code]" {
+				w.emit(RuleToStringLeak, c, prop+` "[native code]"`)
+			}
+		}
+	case "getOwnPropertyDescriptor", "getOwnPropertyDescriptors":
+		if obj.obj == "Object" {
+			w.emit(RuleDescriptorRead, c, w.descriptorDetail(c))
+		}
+	case "getOwnPropertyNames", "keys":
+		if obj.obj == "Object" && len(c.Args) > 0 {
+			if t := w.fold(c.Args[0]); t.obj == "navigator" || t.obj == "window" {
+				w.emit(RuleHoneyEnumeration, c, "Object."+prop+" "+t.obj)
+			}
+		}
+	case "getPrototypeOf":
+		if obj.obj == "Object" && w.loopDepth > 0 {
+			w.emit(RulePrototypeWalk, c, "in-loop")
+		}
+	}
+}
+
+// descriptorDetail names the API whose descriptor is read, when foldable.
+func (w *tamperWalker) descriptorDetail(c *minjs.CallExpr) string {
+	if len(c.Args) < 2 {
+		return ""
+	}
+	if v := w.fold(c.Args[1]); v.kind == absStr {
+		return v.str
+	}
+	return ""
+}
+
+func (w *tamperWalker) checkCompare(b *minjs.BinaryExpr) {
+	switch b.Op {
+	case "==", "===", "!=", "!==":
+	default:
+		return
+	}
+	l, r := w.fold(b.L), w.fold(b.R)
+	if (l.kind == absStr && l.str == "[native code]") || (r.kind == absStr && r.str == "[native code]") {
+		w.emit(RuleToStringLeak, b, `compare "[native code]"`)
+	}
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The canonical blind spot: a concat-obfuscated probe with an aliased
+// receiver. The legacy regex pass must miss it; the AST pass must flag it
+// with the right source position.
+const concatProbe = `var p = "web" + "dri" + "ver";
+var n = window["navi" + "gator"];
+if (n[p] === true) { document.title = "bot"; }`
+
+func TestConcatProbeEvadesRegexButNotAST(t *testing.T) {
+	clean := Deobfuscate(concatProbe)
+	// Legacy pass: every webdriver-specific pattern misses.
+	if strings.Contains(clean, "navigator.webdriver") {
+		t.Fatal("regex precondition: dot pattern unexpectedly matches")
+	}
+	if reBracketWebdriver.MatchString(clean) {
+		t.Fatal("regex precondition: bracket pattern unexpectedly matches")
+	}
+	if matchWebdriverNoSnake(clean) {
+		t.Fatal("regex precondition: no-snake pattern unexpectedly matches")
+	}
+
+	rep := Analyze(concatProbe)
+	if !rep.Parsed {
+		t.Fatal("probe should parse")
+	}
+	if !rep.Has(RuleWebdriverProbe) {
+		t.Fatalf("AST pass missed the concat-obfuscated probe: %+v", rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.Rule == RuleWebdriverProbe && f.Line != 3 {
+			t.Errorf("probe finding on line %d, want 3", f.Line)
+		}
+	}
+
+	// And the unified entry point classifies it as a Selenium detector.
+	if r := AnalyzeStatic(concatProbe); !r.SeleniumDetector {
+		t.Error("AnalyzeStatic should classify the concat probe as a detector")
+	}
+}
+
+func TestWebdriverProbeVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+		line int
+	}{
+		{"dot access", `if (navigator.webdriver) { x(); }`, true, 1},
+		{"bracket literal", `navigator["webdriver"];`, true, 1},
+		{"hex escapes", `navigator["\x77\x65\x62\x64\x72\x69\x76\x65\x72"];`, true, 1},
+		{"unicode escapes", "navigator[\"\\u0077ebdriver\"];", true, 1},
+		{"fromCharCode", `var k = String.fromCharCode(119,101,98,100,114,105,118,101,114);
+navigator[k];`, true, 2},
+		{"array join", `navigator[["web","driver"].join("")];`, true, 1},
+		{"alias chain", `var w = window;
+var nav = w.navigator;
+var key = "web" + "driver";
+nav[key];`, true, 4},
+		{"this receiver", `this["navigator"]["web" + "driver"];`, true, 1},
+		{"tutorial variable", `var webdriverTutorialURL = 1;`, false, 0},
+		{"unknown receiver, literal index", `foo["webdriver"];`, false, 0},
+		{"reassigned alias not folded", `var p = "webdriver";
+p = "other";
+bar[p];`, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Analyze(tc.src)
+			if got := rep.Has(RuleWebdriverProbe); got != tc.want {
+				t.Fatalf("Has(webdriver-probe) = %v, want %v (findings %+v)", got, tc.want, rep.Findings)
+			}
+			if tc.want {
+				found := false
+				for _, f := range rep.Findings {
+					if f.Rule == RuleWebdriverProbe && f.Line == tc.line {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("no probe finding on line %d: %+v", tc.line, rep.Findings)
+				}
+			}
+		})
+	}
+}
+
+func TestToStringLeakRule(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"indexOf probe", `var s = fn.toString();
+if (s.indexOf("[native code]") < 0) { flag(); }`, true},
+		{"includes probe", `fn.toString().includes("[nat" + "ive code]");`, true},
+		{"comparison", `if (Function.prototype.toString.call(fn) === "function get() { [native code] }") {}`, true},
+		{"split native marker", `var probe = "[native" + " code]";
+if (src.indexOf(probe) === -1) { flag(); }`, true},
+		{"function prototype access", `var t = Function.prototype.toString;`, true},
+		{"benign toString", `var s = (42).toString();`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Analyze(tc.src).Has(RuleToStringLeak); got != tc.want {
+				t.Fatalf("Has(tostring-leak) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDescriptorReadRule(t *testing.T) {
+	src := `var d = Object.getOwnPropertyDescriptor(Object.getPrototypeOf(navigator), "userAgent");
+if (d && d.get) { check(d.get); }`
+	rep := Analyze(src)
+	if !rep.Has(RuleDescriptorRead) {
+		t.Fatalf("descriptor read not flagged: %+v", rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.Rule == RuleDescriptorRead {
+			if f.Line != 1 {
+				t.Errorf("descriptor finding line = %d, want 1", f.Line)
+			}
+			if f.Detail != "userAgent" {
+				t.Errorf("descriptor detail = %q, want userAgent", f.Detail)
+			}
+		}
+	}
+	if Analyze(`var x = Object.keys(obj);`).Has(RuleDescriptorRead) {
+		t.Error("Object.keys on unknown object should not be a descriptor read")
+	}
+}
+
+func TestStackIntrospectionRule(t *testing.T) {
+	src := `try { boom(); } catch (e) { report(e.stack); }`
+	if !Analyze(src).Has(RuleStackIntrospection) {
+		t.Error("catch-variable stack read not flagged")
+	}
+	if !Analyze(`var s = new Error("probe").stack;`).Has(RuleStackIntrospection) {
+		t.Error("new Error().stack not flagged")
+	}
+	if Analyze(`var s = pancake.stack;`).Has(RuleStackIntrospection) {
+		t.Error("arbitrary .stack read should not be flagged")
+	}
+}
+
+func TestHoneyEnumerationRule(t *testing.T) {
+	if !Analyze(`for (var k in navigator) { seen.push(k); }`).Has(RuleHoneyEnumeration) {
+		t.Error("for-in over navigator not flagged")
+	}
+	if !Analyze(`var ks = Object.getOwnPropertyNames(window);`).Has(RuleHoneyEnumeration) {
+		t.Error("getOwnPropertyNames(window) not flagged")
+	}
+	if Analyze(`for (var k in localData) { f(k); }`).Has(RuleHoneyEnumeration) {
+		t.Error("for-in over a local object should not be flagged")
+	}
+}
+
+func TestPrototypeWalkRule(t *testing.T) {
+	src := `var o = navigator;
+while (o) { inspect(o); o = Object.getPrototypeOf(o); }`
+	if !Analyze(src).Has(RulePrototypeWalk) {
+		t.Error("in-loop getPrototypeOf not flagged")
+	}
+	if Analyze(`var p = Object.getPrototypeOf(navigator);`).Has(RulePrototypeWalk) {
+		t.Error("single getPrototypeOf should not be a prototype walk")
+	}
+}
+
+func TestOpenWPMMarkerRule(t *testing.T) {
+	cases := []struct {
+		src    string
+		detail string
+	}{
+		{`if (typeof window.getInstrumentJS !== "undefined") { bail(); }`, "getInstrumentJS"},
+		{`window["jsInstr" + "uments"];`, "jsInstruments"},
+		{`if (typeof instrumentFingerprintingApis === "function") { bail(); }`, "instrumentFingerprintingApis"},
+	}
+	for _, tc := range cases {
+		rep := Analyze(tc.src)
+		if !rep.Has(RuleOpenWPMMarker) {
+			t.Errorf("marker not flagged in %q", tc.src)
+			continue
+		}
+		found := false
+		for _, f := range rep.Findings {
+			if f.Rule == RuleOpenWPMMarker && f.Detail == tc.detail {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("marker detail %q missing in findings for %q: %+v", tc.detail, tc.src, rep.Findings)
+		}
+	}
+}
+
+func TestUnparsableSourceFallsBackToRegex(t *testing.T) {
+	src := `navigator.webdriver ===` // truncated: parse error
+	rep := Analyze(src)
+	if rep.Parsed {
+		t.Fatal("truncated source should not parse")
+	}
+	if !rep.Has(RuleWebdriverProbe) {
+		t.Fatal("regex fallback should still flag navigator.webdriver")
+	}
+	for _, f := range rep.Findings {
+		if f.Rule == RuleWebdriverProbe && f.Detail != "regex-fallback" {
+			t.Errorf("fallback finding detail = %q, want regex-fallback", f.Detail)
+		}
+	}
+	if !AnalyzeStatic(src).SeleniumDetector {
+		t.Error("AnalyzeStatic should classify via fallback")
+	}
+}
+
+// TestAnalyzeHostileCorpus runs the walker over the same adversarial shapes
+// the minjs edge tests use: deep nesting, huge concat chains, self
+// reference, prototype cycles, for-in mutation. Analyze must neither panic
+// nor hang.
+func TestAnalyzeHostileCorpus(t *testing.T) {
+	deep := strings.Repeat("(", 60) + "1" + strings.Repeat(")", 60) + ";"
+	nest := "var x = 0;\n"
+	for i := 0; i < 120; i++ {
+		nest += "if (x === 0) {\n"
+	}
+	nest += "x = 1;\n" + strings.Repeat("}\n", 120)
+	concat := `var s = "a"` + strings.Repeat(` + "a"`, 500) + ";\nnavigator[s];"
+	corpus := []string{
+		deep,
+		nest,
+		concat,
+		`var a = {}; a.self = a; for (var k in a) { a[k] = a; }`,
+		`var o = {}; o.p = o; while (false) { Object.getPrototypeOf(o); }`,
+		`var f = function f() { return f; }; f();`,
+		`try { throw { stack: 1 }; } catch (e) { e.stack; e.stack; }`,
+		`var u; var v = u + "webdriver"; q[v];`,
+		"",
+		"// only a comment",
+		"\"just a string\";",
+	}
+	for i, src := range corpus {
+		rep := Analyze(src)
+		_ = rep.Rules()
+		if rep.Findings == nil && rep.Has("nope") {
+			t.Errorf("corpus %d: impossible state", i)
+		}
+	}
+}
+
+// Analyze must never panic and must be deterministic on arbitrary inputs.
+func TestQuickAnalyzeTotalAndDeterministic(t *testing.T) {
+	f := func(src string) bool {
+		a := Analyze(src)
+		b := Analyze(src)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportRulesOrderedAndDeduped(t *testing.T) {
+	rep := TamperReport{Findings: []Finding{
+		{Rule: RuleToStringLeak, Line: 9},
+		{Rule: RuleWebdriverProbe, Line: 3},
+		{Rule: RuleWebdriverProbe, Line: 5},
+	}}
+	got := rep.Rules()
+	want := []string{RuleWebdriverProbe, RuleToStringLeak}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Rules() = %v, want %v", got, want)
+	}
+}

@@ -62,6 +62,10 @@ type Config struct {
 	// must re-attach it via openwpm.CrawlConfig.Stealth (the instrument
 	// itself is code, not data).
 	Stealth bool `json:"stealth,omitempty"`
+	// TamperAnalysis records that the crawl statically analysed stored
+	// scripts; replays re-attach analysis.TamperRecorder (same code-not-data
+	// rule as Stealth) so the tamper table reproduces byte-for-byte.
+	TamperAnalysis bool `json:"tamperAnalysis,omitempty"`
 
 	MaxSubpages         int  `json:"maxSubpages,omitempty"`
 	SimulateInteraction bool `json:"simulateInteraction,omitempty"`
@@ -83,8 +87,9 @@ func ConfigOf(c openwpm.CrawlConfig) Config {
 		JSInstrument: c.JSInstrument, HTTPInstrument: c.HTTPInstrument,
 		CookieInstrument: c.CookieInstrument, HTTPFilterJSOnly: c.HTTPFilterJSOnly,
 		LegacyInstrumentGlobals: c.LegacyInstrumentGlobals, HoneyProps: c.HoneyProps,
-		Stealth:     c.Stealth != nil,
-		MaxSubpages: c.MaxSubpages, SimulateInteraction: c.SimulateInteraction,
+		Stealth:        c.Stealth != nil,
+		TamperAnalysis: c.Tamper != nil,
+		MaxSubpages:    c.MaxSubpages, SimulateInteraction: c.SimulateInteraction,
 		MaxRetries:      c.MaxRetries,
 		MaxVisitSeconds: c.MaxVisitSeconds, MaxCrawlSeconds: c.MaxCrawlSeconds,
 		BackoffBaseSeconds: c.BackoffBaseSeconds, BackoffMaxSeconds: c.BackoffMaxSeconds,
@@ -146,6 +151,9 @@ type Visit struct {
 	JSCalls   []openwpm.JSCall      `json:"jsCalls,omitempty"`
 	Cookies   []openwpm.CookieEntry `json:"cookies,omitempty"`
 	Scripts   []ScriptRef           `json:"scripts,omitempty"`
+	// Tampers are the static tamper-analysis records stored during this
+	// visit (one per first-seen script body, findings only).
+	Tampers []openwpm.TamperRecord `json:"tampers,omitempty"`
 }
 
 // Bundle is a complete archived crawl.

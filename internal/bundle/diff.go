@@ -45,6 +45,10 @@ type VisitDiff struct {
 	// CookiesOnlyInA and CookiesOnlyInB list "domain:name" cookie keys
 	// whose store counts differ.
 	CookiesOnlyInA, CookiesOnlyInB []string
+	// TampersOnlyInA and TampersOnlyInB list "sha:rule:line:detail" static
+	// tamper findings present on one side only — a replay that analyses the
+	// same bodies must reproduce these byte-for-byte.
+	TampersOnlyInA, TampersOnlyInB []string
 }
 
 // SymbolDelta is one JS symbol whose recorded call count changed.
@@ -59,7 +63,8 @@ func (v *VisitDiff) empty() bool {
 		len(v.RequestsOnlyInA) == 0 && len(v.RequestsOnlyInB) == 0 &&
 		len(v.BodyChanged) == 0 && len(v.StatusChanged) == 0 &&
 		len(v.JSSymbols) == 0 &&
-		len(v.CookiesOnlyInA) == 0 && len(v.CookiesOnlyInB) == 0
+		len(v.CookiesOnlyInA) == 0 && len(v.CookiesOnlyInB) == 0 &&
+		len(v.TampersOnlyInA) == 0 && len(v.TampersOnlyInB) == 0
 }
 
 // Empty reports whether the two bundles are observationally identical.
@@ -194,6 +199,19 @@ func diffVisit(key string, va, vb Visit) VisitDiff {
 	}
 	d.CookiesOnlyInA, d.CookiesOnlyInB = sortedDelta(ckA, ckB)
 
+	// static tamper findings by sha:rule:line:detail
+	tpA, tpB := map[string]int{}, map[string]int{}
+	indexTampers := func(v Visit, m map[string]int) {
+		for _, t := range v.Tampers {
+			for _, f := range t.Findings {
+				m[fmt.Sprintf("%s:%s:%d:%s", t.SHA256, f.Rule, f.Line, f.Detail)]++
+			}
+		}
+	}
+	indexTampers(va, tpA)
+	indexTampers(vb, tpB)
+	d.TampersOnlyInA, d.TampersOnlyInB = sortedDelta(tpA, tpB)
+
 	return d
 }
 
@@ -217,6 +235,7 @@ func diffConfig(a, b Config) []string {
 	add("legacyInstrumentGlobals", a.LegacyInstrumentGlobals, b.LegacyInstrumentGlobals)
 	add("honeyProps", a.HoneyProps, b.HoneyProps)
 	add("stealth", a.Stealth, b.Stealth)
+	add("tamperAnalysis", a.TamperAnalysis, b.TamperAnalysis)
 	add("maxSubpages", a.MaxSubpages, b.MaxSubpages)
 	add("simulateInteraction", a.SimulateInteraction, b.SimulateInteraction)
 	add("maxRetries", a.MaxRetries, b.MaxRetries)
@@ -337,6 +356,8 @@ func (d *DiffReport) String() string {
 		}
 		listCapped(&sb, "cookies only in A", v.CookiesOnlyInA)
 		listCapped(&sb, "cookies only in B", v.CookiesOnlyInB)
+		listCapped(&sb, "tamper findings only in A", v.TampersOnlyInA)
+		listCapped(&sb, "tamper findings only in B", v.TampersOnlyInB)
 	}
 	return sb.String()
 }

@@ -28,6 +28,7 @@ type Recorder struct {
 	pendingJSCalls   []openwpm.JSCall
 	pendingCookies   []openwpm.CookieEntry
 	pendingScripts   []ScriptRef
+	pendingTampers   []openwpm.TamperRecord
 
 	visits  []Visit
 	crashes []openwpm.CrashRecord
@@ -129,11 +130,13 @@ func (r *Recorder) ObserveVisit(rec openwpm.VisitRecord) {
 		JSCalls:   r.pendingJSCalls,
 		Cookies:   r.pendingCookies,
 		Scripts:   r.pendingScripts,
+		Tampers:   r.pendingTampers,
 	})
 	r.pendingExchanges = nil
 	r.pendingJSCalls = nil
 	r.pendingCookies = nil
 	r.pendingScripts = nil
+	r.pendingTampers = nil
 }
 
 // ObserveCrash archives a browser-restart row (crashes happen mid-visit, so
@@ -162,6 +165,13 @@ func (r *Recorder) ObserveScriptFile(url, sha, content, ctype string) {
 		r.bodies[sha] = content
 	}
 	r.pendingScripts = append(r.pendingScripts, ScriptRef{URL: url, SHA: sha, CType: ctype})
+}
+
+// ObserveTamperReport buffers a static-analysis record for the current
+// visit. Records are derived purely from script content, so a replay with
+// the same analyser reproduces them byte-for-byte.
+func (r *Recorder) ObserveTamperReport(rec openwpm.TamperRecord) {
+	r.pendingTampers = append(r.pendingTampers, rec)
 }
 
 // Finalize assembles and seals the bundle for a finished crawl. cfg should

@@ -3,6 +3,7 @@ package bundle
 import (
 	"fmt"
 
+	"gullible/internal/analysis"
 	"gullible/internal/faults"
 	"gullible/internal/httpsim"
 	"gullible/internal/openwpm"
@@ -217,6 +218,11 @@ func ReplayCrawl(b *Bundle, policy MissPolicy, mutate func(*openwpm.CrawlConfig)
 	cfg := b.Config.CrawlConfig()
 	rt := NewReplayTransport(b, policy, nil)
 	cfg.Transport = rt
+	if b.Config.TamperAnalysis {
+		// same code-not-data rule as Stealth: the analyser is pure, so
+		// re-attaching it reproduces the recorded tamper table exactly
+		cfg.Tamper = analysis.TamperRecorder
+	}
 	if mutate != nil {
 		mutate(&cfg)
 	}

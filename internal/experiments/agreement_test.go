@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"gullible/internal/analysis"
+)
+
+func TestStaticDynamicAgreement(t *testing.T) {
+	run := func() (*AgreementResult, string) {
+		a := RunStaticDynamicAgreement(42, 300, nil)
+		return a, TableAgreement(a).String()
+	}
+	a, out1 := run()
+	_, out2 := run()
+	if out1 != out2 {
+		t.Fatalf("agreement report not deterministic:\n--- run 1\n%s--- run 2\n%s", out1, out2)
+	}
+
+	rows := map[string]AgreementRow{}
+	for _, r := range a.Rows {
+		rows[r.Rule] = r
+	}
+	if len(a.Rows) != len(analysis.AllRules) {
+		t.Fatalf("report has %d rows, want one per rule (%d)", len(a.Rows), len(analysis.AllRules))
+	}
+
+	// The synthetic web deploys plain detectors (static and dynamic agree),
+	// hover-gated detectors (static-only: the probe never fires — the
+	// gullibility gap) and concat-obfuscated detectors (AST-visible, so they
+	// land in Both, not DynamicOnly).
+	wd := rows[analysis.RuleWebdriverProbe]
+	if wd.Both == 0 {
+		t.Error("webdriver-probe: no agreeing scripts; plain detectors should be seen by both sides")
+	}
+	if wd.StaticOnly == 0 {
+		t.Error("webdriver-probe: no static-only scripts; hover-gated detectors never fire dynamically")
+	}
+	if wd.DynamicOnly > wd.Both {
+		t.Errorf("webdriver-probe: dynamic-only (%d) should be rare now that folding defeats concat obfuscation (both=%d)",
+			wd.DynamicOnly, wd.Both)
+	}
+	if mk := rows[analysis.RuleOpenWPMMarker]; mk.Both == 0 {
+		t.Error("openwpm-marker: no agreeing scripts; OpenWPM-specific tags probe markers on both sides")
+	}
+	for _, rule := range []string{analysis.RuleDescriptorRead, analysis.RuleToStringLeak} {
+		r := rows[rule]
+		if r.Paired {
+			t.Errorf("%s should be unpaired (no dynamic counterpart)", rule)
+		}
+		if r.DynamicOnly != 0 {
+			t.Errorf("%s: unpaired rule has dynamic-only hits (%d)", rule, r.DynamicOnly)
+		}
+	}
+	if rows[analysis.RuleDescriptorRead].StaticOnly == 0 {
+		t.Error("descriptor-read: first-party bot managers read descriptors; expected static hits")
+	}
+	if a.TamperedScripts == 0 {
+		t.Error("scan persisted no tamper records despite CrawlConfig.Tamper being wired")
+	}
+}

@@ -89,6 +89,9 @@ func scanCrawlConfig(world *websim.World, maxSubpages int) openwpm.CrawlConfig {
 		HTTPFilterJSOnly: true, // "stores a copy of any transmitted JavaScript file"
 		HoneyProps:       4,
 		MaxSubpages:      maxSubpages,
+		// every stored script is statically analysed at crawl time; the
+		// persisted tamper table feeds the static/dynamic agreement report
+		Tamper: analysis.TamperRecorder,
 	}
 }
 

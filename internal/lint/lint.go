@@ -1,0 +1,492 @@
+// Package lint implements wpmlint, a stdlib-only static analyser (go/ast +
+// go/types) that mechanically enforces the repo's determinism invariants —
+// the guarantees PRs 1–3 established by convention:
+//
+//   - wallclock: no time.Now/Since/Until in crawl-path packages; the crawl
+//     runs on virtual time, and a wall-clock read anywhere in it breaks
+//     record→replay identity.
+//   - randseed: math/rand only through seeded constructors (the
+//     minjs Interp.Reseed pattern: rand.New(rand.NewSource(seed))); the
+//     package-level functions draw from a process-global, unseeded source.
+//   - maprange: no map iteration feeding a serialiser inside canonical
+//     encoders (Digest/Snapshot/canonicalJSON/Marshal*); Go randomises map
+//     order, so such output is nondeterministic unless keys are sorted
+//     first. Collecting keys into a slice (then sorting) stays legal.
+//   - telemetry-nilsafe: probe events that build labels
+//     (.Event(..., telemetry.L(...))) must sit behind an .Enabled() guard;
+//     the nil-safe API makes the call itself harmless but the label
+//     construction would run — and allocate — on the disabled path.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one invariant violation.
+type Finding struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// AllRules lists the rule names in reporting order.
+var AllRules = []string{"wallclock", "randseed", "maprange", "telemetry-nilsafe"}
+
+// Options configures a lint run.
+type Options struct {
+	// IncludeTests also lints _test.go files (off by default: tests may
+	// legitimately use wall clocks and unseeded randomness).
+	IncludeTests bool
+	// Rules restricts the run to a subset of AllRules; empty means all.
+	Rules []string
+}
+
+// randAllowed are the math/rand package-level names usable from crawl code:
+// the seeded-constructor surface and the types needed to hold one.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "Rand": true, "Source": true}
+
+// wallclockBanned are the time package functions that read the wall clock.
+var wallclockBanned = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// canonicalFunc reports whether a function name marks a canonical encoder —
+// the scope of the maprange rule.
+func canonicalFunc(name string) bool {
+	return name == "Digest" || name == "Snapshot" ||
+		strings.HasPrefix(name, "canonical") || strings.HasPrefix(name, "Canonical") ||
+		strings.HasPrefix(name, "Marshal")
+}
+
+// serializerNames are call names that emit bytes in source order; a map
+// range whose body calls one is producing nondeterministic output.
+var serializerNames = map[string]bool{
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// LintDirs lints the packages in the given directories (after pattern
+// expansion — see ExpandDirs) and returns all findings sorted by position.
+func LintDirs(dirs []string, opts Options) ([]Finding, error) {
+	active := map[string]bool{}
+	if len(opts.Rules) == 0 {
+		for _, r := range AllRules {
+			active[r] = true
+		}
+	} else {
+		for _, r := range opts.Rules {
+			active[r] = true
+		}
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		fs, err := lintDir(dir, opts, active)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return findings, nil
+}
+
+// ExpandDirs resolves CLI arguments into lintable directories: a plain path
+// names itself; a path ending in "/..." walks recursively. Walked testdata
+// trees are skipped (they hold deliberate violations), but naming a testdata
+// directory explicitly lints it — that is how the self-test fixture runs.
+func ExpandDirs(args []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, a := range args {
+		root, rec := a, false
+		if strings.HasSuffix(a, "/...") {
+			root, rec = strings.TrimSuffix(a, "/..."), true
+		}
+		if !rec {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					add(path)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// lintDir parses and type-checks one directory's package and applies the
+// active rules.
+func lintDir(dir string, opts Options, active map[string]bool) ([]Finding, error) {
+	fset := token.NewFileSet()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !opts.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	// external test packages (package foo_test) type-check separately; split
+	byPkg := map[string][]*ast.File{}
+	for _, f := range files {
+		byPkg[f.Name.Name] = append(byPkg[f.Name.Name], f)
+	}
+	var findings []Finding
+	names := make([]string, 0, len(byPkg))
+	for n := range byPkg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		findings = append(findings, lintPackage(fset, n, byPkg[n], active)...)
+	}
+	return findings, nil
+}
+
+// lenientImporter resolves what it can from compiled stdlib packages and
+// fabricates empty packages for everything else (module-local imports are
+// not compiled when the linter runs), so type-checking always proceeds.
+type lenientImporter struct{ std types.Importer }
+
+func (im lenientImporter) Import(path string) (*types.Package, error) {
+	if p, err := im.std.Import(path); err == nil {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	return p, nil
+}
+
+// lintPackage type-checks one package leniently and runs the rules.
+func lintPackage(fset *token.FileSet, name string, files []*ast.File, active map[string]bool) []Finding {
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	conf := types.Config{
+		Importer:         lenientImporter{importer.Default()},
+		Error:            func(error) {}, // fabricated imports cause benign errors
+		IgnoreFuncBodies: false,
+	}
+	// best effort: with fabricated imports some expressions stay untyped;
+	// rules that need types skip what they cannot resolve
+	conf.Check(name, fset, files, info)
+
+	w := &walker{fset: fset, info: info, active: active, pkg: name}
+	for _, f := range files {
+		w.imports = map[string]string{}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			alias := path
+			if i := strings.LastIndex(path, "/"); i >= 0 {
+				alias = path[i+1:]
+			}
+			if imp.Name != nil {
+				alias = imp.Name.Name
+			}
+			w.imports[alias] = path
+		}
+		ast.Inspect(f, w.visit)
+	}
+	return w.findings
+}
+
+// walker applies the rule set over one package's files.
+type walker struct {
+	fset     *token.FileSet
+	info     *types.Info
+	active   map[string]bool
+	pkg      string
+	imports  map[string]string // alias → import path, per file
+	findings []Finding
+}
+
+func (w *walker) emit(rule string, pos token.Pos, msg string) {
+	w.findings = append(w.findings, Finding{Rule: rule, Pos: w.fset.Position(pos), Msg: msg})
+}
+
+// pkgSelector reports the import path behind x in x.Sel, "" when x is not a
+// package identifier.
+func (w *walker) pkgSelector(sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return w.imports[id.Name]
+}
+
+func (w *walker) visit(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.SelectorExpr:
+		switch w.pkgSelector(x) {
+		case "time":
+			if w.active["wallclock"] && wallclockBanned[x.Sel.Name] {
+				w.emit("wallclock", x.Pos(),
+					"time."+x.Sel.Name+" reads the wall clock; crawl paths run on virtual time (pass timestamps in, or keep wall-clock I/O in cmd/)")
+			}
+		case "math/rand":
+			if w.active["randseed"] && !randAllowed[x.Sel.Name] {
+				w.emit("randseed", x.Pos(),
+					"rand."+x.Sel.Name+" draws from the unseeded global source; use rand.New(rand.NewSource(seed)) (the Interp.Reseed pattern)")
+			}
+		}
+	case *ast.FuncDecl:
+		if w.active["maprange"] && x.Body != nil && canonicalFunc(x.Name.Name) {
+			w.checkMapRange(x)
+		}
+		// the guard-tracking walk is separate; normal traversal continues so
+		// the selector rules still see the function body
+		if w.active["telemetry-nilsafe"] && x.Body != nil && w.pkg != "telemetry" {
+			w.checkTelemetryGuards(x.Body, false)
+		}
+	}
+	return true
+}
+
+// checkMapRange flags range statements over map-typed expressions inside a
+// canonical encoder when the loop body serialises during iteration. Ranging
+// a map to collect keys (append, assignment) stays legal — sorting happens
+// after.
+func (w *walker) checkMapRange(fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := w.info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		serialises := false
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fn := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				if serializerNames[fn.Sel.Name] {
+					serialises = true
+				}
+			case *ast.Ident:
+				if serializerNames[fn.Name] {
+					serialises = true
+				}
+			}
+			return true
+		})
+		if serialises {
+			w.emit("maprange", rs.Pos(),
+				fmt.Sprintf("%s serialises while ranging a map; iteration order is random — collect and sort keys first", fn.Name.Name))
+		}
+		return true
+	})
+}
+
+// isEnabledCall reports whether e contains a call to a method named Enabled.
+func isEnabledCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Enabled" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// terminates reports whether a block's final statement unconditionally
+// leaves the enclosing scope (return/continue/break/panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkTelemetryGuards walks a block tracking whether execution is behind an
+// .Enabled() guard, flagging label-building Event calls on unguarded paths.
+// Both guard shapes used in the repo count: `if tel.Enabled() { ... }` and
+// the early return `if !tel.Enabled() { return }`.
+func (w *walker) checkTelemetryGuards(b *ast.BlockStmt, guarded bool) {
+	g := guarded
+	for _, stmt := range b.List {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			condGuards := isEnabledCall(s.Cond)
+			negGuard := false
+			if u, ok := s.Cond.(*ast.UnaryExpr); ok && u.Op == token.NOT && isEnabledCall(u.X) {
+				negGuard = true
+			}
+			w.checkExprForEvent(s.Cond, g)
+			w.checkTelemetryGuards(s.Body, g || (condGuards && !negGuard))
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					w.checkTelemetryGuards(e, g)
+				case *ast.IfStmt:
+					w.checkTelemetryGuards(&ast.BlockStmt{List: []ast.Stmt{e}}, g)
+				}
+			}
+			if negGuard && terminates(s.Body) {
+				g = true // everything after `if !x.Enabled() { return }` is guarded
+			}
+		case *ast.BlockStmt:
+			w.checkTelemetryGuards(s, g)
+		case *ast.ForStmt:
+			w.checkTelemetryGuards(s.Body, g)
+		case *ast.RangeStmt:
+			w.checkTelemetryGuards(s.Body, g)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.checkTelemetryGuards(&ast.BlockStmt{List: cc.Body}, g)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.checkTelemetryGuards(&ast.BlockStmt{List: cc.Body}, g)
+				}
+			}
+		default:
+			w.checkStmtForEvent(stmt, g)
+		}
+	}
+}
+
+// checkStmtForEvent inspects one non-control statement for unguarded
+// label-building Event calls.
+func (w *walker) checkStmtForEvent(stmt ast.Stmt, guarded bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			w.checkOneEvent(e, guarded)
+		}
+		return true
+	})
+}
+
+func (w *walker) checkExprForEvent(e ast.Expr, guarded bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if x, ok := n.(ast.Expr); ok {
+			w.checkOneEvent(x, guarded)
+		}
+		return true
+	})
+}
+
+// checkOneEvent flags a call of the shape X.Event(..., L(...)) when not
+// behind an Enabled() guard.
+func (w *walker) checkOneEvent(e ast.Expr, guarded bool) {
+	if guarded {
+		return
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Event" {
+		return
+	}
+	buildsLabels := false
+	for _, a := range call.Args {
+		if ac, ok := a.(*ast.CallExpr); ok {
+			switch fn := ac.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fn.Sel.Name == "L" {
+					buildsLabels = true
+				}
+			case *ast.Ident:
+				if fn.Name == "L" {
+					buildsLabels = true
+				}
+			}
+		}
+	}
+	if buildsLabels {
+		w.emit("telemetry-nilsafe", call.Pos(),
+			"Event call builds labels outside an Enabled() guard; labels allocate even when telemetry is off — wrap in `if tel.Enabled() { ... }`")
+	}
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFixtureTripsEveryRule runs the linter on the deliberate-violation
+// fixture and checks each rule fires exactly where the fixture says it does.
+func TestFixtureTripsEveryRule(t *testing.T) {
+	findings, err := LintDirs([]string{"testdata/src/bad"}, Options{})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	got := map[string]int{}
+	for _, f := range findings {
+		got[f.Rule]++
+	}
+	want := map[string]int{
+		"wallclock":         1,
+		"randseed":          1,
+		"maprange":          1,
+		"telemetry-nilsafe": 1,
+	}
+	if !reflect.DeepEqual(got, want) {
+		var lines []string
+		for _, f := range findings {
+			lines = append(lines, f.String())
+		}
+		t.Fatalf("rule hits = %v, want %v\nfindings:\n%s", got, want, strings.Join(lines, "\n"))
+	}
+	for _, f := range findings {
+		if f.Pos.Line == 0 {
+			t.Errorf("%s finding has no position", f.Rule)
+		}
+		if !strings.HasSuffix(f.Pos.Filename, "bad.go") {
+			t.Errorf("finding attributed to %s, want bad.go", f.Pos.Filename)
+		}
+	}
+}
+
+// TestGuardedShapesStayClean re-lints the fixture with only the
+// telemetry-nilsafe rule: the guarded and early-return shapes in the same
+// file must not add findings beyond the one deliberate violation.
+func TestGuardedShapesStayClean(t *testing.T) {
+	findings, err := LintDirs([]string{"testdata/src/bad"}, Options{Rules: []string{"telemetry-nilsafe"}})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if len(findings) != 1 {
+		var lines []string
+		for _, f := range findings {
+			lines = append(lines, f.String())
+		}
+		t.Fatalf("want exactly the one unguarded Event call, got %d:\n%s",
+			len(findings), strings.Join(lines, "\n"))
+	}
+}
+
+// TestRepoIsClean is the invariant the linter exists for: the crawl-path
+// packages carry no wall clocks, no unseeded randomness, no serialising map
+// ranges in canonical encoders, and no unguarded label-building probes.
+func TestRepoIsClean(t *testing.T) {
+	dirs, err := ExpandDirs([]string{"../..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	findings, err := LintDirs(dirs, Options{})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestExpandSkipsTestdata checks the "..." walk never descends into fixture
+// trees — otherwise every full-repo run would trip on the bad package.
+func TestExpandSkipsTestdata(t *testing.T) {
+	dirs, err := ExpandDirs([]string{"./..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("pattern expansion descended into %s", d)
+		}
+	}
+	// explicit naming still works — that is how the verify script self-tests
+	dirs, err = ExpandDirs([]string{"testdata/src/bad"})
+	if err != nil {
+		t.Fatalf("expand explicit: %v", err)
+	}
+	if len(dirs) != 1 || dirs[0] != "testdata/src/bad" {
+		t.Errorf("explicit testdata dir mangled: %v", dirs)
+	}
+}

@@ -1,0 +1,73 @@
+// Package bad is the wpmlint self-test fixture: every determinism invariant
+// violated once. The verify script runs wpmlint against this directory and
+// requires a non-zero exit; the linter's own testdata skip keeps it out of
+// normal "..." walks.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+type labels map[string]string
+
+func L(k, v string) labels { return labels{k: v} }
+
+type probe struct{}
+
+func (probe) Enabled() bool                   { return false }
+func (probe) Event(name string, ls ...labels) {}
+
+// Stamp violates wallclock: crawl code must not read the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want wallclock
+}
+
+// Jitter violates randseed: the package-level functions use the process
+// global, unseeded source.
+func Jitter() int {
+	return rand.Intn(10) // want randseed
+}
+
+// Digest violates maprange: serialising while ranging a map emits bytes in
+// random order.
+func Digest(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want maprange
+		fmt.Fprintf(&b, "%s=%d;", k, v)
+	}
+	return b.String()
+}
+
+// Emit violates telemetry-nilsafe: the labels are built before the call, so
+// they allocate even with telemetry disabled.
+func Emit(p probe, site string) {
+	p.Event("visit", L("site", site)) // want telemetry-nilsafe
+}
+
+// EmitGuarded is the legal shape and must produce no finding.
+func EmitGuarded(p probe, site string) {
+	if p.Enabled() {
+		p.Event("visit", L("site", site))
+	}
+}
+
+// EmitEarlyReturn is the other legal shape.
+func EmitEarlyReturn(p probe, site string) {
+	if !p.Enabled() {
+		return
+	}
+	p.Event("visit", L("site", site))
+}
+
+// Snapshot is the legal canonical-encoder shape: collect, sort elsewhere,
+// then serialise — the map range itself only gathers keys.
+func Snapshot(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,117 @@
+package minjs
+
+// This file is the exported traversal surface used by static analysers
+// (internal/analysis builds its tamper-detection rules on it). The
+// interpreter itself does not use Walk: evaluation order and scoping rules
+// there are subtler than a plain child enumeration.
+
+// Line reports the 1-based source line a node was parsed on, or 0 for nil.
+func Line(n Node) int {
+	if n == nil {
+		return 0
+	}
+	return n.nodeLine()
+}
+
+// Children returns n's direct child nodes in source order. Nil children
+// (elided initialisers, absent else branches, …) are omitted. The returned
+// slice is freshly allocated and safe to mutate.
+func Children(n Node) []Node {
+	var out []Node
+	add := func(ns ...Node) {
+		for _, c := range ns {
+			if c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	switch x := n.(type) {
+	case nil:
+	case *Program:
+		add(x.Body...)
+	case *VarDecl:
+		add(x.Inits...)
+	case *ExprStmt:
+		add(x.X)
+	case *IfStmt:
+		add(x.Cond, x.Then, x.Else)
+	case *WhileStmt:
+		add(x.Cond, x.Body)
+	case *DoWhileStmt:
+		add(x.Body, x.Cond)
+	case *ForStmt:
+		add(x.Init, x.Cond, x.Post, x.Body)
+	case *ForInStmt:
+		add(x.Obj, x.Body)
+	case *ReturnStmt:
+		add(x.X)
+	case *BreakStmt, *ContinueStmt:
+	case *BlockStmt:
+		add(x.Body...)
+	case *ThrowStmt:
+		add(x.X)
+	case *TryStmt:
+		if x.Body != nil {
+			add(x.Body)
+		}
+		if x.Catch != nil {
+			add(x.Catch)
+		}
+		if x.Finally != nil {
+			add(x.Finally)
+		}
+	case *FuncDecl:
+		if x.Fn != nil {
+			add(x.Fn)
+		}
+	case *SwitchStmt:
+		add(x.Tag)
+		for _, c := range x.Cases {
+			add(c.Test)
+			add(c.Body...)
+		}
+		add(x.Default...)
+	case *Ident, *Literal, *ThisExpr:
+	case *ArrayLit:
+		add(x.Elems...)
+	case *ObjectLit:
+		add(x.Vals...)
+	case *FuncLit:
+		add(x.Body...)
+	case *UnaryExpr:
+		add(x.X)
+	case *PostfixExpr:
+		add(x.X)
+	case *BinaryExpr:
+		add(x.L, x.R)
+	case *LogicalExpr:
+		add(x.L, x.R)
+	case *CondExpr:
+		add(x.Cond, x.Then, x.Else)
+	case *AssignExpr:
+		add(x.Target, x.Val)
+	case *MemberExpr:
+		add(x.Obj, x.Index)
+	case *CallExpr:
+		add(x.Fn)
+		add(x.Args...)
+	case *NewExpr:
+		add(x.Ctor)
+		add(x.Args...)
+	}
+	return out
+}
+
+// Walk calls f on n and, when f returns true, recurses into n's children in
+// source order. A nil n is a no-op.
+func Walk(n Node, f func(Node) bool) {
+	if n == nil {
+		return
+	}
+	if !f(n) {
+		return
+	}
+	for _, c := range Children(n) {
+		Walk(c, f)
+	}
+}

@@ -66,6 +66,30 @@ type ScriptFile struct {
 	URLs    []string // all URLs serving this content, deduplicated
 }
 
+// TamperFinding is one static tamper-rule hit inside a stored script. The
+// types live here rather than in internal/analysis because analysis imports
+// openwpm (for JSCall); the analyser adapts onto TamperFunc instead.
+type TamperFinding struct {
+	Rule   string `json:"rule"`
+	Line   int    `json:"line"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// TamperRecord is the stored static analysis of one script body, keyed like
+// the content table by SHA-256 of the body.
+type TamperRecord struct {
+	SHA256 string `json:"sha256"`
+	URL    string `json:"url"` // first URL observed serving the body
+	// Parsed is false when the analyser fell back to regex matching.
+	Parsed   bool            `json:"parsed"`
+	Findings []TamperFinding `json:"findings,omitempty"`
+}
+
+// TamperFunc statically analyses one script body. Returning false stores no
+// record (a parsed, finding-free script). It must be pure: the same content
+// must always produce the same record, or record→replay diffs break.
+type TamperFunc func(content string) (TamperRecord, bool)
+
 // VisitRecord summarises one page visit.
 type VisitRecord struct {
 	SiteURL  string
@@ -111,6 +135,11 @@ type Storage struct {
 	ScriptFiles map[string]ScriptFile // keyed by content hash
 	Visits      []VisitRecord
 	Crashes     []CrashRecord
+	Tampers     []TamperRecord
+
+	// TamperFn, when set, statically analyses each first-seen script body
+	// and stores the resulting TamperRecord alongside the content table.
+	TamperFn TamperFunc
 
 	// FaultFn, when set, simulates storage-layer write failures: a true
 	// return drops the write. Instrument tables honour it; the visit and
@@ -135,7 +164,7 @@ type Storage struct {
 
 // storageTables lists every table name the store writes, fault-exempt ones
 // included.
-var storageTables = []string{"site_visits", "crashes", "http_requests", "javascript_cookies", "javascript", "content"}
+var storageTables = []string{"site_visits", "crashes", "http_requests", "javascript_cookies", "javascript", "content", "javascript_tamper"}
 
 // SetTelemetry wires the store into a telemetry registry: per-table write
 // and drop counters plus a storage-drop event per lost write. Call before
@@ -165,6 +194,9 @@ type StorageObserver interface {
 	// ObserveScriptFile reports one accepted body write (url may repeat
 	// for deduplicated content; sha identifies the content).
 	ObserveScriptFile(url, sha, content, ctype string)
+	// ObserveTamperReport reports one stored static-analysis record (at
+	// most one per distinct script body).
+	ObserveTamperReport(TamperRecord)
 }
 
 // NewStorage returns an empty store.
@@ -285,8 +317,26 @@ func (s *Storage) AddJSCall(c JSCall) {
 	}
 }
 
+// AddTamperReport stores a static tamper-analysis record. Tamper rows are
+// derived data — a pure function of stored content — so like visits they are
+// exempt from storage faults: dropping one would desynchronise the content
+// and tamper tables for no modelled failure mode. Rule hits feed per-rule
+// telemetry counters.
+func (s *Storage) AddTamperReport(rec TamperRecord) {
+	s.writeMeters["javascript_tamper"].Inc()
+	if s.tel.Enabled() {
+		for _, f := range rec.Findings {
+			s.tel.Counter("tamper_rule_hits_total", telemetry.L("rule", f.Rule)).Inc()
+		}
+	}
+	s.Tampers = append(s.Tampers, rec)
+	if s.Observer != nil {
+		s.Observer.ObserveTamperReport(rec)
+	}
+}
+
 // AddScriptFile stores a response body keyed by hash, tracking every URL
-// that served it.
+// that served it. First-seen content additionally runs through TamperFn.
 func (s *Storage) AddScriptFile(url, content, ctype string) {
 	if s.dropWrite("content") {
 		return
@@ -299,6 +349,13 @@ func (s *Storage) AddScriptFile(url, content, ctype string) {
 	f, ok := s.ScriptFiles[key]
 	if !ok {
 		s.ScriptFiles[key] = ScriptFile{URL: url, SHA256: key, Content: content, CType: ctype, URLs: []string{url}}
+		if s.TamperFn != nil {
+			if rec, hit := s.TamperFn(content); hit {
+				rec.SHA256 = key
+				rec.URL = url
+				s.AddTamperReport(rec)
+			}
+		}
 		return
 	}
 	for _, u := range f.URLs {
@@ -318,6 +375,17 @@ func (s *Storage) Merge(other *Storage) {
 	s.Cookies = append(s.Cookies, other.Cookies...)
 	s.Visits = append(s.Visits, other.Visits...)
 	s.Crashes = append(s.Crashes, other.Crashes...)
+	have := make(map[string]bool, len(s.Tampers))
+	for _, t := range s.Tampers {
+		have[t.SHA256] = true
+	}
+	for _, t := range other.Tampers {
+		// shards that saw the same body both analysed it; keep one record
+		if !have[t.SHA256] {
+			have[t.SHA256] = true
+			s.Tampers = append(s.Tampers, t)
+		}
+	}
 	if len(other.Dropped) > 0 {
 		if s.Dropped == nil {
 			s.Dropped = map[string]int{}
@@ -403,6 +471,15 @@ func (s *Storage) Digest() string {
 		urls := append([]string(nil), f.URLs...)
 		sort.Strings(urls)
 		fmt.Fprintf(h, "script|%s|%s|%s\n", k, f.CType, strings.Join(urls, ","))
+	}
+	tampers := append([]TamperRecord(nil), s.Tampers...)
+	sort.Slice(tampers, func(i, j int) bool { return tampers[i].SHA256 < tampers[j].SHA256 })
+	for _, t := range tampers {
+		fmt.Fprintf(h, "tamper|%s|%s|%t", t.SHA256, t.URL, t.Parsed)
+		for _, f := range t.Findings {
+			fmt.Fprintf(h, "|%s:%d:%q", f.Rule, f.Line, f.Detail)
+		}
+		fmt.Fprintln(h)
 	}
 	tables := make([]string, 0, len(s.Dropped))
 	for t := range s.Dropped {

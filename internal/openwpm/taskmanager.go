@@ -85,6 +85,13 @@ type CrawlConfig struct {
 	// accepted record. Package bundle provides the implementation.
 	Recorder Recorder
 
+	// --- static analysis ------------------------------------------------
+
+	// Tamper, when non-nil, statically analyses every first-seen script
+	// body at storage time and persists the resulting TamperRecord next to
+	// the content table (internal/analysis provides TamperRecorder).
+	Tamper TamperFunc
+
 	// --- observability ---------------------------------------------------
 
 	// Telemetry, when non-nil, instruments the whole pipeline: crawl/visit
@@ -230,6 +237,7 @@ func NewTaskManager(cfg CrawlConfig) *TaskManager {
 		tm.Storage.FaultFn = sf.StorageFault
 	}
 	tm.Storage.Observer = cfg.Recorder
+	tm.Storage.TamperFn = cfg.Tamper
 	if cfg.Stealth != nil {
 		tm.js = cfg.Stealth
 	} else if cfg.JSInstrument {

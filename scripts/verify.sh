@@ -19,6 +19,18 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
+echo "== wpmlint ./internal/... (determinism invariants)"
+go run ./cmd/wpmlint ./internal/...
+
+echo "== wpmlint self-test (fixture must fail)"
+if go run ./cmd/wpmlint ./internal/lint/testdata/src/bad >/dev/null 2>&1; then
+    echo "wpmlint passed the deliberate-violation fixture; the linter is broken" >&2
+    exit 1
+fi
+
+echo "== go test -race ./internal/analysis/... ./internal/lint/... ./internal/telemetry/..."
+go test -race ./internal/analysis/... ./internal/lint/... ./internal/telemetry/...
+
 echo "== go test -race ./..."
 go test -race ./...
 
