@@ -7,6 +7,8 @@ package gullible_test
 // BenchmarkComparisonCrawl measure the underlying crawls themselves.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -77,6 +79,35 @@ func BenchmarkScanCrawlTelemetry(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tm.VisitSite(websim.SiteURL(i%100000 + 1))
+	}
+}
+
+// BenchmarkScanWorkers measures whole-scan throughput (crawl + analysis) at
+// several sharding widths; scripts/bench_scan.sh renders the sites/s metric
+// into BENCH_scan.json. On a single-core runner the worker counts tie —
+// sharding buys wall-clock only when GOMAXPROCS grants real parallelism.
+func BenchmarkScanWorkers(b *testing.B) {
+	const sites = 500
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				world := websim.New(websim.Options{Seed: 42, NumSites: sites})
+				r, err := experiments.RunScanObserved(world, sites,
+					experiments.ScanOptions{MaxSubpages: 3, Workers: w}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Workers != w {
+					b.Fatalf("scheduler used %d workers, want %d", r.Workers, w)
+				}
+			}
+			b.ReportMetric(float64(sites)*float64(b.N)/b.Elapsed().Seconds(), "sites/s")
+		})
 	}
 }
 

@@ -5,11 +5,13 @@
 //	wpmbundle replay -in crawl.bundle.json -variant stealth -out replay.bundle.json
 //	wpmbundle diff   -a crawl.bundle.json -b replay.bundle.json
 //	wpmbundle verify -in crawl.bundle.json
+//	wpmbundle merge  -out merged.bundle.json shard0.json shard1.json ...
 //
 // record runs a crawl of the synthetic web (optionally under seeded fault
 // injection) and archives it; replay re-executes a bundle offline, possibly
 // under a variant observer configuration; diff compares two bundles per
-// visit; verify checks a bundle's integrity digest and content pool.
+// visit; verify checks a bundle's integrity digest and content pool; merge
+// combines per-shard bundles (in shard order) into one sealed archive.
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wpmbundle <record|replay|diff|verify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wpmbundle <record|replay|diff|verify|merge> [flags]")
 	os.Exit(2)
 }
 
@@ -45,6 +47,8 @@ func main() {
 		err = cmdDiff(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
 	default:
 		usage()
 	}
@@ -175,6 +179,33 @@ func cmdDiff(args []string) error {
 	if !d.Empty() {
 		os.Exit(1) // diff convention: nonzero when the inputs differ
 	}
+	return nil
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("out", "merged.bundle.json", "output bundle path")
+	fs.Parse(args)
+	parts := fs.Args()
+	if len(parts) < 1 {
+		return fmt.Errorf("at least one shard bundle path is required (in shard order)")
+	}
+	bundles := make([]*bundle.Bundle, len(parts))
+	for i, path := range parts {
+		b, err := bundle.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("shard %d (%s): %w", i, path, err)
+		}
+		bundles[i] = b
+	}
+	m, err := bundle.Merge(bundles, nil)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("%s\nwrote %s (digest %s)\n", m.Stats(), *out, m.Digest)
 	return nil
 }
 

@@ -64,6 +64,7 @@ func writeTraces(r *experiments.ReliabilityResult, path string) error {
 
 func main() {
 	sites := flag.Int("sites", 500, "number of ranked sites to crawl")
+	workers := flag.Int("workers", 0, "parallel crawl workers per run (0 = one per CPU, clamped to the site count)")
 	seed := flag.Int64("seed", 42, "world seed")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	heavy := flag.Bool("heavy", false, "use the heavy (4x) fault profile")
@@ -80,6 +81,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "crawling %d sites twice (vanilla + hardened) under fault seed %d...\n", *sites, *faultSeed)
 	r := experiments.RunReliability(*seed, *faultSeed, experiments.ReliabilityOptions{
 		NumSites:  *sites,
+		Workers:   *workers,
 		Profile:   profile,
 		Telemetry: *telemetryPath != "" || *tracePath != "",
 	})

@@ -7,8 +7,13 @@
 // -max-visit-s flag arms the per-visit watchdog, turning the scan into a
 // reliability experiment; the crawl report is printed to stderr.
 //
-// The -record-bundle flag archives the scan into an execution bundle file
-// (forcing a single worker for a totally ordered recording), and
+// The -workers flag shards the crawl across parallel workers (0 = one per
+// CPU, clamped to the site count); merged storage, report and bundle bytes
+// are identical at any worker count.
+//
+// The -record-bundle flag archives the scan into an execution bundle file —
+// each worker records its shard and the scheduler merges the shard archives
+// into one sealed bundle, so recording runs at full parallelism — and
 // -replay-bundle re-runs the scan offline from such a file, with -miss
 // selecting the policy for requests the bundle never saw.
 //
@@ -69,6 +74,7 @@ func writeTelemetry(tel *telemetry.Telemetry, metricsPath, tracePath string) {
 func main() {
 	sites := flag.Int("sites", 100000, "number of ranked sites to scan")
 	subpages := flag.Int("subpages", 3, "maximum subpages per site")
+	workers := flag.Int("workers", 0, "parallel crawl workers (0 = one per CPU, clamped to the site count)")
 	seed := flag.Int64("seed", 42, "world seed")
 	faultMode := flag.String("faults", "off", "fault profile to inject: off|default|heavy")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
@@ -81,7 +87,7 @@ func main() {
 	agreement := flag.Bool("agreement", false, "also print the per-rule static-vs-dynamic tamper agreement table")
 	flag.Parse()
 
-	opts := experiments.ScanOptions{MaxSubpages: *subpages, MaxVisitSeconds: *maxVisitS, FaultSeed: *faultSeed}
+	opts := experiments.ScanOptions{MaxSubpages: *subpages, Workers: *workers, MaxVisitSeconds: *maxVisitS, FaultSeed: *faultSeed}
 	var tel *telemetry.Telemetry
 	if *telemetryPath != "" || *tracePath != "" {
 		tel = telemetry.New()
@@ -123,7 +129,7 @@ func main() {
 	world := websim.New(websim.Options{Seed: *seed, NumSites: *sites})
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "scanning %d sites (subpages ≤ %d, faults %s)...\n", *sites, *subpages, *faultMode)
-	r := experiments.RunScanOpts(world, *sites, opts, func(done, total int) {
+	r, err := experiments.RunScanObserved(world, *sites, opts, experiments.ProgressFunc(func(done, total int) {
 		if tel.Enabled() {
 			// Live progress straight from the registry: the same counters the
 			// snapshot will report, read mid-crawl.
@@ -136,8 +142,12 @@ func main() {
 			return
 		}
 		fmt.Fprintf(os.Stderr, "  %d/%d sites (%.0fs elapsed)\n", done, total, time.Since(start).Seconds())
-	})
-	fmt.Fprintf(os.Stderr, "scan finished in %s\n\n", time.Since(start).Round(time.Second))
+	}))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scan: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "scan finished in %s (%d workers)\n\n", time.Since(start).Round(time.Second), r.Workers)
 	if tel.Enabled() {
 		writeTelemetry(tel, *telemetryPath, *tracePath)
 	}

@@ -154,6 +154,12 @@ type Visit struct {
 	// Tampers are the static tamper-analysis records stored during this
 	// visit (one per first-seen script body, findings only).
 	Tampers []openwpm.TamperRecord `json:"tampers,omitempty"`
+	// StorageWrites counts, per table, the storage fault-filter
+	// consultations this visit consumed. StorageDrops sequence numbers are
+	// bundle-global, so merging shard bundles needs these per-visit counts
+	// to renumber a shard's drops to their global positions (and a sharded
+	// replay needs them to localise the global positions back).
+	StorageWrites map[string]int `json:"storageWrites,omitempty"`
 }
 
 // Bundle is a complete archived crawl.

@@ -1,0 +1,158 @@
+package bundle
+
+import (
+	"fmt"
+	"sort"
+
+	"gullible/internal/openwpm"
+)
+
+// Merge combines per-shard bundles — recorded by parallel workers over
+// contiguous slices of one site list — into a single canonical, digest-sealed
+// archive. Parts must be given in shard order (the order their site slices
+// partition the input list) so concatenating their sites, visits and crashes
+// reconstructs the serial crawl stream exactly.
+//
+// report, when non-nil, becomes the merged bundle's crawl report; the sharded
+// scheduler passes the globally re-folded report here so the sealed bytes are
+// identical no matter how many workers recorded the crawl (summing per-shard
+// float totals in shard-completion order would not be). A nil report falls
+// back to summing the parts' reports with CrawlReport.Merge.
+//
+// StorageDrops sequence numbers are bundle-global, so each part's drops are
+// renumbered by the total per-table writes of the parts before it (from the
+// per-visit StorageWrites counts); the merged archive then replays its losses
+// correctly both serially and resharded (ReplayTransport.OffsetStorage).
+func Merge(parts []*Bundle, report *openwpm.CrawlReport) (*Bundle, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("bundle: merge of zero bundles")
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("bundle: merge part %d is nil", i)
+		}
+		if p.Manifest.Format != Format {
+			return nil, fmt.Errorf("bundle: merge part %d has format %d (want %d)", i, p.Manifest.Format, Format)
+		}
+		if p.Config != parts[0].Config {
+			return nil, fmt.Errorf("bundle: merge part %d config differs from part 0 — shards of one crawl must share a configuration", i)
+		}
+		if !sameMeta(p.Manifest.Meta, parts[0].Manifest.Meta) {
+			return nil, fmt.Errorf("bundle: merge part %d manifest meta differs from part 0", i)
+		}
+	}
+	m := &Bundle{
+		Manifest: Manifest{Format: Format, Tool: Tool, Meta: parts[0].Manifest.Meta},
+		Config:   parts[0].Config,
+	}
+	offsets := map[string]int{} // per-table global write position so far
+	for i, p := range parts {
+		m.Sites = append(m.Sites, p.Sites...)
+		m.Visits = append(m.Visits, p.Visits...)
+		m.Crashes = append(m.Crashes, p.Crashes...)
+		for sha, body := range p.Bodies {
+			if prev, ok := m.Bodies[sha]; ok && prev != body {
+				return nil, fmt.Errorf("bundle: merge part %d body pool conflicts at %s", i, sha)
+			}
+			if m.Bodies == nil {
+				m.Bodies = map[string]string{}
+			}
+			m.Bodies[sha] = body
+		}
+		writes := p.StorageWritesFor(p.Sites)
+		for table, seqs := range p.StorageDrops {
+			if len(seqs) == 0 {
+				continue
+			}
+			if max := seqs[len(seqs)-1]; max > writes[table] {
+				// drops reference write positions the per-visit counts cannot
+				// account for: an old-format part without StorageWrites
+				return nil, fmt.Errorf("bundle: merge part %d drops write %d of table %s but its visits account for only %d writes (bundle predates per-visit write counts?)", i, max, table, writes[table])
+			}
+			if m.StorageDrops == nil {
+				m.StorageDrops = map[string][]int{}
+			}
+			for _, seq := range seqs {
+				m.StorageDrops[table] = append(m.StorageDrops[table], seq+offsets[table])
+			}
+		}
+		for table, n := range writes {
+			offsets[table] += n
+		}
+	}
+	for table := range m.StorageDrops {
+		sort.Ints(m.StorageDrops[table])
+	}
+	dedupeTampers(m.Visits)
+	if report != nil {
+		m.Report = report
+	} else {
+		sum := openwpm.NewCrawlReport()
+		for _, p := range parts {
+			if p.Report != nil {
+				sum.Merge(p.Report)
+			}
+		}
+		m.Report = sum
+	}
+	if err := m.Seal(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// dedupeTampers keeps each script body's static-analysis record only on the
+// first visit (in merged order) that served the body. The storage layer
+// analyses content once per store, so every shard's recorder attaches a row
+// at its own shard-local first sighting; a serial recording attaches it at
+// the global first sighting — which is exactly the earliest surviving row
+// here, so the filtered visit stream is byte-identical to a serial one.
+func dedupeTampers(visits []Visit) {
+	seen := map[string]bool{}
+	for i := range visits {
+		if len(visits[i].Tampers) == 0 {
+			continue
+		}
+		var kept []openwpm.TamperRecord // fresh slice: parts stay unmutated
+		for _, tr := range visits[i].Tampers {
+			if !seen[tr.SHA256] {
+				seen[tr.SHA256] = true
+				kept = append(kept, tr)
+			}
+		}
+		visits[i].Tampers = kept
+	}
+}
+
+// sameMeta compares manifest label maps by value.
+func sameMeta(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// StorageWritesFor sums the per-visit storage write counts of the given
+// sites — typically a contiguous shard prefix of the bundle's site list, to
+// compute the global write offset at which the next shard starts.
+func (b *Bundle) StorageWritesFor(sites []string) map[string]int {
+	in := map[string]bool{}
+	for _, s := range sites {
+		in[s] = true
+	}
+	out := map[string]int{}
+	for _, v := range b.Visits {
+		if !in[v.Record.Site] {
+			continue
+		}
+		for table, n := range v.StorageWrites {
+			out[table] += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package bundle
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gullible/internal/openwpm"
+)
+
+// mkShard builds a minimal one-site shard bundle for merge unit tests.
+func mkShard(site string, writes map[string]int, drops map[string][]int) *Bundle {
+	return &Bundle{
+		Manifest: Manifest{Format: Format, Tool: Tool, Meta: map[string]string{"scenario": "merge-unit"}},
+		Config:   Config{OS: 1, ClientID: "merge-test"},
+		Sites:    []string{site},
+		Visits: []Visit{{
+			Record:        openwpm.VisitRecord{SiteURL: site, Site: site},
+			StorageWrites: writes,
+		}},
+		StorageDrops: drops,
+	}
+}
+
+func TestMergeRenumbersStorageDrops(t *testing.T) {
+	// shard 0: 10 js writes, dropped the 3rd; shard 1: 5 js writes, dropped
+	// its local 2nd and 4th — globally writes 12 and 14
+	a := mkShard("https://a.example/", map[string]int{"javascript": 10}, map[string][]int{"javascript": {3}})
+	b := mkShard("https://b.example/", map[string]int{"javascript": 5, "content": 2}, map[string][]int{"javascript": {2, 4}, "content": {1}})
+	m, err := Merge([]*Bundle{a, b}, nil)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got, want := m.StorageDrops["javascript"], []int{3, 12, 14}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged javascript drops = %v, want %v", got, want)
+	}
+	// content had no writes in shard 0, so shard 1's drop keeps its position
+	if got, want := m.StorageDrops["content"], []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged content drops = %v, want %v", got, want)
+	}
+	if got, want := m.Sites, []string{"https://a.example/", "https://b.example/"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged sites = %v, want %v", got, want)
+	}
+	if m.Digest == "" {
+		t.Fatal("merged bundle is unsealed")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("merged bundle fails verification: %v", err)
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if _, err := Merge(nil, nil); err == nil {
+		t.Fatal("merging zero bundles must fail")
+	}
+
+	a := mkShard("https://a.example/", nil, nil)
+	bad := mkShard("https://b.example/", nil, nil)
+	bad.Config.ClientID = "other-client"
+	if _, err := Merge([]*Bundle{a, bad}, nil); err == nil || !strings.Contains(err.Error(), "config") {
+		t.Fatalf("config mismatch must fail loudly, got %v", err)
+	}
+
+	meta := mkShard("https://b.example/", nil, nil)
+	meta.Manifest.Meta = map[string]string{"scenario": "something-else"}
+	if _, err := Merge([]*Bundle{a, meta}, nil); err == nil || !strings.Contains(err.Error(), "meta") {
+		t.Fatalf("manifest meta mismatch must fail loudly, got %v", err)
+	}
+
+	// drops referencing writes the per-visit counts cannot account for
+	// (a bundle recorded before StorageWrites existed)
+	old := mkShard("https://b.example/", nil, map[string][]int{"javascript": {2}})
+	if _, err := Merge([]*Bundle{a, old}, nil); err == nil || !strings.Contains(err.Error(), "account") {
+		t.Fatalf("unaccountable drops must fail loudly, got %v", err)
+	}
+}
+
+func TestMergeDedupesTamperRows(t *testing.T) {
+	// both shards saw the same script body and analysed it independently;
+	// the merged stream must keep only the globally-first row, like a
+	// serial recording would
+	rec := openwpm.TamperRecord{SHA256: "aa", URL: "https://cdn.example/d.js", Parsed: true,
+		Findings: []openwpm.TamperFinding{{Rule: "webdriver-probe", Line: 3}}}
+	a := mkShard("https://a.example/", nil, nil)
+	a.Visits[0].Tampers = []openwpm.TamperRecord{rec}
+	b := mkShard("https://b.example/", nil, nil)
+	b.Visits[0].Tampers = []openwpm.TamperRecord{rec}
+	m, err := Merge([]*Bundle{a, b}, nil)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got := len(m.Visits[0].Tampers); got != 1 {
+		t.Fatalf("first visit has %d tamper rows, want 1", got)
+	}
+	if got := len(m.Visits[1].Tampers); got != 0 {
+		t.Fatalf("second visit kept %d duplicate tamper rows, want 0", got)
+	}
+	// the input shards must not have been mutated
+	if len(b.Visits[0].Tampers) != 1 {
+		t.Fatal("Merge mutated an input bundle's tamper rows")
+	}
+}
+
+func TestOffsetStorageLocalisesGlobalDrops(t *testing.T) {
+	b := mkShard("https://a.example/", map[string]int{"javascript": 20}, map[string][]int{"javascript": {3, 12, 14}})
+	if err := b.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewReplayTransport(b, MissFail, nil)
+	// this worker starts after 10 global writes: its local writes 1..4 are
+	// global 11..14, so global drops 12 and 14 hit local writes 2 and 4
+	rt.OffsetStorage(map[string]int{"javascript": 10})
+	want := []bool{false, true, false, true}
+	for i, w := range want {
+		if got := rt.StorageFault("javascript"); got != w {
+			t.Fatalf("offset write %d: StorageFault = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestStorageWritesFor(t *testing.T) {
+	a := mkShard("https://a.example/", map[string]int{"javascript": 7, "content": 1}, nil)
+	b := mkShard("https://b.example/", map[string]int{"javascript": 5}, nil)
+	m, err := Merge([]*Bundle{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.StorageWritesFor([]string{"https://a.example/"})
+	if !reflect.DeepEqual(got, map[string]int{"javascript": 7, "content": 1}) {
+		t.Fatalf("StorageWritesFor(prefix) = %v", got)
+	}
+	all := m.StorageWritesFor(m.Sites)
+	if all["javascript"] != 12 {
+		t.Fatalf("StorageWritesFor(all) javascript = %d, want 12", all["javascript"])
+	}
+}

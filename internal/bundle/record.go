@@ -34,19 +34,23 @@ type Recorder struct {
 	crashes []openwpm.CrashRecord
 
 	// storage-fault archive: writeSeq counts fault-filter consultations per
-	// table; drops holds the 1-based sequence numbers that were dropped.
-	writeSeq map[string]int
-	drops    map[string][]int
+	// table; drops holds the 1-based sequence numbers that were dropped, and
+	// lastWriteSeq remembers each table's count at the previous visit row so
+	// ObserveVisit can attribute the delta to the closing visit.
+	writeSeq     map[string]int
+	drops        map[string][]int
+	lastWriteSeq map[string]int
 }
 
 // NewRecorder creates a Recorder. meta labels the bundle manifest; it must
 // be deterministic content (seeds, scenario names — never timestamps).
 func NewRecorder(meta map[string]string) *Recorder {
 	return &Recorder{
-		meta:     meta,
-		bodies:   map[string]string{},
-		writeSeq: map[string]int{},
-		drops:    map[string][]int{},
+		meta:         meta,
+		bodies:       map[string]string{},
+		writeSeq:     map[string]int{},
+		drops:        map[string][]int{},
+		lastWriteSeq: map[string]int{},
 	}
 }
 
@@ -125,18 +129,37 @@ func (t *recorderTransport) StorageFault(table string) bool {
 // previous visit row rode along with this one.
 func (r *Recorder) ObserveVisit(rec openwpm.VisitRecord) {
 	r.visits = append(r.visits, Visit{
-		Record:    rec,
-		Exchanges: r.pendingExchanges,
-		JSCalls:   r.pendingJSCalls,
-		Cookies:   r.pendingCookies,
-		Scripts:   r.pendingScripts,
-		Tampers:   r.pendingTampers,
+		Record:        rec,
+		Exchanges:     r.pendingExchanges,
+		JSCalls:       r.pendingJSCalls,
+		Cookies:       r.pendingCookies,
+		Scripts:       r.pendingScripts,
+		Tampers:       r.pendingTampers,
+		StorageWrites: r.visitWrites(),
 	})
 	r.pendingExchanges = nil
 	r.pendingJSCalls = nil
 	r.pendingCookies = nil
 	r.pendingScripts = nil
 	r.pendingTampers = nil
+}
+
+// visitWrites snapshots the per-table fault-filter consultations consumed
+// since the previous visit row; nil when the visit wrote nothing.
+func (r *Recorder) visitWrites() map[string]int {
+	var out map[string]int
+	for table, seq := range r.writeSeq {
+		d := seq - r.lastWriteSeq[table]
+		if d == 0 {
+			continue
+		}
+		if out == nil {
+			out = map[string]int{}
+		}
+		out[table] = d
+		r.lastWriteSeq[table] = seq
+	}
+	return out
 }
 
 // ObserveCrash archives a browser-restart row (crashes happen mid-visit, so

@@ -194,6 +194,25 @@ func (t *ReplayTransport) RoundTrip(req *httpsim.Request) (*httpsim.Response, er
 	return resp, nil
 }
 
+// OffsetStorage pre-positions the storage-fault replay state as if offset
+// writes per table had already happened. A merged bundle's StorageDrops use
+// crawl-global write positions; a sharded replay gives each worker its own
+// transport and offsets it by the total writes of the shards before it
+// (Bundle.StorageWritesFor over the preceding sites), so every worker drops
+// exactly the writes its slice of the crawl lost. Call before the first
+// request; a serial replay needs no offset.
+func (t *ReplayTransport) OffsetStorage(offset map[string]int) {
+	for table, n := range offset {
+		t.dropSeq[table] = n
+		drops := t.bundle.StorageDrops[table]
+		c := 0
+		for c < len(drops) && drops[c] <= n {
+			c++
+		}
+		t.dropCursor[table] = c
+	}
+}
+
 // StorageFault replays the recorded storage-drop sequence: the n-th write
 // to a table is dropped on replay exactly when it was dropped during
 // recording.

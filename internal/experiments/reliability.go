@@ -7,6 +7,7 @@ import (
 	"gullible/internal/httpsim"
 	"gullible/internal/jsdom"
 	"gullible/internal/openwpm"
+	"gullible/internal/sched"
 	"gullible/internal/telemetry"
 	"gullible/internal/websim"
 )
@@ -36,6 +37,10 @@ type ReliabilityResult struct {
 type ReliabilityOptions struct {
 	NumSites int
 	Profile  faults.Profile
+	// Workers is the parallel worker count per run, clamped by
+	// sched.Workers (zero means GOMAXPROCS). Each shard gets its own
+	// injector and a proportional slice of the crawl-time budget.
+	Workers int
 	// DwellSeconds per page (default 5 — reliability runs don't need the
 	// paper's full 60 s dwell).
 	DwellSeconds float64
@@ -71,34 +76,47 @@ func RunReliability(worldSeed, faultSeed int64, opts ReliabilityOptions) *Reliab
 
 	run := func(hardened bool) (*openwpm.CrawlReport, []telemetry.SpanEvent, map[string]int) {
 		world := websim.New(websim.Options{Seed: worldSeed, NumSites: opts.NumSites, AvailabilityAttacks: true})
-		inj := faults.NewInjector(faultSeed, opts.Profile, world)
-		inj.RankOf = func(u string) int { return websim.RankOf(httpsim.Host(u)) }
 		var tel *telemetry.Telemetry
 		if opts.Telemetry {
 			// one registry per run: vanilla and hardened metrics must not mix
 			tel = telemetry.New()
-			inj.SetTelemetry(tel)
 		}
-		cfg := openwpm.CrawlConfig{
-			OS: jsdom.Ubuntu, Mode: jsdom.Regular,
-			Transport: inj, ClientID: "reliability-client",
-			DwellSeconds:   opts.DwellSeconds,
-			HTTPInstrument: true, CookieInstrument: true,
-			MaxCrawlSeconds: float64(opts.NumSites) * opts.CrawlSecondsPerSite,
-			Telemetry:       tel,
+		res, err := sched.Run(sched.Crawl{
+			Sites:     websim.Tranco(opts.NumSites),
+			Workers:   opts.Workers,
+			Telemetry: tel,
+			Config: func(sh sched.Shard) openwpm.CrawlConfig {
+				// per-shard injector (same seed: fault decisions hash per
+				// URL) and a budget slice proportional to the shard's size
+				inj := faults.NewInjector(faultSeed, opts.Profile, world)
+				inj.RankOf = func(u string) int { return websim.RankOf(httpsim.Host(u)) }
+				inj.SetTelemetry(tel)
+				cfg := openwpm.CrawlConfig{
+					OS: jsdom.Ubuntu, Mode: jsdom.Regular,
+					Transport: inj, ClientID: "reliability-client",
+					DwellSeconds:   opts.DwellSeconds,
+					HTTPInstrument: true, CookieInstrument: true,
+					MaxCrawlSeconds: float64(len(sh.Sites)) * opts.CrawlSecondsPerSite,
+					Telemetry:       tel,
+				}
+				if hardened {
+					cfg = cfg.Hardened()
+				} else {
+					cfg.BlindRetry = true
+				}
+				return cfg
+			},
+		})
+		if err != nil {
+			// sched.Run only fails on record-mode archive merges and resume
+			// validation, neither of which this crawl uses
+			panic(err)
 		}
-		if hardened {
-			cfg = cfg.Hardened()
-		} else {
-			cfg.BlindRetry = true
-		}
-		tm := openwpm.NewTaskManager(cfg)
-		rep := tm.Crawl(websim.Tranco(opts.NumSites))
 		var trace []telemetry.SpanEvent
 		if tel.Enabled() {
 			trace = tel.Spans.Events()
 		}
-		return rep, trace, inj.CountsByName()
+		return res.Report, trace, res.FaultKinds
 	}
 
 	vanilla, vtrace, _ := run(false)

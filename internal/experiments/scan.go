@@ -1,10 +1,7 @@
 package experiments
 
 import (
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"gullible/internal/analysis"
 	"gullible/internal/bundle"
@@ -12,6 +9,7 @@ import (
 	"gullible/internal/httpsim"
 	"gullible/internal/jsdom"
 	"gullible/internal/openwpm"
+	"gullible/internal/sched"
 	"gullible/internal/telemetry"
 	"gullible/internal/websim"
 )
@@ -77,6 +75,9 @@ type ScanResult struct {
 	// Metrics is the final telemetry snapshot when the scan ran with
 	// ScanOptions.Telemetry (nil otherwise).
 	Metrics *telemetry.Snapshot
+	// Workers is the effective (clamped) parallel worker count the
+	// scheduler used for the crawl.
+	Workers int
 }
 
 // scanCrawlConfig is the Sec. 4 crawler configuration.
@@ -100,6 +101,10 @@ func scanCrawlConfig(world *websim.World, maxSubpages int) openwpm.CrawlConfig {
 type ScanOptions struct {
 	MaxSubpages int
 
+	// Workers is the parallel worker count, clamped by sched.Workers: zero
+	// means GOMAXPROCS, and a crawl never gets more workers than sites.
+	Workers int
+
 	// FaultProfile, when non-nil, wraps the world in a per-worker seeded
 	// fault injector.
 	FaultProfile *faults.Profile
@@ -110,9 +115,10 @@ type ScanOptions struct {
 	MaxRetries       int
 	BreakerThreshold int
 
-	// RecordBundle archives the scan into an execution bundle. Recording
-	// forces a single worker: a bundle is a totally ordered exchange
-	// stream, which sharding would interleave.
+	// RecordBundle archives the scan into an execution bundle. Each worker
+	// records its own shard and the scheduler merges the shard bundles into
+	// one sealed archive — recording no longer forces a single worker, and
+	// the merged bundle's digest is identical at any worker count.
 	RecordBundle bool
 	// BundleMeta labels the recorded bundle's manifest (seeds, scenario
 	// names — deterministic content only).
@@ -143,110 +149,79 @@ func RunScan(world *websim.World, numSites, maxSubpages int, progress func(done,
 }
 
 // RunScanOpts is RunScan with fault injection and hardening options; the
-// legacy callback signature adapts onto RunScanObserved.
+// legacy callback signature adapts onto RunScanObserved. Callers that record
+// bundles should use RunScanObserved directly — this wrapper has no error
+// path, so an archive-layer failure (bundle finalisation or merge) panics.
 func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress func(done, total int)) *ScanResult {
-	return RunScanObserved(world, numSites, opts, ProgressFunc(progress))
-}
-
-// RunScanObserved is the primary scan entry point: progress flows through a
-// ProgressObserver and, when opts.Telemetry is set, through the registry's
-// progress gauges updated on every visit. Each worker gets its own injector
-// (same seed) so fault sequencing stays deterministic within a worker's
-// shard.
-func RunScanObserved(world *websim.World, numSites int, opts ScanOptions, obs ProgressObserver) *ScanResult {
-	urls := websim.Tranco(numSites)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(urls) || opts.RecordBundle {
-		workers = 1
-	}
-	injectors := make([]*faults.Injector, workers)
-	recorders := make([]*bundle.Recorder, workers)
-	workerConfig := func(w int) openwpm.CrawlConfig {
-		cfg := scanCrawlConfig(world, opts.MaxSubpages)
-		cfg.MaxVisitSeconds = opts.MaxVisitSeconds
-		if opts.MaxRetries > 0 {
-			cfg.MaxRetries = opts.MaxRetries
-		}
-		cfg.BreakerThreshold = opts.BreakerThreshold
-		switch {
-		case opts.ReplayBundle != nil:
-			// offline re-analysis: serve the archived crawl; the recorded
-			// faults (errors and storage drops) replay with it, so a live
-			// injector on top would double-fault
-			cfg.Transport = bundle.NewReplayTransport(opts.ReplayBundle, opts.MissPolicy, nil)
-		case opts.FaultProfile != nil:
-			inj := faults.NewInjector(opts.FaultSeed, *opts.FaultProfile, world)
-			inj.RankOf = func(u string) int { return websim.RankOf(httpsim.Host(u)) }
-			inj.SetTelemetry(opts.Telemetry)
-			cfg.Transport = inj
-			injectors[w] = inj
-		}
-		if opts.RecordBundle {
-			recorders[w] = bundle.NewRecorder(opts.BundleMeta)
-			cfg.Recorder = recorders[w]
-		}
-		cfg.Telemetry = opts.Telemetry
-		return cfg
-	}
-	storages := make([]*openwpm.Storage, workers)
-	reports := make([]*openwpm.CrawlReport, workers)
-	tms := make([]*openwpm.TaskManager, workers)
-	gDone := opts.Telemetry.Gauge("crawl_progress_done")
-	opts.Telemetry.Gauge("crawl_progress_total").Set(int64(len(urls)))
-	var done atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			tm := openwpm.NewTaskManager(workerConfig(w))
-			rep := openwpm.NewCrawlReport()
-			for i := w; i < len(urls); i += workers {
-				sv, err := tm.VisitSite(urls[i])
-				rep.Absorb(sv, err)
-				n := done.Add(1)
-				gDone.Set(n)
-				if obs != nil && n%1000 == 0 {
-					obs.OnProgress(int(n), len(urls))
-				}
-			}
-			rep.DroppedWrites = tm.Storage.DroppedTotal()
-			storages[w] = tm.Storage
-			reports[w] = rep
-			tms[w] = tm
-		}(w)
-	}
-	wg.Wait()
-	merged := openwpm.NewTaskManager(scanCrawlConfig(world, opts.MaxSubpages))
-	report := openwpm.NewCrawlReport()
-	for w := range storages {
-		merged.Storage.Merge(storages[w])
-		report.Merge(reports[w])
-	}
-	r := Analyze(world, merged, numSites)
-	r.Report = report
-	if opts.Telemetry.Enabled() {
-		// snapshot once, after every worker finished: the workers share one
-		// registry, so per-worker snapshots would multiply-count the crawl.
-		// Attached before bundle finalisation so recorded bundles embed it.
-		r.Metrics = opts.Telemetry.Snapshot()
-		report.Metrics = r.Metrics
-	}
-	if opts.RecordBundle && recorders[0] != nil {
-		if b, err := recorders[0].Finalize(tms[0].Cfg, urls, report); err == nil {
-			r.Bundle = b
-		}
-	}
-	r.FaultKinds = map[string]int{}
-	for _, inj := range injectors {
-		if inj == nil {
-			continue
-		}
-		for k, n := range inj.CountsByName() {
-			r.FaultKinds[k] += n
-		}
+	r, err := RunScanObserved(world, numSites, opts, ProgressFunc(progress))
+	if err != nil {
+		panic(err)
 	}
 	return r
+}
+
+// RunScanObserved is the primary scan entry point: the crawl is sharded
+// across opts.Workers parallel TaskManagers by the scheduler (contiguous
+// rank slices, merged back in shard order), progress flows through a
+// ProgressObserver — intermediate ticks every 1000 sites plus always a final
+// (total, total) event — and, when opts.Telemetry is set, through the
+// registry's progress gauges updated on every visit. Each worker gets its
+// own injector (same seed), recorder and replay cursor, so fault sequencing,
+// recording and replay all stay deterministic per shard; merged storage,
+// report and bundle bytes are identical at any worker count.
+func RunScanObserved(world *websim.World, numSites int, opts ScanOptions, obs ProgressObserver) (*ScanResult, error) {
+	urls := websim.Tranco(numSites)
+	crawl := sched.Crawl{
+		Sites:      urls,
+		Workers:    opts.Workers,
+		Record:     opts.RecordBundle,
+		BundleMeta: opts.BundleMeta,
+		Telemetry:  opts.Telemetry,
+		Config: func(sh sched.Shard) openwpm.CrawlConfig {
+			cfg := scanCrawlConfig(world, opts.MaxSubpages)
+			cfg.MaxVisitSeconds = opts.MaxVisitSeconds
+			if opts.MaxRetries > 0 {
+				cfg.MaxRetries = opts.MaxRetries
+			}
+			cfg.BreakerThreshold = opts.BreakerThreshold
+			switch {
+			case opts.ReplayBundle != nil:
+				// offline re-analysis: serve the archived crawl; the recorded
+				// faults (errors and storage drops) replay with it, so a live
+				// injector on top would double-fault. The shard's transport is
+				// offset by the preceding shards' write totals so the
+				// bundle-global storage-drop positions localise correctly.
+				rt := bundle.NewReplayTransport(opts.ReplayBundle, opts.MissPolicy, nil)
+				if sh.Start > 0 {
+					rt.OffsetStorage(opts.ReplayBundle.StorageWritesFor(urls[:sh.Start]))
+				}
+				cfg.Transport = rt
+			case opts.FaultProfile != nil:
+				inj := faults.NewInjector(opts.FaultSeed, *opts.FaultProfile, world)
+				inj.RankOf = func(u string) int { return websim.RankOf(httpsim.Host(u)) }
+				inj.SetTelemetry(opts.Telemetry)
+				cfg.Transport = inj
+			}
+			cfg.Telemetry = opts.Telemetry
+			return cfg
+		},
+	}
+	if obs != nil {
+		crawl.OnProgress = obs.OnProgress
+	}
+	res, err := sched.Run(crawl)
+	if err != nil {
+		return nil, err
+	}
+	merged := openwpm.NewTaskManager(scanCrawlConfig(world, opts.MaxSubpages))
+	merged.Storage = res.Storage
+	r := Analyze(world, merged, numSites)
+	r.Report = res.Report
+	r.Metrics = res.Metrics
+	r.Bundle = res.Bundle
+	r.FaultKinds = res.FaultKinds
+	r.Workers = res.Workers
+	return r, nil
 }
 
 // Analyze derives the scan classifications from a completed crawl.

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"gullible/internal/bundle"
+	"gullible/internal/faults"
+	"gullible/internal/websim"
+)
+
+// TestScanAlwaysReportsCompletion: the old progress loop only fired on
+// n%1000 == 0, so any scan whose size wasn't a multiple of 1000 never
+// reported completion. Every scan must end with exactly one (total, total)
+// event.
+func TestScanAlwaysReportsCompletion(t *testing.T) {
+	const n = 30
+	world := websim.New(websim.Options{Seed: 7, NumSites: n})
+	var mu sync.Mutex
+	var events [][2]int
+	_, err := RunScanObserved(world, n, ScanOptions{MaxSubpages: 1, Workers: 2},
+		ProgressFunc(func(done, total int) {
+			mu.Lock()
+			events = append(events, [2]int{done, total})
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatalf("RunScanObserved: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("scan reported no progress at all")
+	}
+	finals := 0
+	for _, ev := range events {
+		if ev == [2]int{n, n} {
+			finals++
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("scan reported completion %d times in %v, want exactly once", finals, events)
+	}
+	if events[len(events)-1] != [2]int{n, n} {
+		t.Fatalf("last progress event is %v, want (%d, %d)", events[len(events)-1], n, n)
+	}
+}
+
+// TestScanWorkersClampToSites: requesting more workers than sites must clamp
+// to the site count, not collapse to a single worker.
+func TestScanWorkersClampToSites(t *testing.T) {
+	world := websim.New(websim.Options{Seed: 7, NumSites: 5})
+	r, err := RunScanObserved(world, 5, ScanOptions{MaxSubpages: 1, Workers: 8}, nil)
+	if err != nil {
+		t.Fatalf("RunScanObserved: %v", err)
+	}
+	if r.Workers != 5 {
+		t.Fatalf("scan of 5 sites with 8 requested workers used %d, want 5", r.Workers)
+	}
+}
+
+// TestShardedRecordReplayMatchesSerial is the PR's acceptance scenario:
+// recording with four workers yields a merged archive whose storage digest
+// matches the serial run's, and replaying that archive — serially or
+// resharded — reproduces the same JS tallies and digest byte for byte.
+func TestShardedRecordReplayMatchesSerial(t *testing.T) {
+	const n = 40
+	meta := map[string]string{"scenario": "sched-scan"}
+	scan := func(opts ScanOptions) *ScanResult {
+		world := websim.New(websim.Options{Seed: 13, NumSites: n})
+		r, err := RunScanObserved(world, n, opts, nil)
+		if err != nil {
+			t.Fatalf("RunScanObserved(workers=%d): %v", opts.Workers, err)
+		}
+		return r
+	}
+
+	serial := scan(ScanOptions{MaxSubpages: 1, Workers: 1, RecordBundle: true, BundleMeta: meta})
+	digest := serial.Storage.Digest()
+	jsCalls := len(serial.Storage.JSCalls)
+
+	sharded := scan(ScanOptions{MaxSubpages: 1, Workers: 4, RecordBundle: true, BundleMeta: meta})
+	if sharded.Workers != 4 {
+		t.Fatalf("sharded scan used %d workers, want 4", sharded.Workers)
+	}
+	if got := sharded.Storage.Digest(); got != digest {
+		t.Fatalf("sharded storage digest %s differs from serial %s", got, digest)
+	}
+	if serial.Report.String() != sharded.Report.String() {
+		t.Fatalf("sharded report diverges from serial:\nserial:\n%s\nsharded:\n%s",
+			serial.Report, sharded.Report)
+	}
+	if serial.Bundle.Digest != sharded.Bundle.Digest {
+		t.Fatalf("merged bundle digest %s differs from serial recording %s",
+			sharded.Bundle.Digest, serial.Bundle.Digest)
+	}
+	if err := sharded.Bundle.Verify(); err != nil {
+		t.Fatalf("merged bundle fails verification: %v", err)
+	}
+
+	// serial replay of the 4-worker merged archive
+	_, tm, rt := bundle.ReplayCrawl(sharded.Bundle, bundle.MissFail, nil)
+	if rt.Misses != 0 {
+		t.Fatalf("serial replay of merged bundle missed %d requests", rt.Misses)
+	}
+	if got := tm.Storage.Digest(); got != digest {
+		t.Fatalf("serial replay digest %s differs from recording %s", got, digest)
+	}
+	if got := len(tm.Storage.JSCalls); got != jsCalls {
+		t.Fatalf("serial replay recorded %d JS calls, recording had %d", got, jsCalls)
+	}
+
+	// resharded replay: 3 workers over a bundle recorded at 4
+	world := websim.New(websim.Options{Seed: 13, NumSites: n})
+	replayed, err := RunScanObserved(world, n, ScanOptions{
+		MaxSubpages: 1, Workers: 3,
+		ReplayBundle: sharded.Bundle, MissPolicy: bundle.MissFail,
+	}, nil)
+	if err != nil {
+		t.Fatalf("resharded replay: %v", err)
+	}
+	if got := replayed.Storage.Digest(); got != digest {
+		t.Fatalf("resharded replay digest %s differs from recording %s", got, digest)
+	}
+	if got := len(replayed.Storage.JSCalls); got != jsCalls {
+		t.Fatalf("resharded replay recorded %d JS calls, recording had %d", got, jsCalls)
+	}
+}
+
+// TestShardedReplayLocalisesStorageDrops: storage-fault drop positions are
+// bundle-global write sequence numbers; a sharded replay must offset each
+// shard's cursor by the preceding shards' write totals so every drop lands on
+// the same write it hit during recording.
+func TestShardedReplayLocalisesStorageDrops(t *testing.T) {
+	const n = 30
+	profile := faults.Profile{StoragePerMille: 150}
+	world := websim.New(websim.Options{Seed: 21, NumSites: n})
+	rec, err := RunScanObserved(world, n, ScanOptions{
+		MaxSubpages: 1, Workers: 2,
+		FaultProfile: &profile, FaultSeed: 9,
+		RecordBundle: true, BundleMeta: map[string]string{"scenario": "storage-faults"},
+	}, nil)
+	if err != nil {
+		t.Fatalf("recording scan: %v", err)
+	}
+	if rec.Report.DroppedWrites == 0 {
+		t.Fatal("storage-fault profile injected no drops — test exercises nothing")
+	}
+	digest := rec.Storage.Digest()
+
+	// serial replay reproduces the drops at their global positions
+	_, tm, _ := bundle.ReplayCrawl(rec.Bundle, bundle.MissFail, nil)
+	if got := tm.Storage.Digest(); got != digest {
+		t.Fatalf("serial replay digest %s differs from faulted recording %s", got, digest)
+	}
+
+	// sharded replay at a worker count different from the recording's
+	world2 := websim.New(websim.Options{Seed: 21, NumSites: n})
+	replayed, err := RunScanObserved(world2, n, ScanOptions{
+		MaxSubpages: 1, Workers: 3,
+		ReplayBundle: rec.Bundle, MissPolicy: bundle.MissFail,
+	}, nil)
+	if err != nil {
+		t.Fatalf("sharded replay: %v", err)
+	}
+	if got := replayed.Storage.Digest(); got != digest {
+		t.Fatalf("sharded replay digest %s differs from faulted recording %s", got, digest)
+	}
+	if got := replayed.Report.DroppedWrites; got != rec.Report.DroppedWrites {
+		t.Fatalf("sharded replay dropped %d writes, recording dropped %d", got, rec.Report.DroppedWrites)
+	}
+}

@@ -389,6 +389,13 @@ func (tm *TaskManager) VisitSite(url string) (*SiteVisit, error) {
 
 // visitSite is VisitSite without the telemetry envelope.
 func (tm *TaskManager) visitSite(url string) (*SiteVisit, error) {
+	// Window numbering restarts at every site: window geometry derives from
+	// the browser index (jsdom.StandardConfig offsets screenX per window), so
+	// a crawl-global counter would leak the site's position in the crawl into
+	// JS-visible state. A site's records must be a pure function of
+	// (site, config, seed) for sharded and serial crawls to store identical
+	// bytes; restarts within the site still advance the index.
+	tm.browserNo = 0
 	bm := &BrowserManager{tm: tm, site: url}
 	sv := &SiteVisit{Site: url}
 	finish := func() {
@@ -507,42 +514,82 @@ func NewCrawlReport() *CrawlReport {
 	return &CrawlReport{ErrorClasses: map[string]int{}}
 }
 
+// SiteOutcome is the compact, retained-nothing summary of one site's crawl
+// outcome: exactly the fields CrawlReport accounting needs, without holding
+// the visit's page results alive. The sharded scheduler streams per-shard
+// outcomes and re-folds them in global site order — float sums are
+// order-sensitive, so only a fixed fold order makes a merged report
+// bit-identical across worker counts.
+type SiteOutcome struct {
+	Site     string
+	Subpages int
+	Restarts int
+
+	PageErrors    int
+	CircuitBroken bool
+	Salvaged      bool
+	Failed        bool
+	// Skipped marks a site the crawl never reached (budget exhaustion): it
+	// is accounted but contributes no page visits or virtual time.
+	Skipped    bool
+	ErrorClass string
+
+	VirtualSeconds float64
+	BackoffSeconds float64
+}
+
+// OutcomeOf summarises a completed VisitSite call.
+func OutcomeOf(sv *SiteVisit, err error) SiteOutcome {
+	return SiteOutcome{
+		Site:           sv.Site,
+		Subpages:       len(sv.Subpages),
+		Restarts:       sv.Restarts,
+		PageErrors:     sv.PageErrors,
+		CircuitBroken:  sv.CircuitBroken,
+		Salvaged:       sv.Salvaged,
+		Failed:         err != nil,
+		ErrorClass:     sv.ErrorClass,
+		VirtualSeconds: sv.VirtualSeconds,
+		BackoffSeconds: sv.BackoffSeconds,
+	}
+}
+
 // Absorb folds one site outcome into the report.
 func (r *CrawlReport) Absorb(sv *SiteVisit, err error) {
+	r.AbsorbOutcome(OutcomeOf(sv, err))
+}
+
+// AbsorbOutcome folds one compact site outcome into the report. Every site
+// lands in exactly one of Completed, Salvaged, Failed or Skipped.
+func (r *CrawlReport) AbsorbOutcome(o SiteOutcome) {
 	if r.ErrorClasses == nil {
 		// tolerate zero-value reports (&CrawlReport{}), not just NewCrawlReport
 		r.ErrorClasses = map[string]int{}
 	}
 	r.Sites++
-	r.Restarts += sv.Restarts
-	r.PageVisits += 1 + len(sv.Subpages) + sv.PageErrors
-	r.PageErrors += sv.PageErrors
-	r.VirtualSeconds += sv.VirtualSeconds
-	r.BackoffSeconds += sv.BackoffSeconds
-	if sv.CircuitBroken {
+	if o.ErrorClass != "" {
+		r.ErrorClasses[o.ErrorClass]++
+	}
+	if o.Skipped {
+		r.Skipped++
+		return
+	}
+	r.Restarts += o.Restarts
+	r.PageVisits += 1 + o.Subpages + o.PageErrors
+	r.PageErrors += o.PageErrors
+	r.VirtualSeconds += o.VirtualSeconds
+	r.BackoffSeconds += o.BackoffSeconds
+	if o.CircuitBroken {
 		r.CircuitBroken++
 	}
-	if sv.ErrorClass != "" {
-		r.ErrorClasses[sv.ErrorClass]++
-	}
 	switch {
-	case err != nil:
+	case o.Failed:
 		r.Failed++
-	case sv.Salvaged:
+	case o.Salvaged:
 		r.Salvaged++
 	default:
 		r.Completed++
 	}
-}
-
-// absorbSkipped records a site the crawl never reached.
-func (r *CrawlReport) absorbSkipped() {
-	if r.ErrorClasses == nil {
-		r.ErrorClasses = map[string]int{}
-	}
-	r.Sites++
-	r.Skipped++
-	r.ErrorClasses[crawlBudgetClass]++
 }
 
 // Merge folds another report into r (sharded crawls). The receiver may be a
@@ -643,9 +690,27 @@ func (tm *TaskManager) Crawl(urls []string) *CrawlReport {
 	return tm.CrawlFrom(urls, &Checkpoint{})
 }
 
+// CrawlHooks lets a scheduler observe and steer a crawl at site
+// granularity without owning the loop.
+type CrawlHooks struct {
+	// OnSite is called after each site is accounted (visited or
+	// budget-skipped), with the checkpoint already advanced past it.
+	OnSite func(SiteOutcome)
+	// Stop, when non-nil, is polled before each site; returning true ends
+	// the crawl at the site boundary, leaving the checkpoint resumable.
+	Stop func() bool
+}
+
 // CrawlFrom continues a crawl from a checkpoint, updating it after every
 // site so callers can persist progress and survive interruption.
 func (tm *TaskManager) CrawlFrom(urls []string, cp *Checkpoint) *CrawlReport {
+	return tm.CrawlFromHooked(urls, cp, CrawlHooks{})
+}
+
+// CrawlFromHooked is CrawlFrom with per-site hooks — the primitive under the
+// sharded scheduler (package sched): each worker runs one of these over its
+// shard, streaming outcomes out and polling for cooperative interruption.
+func (tm *TaskManager) CrawlFromHooked(urls []string, cp *Checkpoint, h CrawlHooks) *CrawlReport {
 	if cp.Report == nil {
 		cp.Report = NewCrawlReport()
 	}
@@ -657,11 +722,16 @@ func (tm *TaskManager) CrawlFrom(urls []string, cp *Checkpoint) *CrawlReport {
 	}
 	dropped0 := tm.Storage.DroppedTotal()
 	for cp.Done < len(urls) {
+		if h.Stop != nil && h.Stop() {
+			break
+		}
 		u := urls[cp.Done]
+		var o SiteOutcome
 		if tm.Cfg.MaxCrawlSeconds > 0 && r.VirtualSeconds+r.BackoffSeconds >= tm.Cfg.MaxCrawlSeconds {
 			// out of crawl budget: account for the site instead of dropping it
 			tm.recordVisit(u, u, nil, false, errCrawlBudget, visitMeta{class: crawlBudgetClass})
-			r.absorbSkipped()
+			o = SiteOutcome{Site: u, Skipped: true, ErrorClass: crawlBudgetClass}
+			r.AbsorbOutcome(o)
 			if m := tm.meters; m != nil {
 				m.skipped.Inc()
 				m.budgetSkips.Inc()
@@ -669,12 +739,15 @@ func (tm *TaskManager) CrawlFrom(urls []string, cp *Checkpoint) *CrawlReport {
 			if tel.Enabled() {
 				tel.Event(telemetry.LevelWarn, "budget-skip", tm.virtualMS, telemetry.L("site", u))
 			}
-			cp.Done++
-			continue
+		} else {
+			sv, err := tm.VisitSite(u)
+			o = OutcomeOf(sv, err)
+			r.AbsorbOutcome(o)
 		}
-		sv, err := tm.VisitSite(u)
-		r.Absorb(sv, err)
 		cp.Done++
+		if h.OnSite != nil {
+			h.OnSite(o)
+		}
 	}
 	r.DroppedWrites += tm.Storage.DroppedTotal() - dropped0
 	if tel.Enabled() {

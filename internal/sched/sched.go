@@ -1,0 +1,386 @@
+// Package sched implements the sharded crawl scheduler: a deterministic
+// site→shard partitioner, a pool of per-shard TaskManagers (each with its own
+// transport, recorder and checkpoint), and a merge stage that recombines the
+// shards' storages, reports, telemetry and execution bundles into results
+// that are byte-identical no matter how many workers ran the crawl.
+//
+// The determinism contract the scheduler maintains:
+//
+//   - Partitioning is contiguous: shard i covers sites [start, start+len) of
+//     the input list, so concatenating shard outputs in shard order
+//     reconstructs the serial visit order exactly (round-robin would not).
+//   - Per-site work is position-independent: a site's records are a pure
+//     function of (site, configuration, seed) — the openwpm layer restarts
+//     window numbering per site, fault decisions are hashed per URL, and the
+//     shared telemetry registry is commutative (atomic counters, integer
+//     histogram sums).
+//   - Report folding is order-fixed: float totals are summed by re-folding
+//     per-site outcomes in global site order, never by adding per-shard
+//     subtotals (float addition is not associative).
+//
+// The one documented exception is storage-fault injection (faults.Profile
+// StoragePerMille): live drop decisions key on a global per-table write
+// sequence, so which writes are lost depends on how the crawl was sharded.
+// Replays are exempt — a merged bundle archives its drops at global write
+// positions, and resharded replays localise them with per-visit write counts.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gullible/internal/bundle"
+	"gullible/internal/openwpm"
+	"gullible/internal/telemetry"
+)
+
+// Shard is one worker's slice of the crawl: a contiguous run of the input
+// site list starting at global index Start.
+type Shard struct {
+	Index int
+	Start int
+	Sites []string
+}
+
+// Partition splits sites into n contiguous shards whose sizes differ by at
+// most one (the first len(sites)%n shards take the extra site). n is clamped
+// to [1, len(sites)] — except that an empty site list yields one empty shard.
+func Partition(sites []string, n int) []Shard {
+	n = Workers(n, len(sites))
+	shards := make([]Shard, 0, n)
+	base, extra := 0, 0
+	if n > 0 {
+		base, extra = len(sites)/n, len(sites)%n
+	}
+	start := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		shards = append(shards, Shard{Index: i, Start: start, Sites: sites[start : start+size]})
+		start += size
+	}
+	return shards
+}
+
+// Workers clamps a requested worker count: zero or negative means
+// GOMAXPROCS, and a crawl never gets more workers than it has sites. The
+// clamp is to len(sites), not to one — the pre-scheduler scan collapsed to a
+// single worker whenever workers exceeded sites, serialising small crawls on
+// big machines.
+func Workers(requested, sites int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > sites {
+		w = sites
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Crawl configures one scheduled crawl.
+type Crawl struct {
+	// Sites is the input URL list in global (rank) order.
+	Sites []string
+	// Workers is the requested worker count, clamped by Workers(). Zero
+	// means GOMAXPROCS.
+	Workers int
+	// Config builds a worker's crawl configuration for its shard. It is
+	// called once per shard per run (again on resume) from the worker
+	// goroutine; per-worker state (fault injectors, replay transports) must
+	// be constructed here, not shared. Recorder is attached by the
+	// scheduler — leave it nil.
+	Config func(Shard) openwpm.CrawlConfig
+	// Record archives each shard under its own bundle recorder and merges
+	// the shard bundles into one sealed archive (Result.Bundle).
+	Record bool
+	// BundleMeta labels the merged bundle's manifest (deterministic content
+	// only — seeds and scenario names, never timestamps).
+	BundleMeta map[string]string
+	// Telemetry, when non-nil, is the registry shared by every worker; the
+	// scheduler keeps the crawl_progress_done/_total gauges current and
+	// snapshots it into Result.Metrics after the merge barrier.
+	Telemetry *telemetry.Telemetry
+	// OnProgress receives crawl progress: a tick every ProgressEvery sites
+	// plus always one final (total, total) call when the crawl completes.
+	// It is invoked from worker goroutines and must be safe for concurrent
+	// use.
+	OnProgress func(done, total int)
+	// ProgressEvery is the intermediate progress granularity in sites
+	// (default 1000).
+	ProgressEvery int
+	// Stop, when non-nil, interrupts the crawl cooperatively: once closed,
+	// every worker stops at its next site boundary and Run returns an
+	// Interrupted result whose Checkpoint resumes the crawl.
+	Stop <-chan struct{}
+	// Resume continues an interrupted run. The checkpoint must come from a
+	// Run over the same site list with the same worker count; completed
+	// sites are not revisited.
+	Resume *Checkpoint
+}
+
+// ShardState is one shard's resumable progress: the inner openwpm checkpoint
+// (sites done, per-shard report), the outcome stream for global re-folding,
+// and the shard's accumulated storage, recorder and fault tallies.
+type ShardState struct {
+	Shard      Shard
+	Checkpoint *openwpm.Checkpoint
+	Outcomes   []openwpm.SiteOutcome
+	Storage    *openwpm.Storage
+	Recorder   *bundle.Recorder
+	FaultKinds map[string]int
+
+	// cfg is the effective (defaulted) configuration of the shard's most
+	// recent TaskManager, kept for bundle finalisation.
+	cfg      openwpm.CrawlConfig
+	cfgValid bool
+}
+
+// Checkpoint is a whole scheduled crawl's resumable state: one ShardState
+// per worker. It is an in-process handle — storages and recorders are live
+// objects — so resumption means passing it back to Run in the same process.
+type Checkpoint struct {
+	Workers int
+	Shards  []*ShardState
+}
+
+// Done is the number of sites completed across all shards.
+func (cp *Checkpoint) Done() int {
+	n := 0
+	for _, st := range cp.Shards {
+		n += st.Checkpoint.Done
+	}
+	return n
+}
+
+// Complete reports whether every shard finished its slice.
+func (cp *Checkpoint) Complete() bool {
+	for _, st := range cp.Shards {
+		if st.Checkpoint.Done < len(st.Shard.Sites) {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is a scheduled crawl's merged output.
+type Result struct {
+	Sites   int
+	Workers int
+	// Interrupted is set when Stop ended the run early; only Checkpoint and
+	// FaultKinds are populated then, and passing Checkpoint back via
+	// Crawl.Resume finishes the crawl.
+	Interrupted bool
+	// Checkpoint is the final per-shard state (also set on completed runs,
+	// where Complete() is true).
+	Checkpoint *Checkpoint
+
+	// Storage is the merged measurement database, shard storages appended
+	// in shard order — byte-identical digests across worker counts.
+	Storage *openwpm.Storage
+	// Report is the crawl accounting, re-folded from per-site outcomes in
+	// global site order.
+	Report *openwpm.CrawlReport
+	// Bundle is the merged, sealed execution bundle when Crawl.Record was
+	// set.
+	Bundle *bundle.Bundle
+	// Metrics is the final whole-crawl telemetry snapshot when
+	// Crawl.Telemetry was set.
+	Metrics *telemetry.Snapshot
+	// FaultKinds tallies injected faults by kind across all shards, when
+	// the shard transports expose CountsByName (the faults injector does).
+	FaultKinds map[string]int
+}
+
+// faultCounter is the optional capability sched sniffs off a shard's raw
+// transport to tally injected faults without importing the faults package.
+type faultCounter interface{ CountsByName() map[string]int }
+
+// Run executes a sharded crawl: partition, crawl every shard on its own
+// worker, then merge. The error path is loud — a failed bundle finalisation
+// or merge fails the run instead of silently dropping the archive.
+func Run(c Crawl) (*Result, error) {
+	workers := Workers(c.Workers, len(c.Sites))
+	cp := c.Resume
+	if cp == nil {
+		cp = &Checkpoint{Workers: workers}
+		for _, sh := range Partition(c.Sites, workers) {
+			cp.Shards = append(cp.Shards, &ShardState{Shard: sh, Checkpoint: &openwpm.Checkpoint{}})
+		}
+	} else if err := cp.validate(c.Sites, workers); err != nil {
+		return nil, err
+	}
+	total := len(c.Sites)
+	every := c.ProgressEvery
+	if every <= 0 {
+		every = 1000
+	}
+	c.Telemetry.Gauge("crawl_progress_total").Set(int64(total))
+	gDone := c.Telemetry.Gauge("crawl_progress_done")
+	var done atomic.Int64
+	done.Store(int64(cp.Done()))
+	gDone.Set(done.Load())
+
+	var wg sync.WaitGroup
+	for _, st := range cp.Shards {
+		if st.Checkpoint.Done >= len(st.Shard.Sites) {
+			continue // shard already complete (resume)
+		}
+		wg.Add(1)
+		go func(st *ShardState) {
+			defer wg.Done()
+			cfg := c.Config(st.Shard)
+			raw := cfg.Transport
+			if c.Record {
+				if st.Recorder == nil {
+					st.Recorder = bundle.NewRecorder(c.BundleMeta)
+				}
+				cfg.Recorder = st.Recorder
+			}
+			tm := openwpm.NewTaskManager(cfg)
+			st.cfg, st.cfgValid = tm.Cfg, true
+			hooks := openwpm.CrawlHooks{
+				OnSite: func(o openwpm.SiteOutcome) {
+					st.Outcomes = append(st.Outcomes, o)
+					n := done.Add(1)
+					gDone.Set(n)
+					if c.OnProgress != nil && n%int64(every) == 0 && n != int64(total) {
+						c.OnProgress(int(n), total)
+					}
+				},
+			}
+			if c.Stop != nil {
+				hooks.Stop = func() bool {
+					select {
+					case <-c.Stop:
+						return true
+					default:
+						return false
+					}
+				}
+			}
+			tm.CrawlFromHooked(st.Shard.Sites, st.Checkpoint, hooks)
+			if st.Storage == nil {
+				st.Storage = tm.Storage
+			} else {
+				// resumed shard: a fresh TaskManager crawled the remainder;
+				// append its records after the previous run's
+				st.Storage.Merge(tm.Storage)
+			}
+			if fc, ok := raw.(faultCounter); ok {
+				if st.FaultKinds == nil {
+					st.FaultKinds = map[string]int{}
+				}
+				for k, n := range fc.CountsByName() {
+					st.FaultKinds[k] += n
+				}
+			}
+		}(st)
+	}
+	wg.Wait()
+
+	res := &Result{Sites: total, Workers: workers, Checkpoint: cp, FaultKinds: map[string]int{}}
+	for _, st := range cp.Shards {
+		for k, n := range st.FaultKinds {
+			res.FaultKinds[k] += n
+		}
+	}
+	if !cp.Complete() {
+		res.Interrupted = true
+		return res, nil
+	}
+
+	// merge stage: contiguous partitioning makes shard order the global site
+	// order, so appending storages and re-folding outcomes shard by shard
+	// reproduces the serial crawl's bytes exactly
+	storage := openwpm.NewStorage()
+	report := openwpm.NewCrawlReport()
+	for _, st := range cp.Shards {
+		if st.Storage != nil {
+			storage.Merge(st.Storage)
+		}
+		for _, o := range st.Outcomes {
+			report.AbsorbOutcome(o)
+		}
+		if st.Checkpoint.Report != nil {
+			report.DroppedWrites += st.Checkpoint.Report.DroppedWrites
+		}
+	}
+	res.Storage = storage
+	res.Report = report
+	if c.Telemetry.Enabled() {
+		// one snapshot after every worker finished: the workers share the
+		// registry, so per-shard snapshots would multiply-count the crawl.
+		// Attached before bundle merging so the sealed archive embeds it.
+		res.Metrics = c.Telemetry.Snapshot()
+		report.Metrics = res.Metrics
+	}
+	if c.Record {
+		parts := make([]*bundle.Bundle, len(cp.Shards))
+		for i, st := range cp.Shards {
+			if st.Recorder == nil {
+				st.Recorder = bundle.NewRecorder(c.BundleMeta)
+			}
+			if !st.cfgValid {
+				// zero-site shard: no worker ran, archive the effective
+				// configuration it would have used
+				st.cfg = openwpm.NewTaskManager(c.Config(st.Shard)).Cfg
+				st.cfgValid = true
+			}
+			b, err := st.Recorder.Finalize(st.cfg, st.Shard.Sites, st.Checkpoint.Report)
+			if err != nil {
+				return nil, fmt.Errorf("sched: finalize shard %d bundle: %w", st.Shard.Index, err)
+			}
+			parts[i] = b
+		}
+		merged, err := bundle.Merge(parts, report)
+		if err != nil {
+			return nil, fmt.Errorf("sched: merge shard bundles: %w", err)
+		}
+		res.Bundle = merged
+	}
+	if c.OnProgress != nil {
+		// crawls whose site count is not a multiple of ProgressEvery still
+		// report completion — exactly one final event, always
+		c.OnProgress(total, total)
+	}
+	return res, nil
+}
+
+// validate checks a resume checkpoint against the crawl it claims to
+// continue: same worker count and the same contiguous partition of the same
+// site list.
+func (cp *Checkpoint) validate(sites []string, workers int) error {
+	if cp.Workers != workers {
+		return fmt.Errorf("sched: resume with %d workers but checkpoint has %d — resharding a checkpoint is not supported", workers, cp.Workers)
+	}
+	if len(cp.Shards) != workers {
+		return fmt.Errorf("sched: checkpoint has %d shards for %d workers", len(cp.Shards), workers)
+	}
+	next := 0
+	for i, st := range cp.Shards {
+		if st == nil || st.Checkpoint == nil {
+			return fmt.Errorf("sched: checkpoint shard %d is incomplete", i)
+		}
+		if st.Shard.Start != next {
+			return fmt.Errorf("sched: checkpoint shard %d starts at %d, want %d", i, st.Shard.Start, next)
+		}
+		for j, u := range st.Shard.Sites {
+			if next+j >= len(sites) || sites[next+j] != u {
+				return fmt.Errorf("sched: checkpoint shard %d site %d does not match the crawl's site list", i, j)
+			}
+		}
+		next += len(st.Shard.Sites)
+	}
+	if next != len(sites) {
+		return fmt.Errorf("sched: checkpoint covers %d sites, crawl has %d", next, len(sites))
+	}
+	return nil
+}

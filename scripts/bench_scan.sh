@@ -1,0 +1,49 @@
+#!/bin/sh
+# Measures sharded scan throughput and writes BENCH_scan.json: sites/sec for
+# a 500-site scan at 1 worker, 4 workers and (when different) one worker per
+# CPU, plus the 4-vs-1 speedup ratio. The numbers are honest wall-clock
+# throughput: on a single-core runner GOMAXPROCS pins every goroutine to one
+# CPU and the worker counts tie — the determinism tests, not this benchmark,
+# are what guarantee the sharded outputs match the serial ones there.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_scan.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== scan shard scaling: BenchmarkScanWorkers" >&2
+go test -run '^$' -bench 'BenchmarkScanWorkers' \
+    -benchtime "${SCAN_BENCHTIME:-1x}" -count "${SCAN_COUNT:-3}" . >"$raw"
+
+# Render `BenchmarkScanWorkers/workers=4-8  1  2.1e9 ns/op ... 240 sites/s`
+# lines as JSON, keeping the best of repeated runs per worker count.
+awk -v procs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)}" '
+/^BenchmarkScanWorkers\// {
+    name = $1
+    sub(/^BenchmarkScanWorkers\/workers=/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "sites/s" && ($i + 0 > rate[name] + 0)) {
+            rate[name] = $i
+            if (!(name in order)) { order[name] = ++names; byIdx[names] = name }
+        }
+    }
+}
+END {
+    printf "{\n  \"scan_sites\": 500,\n"
+    printf "  \"gomaxprocs\": %d,\n", procs + 0
+    printf "  \"sites_per_sec\": {"
+    for (i = 1; i <= names; i++) {
+        if (i > 1) printf ", "
+        printf "\"%s\": %s", byIdx[i], rate[byIdx[i]]
+    }
+    printf "}"
+    if (rate["1"] + 0 > 0 && rate["4"] + 0 > 0) {
+        printf ",\n  \"speedup_4_over_1\": %.2f", rate["4"] / rate["1"]
+    }
+    printf "\n}\n"
+}
+' "$raw" >"$out"
+
+cat "$out"

@@ -28,8 +28,8 @@ if go run ./cmd/wpmlint ./internal/lint/testdata/src/bad >/dev/null 2>&1; then
     exit 1
 fi
 
-echo "== go test -race ./internal/analysis/... ./internal/lint/... ./internal/telemetry/..."
-go test -race ./internal/analysis/... ./internal/lint/... ./internal/telemetry/...
+echo "== go test -race ./internal/analysis/... ./internal/lint/... ./internal/telemetry/... ./internal/sched/..."
+go test -race ./internal/analysis/... ./internal/lint/... ./internal/telemetry/... ./internal/sched/...
 
 echo "== go test -race ./..."
 go test -race ./...
@@ -39,5 +39,8 @@ go vet ./internal/telemetry
 
 echo "== telemetry overhead benchmark (smoke)"
 go test -run '^$' -bench TelemetryOverhead -benchtime 100x ./internal/telemetry
+
+echo "== scan shard-scaling benchmark (smoke)"
+SCAN_BENCHTIME=1x SCAN_COUNT=1 ./scripts/bench_scan.sh >/dev/null
 
 echo "verify: OK"
