@@ -16,12 +16,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gullible/internal/experiments"
 	"gullible/internal/faults"
 	"gullible/internal/telemetry"
 )
+
+// exitInterrupted is the distinct exit status for an experiment stopped by
+// SIGINT/SIGTERM: the paired comparison is invalid on a partial run, so no
+// tables are printed.
+const exitInterrupted = 3
 
 // writeSnapshots writes the vanilla and hardened metrics snapshots as a
 // single canonical JSON document.
@@ -77,6 +84,20 @@ func main() {
 		profile = faults.HeavyProfile()
 	}
 
+	// SIGINT/SIGTERM stop the in-flight crawl at its next site boundary; a
+	// partial paired comparison is meaningless, so the process reports the
+	// interruption and exits with a distinct status instead of printing
+	// half-valid tables.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\n%v: stopping at the next site boundary...\n", s)
+		close(stop)
+		signal.Stop(sigc) // a second signal falls back to immediate death
+	}()
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "crawling %d sites twice (vanilla + hardened) under fault seed %d...\n", *sites, *faultSeed)
 	r := experiments.RunReliability(*seed, *faultSeed, experiments.ReliabilityOptions{
@@ -84,7 +105,12 @@ func main() {
 		Workers:   *workers,
 		Profile:   profile,
 		Telemetry: *telemetryPath != "" || *tracePath != "",
+		Stop:      stop,
 	})
+	if r.Interrupted {
+		fmt.Fprintln(os.Stderr, "interrupted: the vanilla/hardened comparison needs both full runs — rerun to completion")
+		os.Exit(exitInterrupted)
+	}
 	fmt.Fprintf(os.Stderr, "done in %s\n\n", time.Since(start).Round(time.Second))
 
 	if *telemetryPath != "" {

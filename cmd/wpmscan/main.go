@@ -32,15 +32,50 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
+	"syscall"
 	"time"
 
 	"gullible/internal/bundle"
 	"gullible/internal/experiments"
 	"gullible/internal/faults"
+	"gullible/internal/sched"
 	"gullible/internal/telemetry"
+	"gullible/internal/wal"
 	"gullible/internal/websim"
 )
+
+// exitInterrupted is the distinct exit status for a crawl stopped by
+// SIGINT/SIGTERM after its WAL was flushed and sealed: not a success, not a
+// failure — a checkpointed pause that -recover resumes.
+const exitInterrupted = 3
+
+// shardFS returns the per-shard WAL directory under dir.
+func shardFS(dir string) func(sched.Shard) wal.FS {
+	return func(sh sched.Shard) wal.FS {
+		return wal.DirFS{Dir: filepath.Join(dir, fmt.Sprintf("shard-%03d", sh.Index))}
+	}
+}
+
+// shardFSs lists the existing per-shard WAL directories for recovery.
+func shardFSs(dir string) ([]wal.FS, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var fss []wal.FS
+	for _, e := range ents {
+		if e.IsDir() {
+			fss = append(fss, wal.DirFS{Dir: filepath.Join(dir, e.Name())})
+		}
+	}
+	if len(fss) == 0 {
+		return nil, fmt.Errorf("no shard logs under %s", dir)
+	}
+	return fss, nil
+}
 
 // writeTelemetry dumps the metrics snapshot and/or span trace to files.
 func writeTelemetry(tel *telemetry.Telemetry, metricsPath, tracePath string) {
@@ -85,6 +120,10 @@ func main() {
 	telemetryPath := flag.String("telemetry", "", "write the canonical-JSON metrics snapshot to this file (enables instrumentation)")
 	tracePath := flag.String("trace", "", "write flight-recorder span events as JSON lines to this file (enables instrumentation)")
 	agreement := flag.Bool("agreement", false, "also print the per-rule static-vs-dynamic tamper agreement table")
+	store := flag.String("store", "memory", "storage backend: memory|wal (wal appends every record to a crash-safe per-shard log)")
+	walDir := flag.String("wal-dir", "wpmscan-wal", "directory for the per-shard WAL logs when -store wal")
+	fsync := flag.String("fsync", "checkpoint", "WAL fsync policy: off|checkpoint|always")
+	recoverRun := flag.Bool("recover", false, "rebuild the crawl from the WALs under -wal-dir (after a crash or SIGINT) and resume it")
 	flag.Parse()
 
 	opts := experiments.ScanOptions{MaxSubpages: *subpages, Workers: *workers, MaxVisitSeconds: *maxVisitS, FaultSeed: *faultSeed}
@@ -92,6 +131,17 @@ func main() {
 	if *telemetryPath != "" || *tracePath != "" {
 		tel = telemetry.New()
 		opts.Telemetry = tel
+	}
+
+	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	walOpts := wal.Options{Sync: syncPolicy, Telemetry: tel}
+	if *recoverRun && *store != "wal" {
+		fmt.Fprintln(os.Stderr, "-recover requires -store wal")
+		os.Exit(2)
 	}
 	if *recordPath != "" {
 		opts.RecordBundle = true
@@ -126,6 +176,52 @@ func main() {
 		os.Exit(2)
 	}
 
+	switch *store {
+	case "memory":
+	case "wal":
+		if *recoverRun {
+			fss, err := shardFSs(*walDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "recover: %v\n", err)
+				os.Exit(1)
+			}
+			cp, recoveries, err := sched.Recover(fss, walOpts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "recover: %v\n", err)
+				os.Exit(1)
+			}
+			for _, rec := range recoveries {
+				if s := rec.Stats.Scan; len(s.TornSegments) > 0 {
+					fmt.Fprintf(os.Stderr, "shard %d: torn tail truncated (%d bytes discarded, %d records replayed, %d discarded past the last checkpoint)\n",
+						rec.Meta.Index, s.TruncatedBytes, rec.Stats.Applied, rec.Stats.Discarded)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "recovered %d/%d sites from %s\n", cp.Done(), *sites, *walDir)
+			opts.Resume = cp
+			opts.Workers = cp.Workers
+		} else {
+			eff := sched.Workers(*workers, *sites)
+			opts.Backend = sched.WALBackend(shardFS(*walDir), eff, opts.RecordBundle, opts.BundleMeta, walOpts)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -store %q (want memory or wal)\n", *store)
+		os.Exit(2)
+	}
+
+	// SIGINT/SIGTERM stop the crawl at the next site boundary: the WAL (when
+	// on) is flushed and sealed behind a final per-site checkpoint, and the
+	// process exits with a distinct status so wrappers know to -recover.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\n%v: stopping at the next site boundary...\n", s)
+		close(stop)
+		signal.Stop(sigc) // a second signal falls back to immediate death
+	}()
+	opts.Stop = stop
+
 	world := websim.New(websim.Options{Seed: *seed, NumSites: *sites})
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "scanning %d sites (subpages ≤ %d, faults %s)...\n", *sites, *subpages, *faultMode)
@@ -146,6 +242,30 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scan: %v\n", err)
 		os.Exit(1)
+	}
+	if r.Interrupted {
+		done := 0
+		if r.Checkpoint != nil {
+			done = r.Checkpoint.Done()
+			if cerr := r.Checkpoint.CloseBackends(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "seal WAL: %v\n", cerr)
+			}
+		}
+		if tel.Enabled() {
+			writeTelemetry(tel, *telemetryPath, *tracePath)
+		}
+		if *store == "wal" {
+			fmt.Fprintf(os.Stderr, "interrupted at %d/%d sites; WAL sealed under %s — resume with -store wal -recover\n", done, *sites, *walDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "interrupted at %d/%d sites; progress was not persisted (run with -store wal for a crash-safe, resumable log)\n", done, *sites)
+		}
+		os.Exit(exitInterrupted)
+	}
+	if *store == "wal" && r.Checkpoint != nil {
+		if cerr := r.Checkpoint.CloseBackends(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "seal WAL: %v\n", cerr)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "scan finished in %s (%d workers)\n\n", time.Since(start).Round(time.Second), r.Workers)
 	if tel.Enabled() {

@@ -18,6 +18,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
@@ -212,7 +213,7 @@ func (b *Bundle) Seal() error {
 	return nil
 }
 
-// Verify checks structural integrity: the digest matches the canonical
+// / Verify checks structural integrity: the digest matches the canonical
 // encoding, every body reference resolves and hashes to its key, and the
 // embedded crawl report accounts for every site.
 func (b *Bundle) Verify() error {
@@ -260,10 +261,19 @@ func (b *Bundle) Marshal() ([]byte, error) {
 	return json.MarshalIndent(b, "", " ")
 }
 
-// Unmarshal decodes a bundle.
+// Unmarshal decodes a bundle. A byte stream that ends mid-document (the
+// signature of an interrupted write) gets a truncation diagnostic rather than
+// a bare syntax error, so `wpmbundle verify` can say what actually happened.
 func Unmarshal(data []byte) (*Bundle, error) {
 	var b Bundle
 	if err := json.Unmarshal(data, &b); err != nil {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("bundle: file is empty — likely an interrupted write; recover the crawl from its WAL and re-merge")
+		}
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) && syn.Offset >= int64(len(data)) {
+			return nil, fmt.Errorf("bundle: file appears truncated after %d bytes: %w — likely an interrupted write; recover the crawl from its WAL and re-merge", len(data), err)
+		}
 		return nil, fmt.Errorf("bundle: decode: %w", err)
 	}
 	return &b, nil

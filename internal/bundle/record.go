@@ -3,12 +3,24 @@ package bundle
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"fmt"
 	"sort"
 
 	"gullible/internal/faults"
 	"gullible/internal/httpsim"
 	"gullible/internal/openwpm"
 )
+
+// Spool receives the recorder's archive stream as it is produced, so a
+// durable backend can persist bundle state incrementally instead of only at
+// Finalize. Bodies are spooled once per SHA (the pool is content-addressed);
+// visits are spooled as they close. A spool failure never blocks recording —
+// the in-memory bundle stays authoritative and failures are counted.
+type Spool interface {
+	SpoolBody(sha, content string) error
+	SpoolVisit(v Visit) error
+}
 
 // Recorder archives a crawl into a Bundle. It implements openwpm.Recorder:
 // a transport wrapper captures every HTTP exchange (responses and errors
@@ -21,7 +33,12 @@ import (
 type Recorder struct {
 	meta map[string]string
 
-	bodies map[string]string
+	// Spool, when non-nil, receives bodies and visits as they are archived
+	// (streamed off the same append path as the storage backend).
+	Spool Spool
+
+	bodies      map[string]string
+	spoolErrors int
 
 	// per-visit buffers, flushed by ObserveVisit
 	pendingExchanges []Exchange
@@ -60,9 +77,24 @@ func (r *Recorder) intern(content string) string {
 	key := hex.EncodeToString(sum[:])
 	if _, ok := r.bodies[key]; !ok {
 		r.bodies[key] = content
+		r.spoolBody(key, content)
 	}
 	return key
 }
+
+// spoolBody forwards a newly interned body to the spool, counting failures.
+func (r *Recorder) spoolBody(sha, content string) {
+	if r.Spool == nil {
+		return
+	}
+	if err := r.Spool.SpoolBody(sha, content); err != nil {
+		r.spoolErrors++
+	}
+}
+
+// SpoolErrors reports how many spool appends failed (the in-memory bundle is
+// unaffected; the durable copy is missing those records).
+func (r *Recorder) SpoolErrors() int { return r.spoolErrors }
 
 // WrapTransport implements openwpm.Recorder.
 func (r *Recorder) WrapTransport(rt httpsim.RoundTripper) httpsim.RoundTripper {
@@ -128,7 +160,7 @@ func (t *recorderTransport) StorageFault(table string) bool {
 // ObserveVisit closes out the current page: everything buffered since the
 // previous visit row rode along with this one.
 func (r *Recorder) ObserveVisit(rec openwpm.VisitRecord) {
-	r.visits = append(r.visits, Visit{
+	v := Visit{
 		Record:        rec,
 		Exchanges:     r.pendingExchanges,
 		JSCalls:       r.pendingJSCalls,
@@ -136,7 +168,13 @@ func (r *Recorder) ObserveVisit(rec openwpm.VisitRecord) {
 		Scripts:       r.pendingScripts,
 		Tampers:       r.pendingTampers,
 		StorageWrites: r.visitWrites(),
-	})
+	}
+	r.visits = append(r.visits, v)
+	if r.Spool != nil {
+		if err := r.Spool.SpoolVisit(v); err != nil {
+			r.spoolErrors++
+		}
+	}
 	r.pendingExchanges = nil
 	r.pendingJSCalls = nil
 	r.pendingCookies = nil
@@ -186,6 +224,7 @@ func (r *Recorder) ObserveJSCall(c openwpm.JSCall) {
 func (r *Recorder) ObserveScriptFile(url, sha, content, ctype string) {
 	if _, ok := r.bodies[sha]; !ok {
 		r.bodies[sha] = content
+		r.spoolBody(sha, content)
 	}
 	r.pendingScripts = append(r.pendingScripts, ScriptRef{URL: url, SHA: sha, CType: ctype})
 }
@@ -221,6 +260,65 @@ func (r *Recorder) Finalize(cfg openwpm.CrawlConfig, sites []string, report *ope
 		return nil, err
 	}
 	return b, nil
+}
+
+// RecorderState is the compact resumable part of a Recorder at a site
+// boundary: the storage-fault bookkeeping that cannot be rebuilt from the
+// archived visits alone. Bodies, visits and crashes are recovered from the
+// spooled stream; this blob rides inside checkpoint records.
+type RecorderState struct {
+	WriteSeq     map[string]int   `json:"writeSeq,omitempty"`
+	LastWriteSeq map[string]int   `json:"lastWriteSeq,omitempty"`
+	Drops        map[string][]int `json:"drops,omitempty"`
+	SpoolErrors  int              `json:"spoolErrors,omitempty"`
+}
+
+// StateJSON snapshots the recorder's resumable state as JSON. Call it at a
+// visit boundary (after ObserveVisit), where the pending buffers are empty.
+func (r *Recorder) StateJSON() []byte {
+	s := RecorderState{
+		WriteSeq:     r.writeSeq,
+		LastWriteSeq: r.lastWriteSeq,
+		Drops:        r.drops,
+		SpoolErrors:  r.spoolErrors,
+	}
+	out, err := json.Marshal(s)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// RestoreRecorder rebuilds a Recorder from recovered durable state: the
+// bundle meta, the spooled body pool and visit stream, the crash rows (which
+// share the storage crash table), and the RecorderState blob from the last
+// checkpoint. The restored recorder continues exactly where the checkpoint
+// left it — pending buffers are empty because checkpoints land on visit
+// boundaries.
+func RestoreRecorder(meta map[string]string, bodies map[string]string, visits []Visit, crashes []openwpm.CrashRecord, state []byte) (*Recorder, error) {
+	r := NewRecorder(meta)
+	for sha, content := range bodies {
+		r.bodies[sha] = content
+	}
+	r.visits = append(r.visits, visits...)
+	r.crashes = append(r.crashes, crashes...)
+	if len(state) > 0 {
+		var s RecorderState
+		if err := json.Unmarshal(state, &s); err != nil {
+			return nil, fmt.Errorf("bundle: recorder state: %w", err)
+		}
+		for t, n := range s.WriteSeq {
+			r.writeSeq[t] = n
+		}
+		for t, n := range s.LastWriteSeq {
+			r.lastWriteSeq[t] = n
+		}
+		for t, seqs := range s.Drops {
+			r.drops[t] = append([]int(nil), seqs...)
+		}
+		r.spoolErrors = s.SpoolErrors
+	}
+	return r, nil
 }
 
 // RecordCrawl runs a complete crawl under recording and returns the sealed

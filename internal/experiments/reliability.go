@@ -31,6 +31,10 @@ type ReliabilityResult struct {
 	// events when ReliabilityOptions.Telemetry is set (nil otherwise).
 	VanillaTrace  []telemetry.SpanEvent
 	HardenedTrace []telemetry.SpanEvent
+
+	// Interrupted is set when ReliabilityOptions.Stop ended a run early; a
+	// partial experiment must not be compared (Hardened may be nil).
+	Interrupted bool
 }
 
 // ReliabilityOptions configures RunReliability.
@@ -53,6 +57,11 @@ type ReliabilityOptions struct {
 	// (attached to its CrawlReport.Metrics) so the vanilla and hardened
 	// pipelines can be compared metric by metric, not just by report.
 	Telemetry bool
+	// Stop, when non-nil, interrupts the experiment cooperatively: the
+	// in-flight crawl halts at its next site boundary and
+	// ReliabilityResult.Interrupted is set (the comparison is invalid on an
+	// interrupted run — reports may be partial or missing).
+	Stop <-chan struct{}
 }
 
 // RunReliability crawls the same ranked prefix twice under the same fault
@@ -74,7 +83,7 @@ func RunReliability(worldSeed, faultSeed int64, opts ReliabilityOptions) *Reliab
 		opts.Profile = faults.DefaultProfile()
 	}
 
-	run := func(hardened bool) (*openwpm.CrawlReport, []telemetry.SpanEvent, map[string]int) {
+	run := func(hardened bool) (*openwpm.CrawlReport, []telemetry.SpanEvent, map[string]int, bool) {
 		world := websim.New(websim.Options{Seed: worldSeed, NumSites: opts.NumSites, AvailabilityAttacks: true})
 		var tel *telemetry.Telemetry
 		if opts.Telemetry {
@@ -85,6 +94,7 @@ func RunReliability(worldSeed, faultSeed int64, opts ReliabilityOptions) *Reliab
 			Sites:     websim.Tranco(opts.NumSites),
 			Workers:   opts.Workers,
 			Telemetry: tel,
+			Stop:      opts.Stop,
 			Config: func(sh sched.Shard) openwpm.CrawlConfig {
 				// per-shard injector (same seed: fault decisions hash per
 				// URL) and a budget slice proportional to the shard's size
@@ -116,21 +126,29 @@ func RunReliability(worldSeed, faultSeed int64, opts ReliabilityOptions) *Reliab
 		if tel.Enabled() {
 			trace = tel.Spans.Events()
 		}
-		return res.Report, trace, res.FaultKinds
+		return res.Report, trace, res.FaultKinds, res.Interrupted
 	}
 
-	vanilla, vtrace, _ := run(false)
-	hardened, htrace, kinds := run(true)
-	return &ReliabilityResult{
-		Sites:         opts.NumSites,
-		WorldSeed:     worldSeed,
-		FaultSeed:     faultSeed,
-		FaultKinds:    kinds,
-		Vanilla:       vanilla,
-		Hardened:      hardened,
-		VanillaTrace:  vtrace,
-		HardenedTrace: htrace,
+	vanilla, vtrace, _, vint := run(false)
+	r := &ReliabilityResult{
+		Sites:        opts.NumSites,
+		WorldSeed:    worldSeed,
+		FaultSeed:    faultSeed,
+		Vanilla:      vanilla,
+		VanillaTrace: vtrace,
+		Interrupted:  vint,
 	}
+	if vint {
+		// the experiment is a paired comparison; an interrupted first leg
+		// makes the second pointless
+		return r
+	}
+	hardened, htrace, kinds, hint := run(true)
+	r.Hardened = hardened
+	r.HardenedTrace = htrace
+	r.FaultKinds = kinds
+	r.Interrupted = hint
+	return r
 }
 
 // TableReliability renders the vanilla-vs-hardened comparison.

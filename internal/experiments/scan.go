@@ -78,6 +78,13 @@ type ScanResult struct {
 	// Workers is the effective (clamped) parallel worker count the
 	// scheduler used for the crawl.
 	Workers int
+
+	// Interrupted is set when ScanOptions.Stop ended the crawl early; only
+	// Checkpoint, FaultKinds and Workers are populated then, and passing
+	// Checkpoint back via ScanOptions.Resume finishes the scan.
+	Interrupted bool
+	// Checkpoint is the scheduler's final per-shard state.
+	Checkpoint *sched.Checkpoint
 }
 
 // scanCrawlConfig is the Sec. 4 crawler configuration.
@@ -137,6 +144,16 @@ type ScanOptions struct {
 	// deterministic); the final whole-scan snapshot lands in
 	// ScanResult.Metrics and Report.Metrics.
 	Telemetry *telemetry.Telemetry
+
+	// Backend, when non-nil, gives each shard a durable storage backend
+	// (the WAL); see sched.Crawl.Backend for the contract.
+	Backend func(sched.Shard) openwpm.Backend
+	// Stop, when non-nil, interrupts the scan cooperatively at the next
+	// site boundary; the interrupted result carries a resumable checkpoint.
+	Stop <-chan struct{}
+	// Resume continues an interrupted or WAL-recovered scan from its
+	// checkpoint; completed sites are not revisited.
+	Resume *sched.Checkpoint
 }
 
 // RunScan crawls the top numSites sites of the synthetic web with a vanilla
@@ -177,6 +194,9 @@ func RunScanObserved(world *websim.World, numSites int, opts ScanOptions, obs Pr
 		Record:     opts.RecordBundle,
 		BundleMeta: opts.BundleMeta,
 		Telemetry:  opts.Telemetry,
+		Backend:    opts.Backend,
+		Stop:       opts.Stop,
+		Resume:     opts.Resume,
 		Config: func(sh sched.Shard) openwpm.CrawlConfig {
 			cfg := scanCrawlConfig(world, opts.MaxSubpages)
 			cfg.MaxVisitSeconds = opts.MaxVisitSeconds
@@ -213,6 +233,15 @@ func RunScanObserved(world *websim.World, numSites int, opts ScanOptions, obs Pr
 	if err != nil {
 		return nil, err
 	}
+	if res.Interrupted {
+		// no merged outputs exist yet; the checkpoint resumes the scan (its
+		// WAL backends, when present, stay open for the resuming process)
+		return &ScanResult{
+			NumSites: numSites, World: world,
+			Interrupted: true, Checkpoint: res.Checkpoint,
+			FaultKinds: res.FaultKinds, Workers: res.Workers,
+		}, nil
+	}
 	merged := openwpm.NewTaskManager(scanCrawlConfig(world, opts.MaxSubpages))
 	merged.Storage = res.Storage
 	r := Analyze(world, merged, numSites)
@@ -221,6 +250,7 @@ func RunScanObserved(world *websim.World, numSites int, opts ScanOptions, obs Pr
 	r.Bundle = res.Bundle
 	r.FaultKinds = res.FaultKinds
 	r.Workers = res.Workers
+	r.Checkpoint = res.Checkpoint
 	return r, nil
 }
 

@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDiskInjectorDeterminism(t *testing.T) {
+	run := func() ([]int, []error) {
+		d := NewDiskInjector(42, DefaultDiskProfile())
+		var allows []int
+		var errs []error
+		for i := 0; i < 500; i++ {
+			a, err := d.BeforeWrite("wal-000000.seg", 100)
+			allows = append(allows, a)
+			errs = append(errs, err)
+		}
+		return allows, errs
+	}
+	a1, e1 := run()
+	a2, e2 := run()
+	for i := range a1 {
+		if a1[i] != a2[i] || (e1[i] == nil) != (e2[i] == nil) {
+			t.Fatalf("decision %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestDiskInjectorENOSPCBudget(t *testing.T) {
+	d := NewDiskInjector(1, DiskProfile{ByteBudget: 250})
+	total := 0
+	for i := 0; i < 10; i++ {
+		allow, err := d.BeforeWrite("seg", 100)
+		total += allow
+		if total > 250 {
+			t.Fatalf("injector allowed %d bytes past a 250-byte budget", total)
+		}
+		if err != nil {
+			var de *DiskError
+			if !errors.As(err, &de) || de.Kind != DiskENOSPC {
+				t.Fatalf("budget exhaustion returned %v, want ENOSPC", err)
+			}
+			if de.FaultClass() != ClassPermanent {
+				t.Fatal("ENOSPC must classify as permanent")
+			}
+		}
+	}
+	if total != 250 {
+		t.Fatalf("device accepted %d bytes, budget is exactly 250 (partial last write must land)", total)
+	}
+	if d.Counts()[DiskENOSPC] == 0 {
+		t.Fatal("ENOSPC faults not counted")
+	}
+}
+
+func TestDiskInjectorShortWriteBounds(t *testing.T) {
+	d := NewDiskInjector(7, DiskProfile{ShortWritePerMille: 1000})
+	for i := 0; i < 100; i++ {
+		allow, err := d.BeforeWrite("seg", 64)
+		if err == nil {
+			t.Fatal("every write should tear at 1000 per mille")
+		}
+		var de *DiskError
+		if !errors.As(err, &de) || de.Kind != DiskShortWrite {
+			t.Fatalf("got %v, want short-write", err)
+		}
+		if de.FaultClass() != ClassTransient {
+			t.Fatal("short write must classify as transient")
+		}
+		if allow < 0 || allow >= 64 {
+			t.Fatalf("torn write allows %d of 64 bytes, want a strict prefix", allow)
+		}
+	}
+}
+
+func TestDiskInjectorLatencyAccumulatesVirtualTime(t *testing.T) {
+	d := NewDiskInjector(3, DiskProfile{WriteLatencyPerMille: 1000, LatencyMS: 250})
+	for i := 0; i < 4; i++ {
+		if _, err := d.BeforeWrite("seg", 10); err != nil {
+			t.Fatalf("latency must not fail the write: %v", err)
+		}
+	}
+	if got := d.StallMS(); got != 1000 {
+		t.Fatalf("4 slow writes at 250ms accumulate %gms, want 1000", got)
+	}
+	if d.Counts()[DiskWriteLatency] != 4 {
+		t.Fatal("latency faults not counted")
+	}
+}
+
+func TestDiskInjectorNilIsTransparent(t *testing.T) {
+	var d *DiskInjector
+	allow, err := d.BeforeWrite("seg", 10)
+	if allow != 10 || err != nil {
+		t.Fatalf("nil injector must pass writes through, got (%d, %v)", allow, err)
+	}
+	if err := d.OnSync("seg"); err != nil {
+		t.Fatalf("nil injector must pass syncs through: %v", err)
+	}
+}

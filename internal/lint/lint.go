@@ -16,6 +16,12 @@
 //     (.Event(..., telemetry.L(...))) must sit behind an .Enabled() guard;
 //     the nil-safe API makes the call itself harmless but the label
 //     construction would run — and allocate — on the disabled path.
+//   - closecheck: no discarded error from Close/Sync/Flush calls that return
+//     one. On a written file the Close (or Sync/Flush) error IS the write
+//     error of record — buffered bytes surface their I/O failure there, and
+//     a crash-safe log that swallows it reports durability it does not have.
+//     `defer f.Close()` stays legal (the read-path idiom) and `_ = f.Close()`
+//     is an explicit, visible discard.
 package lint
 
 import (
@@ -45,7 +51,7 @@ func (f Finding) String() string {
 }
 
 // AllRules lists the rule names in reporting order.
-var AllRules = []string{"wallclock", "randseed", "maprange", "telemetry-nilsafe"}
+var AllRules = []string{"wallclock", "randseed", "maprange", "telemetry-nilsafe", "closecheck"}
 
 // Options configures a lint run.
 type Options struct {
@@ -296,6 +302,14 @@ func (w *walker) visit(n ast.Node) bool {
 					"rand."+x.Sel.Name+" draws from the unseeded global source; use rand.New(rand.NewSource(seed)) (the Interp.Reseed pattern)")
 			}
 		}
+	case *ast.ExprStmt:
+		if w.active["closecheck"] {
+			w.checkDiscardedClose(x.X, false)
+		}
+	case *ast.DeferStmt:
+		if w.active["closecheck"] {
+			w.checkDiscardedClose(x.Call, true)
+		}
 	case *ast.FuncDecl:
 		if w.active["maprange"] && x.Body != nil && canonicalFunc(x.Name.Name) {
 			w.checkMapRange(x)
@@ -307,6 +321,43 @@ func (w *walker) visit(n ast.Node) bool {
 		}
 	}
 	return true
+}
+
+// closeNames are the method names whose discarded error result closecheck
+// flags: the calls that surface buffered-write and durability failures.
+var closeNames = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+// checkDiscardedClose flags a statement-position Close/Sync/Flush method call
+// whose error result vanishes. It needs resolved types — a call the lenient
+// type-checker cannot type (a method on an un-compiled cross-package value)
+// is skipped rather than guessed at, so the rule never false-positives on
+// error-free signatures.
+func (w *walker) checkDiscardedClose(e ast.Expr, deferred bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !closeNames[sel.Sel.Name] {
+		return
+	}
+	if deferred && sel.Sel.Name == "Close" {
+		return // `defer f.Close()` is the idiomatic read-path cleanup
+	}
+	if w.pkgSelector(sel) != "" {
+		return // pkg.Close(...) is a function, not a method on a handle
+	}
+	tv, ok := w.info.Types[call]
+	if !ok || tv.IsVoid() || tv.Type == nil || tv.Type.String() != "error" {
+		return
+	}
+	verb := "dropped"
+	if deferred {
+		verb = "deferred and dropped"
+	}
+	w.emit("closecheck", call.Pos(),
+		fmt.Sprintf("%s error %s; on a written file this IS the write error of record — check it, or discard explicitly with `_ = x.%s()`",
+			sel.Sel.Name, verb, sel.Sel.Name))
 }
 
 // checkMapRange flags range statements over map-typed expressions inside a
@@ -437,9 +488,17 @@ func (w *walker) checkTelemetryGuards(b *ast.BlockStmt, guarded bool) {
 }
 
 // checkStmtForEvent inspects one non-control statement for unguarded
-// label-building Event calls.
+// label-building Event calls. Function literals restart the structured
+// guard-tracking walk on their own body (inheriting the current guard state:
+// Enabled() is constant for a process, so a closure built on a guarded path
+// only runs guarded) — a flat Inspect through them would miss their internal
+// if-guards and false-positive on guarded events inside closures.
 func (w *walker) checkStmtForEvent(stmt ast.Stmt, guarded bool) {
 	ast.Inspect(stmt, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.checkTelemetryGuards(fl.Body, guarded)
+			return false
+		}
 		if e, ok := n.(ast.Expr); ok {
 			w.checkOneEvent(e, guarded)
 		}
@@ -449,6 +508,10 @@ func (w *walker) checkStmtForEvent(stmt ast.Stmt, guarded bool) {
 
 func (w *walker) checkExprForEvent(e ast.Expr, guarded bool) {
 	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.checkTelemetryGuards(fl.Body, guarded)
+			return false
+		}
 		if x, ok := n.(ast.Expr); ok {
 			w.checkOneEvent(x, guarded)
 		}

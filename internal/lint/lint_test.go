@@ -22,6 +22,7 @@ func TestFixtureTripsEveryRule(t *testing.T) {
 		"randseed":          1,
 		"maprange":          1,
 		"telemetry-nilsafe": 1,
+		"closecheck":        2,
 	}
 	if !reflect.DeepEqual(got, want) {
 		var lines []string

@@ -62,6 +62,26 @@ func EmitEarlyReturn(p probe, site string) {
 	p.Event("visit", L("site", site))
 }
 
+// EmitClosureInternalGuard guards inside a returned closure — legal: the
+// guard tracker must follow the if-structure into function literals instead
+// of flattening them.
+func EmitClosureInternalGuard(p probe, site string) func() {
+	return func() {
+		if p.Enabled() {
+			p.Event("visit", L("site", site))
+		}
+	}
+}
+
+// EmitClosureGuardedPath builds the closure on an already-guarded path —
+// also legal: Enabled() is constant for a process.
+func EmitClosureGuardedPath(p probe, site string) func() {
+	if p.Enabled() {
+		return func() { p.Event("visit", L("site", site)) }
+	}
+	return func() {}
+}
+
 // Snapshot is the legal canonical-encoder shape: collect, sort elsewhere,
 // then serialise — the map range itself only gathers keys.
 func Snapshot(m map[string]int) []string {
@@ -70,4 +90,32 @@ func Snapshot(m map[string]int) []string {
 		keys = append(keys, k)
 	}
 	return keys
+}
+
+type wfile struct{}
+
+func (wfile) Write(p []byte) (int, error) { return len(p), nil }
+func (wfile) Close() error                { return nil }
+func (wfile) Sync() error                 { return nil }
+
+// Seal violates closecheck twice: on a written file the dropped Close error
+// (and the deferred, dropped Sync error) is the write error of record.
+func Seal(f wfile) {
+	defer f.Sync() // want closecheck
+	f.Close()      // want closecheck
+}
+
+// SealChecked is the legal shape: the Close error is propagated.
+func SealChecked(f wfile) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// SealExplicit discards visibly — legal — and defer f.Close() is the
+// idiomatic read-path cleanup, also legal.
+func SealExplicit(f wfile) {
+	defer f.Close()
+	_ = f.Sync()
 }

@@ -10,8 +10,6 @@ package openwpm
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
-	"sort"
 	"strings"
 	"unicode/utf8"
 
@@ -154,12 +152,46 @@ type Storage struct {
 	// implements it to record crawls into execution bundles.
 	Observer StorageObserver
 
+	// Backend, when set, receives the same accepted stream as a durable
+	// append (package wal). Append failures are counted in BackendErrors
+	// and telemetry; the in-memory tables are unaffected — a failing disk
+	// degrades durability, never the live crawl.
+	Backend Backend
+	// BackendErrors counts backend appends that failed, per table.
+	BackendErrors map[string]int
+
+	// visitSite is the crawl input URL currently being visited, stamped by
+	// the task manager so storage-drop events and durable drop records can
+	// name the site that owned the lost write.
+	visitSite string
+
 	// telemetry handles, pre-resolved per table by SetTelemetry. Lookups on
 	// the nil maps return nil counters, whose updates are no-ops, so the
 	// disabled path needs no branches.
 	tel         *telemetry.Telemetry
 	writeMeters map[string]*telemetry.Counter
 	dropMeters  map[string]*telemetry.Counter
+}
+
+// SetVisitContext stamps the site whose visit currently owns storage writes;
+// drop accounting attributes losses to it.
+func (s *Storage) SetVisitContext(site string) { s.visitSite = site }
+
+// backendErr accounts one failed backend append on table. The record stays
+// in memory; the failure is visible in BackendErrors and telemetry.
+func (s *Storage) backendErr(table string, err error) {
+	if err == nil {
+		return
+	}
+	if s.BackendErrors == nil {
+		s.BackendErrors = map[string]int{}
+	}
+	s.BackendErrors[table]++
+	if s.tel.Enabled() {
+		s.tel.Counter("storage_backend_errors_total", telemetry.L("table", table)).Inc()
+		s.tel.Event(telemetry.LevelWarn, "storage-backend-error", 0,
+			telemetry.L("table", table), telemetry.L("site", s.visitSite))
+	}
 }
 
 // storageTables lists every table name the store writes, fault-exempt ones
@@ -205,15 +237,19 @@ func NewStorage() *Storage {
 }
 
 // dropWrite consults the storage fault hook for one write to table.
+// NewStorage allocates Dropped, so no lazy initialisation happens here; the
+// drop event and the durable drop record both carry the owning table's visit
+// context so WAL replay can attribute the loss deterministically.
 func (s *Storage) dropWrite(table string) bool {
 	if s.FaultFn != nil && s.FaultFn(table) {
-		if s.Dropped == nil {
-			s.Dropped = map[string]int{}
-		}
 		s.Dropped[table]++
 		s.dropMeters[table].Inc()
 		if s.tel.Enabled() {
-			s.tel.Event(telemetry.LevelWarn, "storage-drop", 0, telemetry.L("table", table))
+			s.tel.Event(telemetry.LevelWarn, "storage-drop", 0,
+				telemetry.L("table", table), telemetry.L("site", s.visitSite))
+		}
+		if s.Backend != nil {
+			s.backendErr(table, s.Backend.AppendDrop(table, s.visitSite))
 		}
 		return true
 	}
@@ -238,6 +274,9 @@ func (s *Storage) AddVisit(rec VisitRecord) {
 	if s.Observer != nil {
 		s.Observer.ObserveVisit(rec)
 	}
+	if s.Backend != nil {
+		s.backendErr("site_visits", s.Backend.AppendVisit(rec))
+	}
 }
 
 // AddCrash stores a crash record (exempt from storage faults, like visits).
@@ -247,6 +286,9 @@ func (s *Storage) AddCrash(rec CrashRecord) {
 	s.Crashes = append(s.Crashes, rec)
 	if s.Observer != nil {
 		s.Observer.ObserveCrash(rec)
+	}
+	if s.Backend != nil {
+		s.backendErr("crashes", s.Backend.AppendCrash(rec))
 	}
 }
 
@@ -259,6 +301,9 @@ func (s *Storage) AddRequest(rec RequestRecord) {
 	if s.Observer != nil {
 		s.Observer.ObserveRequest(rec)
 	}
+	if s.Backend != nil {
+		s.backendErr("http_requests", s.Backend.AppendRequest(rec))
+	}
 }
 
 // AddCookie stores a cookie record.
@@ -269,6 +314,9 @@ func (s *Storage) AddCookie(c CookieEntry) {
 	s.Cookies = append(s.Cookies, c)
 	if s.Observer != nil {
 		s.Observer.ObserveCookie(c)
+	}
+	if s.Backend != nil {
+		s.backendErr("javascript_cookies", s.Backend.AppendCookie(c))
 	}
 }
 
@@ -315,6 +363,9 @@ func (s *Storage) AddJSCall(c JSCall) {
 	if s.Observer != nil {
 		s.Observer.ObserveJSCall(c)
 	}
+	if s.Backend != nil {
+		s.backendErr("javascript", s.Backend.AppendJSCall(c))
+	}
 }
 
 // AddTamperReport stores a static tamper-analysis record. Tamper rows are
@@ -333,6 +384,9 @@ func (s *Storage) AddTamperReport(rec TamperRecord) {
 	if s.Observer != nil {
 		s.Observer.ObserveTamperReport(rec)
 	}
+	if s.Backend != nil {
+		s.backendErr("javascript_tamper", s.Backend.AppendTamper(rec))
+	}
 }
 
 // AddScriptFile stores a response body keyed by hash, tracking every URL
@@ -345,6 +399,9 @@ func (s *Storage) AddScriptFile(url, content, ctype string) {
 	key := hex.EncodeToString(sum[:])
 	if s.Observer != nil {
 		s.Observer.ObserveScriptFile(url, key, content, ctype)
+	}
+	if s.Backend != nil {
+		s.backendErr("content", s.Backend.AppendScriptFile(url, key, content, ctype))
 	}
 	f, ok := s.ScriptFiles[key]
 	if !ok {
@@ -394,6 +451,14 @@ func (s *Storage) Merge(other *Storage) {
 			s.Dropped[table] += n
 		}
 	}
+	if len(other.BackendErrors) > 0 {
+		if s.BackendErrors == nil {
+			s.BackendErrors = map[string]int{}
+		}
+		for table, n := range other.BackendErrors {
+			s.BackendErrors[table] += n
+		}
+	}
 	for key, f := range other.ScriptFiles {
 		existing, ok := s.ScriptFiles[key]
 		if !ok {
@@ -436,58 +501,39 @@ func (s *Storage) RequestsByType() map[httpsim.ResourceType]int {
 
 // Digest is a deterministic SHA-256 over every table: two crawls that
 // stored the same records in the same order share a digest. Record-ordered
-// tables hash in insertion order; the content-addressed script store and
-// the dropped-write counters hash in sorted key order. Replaying a crawl
-// from its execution bundle must reproduce this digest exactly.
+// tables hash in insertion order; the content-addressed script store, the
+// tamper table and the dropped-write counters hash in sorted key order.
+// Replaying a crawl from its execution bundle must reproduce this digest
+// exactly. The computation is DigestState fed from the tables, so a durable
+// backend that fed the same accept stream incrementally arrives at the same
+// value.
 func (s *Storage) Digest() string {
-	h := sha256.New()
+	d := NewDigestState()
 	for _, v := range s.Visits {
-		fmt.Fprintf(h, "visit|%s|%s|%s|%t|%t|%q|%d|%t|%d|%s|%t\n",
-			v.SiteURL, v.FinalURL, v.Site, v.Subpage, v.OK, v.Error,
-			v.CSPReports, v.InstrumentInstalled, v.Restarts, v.ErrorClass, v.Salvaged)
+		d.AddVisit(v)
 	}
 	for _, c := range s.Crashes {
-		fmt.Fprintf(h, "crash|%s|%s|%d|%s|%q\n", c.SiteURL, c.PageURL, c.Attempt, c.Class, c.Error)
+		d.AddCrash(c)
 	}
 	for _, r := range s.Requests {
-		fmt.Fprintf(h, "request|%s|%s|%s|%s|%d|%s|%g|%d\n",
-			r.Method, r.URL, r.TopURL, r.Type, r.Status, r.CType, r.Time, r.BodySize)
+		d.AddRequest(r)
 	}
 	for _, c := range s.JSCalls {
-		fmt.Fprintf(h, "jscall|%s|%s|%s|%q|%q|%q|%s|%g\n",
-			c.TopURL, c.FrameURL, c.Symbol, c.Operation, c.Value, c.Args, c.ScriptURL, c.Time)
+		d.AddJSCall(c)
 	}
 	for _, c := range s.Cookies {
-		fmt.Fprintf(h, "cookie|%q|%q|%s|%s|%g|%t|%t|%g\n",
-			c.Name, c.Value, c.Domain, c.TopURL, c.Expires, c.ViaJS, c.FirstParty, c.Time)
+		d.AddCookie(c)
 	}
-	hashes := make([]string, 0, len(s.ScriptFiles))
-	for k := range s.ScriptFiles {
-		hashes = append(hashes, k)
-	}
-	sort.Strings(hashes)
-	for _, k := range hashes {
-		f := s.ScriptFiles[k]
-		urls := append([]string(nil), f.URLs...)
-		sort.Strings(urls)
-		fmt.Fprintf(h, "script|%s|%s|%s\n", k, f.CType, strings.Join(urls, ","))
-	}
-	tampers := append([]TamperRecord(nil), s.Tampers...)
-	sort.Slice(tampers, func(i, j int) bool { return tampers[i].SHA256 < tampers[j].SHA256 })
-	for _, t := range tampers {
-		fmt.Fprintf(h, "tamper|%s|%s|%t", t.SHA256, t.URL, t.Parsed)
-		for _, f := range t.Findings {
-			fmt.Fprintf(h, "|%s:%d:%q", f.Rule, f.Line, f.Detail)
+	for k, f := range s.ScriptFiles {
+		for _, u := range f.URLs {
+			d.AddScript(u, k, f.CType)
 		}
-		fmt.Fprintln(h)
 	}
-	tables := make([]string, 0, len(s.Dropped))
-	for t := range s.Dropped {
-		tables = append(tables, t)
+	for _, t := range s.Tampers {
+		d.AddTamper(t)
 	}
-	sort.Strings(tables)
-	for _, t := range tables {
-		fmt.Fprintf(h, "dropped|%s|%d\n", t, s.Dropped[t])
+	for t, n := range s.Dropped {
+		d.AddDropped(t, n)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return d.Sum()
 }

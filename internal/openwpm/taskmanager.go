@@ -85,6 +85,11 @@ type CrawlConfig struct {
 	// accepted record. Package bundle provides the implementation.
 	Recorder Recorder
 
+	// Backend, when non-nil, is attached as Storage.Backend: every accepted
+	// record is also appended durably (package wal). Nil keeps storage
+	// memory-only, today's behaviour.
+	Backend Backend
+
 	// --- static analysis ------------------------------------------------
 
 	// Tamper, when non-nil, statically analyses every first-seen script
@@ -237,6 +242,7 @@ func NewTaskManager(cfg CrawlConfig) *TaskManager {
 		tm.Storage.FaultFn = sf.StorageFault
 	}
 	tm.Storage.Observer = cfg.Recorder
+	tm.Storage.Backend = cfg.Backend
 	tm.Storage.TamperFn = cfg.Tamper
 	if cfg.Stealth != nil {
 		tm.js = cfg.Stealth
@@ -396,6 +402,7 @@ func (tm *TaskManager) visitSite(url string) (*SiteVisit, error) {
 	// (site, config, seed) for sharded and serial crawls to store identical
 	// bytes; restarts within the site still advance the index.
 	tm.browserNo = 0
+	tm.Storage.SetVisitContext(url)
 	bm := &BrowserManager{tm: tm, site: url}
 	sv := &SiteVisit{Site: url}
 	finish := func() {
@@ -726,6 +733,7 @@ func (tm *TaskManager) CrawlFromHooked(urls []string, cp *Checkpoint, h CrawlHoo
 			break
 		}
 		u := urls[cp.Done]
+		tm.Storage.SetVisitContext(u)
 		var o SiteOutcome
 		if tm.Cfg.MaxCrawlSeconds > 0 && r.VirtualSeconds+r.BackoffSeconds >= tm.Cfg.MaxCrawlSeconds {
 			// out of crawl budget: account for the site instead of dropping it

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"gullible/internal/bundle"
+	"gullible/internal/openwpm"
+	"gullible/internal/telemetry"
+	"gullible/internal/wal"
+)
+
+// ShardRecoveries is the per-shard recovery detail Recover returns alongside
+// the rebuilt checkpoint, for operators who want the damage report.
+type ShardRecoveries []*wal.ShardRecovery
+
+// Recover rebuilds a scheduled crawl's checkpoint from the per-shard WALs of
+// a killed process: each shard log is scanned, truncated back to its last
+// checkpoint and replayed into storage, outcome and recorder state, and the
+// resulting Checkpoint plugs straight into Crawl.Resume. The site that was in
+// flight when the process died is re-crawled; determinism makes the merged
+// result byte-identical to an uninterrupted run.
+//
+// fss holds one FS per shard, in any order — shard identity comes from each
+// log's metadata record, and the rebuilt checkpoint is sorted by shard index.
+func Recover(fss []wal.FS, opts wal.Options) (*Checkpoint, ShardRecoveries, error) {
+	if len(fss) == 0 {
+		return nil, nil, fmt.Errorf("sched: recover: no shard logs")
+	}
+	recoveries := make(ShardRecoveries, 0, len(fss))
+	cp := &Checkpoint{}
+	for _, fs := range fss {
+		r, err := wal.RecoverShard(fs, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		recoveries = append(recoveries, r)
+
+		report := openwpm.NewCrawlReport()
+		for _, o := range r.Outcomes {
+			report.AbsorbOutcome(o)
+		}
+		report.DroppedWrites = r.Storage.DroppedTotal()
+
+		st := &ShardState{
+			Shard:      Shard{Index: r.Meta.Index, Start: r.Meta.Start, Sites: r.Meta.Sites},
+			Checkpoint: &openwpm.Checkpoint{Done: len(r.Outcomes), Report: report},
+			Outcomes:   r.Outcomes,
+			Storage:    r.Storage,
+			Backend:    r.Backend,
+		}
+		if r.Meta.Record {
+			rec, err := bundle.RestoreRecorder(r.Meta.Meta, r.Bodies, r.RecorderVisits, r.Storage.Crashes, r.RecorderState)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sched: recover shard %d: %w", r.Meta.Index, err)
+			}
+			rec.Spool = r.Backend
+			st.Recorder = rec
+		}
+		cp.Workers = r.Meta.Workers
+		cp.Shards = append(cp.Shards, st)
+	}
+	sort.Slice(cp.Shards, func(i, j int) bool {
+		return cp.Shards[i].Shard.Index < cp.Shards[j].Shard.Index
+	})
+	for i, st := range cp.Shards {
+		if st.Shard.Index != i {
+			return nil, nil, fmt.Errorf("sched: recover: shard indices not contiguous (have %d at position %d)", st.Shard.Index, i)
+		}
+	}
+	if len(cp.Shards) != cp.Workers {
+		return nil, nil, fmt.Errorf("sched: recover: %d shard logs for a %d-worker crawl", len(cp.Shards), cp.Workers)
+	}
+	return cp, recoveries, nil
+}
+
+// WALBackend adapts wal.Open into a Crawl.Backend factory: each shard gets
+// its own log (via fss, indexed by shard) stamped with the shard's identity.
+func WALBackend(fss func(Shard) wal.FS, workers int, record bool, meta map[string]string, opts wal.Options) func(Shard) openwpm.Backend {
+	return func(sh Shard) openwpm.Backend {
+		be, err := wal.Open(fss(sh), wal.ShardMeta{
+			Index:   sh.Index,
+			Start:   sh.Start,
+			Workers: workers,
+			Sites:   sh.Sites,
+			Record:  record,
+			Meta:    meta,
+		}, opts)
+		if err != nil {
+			// a backend that cannot open degrades to memory-only: the crawl
+			// proceeds, durability is lost, and the failure is visible in
+			// telemetry via the storage layer's backend-error accounting
+			if opts.Telemetry.Enabled() {
+				opts.Telemetry.Event(telemetry.LevelWarn, "wal-open-failed", 0,
+					telemetry.L("shard", fmt.Sprintf("%d", sh.Index)),
+					telemetry.L("error", err.Error()))
+			}
+			return nil
+		}
+		return be
+	}
+}

@@ -1,0 +1,169 @@
+package sched_test
+
+import (
+	"sync"
+	"testing"
+
+	"gullible/internal/sched"
+	"gullible/internal/wal"
+	"gullible/internal/websim"
+)
+
+// truncateTail models a process killed mid-write: the shard log's final bytes
+// — everything after frac of its total size — vanish, possibly mid-frame.
+func truncateTail(t *testing.T, fs *wal.MemFS, frac float64) {
+	t.Helper()
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, n := range names {
+		total += fs.Size(n)
+	}
+	cut := int64(float64(total) * frac)
+	var cum int64
+	cutting := false
+	for _, n := range names {
+		size := fs.Size(n)
+		if cutting {
+			if err := fs.Remove(n); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if cut <= cum+size {
+			if err := fs.Truncate(n, cut-cum); err != nil {
+				t.Fatal(err)
+			}
+			cutting = true
+		}
+		cum += size
+	}
+}
+
+// TestKillAndRecoverFromWAL is the tentpole acceptance test: a recorded crawl
+// with WAL backends is interrupted, the in-process checkpoint is thrown away
+// entirely (a cooperative stop halts the goroutines; discarding every live
+// object and truncating the logs at an arbitrary byte models the kill), the
+// crawl is rebuilt from the on-disk WALs alone, and the resumed run's merged
+// storage digest, crawl report and sealed bundle must be byte-identical to an
+// uninterrupted run — at more than one worker count.
+func TestKillAndRecoverFromWAL(t *testing.T) {
+	const sites = 12
+	for _, workers := range []int{1, 3} {
+		workers := workers
+		t.Run(map[int]string{1: "serial", 3: "sharded"}[workers], func(t *testing.T) {
+			urls := websim.Tranco(sites)
+			meta := map[string]string{"scenario": "wal-recover"}
+
+			reference, err := sched.Run(sched.Crawl{
+				Sites:      urls,
+				Workers:    workers,
+				Config:     crawlConfig(websim.New(websim.Options{Seed: 5, NumSites: sites}), nil),
+				Record:     true,
+				BundleMeta: meta,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fss := make([]*wal.MemFS, workers)
+			for i := range fss {
+				fss[i] = wal.NewMemFS()
+			}
+			backend := sched.WALBackend(func(sh sched.Shard) wal.FS { return fss[sh.Index] },
+				workers, true, meta, wal.Options{})
+
+			stop := make(chan struct{})
+			var once sync.Once
+			crawl := sched.Crawl{
+				Sites:         urls,
+				Workers:       workers,
+				Config:        crawlConfig(websim.New(websim.Options{Seed: 5, NumSites: sites}), nil),
+				Record:        true,
+				BundleMeta:    meta,
+				Backend:       backend,
+				ProgressEvery: 1,
+				Stop:          stop,
+				OnProgress: func(done, total int) {
+					if done >= 3 {
+						once.Do(func() { close(stop) })
+					}
+				},
+			}
+			first, err := sched.Run(crawl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !first.Interrupted {
+				t.Fatalf("crawl was not interrupted (done %d/%d)", first.Checkpoint.Done(), sites)
+			}
+			doneAtStop := first.Checkpoint.Done()
+
+			// the kill: every in-process object is gone, and each log loses
+			// its tail at an arbitrary byte point (mid-frame included)
+			first = nil
+			for _, fs := range fss {
+				truncateTail(t, fs, 0.7)
+			}
+
+			walFSs := make([]wal.FS, workers)
+			for i, fs := range fss {
+				walFSs[i] = fs
+			}
+			recovered, recoveries, err := sched.Recover(walFSs, wal.Options{})
+			if err != nil {
+				t.Fatalf("recover from WALs: %v", err)
+			}
+			if got := recovered.Done(); got > doneAtStop {
+				t.Fatalf("recovery invented progress: %d done, crawl had reached %d", got, doneAtStop)
+			}
+			for _, r := range recoveries {
+				if a, b := r.Storage.Digest(), r.Backend.Digest(); a != b {
+					t.Fatalf("shard %d: recovered storage digest %s != replayed WAL digest %s", r.Meta.Index, a, b)
+				}
+			}
+
+			crawl.Stop = nil
+			crawl.OnProgress = nil
+			crawl.ProgressEvery = 0
+			crawl.Config = crawlConfig(websim.New(websim.Options{Seed: 5, NumSites: sites}), nil)
+			crawl.Resume = recovered
+			resumed, err := sched.Run(crawl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Interrupted {
+				t.Fatal("resumed run did not complete")
+			}
+			if a, b := reference.Storage.Digest(), resumed.Storage.Digest(); a != b {
+				t.Fatalf("recovered+resumed storage digest %s differs from uninterrupted %s", b, a)
+			}
+			if a, b := reference.Report.String(), resumed.Report.String(); a != b {
+				t.Fatalf("recovered+resumed report diverges:\nuninterrupted:\n%s\nresumed:\n%s", a, b)
+			}
+			if reference.Bundle.Digest != resumed.Bundle.Digest {
+				t.Fatal("recovered+resumed bundle digest differs from uninterrupted run")
+			}
+			if err := resumed.Bundle.Verify(); err != nil {
+				t.Fatalf("recovered bundle fails verification: %v", err)
+			}
+			// no revisits in the durable world either: one front visit per site
+			front := map[string]int{}
+			for _, v := range resumed.Storage.Visits {
+				if !v.Subpage {
+					front[v.Site]++
+				}
+			}
+			for _, u := range urls {
+				if front[u] != 1 {
+					t.Fatalf("site %s has %d front-page visit rows after recovery, want 1", u, front[u])
+				}
+			}
+			if err := resumed.Checkpoint.CloseBackends(); err != nil {
+				t.Fatalf("closing recovered backends: %v", err)
+			}
+		})
+	}
+}

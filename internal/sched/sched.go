@@ -101,6 +101,15 @@ type Crawl struct {
 	// Record archives each shard under its own bundle recorder and merges
 	// the shard bundles into one sealed archive (Result.Bundle).
 	Record bool
+	// Backend, when non-nil, builds a per-shard durable storage backend
+	// (package wal's Open, typically). It is called once per shard on a
+	// fresh run; resumed runs reuse the checkpoint's backends. When the
+	// backend also implements bundle.Spool and Record is set, the shard's
+	// recorder spools through it. The scheduler checkpoints each site
+	// outcome to the backend and flushes at worker exit, but never closes
+	// backends — that is the caller's job (Checkpoint.CloseBackends), since
+	// an interrupted checkpoint keeps its backends live for resumption.
+	Backend func(Shard) openwpm.Backend
 	// BundleMeta labels the merged bundle's manifest (deterministic content
 	// only — seeds and scenario names, never timestamps).
 	BundleMeta map[string]string
@@ -135,6 +144,7 @@ type ShardState struct {
 	Outcomes   []openwpm.SiteOutcome
 	Storage    *openwpm.Storage
 	Recorder   *bundle.Recorder
+	Backend    openwpm.Backend
 	FaultKinds map[string]int
 
 	// cfg is the effective (defaulted) configuration of the shard's most
@@ -158,6 +168,24 @@ func (cp *Checkpoint) Done() int {
 		n += st.Checkpoint.Done
 	}
 	return n
+}
+
+// CloseBackends closes every shard's storage backend (no-op for shards
+// without one). Call it once the checkpoint is finished with — after a
+// completed run, or when abandoning an interrupted one. The scheduler itself
+// never closes backends: an interrupted checkpoint keeps its logs open so a
+// resumed run can continue appending.
+func (cp *Checkpoint) CloseBackends() error {
+	var first error
+	for _, st := range cp.Shards {
+		if st == nil || st.Backend == nil {
+			continue
+		}
+		if err := st.Backend.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Complete reports whether every shard finished its slice.
@@ -238,9 +266,16 @@ func Run(c Crawl) (*Result, error) {
 			defer wg.Done()
 			cfg := c.Config(st.Shard)
 			raw := cfg.Transport
+			if st.Backend == nil && c.Backend != nil {
+				st.Backend = c.Backend(st.Shard)
+			}
+			cfg.Backend = st.Backend
 			if c.Record {
 				if st.Recorder == nil {
 					st.Recorder = bundle.NewRecorder(c.BundleMeta)
+					if sp, ok := st.Backend.(bundle.Spool); ok {
+						st.Recorder.Spool = sp
+					}
 				}
 				cfg.Recorder = st.Recorder
 			}
@@ -249,6 +284,15 @@ func Run(c Crawl) (*Result, error) {
 			hooks := openwpm.CrawlHooks{
 				OnSite: func(o openwpm.SiteOutcome) {
 					st.Outcomes = append(st.Outcomes, o)
+					if st.Backend != nil {
+						var rs []byte
+						if st.Recorder != nil {
+							rs = st.Recorder.StateJSON()
+						}
+						// append failures are already counted by the backend
+						// (writer stats + telemetry); the crawl keeps going
+						_ = st.Backend.AppendCheckpoint(o, rs)
+					}
 					n := done.Add(1)
 					gDone.Set(n)
 					if c.OnProgress != nil && n%int64(every) == 0 && n != int64(total) {
@@ -273,6 +317,11 @@ func Run(c Crawl) (*Result, error) {
 				// resumed shard: a fresh TaskManager crawled the remainder;
 				// append its records after the previous run's
 				st.Storage.Merge(tm.Storage)
+			}
+			if st.Backend != nil {
+				// one commit per worker exit; failures are counted by the
+				// backend itself
+				_ = st.Backend.Flush()
 			}
 			if fc, ok := raw.(faultCounter); ok {
 				if st.FaultKinds == nil {

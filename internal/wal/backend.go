@@ -1,0 +1,408 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gullible/internal/bundle"
+	"gullible/internal/openwpm"
+	"gullible/internal/telemetry"
+)
+
+// Record kinds. The storage kinds mirror the tables of the measurement
+// database; body/bvisit carry the bundle recorder's archive stream; meta
+// identifies the shard; checkpoint marks the durable site boundary.
+const (
+	recMeta       = "meta"
+	recVisit      = "visit"
+	recCrash      = "crash"
+	recRequest    = "request"
+	recCookie     = "cookie"
+	recJSCall     = "jscall"
+	recBody       = "body"   // content pool entry, written once per SHA
+	recScript     = "script" // one accepted content-table write (URL -> SHA)
+	recTamper     = "tamper"
+	recDrop       = "drop"
+	recBVisit     = "bvisit" // one bundle.Visit spooled from the recorder
+	recCheckpoint = "checkpoint"
+)
+
+// ShardMeta identifies the crawl shard a log belongs to. It is the first
+// record of every log, so recovery can rebuild scheduling state without any
+// side channel.
+type ShardMeta struct {
+	Index   int               `json:"index"`
+	Start   int               `json:"start"`
+	Workers int               `json:"workers"`
+	Sites   []string          `json:"sites"`
+	Record  bool              `json:"record,omitempty"`
+	Meta    map[string]string `json:"meta,omitempty"` // bundle manifest meta
+}
+
+type bodyRec struct {
+	SHA     string `json:"sha"`
+	Content string `json:"content"`
+}
+
+type scriptRec struct {
+	URL   string `json:"url"`
+	SHA   string `json:"sha"`
+	CType string `json:"ctype,omitempty"`
+}
+
+type dropRec struct {
+	Table string `json:"table"`
+	Site  string `json:"site,omitempty"`
+}
+
+type checkRec struct {
+	Outcome  openwpm.SiteOutcome `json:"outcome"`
+	Recorder json.RawMessage     `json:"recorder,omitempty"`
+}
+
+// Backend is the WAL-backed openwpm.Backend (and bundle.Spool) for one crawl
+// shard: every accepted storage record and every spooled bundle record is
+// appended to the shard's log, and an incremental DigestState shadows the
+// storage digest so the durable stream can be checked against the in-memory
+// one at any point. A Backend serves one shard on one goroutine, like the
+// storage it backs.
+type Backend struct {
+	w      *Writer
+	digest *openwpm.DigestState
+	bodies map[string]bool // content-pool SHAs already logged
+}
+
+// Open starts a fresh shard log: a new writer whose first record is the
+// shard's metadata.
+func Open(fs FS, meta ShardMeta, opts Options) (*Backend, error) {
+	w, err := NewWriter(fs, opts)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{w: w, digest: openwpm.NewDigestState(), bodies: map[string]bool{}}
+	if err := w.Append(recMeta, meta); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Digest is the incremental digest over every record offered to the backend;
+// fault-free it equals Storage.Digest() on the same stream at every site
+// boundary.
+func (b *Backend) Digest() string { return b.digest.Sum() }
+
+// Stats exposes the underlying writer's durability accounting.
+func (b *Backend) Stats() WriterStats { return b.w.Stats() }
+
+func (b *Backend) AppendVisit(v openwpm.VisitRecord) error {
+	b.digest.AddVisit(v)
+	return b.w.Append(recVisit, v)
+}
+
+func (b *Backend) AppendCrash(c openwpm.CrashRecord) error {
+	b.digest.AddCrash(c)
+	return b.w.Append(recCrash, c)
+}
+
+func (b *Backend) AppendRequest(r openwpm.RequestRecord) error {
+	b.digest.AddRequest(r)
+	return b.w.Append(recRequest, r)
+}
+
+func (b *Backend) AppendCookie(c openwpm.CookieEntry) error {
+	b.digest.AddCookie(c)
+	return b.w.Append(recCookie, c)
+}
+
+func (b *Backend) AppendJSCall(c openwpm.JSCall) error {
+	b.digest.AddJSCall(c)
+	return b.w.Append(recJSCall, c)
+}
+
+// AppendScriptFile logs an accepted content write: the body goes to the
+// shared content pool once per SHA, the URL→SHA association every time.
+func (b *Backend) AppendScriptFile(url, sha, content, ctype string) error {
+	b.digest.AddScript(url, sha, ctype)
+	var err error
+	if !b.bodies[sha] {
+		b.bodies[sha] = true
+		err = b.w.Append(recBody, bodyRec{SHA: sha, Content: content})
+	}
+	if e := b.w.Append(recScript, scriptRec{URL: url, SHA: sha, CType: ctype}); err == nil {
+		err = e
+	}
+	return err
+}
+
+func (b *Backend) AppendTamper(t openwpm.TamperRecord) error {
+	b.digest.AddTamper(t)
+	return b.w.Append(recTamper, t)
+}
+
+func (b *Backend) AppendDrop(table, site string) error {
+	b.digest.AddDrop(table)
+	return b.w.Append(recDrop, dropRec{Table: table, Site: site})
+}
+
+// AppendCheckpoint writes the durable site boundary and commits it per the
+// sync policy — under the default SyncCheckpoint policy this is where fsync
+// happens.
+func (b *Backend) AppendCheckpoint(outcome openwpm.SiteOutcome, recorder []byte) error {
+	if err := b.w.Append(recCheckpoint, checkRec{Outcome: outcome, Recorder: recorder}); err != nil {
+		return err
+	}
+	return b.w.Commit()
+}
+
+// SpoolBody implements bundle.Spool over the shared content pool: script
+// bodies and HTTP response bodies dedup against each other, exactly like the
+// recorder's own pool.
+func (b *Backend) SpoolBody(sha, content string) error {
+	if b.bodies[sha] {
+		return nil
+	}
+	b.bodies[sha] = true
+	return b.w.Append(recBody, bodyRec{SHA: sha, Content: content})
+}
+
+// SpoolVisit implements bundle.Spool: one closed bundle visit with all its
+// per-visit buffers.
+func (b *Backend) SpoolVisit(v bundle.Visit) error {
+	return b.w.Append(recBVisit, v)
+}
+
+// Flush commits buffered appends per the sync policy.
+func (b *Backend) Flush() error { return b.w.Commit() }
+
+// Close commits and closes the shard log.
+func (b *Backend) Close() error { return b.w.Close() }
+
+// RecoverStats describes a shard recovery.
+type RecoverStats struct {
+	Scan RecoverScan `json:"scan"`
+	// Applied is how many recovered records were replayed into state.
+	Applied int `json:"applied"`
+	// Discarded is how many intact records after the last checkpoint were
+	// thrown away (they belong to the in-flight site, which is re-crawled).
+	Discarded int `json:"discarded"`
+	// Unresolved counts script references whose pooled body was lost to a
+	// disk fault; the reference is dropped and counted rather than trusted.
+	Unresolved int `json:"unresolved,omitempty"`
+}
+
+// RecoverScan is the scan-level accounting embedded in RecoverStats.
+type RecoverScan struct {
+	Segments       int      `json:"segments"`
+	Records        int      `json:"records"`
+	TruncatedBytes int64    `json:"truncatedBytes,omitempty"`
+	TornSegments   []string `json:"tornSegments,omitempty"`
+}
+
+// ShardRecovery is the rebuilt durable state of one crawl shard: everything
+// committed up to the last checkpoint, plus a continuation Backend whose
+// digest state already reflects the replayed records.
+type ShardRecovery struct {
+	Meta    ShardMeta
+	Storage *openwpm.Storage
+	// Outcomes are the per-site outcomes in crawl order; len(Outcomes) is
+	// the shard's resume position.
+	Outcomes []openwpm.SiteOutcome
+	// RecorderVisits / Bodies / RecorderState rebuild the bundle recorder
+	// when the crawl was recorded.
+	RecorderVisits []bundle.Visit
+	Bodies         map[string]string
+	RecorderState  []byte
+	Stats          RecoverStats
+	// Backend continues the log at a fresh segment; its digest state equals
+	// Storage.Digest() over the recovered records.
+	Backend *Backend
+}
+
+// Done is the number of sites the recovered shard has completed.
+func (r *ShardRecovery) Done() int { return len(r.Outcomes) }
+
+// RecoverShard rebuilds a shard from its log: scan the committed record
+// stream, truncate back to the last checkpoint (physically — the discarded
+// tail belongs to the site that was in flight when the process died), replay
+// the surviving records into storage/digest/recorder state, and open a
+// continuation writer on a fresh segment. The in-flight site is simply
+// re-crawled by the resumed scheduler; determinism makes the merged result
+// byte-identical to an uninterrupted run.
+func RecoverShard(fs FS, opts Options) (*ShardRecovery, error) {
+	recs, sstats, err := Scan(fs)
+	if err != nil {
+		return nil, err
+	}
+	tel := opts.Telemetry
+	tel.Gauge("wal_recovery_truncated_bytes").Add(sstats.TruncatedBytes)
+
+	if len(recs) == 0 || recs[0].Kind != recMeta {
+		return nil, fmt.Errorf("wal: no shard metadata recovered (%s)", sstats)
+	}
+	var meta ShardMeta
+	if err := json.Unmarshal(recs[0].Data, &meta); err != nil {
+		return nil, fmt.Errorf("wal: shard metadata: %w", err)
+	}
+
+	// keep everything up to and including the last checkpoint; with no
+	// checkpoint yet, only the meta record survives
+	keep := 0
+	for i, r := range recs {
+		if r.Kind == recCheckpoint {
+			keep = i
+		}
+	}
+	nextSeg, err := truncateAfter(fs, recs[keep])
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ShardRecovery{
+		Meta:    meta,
+		Storage: openwpm.NewStorage(),
+		Bodies:  map[string]string{},
+		Stats: RecoverStats{
+			Scan: RecoverScan{
+				Segments:       sstats.Segments,
+				Records:        sstats.Records,
+				TruncatedBytes: sstats.TruncatedBytes,
+				TornSegments:   sstats.TornSegments,
+			},
+			Discarded: len(recs) - keep - 1,
+		},
+	}
+	w, err := newWriterAt(fs, opts, nextSeg)
+	if err != nil {
+		return nil, err
+	}
+	out.Backend = &Backend{w: w, digest: openwpm.NewDigestState(), bodies: map[string]bool{}}
+
+	for _, r := range recs[1 : keep+1] {
+		if err := out.apply(r); err != nil {
+			return nil, err
+		}
+		out.Stats.Applied++
+	}
+	for sha := range out.Bodies {
+		out.Backend.bodies[sha] = true
+	}
+	if tel.Enabled() {
+		tel.Event(telemetry.LevelInfo, "wal-recovery", 0,
+			telemetry.L("shard", fmt.Sprintf("%d", meta.Index)),
+			telemetry.L("records", fmt.Sprintf("%d", out.Stats.Applied)),
+			telemetry.L("discarded", fmt.Sprintf("%d", out.Stats.Discarded)),
+			telemetry.L("truncated_bytes", fmt.Sprintf("%d", sstats.TruncatedBytes)),
+			telemetry.L("sites_done", fmt.Sprintf("%d", out.Done())))
+	}
+	return out, nil
+}
+
+// apply replays one committed record into the recovered state. Records were
+// sanitised and fault-filtered before they were appended, so replay writes
+// tables directly — re-running Storage's Add methods would sanitise twice.
+func (out *ShardRecovery) apply(r Rec) error {
+	s := out.Storage
+	d := out.Backend.digest
+	switch r.Kind {
+	case recVisit:
+		var v openwpm.VisitRecord
+		if err := json.Unmarshal(r.Data, &v); err != nil {
+			return fmt.Errorf("wal: replay visit: %w", err)
+		}
+		s.Visits = append(s.Visits, v)
+		d.AddVisit(v)
+	case recCrash:
+		var c openwpm.CrashRecord
+		if err := json.Unmarshal(r.Data, &c); err != nil {
+			return fmt.Errorf("wal: replay crash: %w", err)
+		}
+		s.Crashes = append(s.Crashes, c)
+		d.AddCrash(c)
+	case recRequest:
+		var q openwpm.RequestRecord
+		if err := json.Unmarshal(r.Data, &q); err != nil {
+			return fmt.Errorf("wal: replay request: %w", err)
+		}
+		s.Requests = append(s.Requests, q)
+		d.AddRequest(q)
+	case recCookie:
+		var c openwpm.CookieEntry
+		if err := json.Unmarshal(r.Data, &c); err != nil {
+			return fmt.Errorf("wal: replay cookie: %w", err)
+		}
+		s.Cookies = append(s.Cookies, c)
+		d.AddCookie(c)
+	case recJSCall:
+		var c openwpm.JSCall
+		if err := json.Unmarshal(r.Data, &c); err != nil {
+			return fmt.Errorf("wal: replay jscall: %w", err)
+		}
+		s.JSCalls = append(s.JSCalls, c)
+		d.AddJSCall(c)
+	case recBody:
+		var b bodyRec
+		if err := json.Unmarshal(r.Data, &b); err != nil {
+			return fmt.Errorf("wal: replay body: %w", err)
+		}
+		out.Bodies[b.SHA] = b.Content
+	case recScript:
+		var sc scriptRec
+		if err := json.Unmarshal(r.Data, &sc); err != nil {
+			return fmt.Errorf("wal: replay script: %w", err)
+		}
+		f, ok := s.ScriptFiles[sc.SHA]
+		if !ok {
+			content, have := out.Bodies[sc.SHA]
+			if !have {
+				// the pooled body was lost to a disk fault before this
+				// reference committed; count it rather than invent content
+				out.Stats.Unresolved++
+				return nil
+			}
+			s.ScriptFiles[sc.SHA] = openwpm.ScriptFile{
+				URL: sc.URL, SHA256: sc.SHA, Content: content,
+				CType: sc.CType, URLs: []string{sc.URL},
+			}
+			d.AddScript(sc.URL, sc.SHA, sc.CType)
+			return nil
+		}
+		for _, u := range f.URLs {
+			if u == sc.URL {
+				return nil
+			}
+		}
+		f.URLs = append(f.URLs, sc.URL)
+		s.ScriptFiles[sc.SHA] = f
+		d.AddScript(sc.URL, sc.SHA, sc.CType)
+	case recTamper:
+		var t openwpm.TamperRecord
+		if err := json.Unmarshal(r.Data, &t); err != nil {
+			return fmt.Errorf("wal: replay tamper: %w", err)
+		}
+		s.Tampers = append(s.Tampers, t)
+		d.AddTamper(t)
+	case recDrop:
+		var dr dropRec
+		if err := json.Unmarshal(r.Data, &dr); err != nil {
+			return fmt.Errorf("wal: replay drop: %w", err)
+		}
+		s.Dropped[dr.Table]++
+		d.AddDrop(dr.Table)
+	case recBVisit:
+		var v bundle.Visit
+		if err := json.Unmarshal(r.Data, &v); err != nil {
+			return fmt.Errorf("wal: replay bundle visit: %w", err)
+		}
+		out.RecorderVisits = append(out.RecorderVisits, v)
+	case recCheckpoint:
+		var c checkRec
+		if err := json.Unmarshal(r.Data, &c); err != nil {
+			return fmt.Errorf("wal: replay checkpoint: %w", err)
+		}
+		out.Outcomes = append(out.Outcomes, c.Outcome)
+		out.RecorderState = c.Recorder
+	default:
+		return fmt.Errorf("wal: unknown record kind %q", r.Kind)
+	}
+	return nil
+}

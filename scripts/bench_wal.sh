@@ -1,0 +1,58 @@
+#!/bin/sh
+# Measures storage-backend append throughput and writes BENCH_wal.json:
+# records/sec through the in-memory backend and through the WAL at each fsync
+# policy (off / checkpoint / always), plus the WAL-vs-memory overhead ratios.
+# Real files and real fsync — the "always" number is the honest price of
+# per-record durability.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_wal.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== storage backend throughput: BenchmarkBackendAppend" >&2
+go test -run '^$' -bench 'BenchmarkBackendAppend' \
+    -benchtime "${WAL_BENCHTIME:-3x}" -count "${WAL_COUNT:-3}" ./internal/wal >"$raw"
+
+# Render `BenchmarkBackendAppend/store=wal/fsync=off-8 ... 169419 recs/s`
+# lines as JSON, keeping the best of repeated runs per configuration.
+awk '
+/^BenchmarkBackendAppend\// {
+    name = $1
+    sub(/^BenchmarkBackendAppend\/store=/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    gsub(/\//, ".", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "recs/s" && ($i + 0 > rate[name] + 0)) {
+            rate[name] = $i
+            if (!(name in order)) { order[name] = ++names; byIdx[names] = name }
+        }
+    }
+}
+END {
+    printf "{\n  \"records_per_append_batch\": 2000,\n"
+    printf "  \"records_per_sec\": {"
+    for (i = 1; i <= names; i++) {
+        if (i > 1) printf ", "
+        printf "\"%s\": %s", byIdx[i], rate[byIdx[i]]
+    }
+    printf "}"
+    mem = rate["memory"] + 0
+    if (mem > 0) {
+        printf ",\n  \"wal_overhead_vs_memory\": {"
+        first = 1
+        for (i = 1; i <= names; i++) {
+            n = byIdx[i]
+            if (n == "memory" || rate[n] + 0 <= 0) continue
+            if (!first) printf ", "
+            printf "\"%s\": %.1f", n, mem / rate[n]
+            first = 0
+        }
+        printf "}"
+    }
+    printf "\n}\n"
+}
+' "$raw" >"$out"
+
+cat "$out"

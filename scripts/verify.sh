@@ -31,6 +31,12 @@ fi
 echo "== go test -race ./internal/analysis/... ./internal/lint/... ./internal/telemetry/... ./internal/sched/..."
 go test -race ./internal/analysis/... ./internal/lint/... ./internal/telemetry/... ./internal/sched/...
 
+echo "== go test -race ./internal/wal/... ./internal/faults/... (durable storage + fault injection)"
+go test -race ./internal/wal/... ./internal/faults/...
+
+echo "== kill-and-recover smoke (crash mid-crawl, recover from WAL, resume, compare digests)"
+go test -race -run 'KillAndRecoverFromWAL|RecoverShardRebuildsStorage|TruncationProperty' ./internal/sched ./internal/wal
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -42,5 +48,8 @@ go test -run '^$' -bench TelemetryOverhead -benchtime 100x ./internal/telemetry
 
 echo "== scan shard-scaling benchmark (smoke)"
 SCAN_BENCHTIME=1x SCAN_COUNT=1 ./scripts/bench_scan.sh >/dev/null
+
+echo "== WAL append-throughput benchmark (smoke)"
+WAL_BENCHTIME=1x WAL_COUNT=1 ./scripts/bench_wal.sh >/dev/null
 
 echo "verify: OK"
