@@ -1,10 +1,16 @@
-.PHONY: verify test build vet race fmt lint telemetry-demo
+.PHONY: verify test build vet race fmt lint telemetry-demo daemon-smoke bench-daemon
 
 verify: ## gofmt + vet + build + wpmlint + race-enabled tests
 	./scripts/verify.sh
 
 lint: ## wpmlint determinism invariants over the crawl-path packages
 	go run ./cmd/wpmlint ./internal/...
+
+daemon-smoke: ## wpmd end-to-end: start, submit, cache hit, metrics, drain
+	go run ./cmd/wpmd -smoke -dir $$(mktemp -d)/state
+
+bench-daemon: ## cold vs warm job latency + saturation rejection rate
+	./scripts/bench_daemon.sh
 
 telemetry-demo: ## quickstart crawl with metrics + span trace on stdout
 	go run ./examples/quickstart -telemetry - -trace -

@@ -16,19 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
+	"gullible/internal/daemon/signal"
 	"gullible/internal/experiments"
 	"gullible/internal/faults"
 	"gullible/internal/telemetry"
 )
-
-// exitInterrupted is the distinct exit status for an experiment stopped by
-// SIGINT/SIGTERM: the paired comparison is invalid on a partial run, so no
-// tables are printed.
-const exitInterrupted = 3
 
 // writeSnapshots writes the vanilla and hardened metrics snapshots as a
 // single canonical JSON document.
@@ -88,15 +82,9 @@ func main() {
 	// partial paired comparison is meaningless, so the process reports the
 	// interruption and exits with a distinct status instead of printing
 	// half-valid tables.
-	stop := make(chan struct{})
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sigc
+	stop := signal.Notify(func(s os.Signal) {
 		fmt.Fprintf(os.Stderr, "\n%v: stopping at the next site boundary...\n", s)
-		close(stop)
-		signal.Stop(sigc) // a second signal falls back to immediate death
-	}()
+	})
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "crawling %d sites twice (vanilla + hardened) under fault seed %d...\n", *sites, *faultSeed)
@@ -109,7 +97,7 @@ func main() {
 	})
 	if r.Interrupted {
 		fmt.Fprintln(os.Stderr, "interrupted: the vanilla/hardened comparison needs both full runs — rerun to completion")
-		os.Exit(exitInterrupted)
+		os.Exit(signal.ExitInterrupted)
 	}
 	fmt.Fprintf(os.Stderr, "done in %s\n\n", time.Since(start).Round(time.Second))
 

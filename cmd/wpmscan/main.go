@@ -32,13 +32,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"path/filepath"
 	"sort"
-	"syscall"
 	"time"
 
 	"gullible/internal/bundle"
+	"gullible/internal/daemon/signal"
 	"gullible/internal/experiments"
 	"gullible/internal/faults"
 	"gullible/internal/sched"
@@ -46,36 +44,6 @@ import (
 	"gullible/internal/wal"
 	"gullible/internal/websim"
 )
-
-// exitInterrupted is the distinct exit status for a crawl stopped by
-// SIGINT/SIGTERM after its WAL was flushed and sealed: not a success, not a
-// failure — a checkpointed pause that -recover resumes.
-const exitInterrupted = 3
-
-// shardFS returns the per-shard WAL directory under dir.
-func shardFS(dir string) func(sched.Shard) wal.FS {
-	return func(sh sched.Shard) wal.FS {
-		return wal.DirFS{Dir: filepath.Join(dir, fmt.Sprintf("shard-%03d", sh.Index))}
-	}
-}
-
-// shardFSs lists the existing per-shard WAL directories for recovery.
-func shardFSs(dir string) ([]wal.FS, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var fss []wal.FS
-	for _, e := range ents {
-		if e.IsDir() {
-			fss = append(fss, wal.DirFS{Dir: filepath.Join(dir, e.Name())})
-		}
-	}
-	if len(fss) == 0 {
-		return nil, fmt.Errorf("no shard logs under %s", dir)
-	}
-	return fss, nil
-}
 
 // writeTelemetry dumps the metrics snapshot and/or span trace to files.
 func writeTelemetry(tel *telemetry.Telemetry, metricsPath, tracePath string) {
@@ -180,7 +148,7 @@ func main() {
 	case "memory":
 	case "wal":
 		if *recoverRun {
-			fss, err := shardFSs(*walDir)
+			fss, err := sched.ListShardFSs(*walDir)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "recover: %v\n", err)
 				os.Exit(1)
@@ -201,7 +169,7 @@ func main() {
 			opts.Workers = cp.Workers
 		} else {
 			eff := sched.Workers(*workers, *sites)
-			opts.Backend = sched.WALBackend(shardFS(*walDir), eff, opts.RecordBundle, opts.BundleMeta, walOpts)
+			opts.Backend = sched.WALBackend(sched.ShardDirFS(*walDir), eff, opts.RecordBundle, opts.BundleMeta, walOpts)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -store %q (want memory or wal)\n", *store)
@@ -211,16 +179,9 @@ func main() {
 	// SIGINT/SIGTERM stop the crawl at the next site boundary: the WAL (when
 	// on) is flushed and sealed behind a final per-site checkpoint, and the
 	// process exits with a distinct status so wrappers know to -recover.
-	stop := make(chan struct{})
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sigc
+	opts.Stop = signal.Notify(func(s os.Signal) {
 		fmt.Fprintf(os.Stderr, "\n%v: stopping at the next site boundary...\n", s)
-		close(stop)
-		signal.Stop(sigc) // a second signal falls back to immediate death
-	}()
-	opts.Stop = stop
+	})
 
 	world := websim.New(websim.Options{Seed: *seed, NumSites: *sites})
 	start := time.Now()
@@ -259,7 +220,7 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "interrupted at %d/%d sites; progress was not persisted (run with -store wal for a crash-safe, resumable log)\n", done, *sites)
 		}
-		os.Exit(exitInterrupted)
+		os.Exit(signal.ExitInterrupted)
 	}
 	if *store == "wal" && r.Checkpoint != nil {
 		if cerr := r.Checkpoint.CloseBackends(); cerr != nil {

@@ -1,0 +1,275 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"gullible/internal/telemetry"
+)
+
+// ArtifactMeta is the sidecar record stored next to every cached artifact:
+// what the bytes are, how they verify, and the recency stamp the LRU uses to
+// survive restarts.
+type ArtifactMeta struct {
+	// Kind is the job kind that produced the artifact.
+	Kind string `json:"kind"`
+	// Digest is the artifact's own integrity digest: the bundle digest for
+	// crawl/replay jobs, the SHA-256 of the report bytes otherwise.
+	Digest string `json:"digest"`
+	// ContentType is the HTTP content type the artifact is served with.
+	ContentType string `json:"contentType"`
+	// Bytes is the artifact size on disk.
+	Bytes int64 `json:"bytes"`
+	// Seq is the logical access stamp (monotonic per cache instance,
+	// persisted so recency ordering survives restarts). Logical, not
+	// wall-clock: the daemon keeps no wall time in its state.
+	Seq uint64 `json:"seq"`
+}
+
+// Cache is a disk-backed, byte-budgeted LRU of sealed job artifacts keyed by
+// content address. Entries are immutable once written — the address IS the
+// content — so a hit serves the exact bytes a cold run produced. Eviction is
+// least-recently-used by logical access sequence; the index lives in memory
+// and is rebuilt from the sidecar files on open.
+type Cache struct {
+	mu      sync.Mutex
+	dir     string
+	budget  int64
+	seq     uint64
+	bytes   int64
+	entries map[string]*ArtifactMeta
+	tel     *telemetry.Telemetry
+}
+
+// artifact file suffixes: <addr>.art holds the bytes, <addr>.json the meta.
+const (
+	artSuffix  = ".art"
+	metaSuffix = ".json"
+)
+
+// OpenCache opens (creating if needed) the cache directory and rebuilds the
+// LRU index from the sidecar files. budget <= 0 means unbudgeted. Damaged
+// pairs (missing meta, missing artifact, size mismatch) are removed rather
+// than served.
+func OpenCache(dir string, budget int64, tel *telemetry.Telemetry) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("daemon: open cache: %w", err)
+	}
+	c := &Cache{dir: dir, budget: budget, entries: map[string]*ArtifactMeta{}, tel: tel}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: open cache: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, metaSuffix) {
+			continue
+		}
+		addr := strings.TrimSuffix(name, metaSuffix)
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var m ArtifactMeta
+		if json.Unmarshal(data, &m) != nil {
+			c.removeFiles(addr)
+			continue
+		}
+		fi, err := os.Stat(c.artPath(addr))
+		if err != nil || fi.Size() != m.Bytes {
+			c.removeFiles(addr)
+			continue
+		}
+		c.entries[addr] = &m
+		c.bytes += m.Bytes
+		if m.Seq > c.seq {
+			c.seq = m.Seq
+		}
+	}
+	c.gauges()
+	return c, nil
+}
+
+func (c *Cache) artPath(addr string) string  { return filepath.Join(c.dir, addr+artSuffix) }
+func (c *Cache) metaPath(addr string) string { return filepath.Join(c.dir, addr+metaSuffix) }
+
+func (c *Cache) removeFiles(addr string) {
+	_ = os.Remove(c.artPath(addr))
+	_ = os.Remove(c.metaPath(addr))
+}
+
+// gauges publishes the cache's size; called with mu held (or before the
+// cache is shared).
+func (c *Cache) gauges() {
+	c.tel.Gauge("daemon_cache_bytes").Set(c.bytes)
+	c.tel.Gauge("daemon_cache_entries").Set(int64(len(c.entries)))
+}
+
+// Get returns the cached artifact bytes and meta for addr, bumping its
+// recency. The bool reports whether the entry exists; hit/miss accounting is
+// the daemon's job (a Get during artifact download must not double-count the
+// submit-path hit).
+func (c *Cache) Get(addr string) ([]byte, ArtifactMeta, bool) {
+	c.mu.Lock()
+	m, ok := c.entries[addr]
+	if !ok {
+		c.mu.Unlock()
+		return nil, ArtifactMeta{}, false
+	}
+	c.seq++
+	m.Seq = c.seq
+	meta := *m
+	path := c.artPath(addr)
+	c.mu.Unlock()
+
+	data, err := os.ReadFile(path)
+	if err != nil || int64(len(data)) != meta.Bytes {
+		// the disk lost the artifact under us: drop the entry so the next
+		// submit re-runs the job instead of serving a truncated archive
+		c.mu.Lock()
+		if cur, still := c.entries[addr]; still {
+			c.bytes -= cur.Bytes
+			delete(c.entries, addr)
+			c.removeFiles(addr)
+			c.gauges()
+		}
+		c.mu.Unlock()
+		return nil, ArtifactMeta{}, false
+	}
+	// persist the recency bump best-effort; a lost bump only ages the entry
+	if enc, err := json.Marshal(meta); err == nil {
+		_ = os.WriteFile(c.metaPath(addr), append(enc, '\n'), 0o644)
+	}
+	return data, meta, true
+}
+
+// Contains reports entry existence without bumping recency or touching disk.
+func (c *Cache) Contains(addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[addr]
+	return ok
+}
+
+// Touch returns an entry's meta and bumps its recency without reading the
+// artifact bytes — the submit-path cache hit, where the caller only needs
+// the digest.
+func (c *Cache) Touch(addr string) (ArtifactMeta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.entries[addr]
+	if !ok {
+		return ArtifactMeta{}, false
+	}
+	c.seq++
+	m.Seq = c.seq
+	return *m, true
+}
+
+// Peek returns an entry's meta without bumping recency (status reads must
+// not keep an entry warm).
+func (c *Cache) Peek(addr string) (ArtifactMeta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.entries[addr]
+	if !ok {
+		return ArtifactMeta{}, false
+	}
+	return *m, true
+}
+
+// Put stores an artifact under its content address and evicts
+// least-recently-used entries until the cache fits its byte budget. The new
+// entry itself is never evicted by its own Put — an artifact larger than the
+// whole budget is stored (and will be the first evicted by the next Put).
+func (c *Cache) Put(addr string, artifact []byte, meta ArtifactMeta) error {
+	meta.Bytes = int64(len(artifact))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[addr]; ok {
+		// same address means same content; refresh recency only
+		c.seq++
+		old.Seq = c.seq
+		return nil
+	}
+	if err := os.WriteFile(c.artPath(addr), artifact, 0o644); err != nil {
+		return fmt.Errorf("daemon: cache put: %w", err)
+	}
+	c.seq++
+	meta.Seq = c.seq
+	enc, err := json.Marshal(meta)
+	if err != nil {
+		_ = os.Remove(c.artPath(addr))
+		return fmt.Errorf("daemon: cache put: %w", err)
+	}
+	if err := os.WriteFile(c.metaPath(addr), append(enc, '\n'), 0o644); err != nil {
+		_ = os.Remove(c.artPath(addr))
+		return fmt.Errorf("daemon: cache put: %w", err)
+	}
+	c.entries[addr] = &meta
+	c.bytes += meta.Bytes
+	c.evictLocked(addr)
+	c.gauges()
+	return nil
+}
+
+// evictLocked removes least-recently-used entries (never keep, the entry
+// being inserted) until bytes fit the budget. Called with mu held.
+func (c *Cache) evictLocked(keep string) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget {
+		victim := ""
+		var oldest uint64
+		for addr, m := range c.entries {
+			if addr == keep {
+				continue
+			}
+			if victim == "" || m.Seq < oldest {
+				victim, oldest = addr, m.Seq
+			}
+		}
+		if victim == "" {
+			return // only the just-inserted entry remains
+		}
+		c.bytes -= c.entries[victim].Bytes
+		delete(c.entries, victim)
+		c.removeFiles(victim)
+		c.tel.Counter("daemon_cache_evictions_total").Inc()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the cache's current on-disk artifact volume.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Addrs returns the cached content addresses, most recently used first —
+// diagnostic surface for tests and the status endpoint.
+func (c *Cache) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, 0, len(c.entries))
+	for a := range c.entries {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return c.entries[addrs[i]].Seq > c.entries[addrs[j]].Seq
+	})
+	return addrs
+}

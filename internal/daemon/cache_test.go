@@ -1,0 +1,171 @@
+package daemon
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func put(t *testing.T, c *Cache, addr string, size int) {
+	t.Helper()
+	if err := c.Put(addr, make([]byte, size), ArtifactMeta{Kind: KindCrawl, Digest: "d-" + addr, ContentType: "application/json"}); err != nil {
+		t.Fatalf("Put(%s): %v", addr, err)
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact := []byte("sealed bundle bytes")
+	if err := c.Put("a1", artifact, ArtifactMeta{Kind: KindCrawl, Digest: "dig", ContentType: "application/json"}); err != nil {
+		t.Fatal(err)
+	}
+	data, meta, ok := c.Get("a1")
+	if !ok || string(data) != string(artifact) {
+		t.Fatalf("Get returned %q ok=%v", data, ok)
+	}
+	if meta.Digest != "dig" || meta.Bytes != int64(len(artifact)) {
+		t.Fatalf("meta %+v", meta)
+	}
+	if _, _, ok := c.Get("missing"); ok {
+		t.Fatal("Get(missing) hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, c, "a", 100)
+	put(t, c, "b", 100)
+	put(t, c, "c", 100)
+	// keep "a" warm, then overflow: "b" is now the coldest entry
+	if _, ok := c.Touch("a"); !ok {
+		t.Fatal("Touch(a) missed")
+	}
+	put(t, c, "d", 100)
+	if c.Contains("b") {
+		t.Fatal("LRU evicted the wrong entry: b survived")
+	}
+	for _, want := range []string{"a", "c", "d"} {
+		if !c.Contains(want) {
+			t.Fatalf("entry %s evicted, want b gone only", want)
+		}
+	}
+	if c.Bytes() != 300 {
+		t.Fatalf("cache holds %d bytes, want 300", c.Bytes())
+	}
+}
+
+func TestCacheOversizeArtifactStored(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, c, "big", 200) // larger than the whole budget: stored anyway
+	if !c.Contains("big") {
+		t.Fatal("own Put evicted the new entry")
+	}
+	put(t, c, "next", 10) // the next Put evicts it
+	if c.Contains("big") || !c.Contains("next") {
+		t.Fatalf("eviction after oversize entry wrong: big=%v next=%v", c.Contains("big"), c.Contains("next"))
+	}
+}
+
+func TestCacheRestartRebuildsIndexAndRecency(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 250, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, c, "a", 100)
+	put(t, c, "b", 100)
+	if _, ok := c.Touch("a"); !ok { // persisted? Touch alone is in-memory…
+		t.Fatal("Touch(a) missed")
+	}
+	// Get persists the recency bump; use it so the order survives restart
+	if _, _, ok := c.Get("a"); !ok {
+		t.Fatal("Get(a) missed")
+	}
+
+	c2, err := OpenCache(dir, 250, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 2 || c2.Bytes() != 200 {
+		t.Fatalf("rebuilt index: %d entries, %d bytes", c2.Len(), c2.Bytes())
+	}
+	data, meta, ok := c2.Get("a")
+	if !ok || len(data) != 100 || meta.Digest != "d-a" {
+		t.Fatalf("rebuilt Get(a): ok=%v len=%d meta=%+v", ok, len(data), meta)
+	}
+	// recency from the previous process still orders eviction: "b" is colder
+	put(t, c2, "c", 100)
+	if c2.Contains("b") || !c2.Contains("a") {
+		t.Fatalf("restart lost recency: a=%v b=%v", c2.Contains("a"), c2.Contains("b"))
+	}
+}
+
+func TestCacheDamagedPairsRemovedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, c, "whole", 10)
+	put(t, c, "noart", 10)
+	put(t, c, "short", 10)
+	if err := os.Remove(filepath.Join(dir, "noart.art")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "short.art"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Contains("whole") || c2.Contains("noart") || c2.Contains("short") {
+		t.Fatalf("damage handling wrong: whole=%v noart=%v short=%v",
+			c2.Contains("whole"), c2.Contains("noart"), c2.Contains("short"))
+	}
+}
+
+func TestCacheGetSelfHealsOnDiskLoss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, c, "gone", 10)
+	if err := os.Remove(filepath.Join(dir, "gone.art")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("gone"); ok {
+		t.Fatal("Get served an artifact the disk lost")
+	}
+	if c.Contains("gone") {
+		t.Fatal("lost entry still indexed")
+	}
+}
+
+func TestCacheAddrsMostRecentFirst(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		put(t, c, fmt.Sprintf("e%d", i), 10)
+	}
+	if _, ok := c.Touch("e0"); !ok {
+		t.Fatal("Touch missed")
+	}
+	addrs := c.Addrs()
+	if len(addrs) != 3 || addrs[0] != "e0" {
+		t.Fatalf("Addrs() = %v, want e0 first", addrs)
+	}
+}

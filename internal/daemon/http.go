@@ -1,0 +1,170 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Handler builds the daemon's HTTP API:
+//
+//	POST /v1/jobs                submit a job spec (JSON body); 200 with a
+//	                             cached status on a hit, 202 on admission,
+//	                             400 on a bad spec, 429 + Retry-After when
+//	                             the queue or the tenant budget is full,
+//	                             503 while draining
+//	GET  /v1/jobs/{id}           job status by content address
+//	GET  /v1/jobs/{id}/artifact  sealed artifact bytes (X-Artifact-Digest
+//	                             header carries the integrity digest)
+//	GET  /healthz                liveness; 503 while draining
+//	GET  /metrics                telemetry snapshot, text exposition by
+//	                             default, canonical JSON with ?format=json
+//
+// The tenant identity for budget accounting comes from the X-Tenant header
+// (empty = the anonymous tenant). Handler returns a mux, not a server: the
+// caller owns listener lifecycle and MUST set Read/Write/Idle timeouts on
+// its http.Server (the wpmlint servertimeouts rule enforces this for
+// in-repo callers).
+func Handler(d *Daemon) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(d, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleStatus(d, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		handleArtifact(d, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		handleHealth(d, w, r)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(d, w, r)
+	})
+	return mux
+}
+
+// httpError is the uniform JSON error envelope.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func handleSubmit(d *Daemon, w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode job spec: %v", err))
+		return
+	}
+	st, err := d.Submit(spec, r.Header.Get("X-Tenant"))
+	switch {
+	case err == ErrQueueFull || err == ErrTenantBudget:
+		w.Header().Set("Retry-After", strconv.Itoa(d.RetryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case err != nil && d.Draining():
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+	case st.Cached:
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func handleStatus(d *Daemon, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := d.JobStatusFor(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %s", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func handleArtifact(d *Daemon, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, meta, ok := d.Artifact(id)
+	if !ok {
+		if st, known := d.JobStatusFor(id); known {
+			httpError(w, http.StatusConflict, fmt.Sprintf("job %s is %s, artifact not sealed yet", id, st.State))
+			return
+		}
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %s", id))
+		return
+	}
+	w.Header().Set("Content-Type", meta.ContentType)
+	w.Header().Set("X-Artifact-Digest", meta.Digest)
+	w.Header().Set("Content-Length", strconv.FormatInt(meta.Bytes, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func handleHealth(d *Daemon, w http.ResponseWriter, _ *http.Request) {
+	entries, bytes := d.CacheStats()
+	body := map[string]any{
+		"draining":     d.Draining(),
+		"queueDepth":   d.QueueDepth(),
+		"cacheEntries": entries,
+		"cacheBytes":   bytes,
+	}
+	code := http.StatusOK
+	if d.Draining() {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// handleMetrics renders the telemetry snapshot. The default text exposition
+// is one "name value" line per series, sorted — trivially diffable and
+// greppable; ?format=json returns the canonical snapshot document.
+func handleMetrics(d *Daemon, w http.ResponseWriter, r *http.Request) {
+	tel := d.Telemetry()
+	if !tel.Enabled() {
+		httpError(w, http.StatusNotFound, "telemetry disabled")
+		return
+	}
+	snap := tel.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		data, err := snap.CanonicalJSON()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(append(data, '\n'))
+		return
+	}
+	var b strings.Builder
+	lines := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
+	for name, v := range snap.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range snap.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprint(w, b.String())
+}

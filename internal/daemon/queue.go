@@ -1,0 +1,120 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Admission errors. The HTTP layer maps both onto 429 + Retry-After; they
+// are distinct so callers (and tests) can tell global overload from a tenant
+// exhausting its own budget.
+var (
+	// ErrQueueFull means the bounded queue is at capacity: the box is
+	// saturated and the client should back off.
+	ErrQueueFull = errors.New("daemon: job queue is full")
+	// ErrTenantBudget means this tenant's in-flight cost budget is spent;
+	// other tenants are still being admitted.
+	ErrTenantBudget = errors.New("daemon: tenant budget exhausted")
+)
+
+// Queue is the bounded admission queue in front of the executors. Admission
+// buys capacity twice: a slot in the queue (global, bounded by depth) and
+// cost units against the submitting tenant's budget (held until the job
+// reaches a terminal state, so a tenant's running jobs count against it too).
+// A closed queue wakes every waiting executor and admits nothing more — that
+// is the drain path; jobs still queued at close stay persisted on disk for
+// the next process.
+type Queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	depth   int
+	budget  int64
+	jobs    []*Job
+	tenants map[string]int64
+	closed  bool
+}
+
+// NewQueue builds a queue admitting at most depth queued jobs and at most
+// budget cost units in flight per tenant (0 = unlimited for either).
+func NewQueue(depth int, budget int64) *Queue {
+	q := &Queue{depth: depth, budget: budget, tenants: map[string]int64{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Admit enqueues a job, charging its cost to the tenant. force bypasses the
+// depth and budget checks (the restart-recovery path re-admits jobs that
+// were already admitted by a previous process) but still records the charge.
+func (q *Queue) Admit(j *Job, force bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("daemon: queue closed (draining)")
+	}
+	if !force {
+		if q.depth > 0 && len(q.jobs) >= q.depth {
+			return ErrQueueFull
+		}
+		if q.budget > 0 && q.tenants[j.Tenant]+j.Cost > q.budget {
+			return ErrTenantBudget
+		}
+	}
+	q.tenants[j.Tenant] += j.Cost
+	q.jobs = append(q.jobs, j)
+	q.cond.Signal()
+	return nil
+}
+
+// Next blocks until a job is available or the queue is closed. Closed means
+// drain: Next returns (nil, false) immediately even when jobs remain queued —
+// stopping work is the point, and the leftover jobs are already persisted.
+func (q *Queue) Next() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil, false
+		}
+		if len(q.jobs) > 0 {
+			j := q.jobs[0]
+			q.jobs = q.jobs[1:]
+			return j, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// Release returns a job's cost to its tenant's budget; call it exactly once
+// when the job reaches a terminal state.
+func (q *Queue) Release(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.tenants[j.Tenant] -= j.Cost
+	if q.tenants[j.Tenant] <= 0 {
+		delete(q.tenants, j.Tenant)
+	}
+}
+
+// Close drains the queue: no further admissions, and every blocked Next
+// returns immediately.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Depth returns the number of queued (not yet running) jobs.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// TenantLoad returns a tenant's current in-flight cost.
+func (q *Queue) TenantLoad(tenant string) int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.tenants[tenant]
+}

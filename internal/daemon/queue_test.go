@@ -1,0 +1,113 @@
+package daemon
+
+import (
+	"testing"
+)
+
+func qjob(tenant string, cost int64) *Job {
+	return &Job{Tenant: tenant, Cost: cost, done: make(chan struct{})}
+}
+
+func TestQueueDepthLimit(t *testing.T) {
+	q := NewQueue(2, 0)
+	if err := q.Admit(qjob("t", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit(qjob("t", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit(qjob("t", 1), false); err != ErrQueueFull {
+		t.Fatalf("third admit: %v, want ErrQueueFull", err)
+	}
+	// force bypasses the depth check (restart recovery)
+	if err := q.Admit(qjob("t", 1), true); err != nil {
+		t.Fatalf("forced admit: %v", err)
+	}
+	if q.Depth() != 3 {
+		t.Fatalf("depth %d, want 3", q.Depth())
+	}
+}
+
+func TestQueueTenantBudget(t *testing.T) {
+	q := NewQueue(0, 10)
+	a := qjob("alice", 7)
+	if err := q.Admit(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit(qjob("alice", 4), false); err != ErrTenantBudget {
+		t.Fatalf("over-budget admit: %v, want ErrTenantBudget", err)
+	}
+	// another tenant is unaffected
+	if err := q.Admit(qjob("bob", 10), false); err != nil {
+		t.Fatalf("bob's admit: %v", err)
+	}
+	// the budget is held until the job terminates, then frees
+	q.Release(a)
+	if got := q.TenantLoad("alice"); got != 0 {
+		t.Fatalf("alice's load after release: %d", got)
+	}
+	if err := q.Admit(qjob("alice", 10), false); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestQueueNextFIFO(t *testing.T) {
+	q := NewQueue(0, 0)
+	a, b := qjob("t", 1), qjob("t", 1)
+	if err := q.Admit(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit(b, false); err != nil {
+		t.Fatal(err)
+	}
+	if j, ok := q.Next(); !ok || j != a {
+		t.Fatalf("first Next: %v ok=%v", j, ok)
+	}
+	if j, ok := q.Next(); !ok || j != b {
+		t.Fatalf("second Next: %v ok=%v", j, ok)
+	}
+}
+
+func TestQueueNextBlocksUntilAdmit(t *testing.T) {
+	q := NewQueue(0, 0)
+	got := make(chan *Job, 1)
+	go func() {
+		j, _ := q.Next()
+		got <- j
+	}()
+	want := qjob("t", 1)
+	if err := q.Admit(want, false); err != nil {
+		t.Fatal(err)
+	}
+	if j := <-got; j != want {
+		t.Fatalf("blocked Next returned %v", j)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue(0, 0)
+	if err := q.Admit(qjob("t", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, ok := q.Next()
+			done <- ok
+		}()
+	}
+	q.Close()
+	// both blocked executors wake with ok=false, even though a job remains:
+	// drain means stop working, the leftover job is persisted on disk
+	for i := 0; i < 2; i++ {
+		if ok := <-done; ok {
+			t.Fatal("Next returned a job after Close")
+		}
+	}
+	if err := q.Admit(qjob("t", 1), false); err == nil {
+		t.Fatal("closed queue admitted a job")
+	}
+	if err := q.Admit(qjob("t", 1), true); err == nil {
+		t.Fatal("closed queue admitted a forced job")
+	}
+}

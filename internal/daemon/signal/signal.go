@@ -1,0 +1,37 @@
+// Package signal centralises the "seal the WAL, exit 3" interrupt contract
+// shared by every crawl-owning binary (wpmscan, wpmreliability, wpmd): the
+// first SIGINT/SIGTERM requests a cooperative stop at the next site boundary,
+// a second signal falls back to immediate death.
+package signal
+
+import (
+	"os"
+	ossignal "os/signal"
+	"syscall"
+)
+
+// ExitInterrupted is the process exit status for a crawl stopped by
+// SIGINT/SIGTERM after its state was checkpointed and sealed: not a success,
+// not a failure — a resumable pause. Wrappers that see it know to re-run
+// with the recovery path (wpmscan -recover; wpmd recovers on start).
+const ExitInterrupted = 3
+
+// Notify arms the shared interrupt contract and returns the stop channel to
+// hand to the crawl (sched.Crawl.Stop, ScanOptions.Stop, or wpmd's drain).
+// On the first SIGINT/SIGTERM the announce callback (if any) runs, the
+// channel closes, and signal delivery reverts to the default disposition so
+// a second signal kills the process immediately.
+func Notify(announce func(os.Signal)) <-chan struct{} {
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	ossignal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		if announce != nil {
+			announce(s)
+		}
+		close(stop)
+		ossignal.Stop(sigc) // a second signal falls back to immediate death
+	}()
+	return stop
+}

@@ -108,6 +108,11 @@ func scanCrawlConfig(world *websim.World, maxSubpages int) openwpm.CrawlConfig {
 type ScanOptions struct {
 	MaxSubpages int
 
+	// Sites, when non-empty, is the explicit crawl list; the default is the
+	// top-numSites ranked prefix of the synthetic web (websim.Tranco). The
+	// daemon uses this to serve jobs over arbitrary site subsets.
+	Sites []string
+
 	// Workers is the parallel worker count, clamped by sched.Workers: zero
 	// means GOMAXPROCS, and a crawl never gets more workers than sites.
 	Workers int
@@ -187,7 +192,10 @@ func RunScanOpts(world *websim.World, numSites int, opts ScanOptions, progress f
 // recording and replay all stay deterministic per shard; merged storage,
 // report and bundle bytes are identical at any worker count.
 func RunScanObserved(world *websim.World, numSites int, opts ScanOptions, obs ProgressObserver) (*ScanResult, error) {
-	urls := websim.Tranco(numSites)
+	urls := opts.Sites
+	if len(urls) == 0 {
+		urls = websim.Tranco(numSites)
+	}
 	crawl := sched.Crawl{
 		Sites:      urls,
 		Workers:    opts.Workers,

@@ -22,6 +22,11 @@
 //     a crash-safe log that swallows it reports durability it does not have.
 //     `defer f.Close()` stays legal (the read-path idiom) and `_ = f.Close()`
 //     is an explicit, visible discard.
+//   - servertimeouts: no http.Server composite literal without read, write
+//     and idle timeouts, and no bare http.ListenAndServe (which cannot set
+//     any). A long-running service (wpmd) with an untimed listener lets one
+//     slow client hold a connection — and the goroutine serving it —
+//     forever.
 package lint
 
 import (
@@ -51,7 +56,7 @@ func (f Finding) String() string {
 }
 
 // AllRules lists the rule names in reporting order.
-var AllRules = []string{"wallclock", "randseed", "maprange", "telemetry-nilsafe", "closecheck"}
+var AllRules = []string{"wallclock", "randseed", "maprange", "telemetry-nilsafe", "closecheck", "servertimeouts"}
 
 // Options configures a lint run.
 type Options struct {
@@ -301,6 +306,15 @@ func (w *walker) visit(n ast.Node) bool {
 				w.emit("randseed", x.Pos(),
 					"rand."+x.Sel.Name+" draws from the unseeded global source; use rand.New(rand.NewSource(seed)) (the Interp.Reseed pattern)")
 			}
+		case "net/http":
+			if w.active["servertimeouts"] && (x.Sel.Name == "ListenAndServe" || x.Sel.Name == "ListenAndServeTLS") {
+				w.emit("servertimeouts", x.Pos(),
+					"http."+x.Sel.Name+" serves with no timeouts at all; build an http.Server with Read/Write/Idle timeouts and call its Serve")
+			}
+		}
+	case *ast.CompositeLit:
+		if w.active["servertimeouts"] {
+			w.checkServerTimeouts(x)
 		}
 	case *ast.ExprStmt:
 		if w.active["closecheck"] {
@@ -321,6 +335,40 @@ func (w *walker) visit(n ast.Node) bool {
 		}
 	}
 	return true
+}
+
+// checkServerTimeouts flags http.Server composite literals that leave the
+// listener untimed. ReadTimeout and ReadHeaderTimeout both bound the read
+// side, so either satisfies it; WriteTimeout and IdleTimeout are each their
+// own obligation. Purely syntactic — the rule needs no resolved types, so it
+// works under the lenient importer too.
+func (w *walker) checkServerTimeouts(cl *ast.CompositeLit) {
+	sel, ok := cl.Type.(*ast.SelectorExpr)
+	if !ok || w.pkgSelector(sel) != "net/http" || sel.Sel.Name != "Server" {
+		return
+	}
+	set := map[string]bool{}
+	for _, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				set[id.Name] = true
+			}
+		}
+	}
+	var missing []string
+	if !set["ReadTimeout"] && !set["ReadHeaderTimeout"] {
+		missing = append(missing, "ReadTimeout (or ReadHeaderTimeout)")
+	}
+	if !set["WriteTimeout"] {
+		missing = append(missing, "WriteTimeout")
+	}
+	if !set["IdleTimeout"] {
+		missing = append(missing, "IdleTimeout")
+	}
+	if len(missing) > 0 {
+		w.emit("servertimeouts", cl.Pos(),
+			"http.Server without "+strings.Join(missing, ", ")+": one slow or stalled client holds its connection (and the goroutine serving it) forever")
+	}
 }
 
 // closeNames are the method names whose discarded error result closecheck

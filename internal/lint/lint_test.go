@@ -23,6 +23,7 @@ func TestFixtureTripsEveryRule(t *testing.T) {
 		"maprange":          1,
 		"telemetry-nilsafe": 1,
 		"closecheck":        2,
+		"servertimeouts":    2,
 	}
 	if !reflect.DeepEqual(got, want) {
 		var lines []string

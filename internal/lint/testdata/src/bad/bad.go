@@ -7,6 +7,7 @@ package bad
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
 	"strings"
 	"time"
 )
@@ -118,4 +119,25 @@ func SealChecked(f wfile) error {
 func SealExplicit(f wfile) {
 	defer f.Close()
 	_ = f.Sync()
+}
+
+// Serve violates servertimeouts twice: the http.Server literal sets no
+// timeouts (write-side WriteTimeout and idle-side IdleTimeout are each an
+// obligation; ReadTimeout or ReadHeaderTimeout covers the read side), and
+// the bare ListenAndServe helper cannot set any.
+func Serve(h http.Handler) error {
+	srv := &http.Server{Addr: ":0", Handler: h} // want servertimeouts
+	_ = srv
+	return http.ListenAndServe(":0", h) // want servertimeouts
+}
+
+// ServeTimed is the legal shape: every side of the connection is bounded.
+func ServeTimed(h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              ":0",
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 }

@@ -1,0 +1,44 @@
+package sched
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gullible/internal/wal"
+)
+
+// ShardDirName is the on-disk name of shard i's WAL directory. Every durable
+// crawl consumer (wpmscan, wpmd) lays shards out the same way so each can
+// recover the other's logs.
+func ShardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// ShardDirFS returns a Crawl.Backend-compatible per-shard filesystem factory:
+// shard i logs under dir/shard-00i. Directories are created lazily on first
+// write (wal.DirFS semantics).
+func ShardDirFS(dir string) func(Shard) wal.FS {
+	return func(sh Shard) wal.FS {
+		return wal.DirFS{Dir: filepath.Join(dir, ShardDirName(sh.Index))}
+	}
+}
+
+// ListShardFSs lists the existing per-shard WAL directories under dir in
+// name order, ready to hand to Recover. An empty or missing layout is an
+// error — recovery with nothing to recover from is a caller bug, not a
+// silently empty checkpoint.
+func ListShardFSs(dir string) ([]wal.FS, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var fss []wal.FS
+	for _, e := range ents {
+		if e.IsDir() {
+			fss = append(fss, wal.DirFS{Dir: filepath.Join(dir, e.Name())})
+		}
+	}
+	if len(fss) == 0 {
+		return nil, fmt.Errorf("sched: no shard logs under %s", dir)
+	}
+	return fss, nil
+}

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Measures the wpmd daemon's serving economics and writes BENCH_daemon.json:
+# cold-job latency (full admission → crawl → seal → cache path), warm-job
+# latency (content-addressed cache hit), the cold/warm speedup that makes the
+# cache the whole point, and the admission rejection rate under a saturated
+# queue. Real daemon, real disk cache.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_daemon.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== daemon serving benchmarks: BenchmarkDaemon{ColdJob,WarmJob,Saturation}" >&2
+go test -run '^$' -bench 'BenchmarkDaemon(ColdJob|WarmJob|Saturation)' \
+    -benchtime "${DAEMON_BENCHTIME:-5x}" -count "${DAEMON_COUNT:-3}" ./internal/daemon >"$raw"
+
+# Render `BenchmarkDaemonColdJob-8  5  150228892 ns/op` lines as JSON,
+# keeping the best (lowest ns/op, highest rejects/op) of repeated runs.
+awk '
+/^BenchmarkDaemon/ {
+    name = $1
+    sub(/^BenchmarkDaemon/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op" && (!(name in ns) || $i + 0 < ns[name] + 0)) {
+            ns[name] = $i
+        }
+        if ($(i + 1) == "rejects/op" && ($i + 0 > rej[name] + 0)) {
+            rej[name] = $i
+        }
+    }
+}
+END {
+    cold = ns["ColdJob"] + 0
+    warm = ns["WarmJob"] + 0
+    printf "{\n"
+    printf "  \"cold_job_ms\": %.3f,\n", cold / 1e6
+    printf "  \"warm_hit_ms\": %.3f,\n", warm / 1e6
+    if (warm > 0) printf "  \"cold_over_warm_speedup\": %.0f,\n", cold / warm
+    printf "  \"saturated_submit_us\": %.1f,\n", (ns["Saturation"] + 0) / 1e3
+    printf "  \"saturated_reject_ratio\": %s\n", (rej["Saturation"] == "" ? "0" : rej["Saturation"])
+    printf "}\n"
+}
+' "$raw" >"$out"
+
+cat "$out"

@@ -37,6 +37,17 @@ go test -race ./internal/wal/... ./internal/faults/...
 echo "== kill-and-recover smoke (crash mid-crawl, recover from WAL, resume, compare digests)"
 go test -race -run 'KillAndRecoverFromWAL|RecoverShardRebuildsStorage|TruncationProperty' ./internal/sched ./internal/wal
 
+echo "== go test -race ./internal/daemon/... (crawl-as-a-service: cache keying, admission, drain+recover)"
+go test -race ./internal/daemon/...
+
+echo "== wpmd smoke (start, submit, poll, artifact, digest-identical cache hit, metrics, drain)"
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go run ./cmd/wpmd -smoke -dir "$smokedir/state" >/dev/null 2>&1 || {
+    echo "wpmd -smoke failed; rerun without redirection for detail" >&2
+    exit 1
+}
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -51,5 +62,8 @@ SCAN_BENCHTIME=1x SCAN_COUNT=1 ./scripts/bench_scan.sh >/dev/null
 
 echo "== WAL append-throughput benchmark (smoke)"
 WAL_BENCHTIME=1x WAL_COUNT=1 ./scripts/bench_wal.sh >/dev/null
+
+echo "== daemon cold/warm serving benchmark (smoke)"
+DAEMON_BENCHTIME=1x DAEMON_COUNT=1 ./scripts/bench_daemon.sh >/dev/null
 
 echo "verify: OK"
