@@ -1,4 +1,4 @@
-.PHONY: verify test build vet race fmt lint telemetry-demo daemon-smoke bench-daemon
+.PHONY: verify test build vet race fmt lint telemetry-demo daemon-smoke bench-daemon bench-trace
 
 verify: ## gofmt + vet + build + wpmlint + race-enabled tests
 	./scripts/verify.sh
@@ -11,6 +11,9 @@ daemon-smoke: ## wpmd end-to-end: start, submit, cache hit, metrics, drain
 
 bench-daemon: ## cold vs warm job latency + saturation rejection rate
 	./scripts/bench_daemon.sh
+
+bench-trace: ## span tracing overhead: disabled vs enabled vs SSE-streamed
+	./scripts/bench_trace.sh
 
 telemetry-demo: ## quickstart crawl with metrics + span trace on stdout
 	go run ./examples/quickstart -telemetry - -trace -

@@ -82,6 +82,46 @@ func BenchmarkScanCrawlTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkScanCrawlTraceDisabled is BenchmarkScanCrawlTelemetry with the
+// flight recorder detached (metrics stay on, Spans nil): the tracing-off
+// baseline that BENCH_trace.json prices span recording against.
+func BenchmarkScanCrawlTraceDisabled(b *testing.B) {
+	world := websim.New(websim.Options{Seed: 9, NumSites: 100000})
+	tm := openwpm.NewTaskManager(openwpm.CrawlConfig{
+		OS: jsdom.Ubuntu, Mode: jsdom.Regular, Transport: world,
+		DwellSeconds: 60, JSInstrument: true, HTTPInstrument: true,
+		CookieInstrument: true, HTTPFilterJSOnly: true, HoneyProps: 4, MaxSubpages: 3,
+		Telemetry: &telemetry.Telemetry{Metrics: telemetry.NewRegistry()},
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.VisitSite(websim.SiteURL(i%100000 + 1))
+	}
+}
+
+// BenchmarkScanCrawlTraceStreamed is BenchmarkScanCrawlTelemetry with a live
+// span tap attached — the wpmd SSE path, where every recorded span event is
+// also handed to a subscriber callback.
+func BenchmarkScanCrawlTraceStreamed(b *testing.B) {
+	world := websim.New(websim.Options{Seed: 9, NumSites: 100000})
+	tel := telemetry.New()
+	var streamed int64
+	tel.Spans.SetTap(func(telemetry.SpanEvent) { streamed++ })
+	tm := openwpm.NewTaskManager(openwpm.CrawlConfig{
+		OS: jsdom.Ubuntu, Mode: jsdom.Regular, Transport: world,
+		DwellSeconds: 60, JSInstrument: true, HTTPInstrument: true,
+		CookieInstrument: true, HTTPFilterJSOnly: true, HoneyProps: 4, MaxSubpages: 3,
+		Telemetry: tel,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.VisitSite(websim.SiteURL(i%100000 + 1))
+	}
+	if streamed == 0 {
+		b.Fatal("span tap saw no events")
+	}
+}
+
 // BenchmarkScanWorkers measures whole-scan throughput (crawl + analysis) at
 // several sharding widths; scripts/bench_scan.sh renders the sites/s metric
 // into BENCH_scan.json. On a single-core runner the worker counts tie —

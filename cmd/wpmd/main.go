@@ -14,9 +14,15 @@
 //	                             via the X-Tenant header)
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/artifact  sealed artifact bytes
+//	GET  /v1/jobs/{id}/trace     the job's span trace, JSON lines — pipe
+//	                             into wpmtrace for analysis
+//	GET  /v1/jobs/{id}/events    live job events (SSE): state transitions,
+//	                             crawl progress, spans (curl -N to follow)
 //	GET  /healthz                liveness (503 while draining)
-//	GET  /metrics                telemetry snapshot (?format=json for the
-//	                             canonical document)
+//	GET  /metrics                telemetry snapshot plus runtime gauges,
+//	                             Prometheus text exposition (?format=json
+//	                             for the canonical document)
+//	GET  /debug/pprof/*          profiling endpoints, only with -pprof
 //
 // SIGTERM/SIGINT drain the daemon: admission stops, in-flight crawl jobs
 // checkpoint at the next site boundary and seal their WALs, queued jobs stay
@@ -57,6 +63,7 @@ func main() {
 	crawlWorkers := flag.Int("crawl-workers", 1, "sched workers per crawl job (fixed across restarts: WAL recovery needs a stable shard layout)")
 	fsync := flag.String("fsync", "checkpoint", "WAL fsync policy for crawl jobs: off|checkpoint|always")
 	retryAfter := flag.Int("retry-after", 5, "Retry-After seconds advertised on 429 responses")
+	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/* (profiling leaks internals; keep off on shared listeners)")
 	smoke := flag.Bool("smoke", false, "run the start→submit→hit→drain self-check on an ephemeral port and exit")
 	flag.Parse()
 
@@ -76,6 +83,10 @@ func main() {
 		Fsync:             syncPolicy,
 		RetryAfterSeconds: *retryAfter,
 		Telemetry:         tel,
+		EnablePprof:       *pprofFlag,
+		// the daemon package itself is wall-clock free (crawl time is
+		// virtual); the binary injects the clock for HTTP latency histograms
+		NowNanos: func() int64 { return time.Now().UnixNano() },
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -172,6 +183,20 @@ func runSmoke(base string) error {
 	}
 	if len(artifact) == 0 {
 		return fmt.Errorf("artifact is empty")
+	}
+
+	// the crawl's span trace sealed next to the bundle
+	resp, err = client.Get(base + "/v1/jobs/" + first.ID + "/trace")
+	if err != nil {
+		return err
+	}
+	traceBody, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace: status %d, %v", resp.StatusCode, err)
+	}
+	if !bytes.Contains(traceBody, []byte(`"name":"job"`)) || !bytes.Contains(traceBody, []byte(`"name":"visit"`)) {
+		return fmt.Errorf("trace missing job/visit spans:\n%.200s", traceBody)
 	}
 
 	// the identical spec, resubmitted: answered from the cache, same digest

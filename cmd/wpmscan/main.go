@@ -45,8 +45,11 @@ import (
 	"gullible/internal/websim"
 )
 
-// writeTelemetry dumps the metrics snapshot and/or span trace to files.
-func writeTelemetry(tel *telemetry.Telemetry, metricsPath, tracePath string) {
+// writeTelemetry dumps the metrics snapshot and/or the scheduler-merged span
+// trace to files. The trace comes from the scan result, not the shared
+// registry: each shard records spans into its own flight recorder and the
+// scheduler merges them with globally unique ids (analyse with wpmtrace).
+func writeTelemetry(tel *telemetry.Telemetry, events []telemetry.SpanEvent, metricsPath, tracePath string) {
 	if metricsPath != "" {
 		data, err := tel.Snapshot().CanonicalJSON()
 		if err == nil {
@@ -61,7 +64,7 @@ func writeTelemetry(tel *telemetry.Telemetry, metricsPath, tracePath string) {
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err == nil {
-			err = telemetry.WriteTrace(f, tel.Spans.Events())
+			err = telemetry.WriteTrace(f, events)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -70,7 +73,7 @@ func writeTelemetry(tel *telemetry.Telemetry, metricsPath, tracePath string) {
 			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote span trace to %s\n", tracePath)
+		fmt.Fprintf(os.Stderr, "wrote span trace to %s (%d events)\n", tracePath, len(events))
 	}
 }
 
@@ -213,7 +216,7 @@ func main() {
 			}
 		}
 		if tel.Enabled() {
-			writeTelemetry(tel, *telemetryPath, *tracePath)
+			writeTelemetry(tel, r.Trace, *telemetryPath, *tracePath)
 		}
 		if *store == "wal" {
 			fmt.Fprintf(os.Stderr, "interrupted at %d/%d sites; WAL sealed under %s — resume with -store wal -recover\n", done, *sites, *walDir)
@@ -230,7 +233,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "scan finished in %s (%d workers)\n\n", time.Since(start).Round(time.Second), r.Workers)
 	if tel.Enabled() {
-		writeTelemetry(tel, *telemetryPath, *tracePath)
+		writeTelemetry(tel, r.Trace, *telemetryPath, *tracePath)
 	}
 	if r.Report != nil {
 		fmt.Fprint(os.Stderr, r.Report.String())

@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -17,6 +18,7 @@ import (
 	"gullible/internal/openwpm"
 	"gullible/internal/sched"
 	"gullible/internal/telemetry"
+	"gullible/internal/trace"
 	"gullible/internal/wal"
 	"gullible/internal/websim"
 )
@@ -51,6 +53,16 @@ type Config struct {
 	// renders its snapshots. Nil disables instrumentation (every call is
 	// nil-safe).
 	Telemetry *telemetry.Telemetry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the API
+	// handler. Off by default: the profiling surface leaks heap contents and
+	// must be opted into per deployment.
+	EnablePprof bool
+	// NowNanos is a monotonic wall-clock source for HTTP request latency
+	// histograms. The daemon itself never reads the wall clock (crawl time
+	// is virtual and the wpmlint wallclock rule bans time.Now in internal
+	// packages); the binary injects one. Nil disables latency observation —
+	// request counters and in-flight gauges still work.
+	NowNanos func() int64
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +114,10 @@ type Job struct {
 	Cost   int64
 	Seq    uint64 // admission order, persisted so restarts replay FIFO
 
+	// events streams state transitions, crawl progress and span events to
+	// SSE subscribers; see eventHub.
+	events *eventHub
+
 	mu     sync.Mutex
 	state  JobState
 	err    string
@@ -113,6 +129,7 @@ func (j *Job) setState(s JobState) {
 	j.mu.Lock()
 	j.state = s
 	j.mu.Unlock()
+	j.events.publish(stateEvent(j.Status()))
 }
 
 func (j *Job) finish(s JobState, digest, errMsg string) {
@@ -124,6 +141,8 @@ func (j *Job) finish(s JobState, digest, errMsg string) {
 		close(j.done)
 	}
 	j.mu.Unlock()
+	j.events.publish(stateEvent(j.Status()))
+	j.events.close()
 }
 
 // Done is closed when the job reaches a terminal state in this process
@@ -265,6 +284,7 @@ func (d *Daemon) recoverPersisted() error {
 			Addr: addr, Spec: rec.Spec, Tenant: rec.Tenant,
 			Cost: Cost(rec.Spec), Seq: rec.Seq,
 			state: JobQueued, done: make(chan struct{}),
+			events: newEventHub(d.tel.Counter("daemon_event_drops_total")),
 		}
 		if err := d.queue.Admit(j, true); err != nil {
 			return err
@@ -338,6 +358,7 @@ func (d *Daemon) Submit(spec JobSpec, tenant string) (JobStatus, error) {
 	j := &Job{
 		Addr: addr, Spec: canon, Tenant: tenant, Cost: Cost(canon),
 		Seq: d.submitSeq, state: JobQueued, done: make(chan struct{}),
+		events: newEventHub(d.tel.Counter("daemon_event_drops_total")),
 	}
 	d.mu.Unlock()
 
@@ -562,7 +583,19 @@ func (d *Daemon) executeCrawl(j *Job) ([]byte, ArtifactMeta, bool, error) {
 		RecordBundle:    true,
 		BundleMeta:      meta,
 		Telemetry:       d.tel,
-		Stop:            d.stop,
+		// the daemon's registry lives as long as the process; embedding its
+		// snapshot would make otherwise-identical bundles digest-diverge, so
+		// the sealed artifact carries no metrics and /metrics serves them
+		DetachMetrics: true,
+		Stop:          d.stop,
+	}
+	if d.tel.Enabled() {
+		// live span streaming to SSE subscribers; the tap runs under the
+		// shard recorder's lock, and publish is non-blocking by design
+		opts.SpanTap = func(shard int, ev telemetry.SpanEvent) {
+			span := ev
+			j.events.publish(JobEvent{Type: "span", Shard: shard, Span: &span})
+		}
 	}
 	if fss, lerr := sched.ListShardFSs(jdir); lerr == nil {
 		// sealed shard logs exist: recover their checkpoint and resume
@@ -578,7 +611,10 @@ func (d *Daemon) executeCrawl(j *Job) ([]byte, ArtifactMeta, bool, error) {
 	}
 
 	world := websim.New(websim.Options{Seed: spec.Seed, NumSites: spec.NumSites})
-	r, err := experiments.RunScanObserved(world, spec.NumSites, opts, nil)
+	r, err := experiments.RunScanObserved(world, spec.NumSites, opts,
+		experiments.ProgressFunc(func(done, total int) {
+			j.events.publish(JobEvent{Type: "progress", Done: done, Total: total})
+		}))
 	if err != nil {
 		return nil, ArtifactMeta{}, false, err
 	}
@@ -603,7 +639,35 @@ func (d *Daemon) executeCrawl(j *Job) ([]byte, ArtifactMeta, bool, error) {
 	if err != nil {
 		return nil, ArtifactMeta{}, false, err
 	}
+	if err := d.sealTrace(j, r.Trace); err != nil {
+		return nil, ArtifactMeta{}, false, err
+	}
 	return artifact, ArtifactMeta{Kind: spec.Kind, Digest: r.Bundle.Digest, ContentType: "application/json"}, false, nil
+}
+
+// traceSuffix derives a job's trace-artifact cache address from its content
+// address: the merged span trace is a second sealed artifact riding next to
+// the bundle, served at GET /v1/jobs/{id}/trace and surviving warm cache
+// hits exactly like the bundle does.
+const traceSuffix = "-trace"
+
+// sealTrace wraps a completed job's merged crawl trace in the job/phase
+// envelope and seals it into the cache. Traces are pure functions of the
+// crawl's virtual execution, so the sealed bytes are identical whether the
+// job ran cold, resumed from a drain checkpoint, or replayed.
+func (d *Daemon) sealTrace(j *Job, events []telemetry.SpanEvent) error {
+	if len(events) == 0 {
+		return nil
+	}
+	jobTrace := trace.Job(events, telemetry.L("job", j.Addr), telemetry.L("kind", j.Spec.Kind))
+	var buf bytes.Buffer
+	if err := telemetry.WriteTrace(&buf, jobTrace); err != nil {
+		return fmt.Errorf("daemon: seal job %s trace: %w", j.Addr, err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return d.cache.Put(j.Addr+traceSuffix, buf.Bytes(), ArtifactMeta{
+		Kind: "trace", Digest: hex.EncodeToString(sum[:]), ContentType: "application/x-ndjson",
+	})
 }
 
 // executeReplay re-executes a cached bundle under a variant observer and
@@ -631,13 +695,27 @@ func (d *Daemon) executeReplay(j *Job) ([]byte, ArtifactMeta, error) {
 		mut = m
 	}
 	rec := bundle.NewRecorder(bundleMeta(j))
+	// the replay gets its own flight recorder (shared-flight span streams
+	// would interleave across concurrent executors) but shares the daemon's
+	// metrics registry — counters are atomic and order-independent
+	var rtel *telemetry.Telemetry
+	if d.tel.Enabled() {
+		rtel = &telemetry.Telemetry{
+			Metrics: d.tel.Metrics,
+			Spans:   telemetry.NewFlight(telemetry.DefaultFlightCapacity),
+			Logs:    d.tel.Logs,
+		}
+	}
 	rep, tm, _ := bundle.ReplayCrawl(src, policy, func(c *openwpm.CrawlConfig) {
 		if mut != nil {
 			mut(c)
 		}
 		c.Recorder = rec
-		c.Telemetry = d.tel
+		c.Telemetry = rtel
 	})
+	// strip the process-lifetime registry snapshot before sealing: a replay
+	// artifact must be digest-identical no matter what else the daemon ran
+	rep.Metrics = nil
 	replayed, err := rec.Finalize(tm.Cfg, src.Sites, rep)
 	if err != nil {
 		return nil, ArtifactMeta{}, err
@@ -645,6 +723,13 @@ func (d *Daemon) executeReplay(j *Job) ([]byte, ArtifactMeta, error) {
 	artifact, err := replayed.Marshal()
 	if err != nil {
 		return nil, ArtifactMeta{}, err
+	}
+	if rtel != nil {
+		// replay spans start at id 1 in their own flight; merge renumbers
+		// through the same path the scheduler uses so formats match
+		if err := d.sealTrace(j, telemetry.MergeTraces(rtel.Spans.Events())); err != nil {
+			return nil, ArtifactMeta{}, err
+		}
 	}
 	return artifact, ArtifactMeta{Kind: spec.Kind, Digest: replayed.Digest, ContentType: "application/json"}, nil
 }

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"strings"
+
+	"gullible/internal/telemetry"
 )
 
 // Handler builds the daemon's HTTP API:
@@ -19,33 +22,101 @@ import (
 //	GET  /v1/jobs/{id}           job status by content address
 //	GET  /v1/jobs/{id}/artifact  sealed artifact bytes (X-Artifact-Digest
 //	                             header carries the integrity digest)
+//	GET  /v1/jobs/{id}/trace     the job's sealed span trace (JSON lines;
+//	                             analyse with wpmtrace)
+//	GET  /v1/jobs/{id}/events    live job event stream (SSE): state
+//	                             transitions, crawl progress, span events;
+//	                             Last-Event-ID resumes from the replay ring
 //	GET  /healthz                liveness; 503 while draining
-//	GET  /metrics                telemetry snapshot, text exposition by
-//	                             default, canonical JSON with ?format=json
+//	GET  /metrics                telemetry snapshot plus runtime gauges;
+//	                             Prometheus text exposition by default,
+//	                             canonical JSON with ?format=json or
+//	                             Accept: application/json
+//	GET  /debug/pprof/*          profiling, only with Config.EnablePprof
+//
+// Every route is wrapped in telemetry middleware: http_requests_total and
+// http_inflight_requests per route, plus http_request_seconds latency
+// histograms when Config.NowNanos is injected.
 //
 // The tenant identity for budget accounting comes from the X-Tenant header
 // (empty = the anonymous tenant). Handler returns a mux, not a server: the
 // caller owns listener lifecycle and MUST set Read/Write/Idle timeouts on
 // its http.Server (the wpmlint servertimeouts rule enforces this for
-// in-repo callers).
+// in-repo callers). Note the write timeout bounds how long an SSE stream
+// can stay open.
 func Handler(d *Daemon) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		handleSubmit(d, w, r)
-	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		handleStatus(d, w, r)
-	})
-	mux.HandleFunc("GET /v1/jobs/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
-		handleArtifact(d, w, r)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		handleHealth(d, w, r)
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		handleMetrics(d, w, r)
-	})
+	route := func(pattern, name string, h func(*Daemon, http.ResponseWriter, *http.Request)) {
+		mux.HandleFunc(pattern, d.instrument(name, func(w http.ResponseWriter, r *http.Request) {
+			h(d, w, r)
+		}))
+	}
+	route("POST /v1/jobs", "/v1/jobs", handleSubmit)
+	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", handleStatus)
+	route("GET /v1/jobs/{id}/artifact", "/v1/jobs/{id}/artifact", handleArtifact)
+	route("GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", handleTrace)
+	route("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", handleEvents)
+	route("GET /healthz", "/healthz", handleHealth)
+	route("GET /metrics", "/metrics", handleMetrics)
+	if d.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// statusWriter captures the response code for the middleware's per-code
+// counters while passing Flusher through (SSE needs it).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestSecondsBuckets is the latency histogram layout for HTTP handlers:
+// sub-millisecond cache hits up to multi-minute crawls awaited via SSE.
+var requestSecondsBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300}
+
+// instrument wraps a handler in per-route telemetry: request counter,
+// in-flight gauge, and — when the binary injected a clock — a latency
+// histogram and per-status-code response counters. The daemon never reads
+// the wall clock itself (crawl time is virtual; the wpmlint wallclock rule
+// enforces this), so without Config.NowNanos latency is simply not observed.
+func (d *Daemon) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if !d.tel.Enabled() {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		label := telemetry.L("route", route)
+		d.tel.Counter("http_requests_total", label).Inc()
+		inflight := d.tel.Gauge("http_inflight_requests", label)
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		now := d.cfg.NowNanos
+		if now == nil {
+			h(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := now()
+		h(sw, r)
+		d.tel.Histogram("http_request_seconds", requestSecondsBuckets, label).
+			Observe(float64(now()-start) / 1e9)
+		d.tel.Counter("http_responses_total", label, telemetry.L("code", strconv.Itoa(sw.code))).Inc()
+	}
 }
 
 // httpError is the uniform JSON error envelope.
@@ -130,9 +201,121 @@ func handleHealth(d *Daemon, w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, code, body)
 }
 
-// handleMetrics renders the telemetry snapshot. The default text exposition
-// is one "name value" line per series, sorted — trivially diffable and
-// greppable; ?format=json returns the canonical snapshot document.
+// handleTrace serves the job's sealed trace artifact (JSON lines of span
+// events; wpmtrace consumes the format directly).
+func handleTrace(d *Daemon, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, meta, ok := d.Artifact(id + traceSuffix)
+	if !ok {
+		if st, known := d.JobStatusFor(id); known {
+			httpError(w, http.StatusConflict, fmt.Sprintf("job %s is %s, trace not sealed yet", id, st.State))
+			return
+		}
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %s", id))
+		return
+	}
+	w.Header().Set("Content-Type", meta.ContentType)
+	w.Header().Set("X-Artifact-Digest", meta.Digest)
+	w.Header().Set("Content-Length", strconv.FormatInt(meta.Bytes, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// writeSSE emits one Server-Sent Event frame.
+func writeSSE(w http.ResponseWriter, f http.Flusher, ev JobEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if ev.Seq > 0 {
+		fmt.Fprintf(w, "id: %d\n", ev.Seq)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	f.Flush()
+	return nil
+}
+
+// handleEvents streams a job's events as Server-Sent Events. The stream
+// opens with a synthetic snapshot of the current job state (seq 0, so a
+// reconnecting consumer's Last-Event-ID is unaffected), then replays the
+// hub's ring past the Last-Event-ID watermark, then goes live. The stream
+// ends when the job reaches a terminal state or the client disconnects.
+// For jobs only known from the cache (no live executor) a single state
+// event is emitted and the stream closes immediately.
+func handleEvents(d *Daemon, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	f, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	j, live := d.Job(id)
+	st, known := d.JobStatusFor(id)
+	if !known {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %s", id))
+		return
+	}
+	var after int64
+	if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+		if n, err := strconv.ParseInt(lastID, 10, 64); err == nil {
+			after = n
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	// leading snapshot so consumers always learn the current state even when
+	// they attach long after the transition events scrolled out of the ring
+	if err := writeSSE(w, f, stateEvent(st)); err != nil {
+		return
+	}
+	if !live {
+		return
+	}
+	replay, ch, cancel := j.events.subscribe(after)
+	defer cancel()
+	for _, ev := range replay {
+		if err := writeSSE(w, f, ev); err != nil {
+			return
+		}
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := writeSSE(w, f, ev); err != nil {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// runtimeGauges folds process-level runtime observations into the snapshot
+// at scrape time: they describe the scraping instant, not accumulated
+// telemetry, so they live on the snapshot copy rather than in the registry.
+func runtimeGauges(snap *telemetry.Snapshot) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if snap.Gauges == nil {
+		snap.Gauges = map[string]int64{}
+	}
+	snap.Gauges["runtime_goroutines"] = int64(runtime.NumGoroutine())
+	snap.Gauges["runtime_heap_alloc_bytes"] = int64(ms.HeapAlloc)
+	if snap.Counters == nil {
+		snap.Counters = map[string]int64{}
+	}
+	snap.Counters["runtime_gc_cycles_total"] = int64(ms.NumGC)
+}
+
+// handleMetrics renders the telemetry snapshot plus runtime gauges. The
+// default is the Prometheus text exposition format; ?format=json or an
+// Accept: application/json header returns the canonical snapshot document.
 func handleMetrics(d *Daemon, w http.ResponseWriter, r *http.Request) {
 	tel := d.Telemetry()
 	if !tel.Enabled() {
@@ -140,7 +323,10 @@ func handleMetrics(d *Daemon, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := tel.Snapshot()
-	if r.URL.Query().Get("format") == "json" {
+	runtimeGauges(snap)
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
 		data, err := snap.CanonicalJSON()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
@@ -151,20 +337,7 @@ func handleMetrics(d *Daemon, w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(append(data, '\n'))
 		return
 	}
-	var b strings.Builder
-	lines := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
-	for name, v := range snap.Counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, v))
-	}
-	for name, v := range snap.Gauges {
-		lines = append(lines, fmt.Sprintf("%s %d", name, v))
-	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		b.WriteString(l)
-		b.WriteByte('\n')
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	_, _ = fmt.Fprint(w, b.String())
+	renderProm(w, snap)
 }

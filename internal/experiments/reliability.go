@@ -122,11 +122,10 @@ func RunReliability(worldSeed, faultSeed int64, opts ReliabilityOptions) *Reliab
 			// validation, neither of which this crawl uses
 			panic(err)
 		}
-		var trace []telemetry.SpanEvent
-		if tel.Enabled() {
-			trace = tel.Spans.Events()
-		}
-		return res.Report, trace, res.FaultKinds, res.Interrupted
+		// res.Trace is the scheduler's merged per-shard span stream: the
+		// shared registry's own flight recorder stays empty now that each
+		// shard records spans locally
+		return res.Report, res.Trace, res.FaultKinds, res.Interrupted
 	}
 
 	vanilla, vtrace, _, vint := run(false)

@@ -75,6 +75,10 @@ type ScanResult struct {
 	// Metrics is the final telemetry snapshot when the scan ran with
 	// ScanOptions.Telemetry (nil otherwise).
 	Metrics *telemetry.Snapshot
+	// Trace is the merged whole-crawl span stream when the scan ran with
+	// ScanOptions.Telemetry: per-shard flight-recorder events renumbered to
+	// globally unique span ids, in shard order (see sched.Result.Trace).
+	Trace []telemetry.SpanEvent
 	// Workers is the effective (clamped) parallel worker count the
 	// scheduler used for the crawl.
 	Workers int
@@ -150,6 +154,14 @@ type ScanOptions struct {
 	// ScanResult.Metrics and Report.Metrics.
 	Telemetry *telemetry.Telemetry
 
+	// DetachMetrics keeps the telemetry snapshot out of the recorded
+	// bundle's report so artifacts stay digest-identical across runs that
+	// share a process-lifetime registry; see sched.Crawl.DetachMetrics.
+	DetachMetrics bool
+	// SpanTap streams every span event live, tagged with its recording
+	// shard; see sched.Crawl.SpanTap for the concurrency contract.
+	SpanTap func(shard int, ev telemetry.SpanEvent)
+
 	// Backend, when non-nil, gives each shard a durable storage backend
 	// (the WAL); see sched.Crawl.Backend for the contract.
 	Backend func(sched.Shard) openwpm.Backend
@@ -197,14 +209,16 @@ func RunScanObserved(world *websim.World, numSites int, opts ScanOptions, obs Pr
 		urls = websim.Tranco(numSites)
 	}
 	crawl := sched.Crawl{
-		Sites:      urls,
-		Workers:    opts.Workers,
-		Record:     opts.RecordBundle,
-		BundleMeta: opts.BundleMeta,
-		Telemetry:  opts.Telemetry,
-		Backend:    opts.Backend,
-		Stop:       opts.Stop,
-		Resume:     opts.Resume,
+		Sites:         urls,
+		Workers:       opts.Workers,
+		Record:        opts.RecordBundle,
+		BundleMeta:    opts.BundleMeta,
+		Telemetry:     opts.Telemetry,
+		DetachMetrics: opts.DetachMetrics,
+		SpanTap:       opts.SpanTap,
+		Backend:       opts.Backend,
+		Stop:          opts.Stop,
+		Resume:        opts.Resume,
 		Config: func(sh sched.Shard) openwpm.CrawlConfig {
 			cfg := scanCrawlConfig(world, opts.MaxSubpages)
 			cfg.MaxVisitSeconds = opts.MaxVisitSeconds
@@ -255,6 +269,7 @@ func RunScanObserved(world *websim.World, numSites int, opts ScanOptions, obs Pr
 	r := Analyze(world, merged, numSites)
 	r.Report = res.Report
 	r.Metrics = res.Metrics
+	r.Trace = res.Trace
 	r.Bundle = res.Bundle
 	r.FaultKinds = res.FaultKinds
 	r.Workers = res.Workers

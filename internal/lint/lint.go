@@ -27,6 +27,12 @@
 //     any). A long-running service (wpmd) with an untimed listener lets one
 //     slow client hold a connection — and the goroutine serving it —
 //     forever.
+//   - spanpair: a flight-recorder span opened with .Begin(...) must reach an
+//     .End(...) call. A discarded Begin result can never be closed; a span id
+//     held in a local that never feeds an End — or that a return path skips
+//     past — leaves the span open forever, which wpmtrace then reports as
+//     truncated. Span ids that escape the function (returned, stored, or
+//     passed on) are out of scope: the receiver owns the End.
 package lint
 
 import (
@@ -56,7 +62,7 @@ func (f Finding) String() string {
 }
 
 // AllRules lists the rule names in reporting order.
-var AllRules = []string{"wallclock", "randseed", "maprange", "telemetry-nilsafe", "closecheck", "servertimeouts"}
+var AllRules = []string{"wallclock", "randseed", "maprange", "telemetry-nilsafe", "closecheck", "servertimeouts", "spanpair"}
 
 // Options configures a lint run.
 type Options struct {
@@ -333,6 +339,9 @@ func (w *walker) visit(n ast.Node) bool {
 		if w.active["telemetry-nilsafe"] && x.Body != nil && w.pkg != "telemetry" {
 			w.checkTelemetryGuards(x.Body, false)
 		}
+		if w.active["spanpair"] && x.Body != nil && w.pkg != "telemetry" {
+			w.checkSpanPairs(x.Body)
+		}
 	}
 	return true
 }
@@ -600,4 +609,234 @@ func (w *walker) checkOneEvent(e ast.Expr, guarded bool) {
 		w.emit("telemetry-nilsafe", call.Pos(),
 			"Event call builds labels outside an Enabled() guard; labels allocate even when telemetry is off — wrap in `if tel.Enabled() { ... }`")
 	}
+}
+
+// isBeginCall reports whether e is a method call named Begin — the span-open
+// shape. Package-level pkg.Begin(...) functions are not span openers.
+func (w *walker) isBeginCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Begin" && w.pkgSelector(sel) == ""
+}
+
+// containsEndOf reports whether n contains an .End(...) call that receives
+// the identifier v among its arguments.
+func containsEndOf(n ast.Node, v string) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+			for _, a := range call.Args {
+				if containsIdent(a, v) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsIdent reports whether n contains a plain identifier named v.
+func containsIdent(n ast.Node, v string) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkSpanPairs applies the spanpair rule to one function (or closure) body:
+// a discarded Begin result is flagged immediately; a Begin result held in a
+// local variable must feed an End call, and no return path after the Begin
+// may run before one. The flow analysis is optimistic — an End anywhere
+// inside a statement (including the `if span != 0 { End }` guard idiom and
+// deferred closures) marks the path closed from that statement on — so the
+// rule under-reports rather than false-positives. Span ids that escape
+// (returned, passed to another call, re-assigned or stored) are skipped: the
+// receiver owns the End.
+func (w *walker) checkSpanPairs(body *ast.BlockStmt) {
+	type spanVar struct {
+		name string
+		pos  token.Pos
+	}
+	var spans []spanVar
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.checkSpanPairs(x.Body) // closures are their own span scope
+			return false
+		case *ast.ExprStmt:
+			if w.isBeginCall(x.X) {
+				w.emit("spanpair", x.Pos(),
+					"Begin result discarded; the span id is the only handle to End it — this span stays open forever")
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) != 1 || len(x.Rhs) != 1 || !w.isBeginCall(x.Rhs[0]) {
+				return true
+			}
+			id, ok := x.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // a field keeps the id alive across functions
+			}
+			if id.Name == "_" {
+				w.emit("spanpair", x.Pos(),
+					"Begin result discarded; the span id is the only handle to End it — this span stays open forever")
+				return true
+			}
+			spans = append(spans, spanVar{name: id.Name, pos: x.Pos()})
+		}
+		return true
+	})
+	for _, sp := range spans {
+		hasEnd, escapes := w.classifySpanUses(body, sp.name)
+		if escapes {
+			continue
+		}
+		if !hasEnd {
+			w.emit("spanpair", sp.pos,
+				fmt.Sprintf("span %q is begun but never passed to End; it stays open on every path", sp.name))
+			continue
+		}
+		w.walkSpanEnds(body.List, sp.name, sp.pos, false)
+	}
+}
+
+// classifySpanUses scans a body for uses of the span variable v: whether it
+// ever reaches an End call, and whether it escapes the function (returned,
+// passed to a non-End call, re-assigned, stored in a composite literal or
+// sent on a channel).
+func (w *walker) classifySpanUses(body *ast.BlockStmt, v string) (hasEnd, escapes bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == "End" {
+				for _, a := range x.Args {
+					if containsIdent(a, v) {
+						hasEnd = true
+					}
+				}
+				return false
+			}
+			if ok && sel.Sel.Name == "Begin" {
+				return true
+			}
+			for _, a := range x.Args {
+				if containsIdent(a, v) {
+					escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if containsIdent(r, v) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				if !w.isBeginCall(r) && containsIdent(r, v) {
+					escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if containsIdent(el, v) {
+					escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if containsIdent(x.Value, v) {
+				escapes = true
+			}
+		}
+		return true
+	})
+	return hasEnd, escapes
+}
+
+// walkSpanEnds walks statements in execution order tracking whether End(v)
+// has happened, flagging returns after the Begin (position beginPos) that a
+// still-open span would leak through. Branch handling is optimistic: after a
+// conditional that contains an End anywhere, the span counts as closed.
+func (w *walker) walkSpanEnds(stmts []ast.Stmt, v string, beginPos token.Pos, ended bool) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			if !ended && s.Pos() > beginPos {
+				w.emit("spanpair", s.Pos(),
+					fmt.Sprintf("return before End for span %q; this path leaves the span open — End it first or `defer ...End(%s, ...)`", v, v))
+			}
+		case *ast.IfStmt:
+			w.walkSpanEnds(s.Body.List, v, beginPos, ended)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.walkSpanEnds(e.List, v, beginPos, ended)
+			case *ast.IfStmt:
+				w.walkSpanEnds([]ast.Stmt{e}, v, beginPos, ended)
+			}
+			if containsEndOf(s, v) {
+				ended = true
+			}
+		case *ast.BlockStmt:
+			ended = w.walkSpanEnds(s.List, v, beginPos, ended)
+		case *ast.ForStmt:
+			w.walkSpanEnds(s.Body.List, v, beginPos, ended)
+			if containsEndOf(s, v) {
+				ended = true
+			}
+		case *ast.RangeStmt:
+			w.walkSpanEnds(s.Body.List, v, beginPos, ended)
+			if containsEndOf(s, v) {
+				ended = true
+			}
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.walkSpanEnds(cc.Body, v, beginPos, ended)
+				}
+			}
+			if containsEndOf(s, v) {
+				ended = true
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.walkSpanEnds(cc.Body, v, beginPos, ended)
+				}
+			}
+			if containsEndOf(s, v) {
+				ended = true
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					w.walkSpanEnds(cc.Body, v, beginPos, ended)
+				}
+			}
+			if containsEndOf(s, v) {
+				ended = true
+			}
+		default:
+			if containsEndOf(stmt, v) {
+				ended = true
+			}
+		}
+	}
+	return ended
 }

@@ -24,6 +24,7 @@ func TestFixtureTripsEveryRule(t *testing.T) {
 		"telemetry-nilsafe": 1,
 		"closecheck":        2,
 		"servertimeouts":    2,
+		"spanpair":          3,
 	}
 	if !reflect.DeepEqual(got, want) {
 		var lines []string

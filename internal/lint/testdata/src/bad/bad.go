@@ -141,3 +141,63 @@ func ServeTimed(h http.Handler) *http.Server {
 		IdleTimeout:       120 * time.Second,
 	}
 }
+
+type flight struct{}
+
+func (flight) Begin(name string, parent int64, at float64, ls ...labels) int64 { return 1 }
+func (flight) End(span int64, name string, at float64, ls ...labels)           {}
+
+// VisitDiscard violates spanpair: the Begin result is the only handle to the
+// span, and it is dropped on the floor.
+func VisitDiscard(f flight) {
+	f.Begin("visit", 0, 0) // want spanpair
+}
+
+// VisitNoEnd violates spanpair: the span id is held but never reaches End.
+func VisitNoEnd(f flight) {
+	span := f.Begin("visit", 0, 0) // want spanpair
+}
+
+// VisitEarlyReturn violates spanpair: the error path returns with the span
+// still open.
+func VisitEarlyReturn(f flight, fail bool) error {
+	span := f.Begin("visit", 0, 0)
+	if fail {
+		return fmt.Errorf("boom") // want spanpair
+	}
+	f.End(span, "visit", 1)
+	return nil
+}
+
+// VisitPaired is the legal shape: every return path Ends the span first,
+// including through the `if span != 0` guard idiom.
+func VisitPaired(f flight, fail bool) error {
+	span := f.Begin("visit", 0, 0)
+	if fail {
+		if span != 0 {
+			f.End(span, "visit", 1, L("status", "error"))
+		}
+		return fmt.Errorf("boom")
+	}
+	f.End(span, "visit", 1)
+	return nil
+}
+
+// VisitDeferred closes via defer — legal: every later return is covered.
+func VisitDeferred(f flight, fail bool) error {
+	span := f.Begin("visit", 0, 0)
+	defer f.End(span, "visit", 1)
+	if fail {
+		return fmt.Errorf("boom")
+	}
+	return nil
+}
+
+// VisitEscapes hands the span id to another function — out of spanpair's
+// scope: the callee owns the End.
+func VisitEscapes(f flight) {
+	span := f.Begin("visit", 0, 0)
+	record(span)
+}
+
+func record(int64) {}

@@ -27,11 +27,12 @@ type Backend interface {
 	// owned the lost write, so replay can attribute drops deterministically.
 	AppendDrop(table, site string) error
 	// AppendCheckpoint marks a durable site boundary: outcome is the site
-	// just accounted and recorder is an opaque serialised recorder-state
-	// blob (nil when the crawl is not being recorded). Recovery truncates
-	// the log back to the last checkpoint, so everything before a
+	// just accounted, recorder is an opaque serialised recorder-state blob
+	// (nil when the crawl is not being recorded) and trace is an opaque
+	// flight-recorder delta blob (nil when telemetry is off). Recovery
+	// truncates the log back to the last checkpoint, so everything before a
 	// checkpoint is committed and everything after it is re-crawled.
-	AppendCheckpoint(outcome SiteOutcome, recorder []byte) error
+	AppendCheckpoint(outcome SiteOutcome, recorder, trace []byte) error
 	// Flush forces buffered appends down to the backing store.
 	Flush() error
 	// Close flushes and releases the backend.
@@ -52,8 +53,8 @@ func (MemBackend) AppendJSCall(JSCall) error         { return nil }
 func (MemBackend) AppendScriptFile(url, sha, content, ctype string) error {
 	return nil
 }
-func (MemBackend) AppendTamper(TamperRecord) error            { return nil }
-func (MemBackend) AppendDrop(table, site string) error        { return nil }
-func (MemBackend) AppendCheckpoint(SiteOutcome, []byte) error { return nil }
-func (MemBackend) Flush() error                               { return nil }
-func (MemBackend) Close() error                               { return nil }
+func (MemBackend) AppendTamper(TamperRecord) error                    { return nil }
+func (MemBackend) AppendDrop(table, site string) error                { return nil }
+func (MemBackend) AppendCheckpoint(SiteOutcome, []byte, []byte) error { return nil }
+func (MemBackend) Flush() error                                       { return nil }
+func (MemBackend) Close() error                                       { return nil }

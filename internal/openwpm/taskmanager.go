@@ -182,6 +182,25 @@ type TaskManager struct {
 	meters       *crawlMeters
 }
 
+// SetVirtualMS seeds the crawl's accumulated virtual clock. Resumed crawls
+// use it so a fresh TaskManager continues span timestamps exactly where the
+// interrupted one stopped — the scheduler re-folds the completed outcomes'
+// durations in their original order, so the float is bit-identical to an
+// uninterrupted run's.
+func (tm *TaskManager) SetVirtualMS(ms float64) { tm.virtualMS = ms }
+
+// CrawlSpan is the id of the currently open crawl span (0 outside a crawl,
+// and 0 again once the crawl completed and the span was ended). A crawl
+// interrupted by CrawlHooks.Stop leaves its span open; the scheduler records
+// the id at each checkpoint so a resumed TaskManager can adopt it.
+func (tm *TaskManager) CrawlSpan() int64 { return tm.crawlSpan }
+
+// AdoptCrawlSpan hands an open crawl span to this TaskManager: the next
+// CrawlFromHooked continues recording under it instead of beginning a new
+// one, so an interrupt/resume cycle leaves exactly one crawl span in the
+// trace — begun by the first process, ended by the last.
+func (tm *TaskManager) AdoptCrawlSpan(span int64) { tm.crawlSpan = span }
+
 // crawlMeters holds the framework layer's pre-resolved metric handles; nil
 // when telemetry is off.
 type crawlMeters struct {
@@ -723,13 +742,16 @@ func (tm *TaskManager) CrawlFromHooked(urls []string, cp *Checkpoint, h CrawlHoo
 	}
 	r := cp.Report
 	tel := tm.Cfg.Telemetry
-	if tel.Enabled() {
+	if tel.Enabled() && tm.crawlSpan == 0 {
+		// an adopted span (interrupt/resume) is continued, not re-begun
 		tm.crawlSpan = tel.Begin("crawl", 0, tm.virtualMS,
 			telemetry.L("sites", fmt.Sprint(len(urls))))
 	}
 	dropped0 := tm.Storage.DroppedTotal()
+	stopped := false
 	for cp.Done < len(urls) {
 		if h.Stop != nil && h.Stop() {
+			stopped = true
 			break
 		}
 		u := urls[cp.Done]
@@ -759,9 +781,13 @@ func (tm *TaskManager) CrawlFromHooked(urls []string, cp *Checkpoint, h CrawlHoo
 	}
 	r.DroppedWrites += tm.Storage.DroppedTotal() - dropped0
 	if tel.Enabled() {
-		tel.End(tm.crawlSpan, "crawl", tm.virtualMS,
-			telemetry.L("completed", fmt.Sprint(r.Completed)))
-		tm.crawlSpan = 0
+		if !stopped {
+			// a stopped crawl leaves its span open for the resuming
+			// TaskManager to adopt; only a completed crawl ends it
+			tel.End(tm.crawlSpan, "crawl", tm.virtualMS,
+				telemetry.L("completed", fmt.Sprint(r.Completed)))
+			tm.crawlSpan = 0
+		}
 		r.Metrics = tel.Snapshot()
 	}
 	return r

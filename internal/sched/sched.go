@@ -26,6 +26,7 @@
 package sched
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -115,8 +116,22 @@ type Crawl struct {
 	BundleMeta map[string]string
 	// Telemetry, when non-nil, is the registry shared by every worker; the
 	// scheduler keeps the crawl_progress_done/_total gauges current and
-	// snapshots it into Result.Metrics after the merge barrier.
+	// snapshots it into Result.Metrics after the merge barrier. Span
+	// recording is NOT shared: each shard gets its own flight recorder
+	// (shared-ring interleaving across workers is scheduling-dependent), and
+	// the merge renumbers the per-shard streams into Result.Trace.
 	Telemetry *telemetry.Telemetry
+	// DetachMetrics keeps the telemetry snapshot out of the sealed bundle's
+	// report (Result.Metrics still carries it). A shared registry
+	// accumulates process-lifetime series — a daemon's counters differ
+	// between a cold run and a restart-resumed one — so callers that demand
+	// digest-identical artifacts across runs detach it.
+	DetachMetrics bool
+	// SpanTap, when non-nil, observes every span event live as the shard
+	// flight recorders accept them, tagged with the recording shard. It is
+	// invoked from worker goroutines under the recorder lock: it must be
+	// fast, concurrency-safe, and must not call back into telemetry.
+	SpanTap func(shard int, ev telemetry.SpanEvent)
 	// OnProgress receives crawl progress: a tick every ProgressEvery sites
 	// plus always one final (total, total) call when the crawl completes.
 	// It is invoked from worker goroutines and must be safe for concurrent
@@ -151,6 +166,35 @@ type ShardState struct {
 	// recent TaskManager, kept for bundle finalisation.
 	cfg      openwpm.CrawlConfig
 	cfgValid bool
+
+	// flight is the shard's span recorder (nil with telemetry off);
+	// crawlSpan is the crawl span an interrupted run left open, virtualMS
+	// the shard's accumulated virtual clock, and traceCursor the flight
+	// cursor of the last WAL checkpoint — together they let a resumed or
+	// recovered shard continue its trace exactly where it stopped.
+	flight      *telemetry.Flight
+	crawlSpan   int64
+	virtualMS   float64
+	traceCursor int64
+}
+
+// closeCrawlSpan synthesises the crawl-end event for a WAL-recovered shard
+// that had already finished its slice when the process died: the end event
+// lived after the last checkpoint, so the log never captured it. The
+// synthesis mirrors CrawlFromHooked's end call exactly — same name, virtual
+// timestamp and completed-count attribute — keeping the resumed trace
+// byte-identical to an uninterrupted run's.
+func (st *ShardState) closeCrawlSpan() {
+	if st.crawlSpan == 0 || st.flight == nil {
+		return
+	}
+	completed := 0
+	if st.Checkpoint != nil && st.Checkpoint.Report != nil {
+		completed = st.Checkpoint.Report.Completed
+	}
+	st.flight.End(st.crawlSpan, "crawl", st.virtualMS,
+		telemetry.L("completed", fmt.Sprint(completed)))
+	st.crawlSpan = 0
 }
 
 // Checkpoint is a whole scheduled crawl's resumable state: one ShardState
@@ -202,9 +246,9 @@ func (cp *Checkpoint) Complete() bool {
 type Result struct {
 	Sites   int
 	Workers int
-	// Interrupted is set when Stop ended the run early; only Checkpoint and
-	// FaultKinds are populated then, and passing Checkpoint back via
-	// Crawl.Resume finishes the crawl.
+	// Interrupted is set when Stop ended the run early; only Checkpoint,
+	// FaultKinds and the partial Trace are populated then, and passing
+	// Checkpoint back via Crawl.Resume finishes the crawl.
 	Interrupted bool
 	// Checkpoint is the final per-shard state (also set on completed runs,
 	// where Complete() is true).
@@ -222,6 +266,12 @@ type Result struct {
 	// Metrics is the final whole-crawl telemetry snapshot when
 	// Crawl.Telemetry was set.
 	Metrics *telemetry.Snapshot
+	// Trace is the merged span stream when the crawl ran with telemetry:
+	// per-shard flight-recorder events concatenated in shard order with
+	// span ids renumbered to be globally unique (telemetry.MergeTraces).
+	// Byte-identical across cold, in-process-resumed and WAL-recovered runs
+	// of the same crawl at the same worker count.
+	Trace []telemetry.SpanEvent
 	// FaultKinds tallies injected faults by kind across all shards, when
 	// the shard transports expose CountsByName (the faults injector does).
 	FaultKinds map[string]int
@@ -259,7 +309,11 @@ func Run(c Crawl) (*Result, error) {
 	var wg sync.WaitGroup
 	for _, st := range cp.Shards {
 		if st.Checkpoint.Done >= len(st.Shard.Sites) {
-			continue // shard already complete (resume)
+			// shard already complete (resume). A WAL-recovered shard that
+			// finished before the interrupt still has its crawl span open —
+			// the end event postdated its last checkpoint — so close it here.
+			st.closeCrawlSpan()
+			continue
 		}
 		wg.Add(1)
 		go func(st *ShardState) {
@@ -279,19 +333,56 @@ func Run(c Crawl) (*Result, error) {
 				}
 				cfg.Recorder = st.Recorder
 			}
+			if cfg.Telemetry.Enabled() {
+				// Spans move to a shard-local flight recorder: a ring shared
+				// across workers interleaves events in scheduling order, so
+				// no deterministic whole-crawl trace could be cut from it.
+				// Metrics and logs stay shared (atomic, order-independent).
+				if st.flight == nil {
+					st.flight = telemetry.NewFlight(telemetry.DefaultFlightCapacity)
+				}
+				if c.SpanTap != nil {
+					shard := st.Shard.Index
+					st.flight.SetTap(func(ev telemetry.SpanEvent) { c.SpanTap(shard, ev) })
+				}
+				cfg.Telemetry = &telemetry.Telemetry{
+					Metrics: cfg.Telemetry.Metrics,
+					Spans:   st.flight,
+					Logs:    cfg.Telemetry.Logs,
+				}
+			}
 			tm := openwpm.NewTaskManager(cfg)
 			st.cfg, st.cfgValid = tm.Cfg, true
+			// a resumed shard continues the interrupted run's virtual clock
+			// and (when one is open) its crawl span, so the trace carries on
+			// instead of restarting at t=0 under a second root
+			tm.SetVirtualMS(st.virtualMS)
+			if st.crawlSpan != 0 {
+				tm.AdoptCrawlSpan(st.crawlSpan)
+			}
 			hooks := openwpm.CrawlHooks{
 				OnSite: func(o openwpm.SiteOutcome) {
 					st.Outcomes = append(st.Outcomes, o)
+					// mirror VisitSite's accumulation exactly (same additions
+					// in the same order) so a resume seeds bit-identical floats
+					st.virtualMS += (o.VirtualSeconds + o.BackoffSeconds) * 1000
 					if st.Backend != nil {
-						var rs []byte
+						var rs, ts []byte
 						if st.Recorder != nil {
 							rs = st.Recorder.StateJSON()
 						}
+						if st.flight != nil {
+							var events []telemetry.SpanEvent
+							events, st.traceCursor = st.flight.EventsSince(st.traceCursor)
+							ts, _ = json.Marshal(telemetry.FlightCheckpoint{
+								Events: events,
+								NextID: st.flight.NextID(),
+								Crawl:  tm.CrawlSpan(),
+							})
+						}
 						// append failures are already counted by the backend
 						// (writer stats + telemetry); the crawl keeps going
-						_ = st.Backend.AppendCheckpoint(o, rs)
+						_ = st.Backend.AppendCheckpoint(o, rs, ts)
 					}
 					n := done.Add(1)
 					gDone.Set(n)
@@ -311,6 +402,9 @@ func Run(c Crawl) (*Result, error) {
 				}
 			}
 			tm.CrawlFromHooked(st.Shard.Sites, st.Checkpoint, hooks)
+			// nonzero only when Stop broke the loop: the open span awaits the
+			// resuming TaskManager
+			st.crawlSpan = tm.CrawlSpan()
 			if st.Storage == nil {
 				st.Storage = tm.Storage
 			} else {
@@ -341,6 +435,18 @@ func Run(c Crawl) (*Result, error) {
 			res.FaultKinds[k] += n
 		}
 	}
+	// merged trace: shard flight streams concatenated in shard order, span
+	// ids renumbered to be globally unique. Interrupted runs merge too — a
+	// partial trace (open crawl spans and all) is still worth inspecting.
+	var traceParts [][]telemetry.SpanEvent
+	for _, st := range cp.Shards {
+		if st.flight != nil {
+			traceParts = append(traceParts, st.flight.Events())
+		}
+	}
+	if len(traceParts) > 0 {
+		res.Trace = telemetry.MergeTraces(traceParts...)
+	}
 	if !cp.Complete() {
 		res.Interrupted = true
 		return res, nil
@@ -367,9 +473,13 @@ func Run(c Crawl) (*Result, error) {
 	if c.Telemetry.Enabled() {
 		// one snapshot after every worker finished: the workers share the
 		// registry, so per-shard snapshots would multiply-count the crawl.
-		// Attached before bundle merging so the sealed archive embeds it.
+		// Attached before bundle merging so the sealed archive embeds it —
+		// unless DetachMetrics: a process-lifetime registry (the daemon's)
+		// would make otherwise-identical artifacts digest-diverge.
 		res.Metrics = c.Telemetry.Snapshot()
-		report.Metrics = res.Metrics
+		if !c.DetachMetrics {
+			report.Metrics = res.Metrics
+		}
 	}
 	if c.Record {
 		parts := make([]*bundle.Bundle, len(cp.Shards))

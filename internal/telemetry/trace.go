@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file is the trace plane's flight-recorder surface: incremental event
+// export for WAL checkpointing (EventsSince/RestoreFlight), live span
+// streaming (SetTap), deterministic cross-shard merging (MergeTraces) and the
+// JSON-lines parser (ReadTrace) shared by wpmtrace and the daemon.
+
+// SetTap installs a live observer called for every event the recorder
+// accepts, under the recorder's lock and in record order. The tap must be
+// fast and must not call back into the Flight (it would deadlock); the
+// daemon's SSE hub copies the event onto a bounded channel and returns.
+// A nil tap detaches the observer.
+func (f *Flight) SetTap(tap func(SpanEvent)) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.tap = tap
+	f.mu.Unlock()
+}
+
+// Cursor is the recorder's monotone event count (including overwritten
+// events) — the resume token EventsSince consumes.
+func (f *Flight) Cursor() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// NextID is the id the next Begin will allocate. Persisted at checkpoints so
+// a restored recorder continues the same id sequence.
+func (f *Flight) NextID() int64 {
+	if f == nil {
+		return 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nextID
+}
+
+// EventsSince returns the retained events recorded after the given cursor
+// (a value previously returned by EventsSince or Cursor; 0 means "from the
+// beginning") plus the new cursor. Events that were recorded after the
+// cursor but already overwritten by the ring are gone — callers that
+// checkpoint every site boundary only lose events if a single site emits
+// more than the ring holds.
+func (f *Flight) EventsSince(cursor int64) ([]SpanEvent, int64) {
+	if f == nil {
+		return nil, cursor
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldest := f.total - int64(f.n)
+	if cursor < oldest {
+		cursor = oldest
+	}
+	if cursor > f.total {
+		cursor = f.total
+	}
+	k := f.total - cursor
+	out := make([]SpanEvent, 0, k)
+	for i := int64(0); i < k; i++ {
+		idx := (int64(f.start) + (cursor - oldest) + i) % int64(len(f.buf))
+		out = append(out, f.buf[idx])
+	}
+	return out, f.total
+}
+
+// RestoreFlight rebuilds a recorder from checkpointed events: the events are
+// replayed through the ring (so capacity semantics — and therefore Dropped()
+// accounting — match a recorder that lived through them), and the id
+// sequence continues from nextID so post-restore Begins never collide with
+// restored spans.
+func RestoreFlight(capacity int, events []SpanEvent, nextID int64) *Flight {
+	f := NewFlight(capacity)
+	for _, ev := range events {
+		f.push(ev)
+	}
+	if nextID > f.nextID {
+		f.nextID = nextID
+	}
+	return f
+}
+
+// FlightCheckpoint is the recorder delta persisted with each WAL site
+// checkpoint: the events since the previous checkpoint, the id cursor, and
+// the id of the crawl span left open across the boundary (0 once the crawl
+// span has ended). Recovery concatenates the deltas and hands them to
+// RestoreFlight.
+type FlightCheckpoint struct {
+	Events []SpanEvent `json:"events,omitempty"`
+	NextID int64       `json:"nextId"`
+	Crawl  int64       `json:"crawl,omitempty"`
+}
+
+// MergeTraces concatenates per-shard event streams into one stream with
+// globally unique span ids. Every Flight numbers its spans from 1, so raw
+// concatenation would interleave unrelated spans under colliding ids; the
+// merge renumbers ids in first-appearance order within each part, parts in
+// order — the same write-offset scheme bundle.Merge applies to storage-drop
+// sequences — so the output is a pure function of the inputs. Parent
+// references are remapped with their part; a parent id never seen in its
+// part (its begin was overwritten by the ring) becomes 0, turning the orphan
+// into a root rather than attaching it to an unrelated shard's span.
+func MergeTraces(parts ...[]SpanEvent) []SpanEvent {
+	var out []SpanEvent
+	next := int64(1)
+	for _, part := range parts {
+		ids := make(map[int64]int64, len(part)/2)
+		for _, ev := range part {
+			nid, ok := ids[ev.Span]
+			if !ok {
+				nid = next
+				next++
+				ids[ev.Span] = nid
+			}
+			ev.Span = nid
+			if ev.Parent != 0 {
+				ev.Parent = ids[ev.Parent] // 0 when the parent never appeared
+			}
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ReadTrace parses a JSON-lines span-event stream (the WriteTrace format;
+// any whitespace between objects is accepted).
+func ReadTrace(r io.Reader) ([]SpanEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []SpanEvent
+	for i := 0; ; i++ {
+		var ev SpanEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: trace event %d: %w", i, err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package trace
+
+import "gullible/internal/telemetry"
+
+// Wrapper span ids in a job trace. The crawl events are shifted past these,
+// so id 1 is always the job root and the first crawl span is jobSpanCount+1.
+const (
+	jobSpanJob = int64(iota + 1)
+	jobSpanSubmit
+	jobSpanQueue
+	jobSpanExecute
+	jobSpanSeal
+	jobSpanCount = int64(iota)
+)
+
+// Job wraps a scheduler-merged crawl trace in the daemon's job lifecycle: a
+// "job" root with submit → queue → execute → seal phase children, the crawl
+// spans reparented under "execute". The daemon has no virtual clock of its
+// own, so submit and queue sit at t=0, execute spans the crawl's virtual
+// duration, and seal sits at the crawl's end — everything stays a pure
+// function of the crawl events, which keeps job traces byte-identical across
+// cold runs, cache hits and drain/restart recoveries. attrs go on the job
+// span (the daemon stamps the job address).
+func Job(crawl []telemetry.SpanEvent, attrs ...telemetry.Label) []telemetry.SpanEvent {
+	end := 0.0
+	for _, ev := range crawl {
+		if ev.AtMS > end {
+			end = ev.AtMS
+		}
+	}
+	out := make([]telemetry.SpanEvent, 0, len(crawl)+2*int(jobSpanCount))
+	b := func(id, parent int64, name string, at float64, attrs ...telemetry.Label) {
+		out = append(out, telemetry.SpanEvent{Kind: "B", Span: id, Parent: parent, Name: name, AtMS: at, Attrs: attrs})
+	}
+	e := func(id int64, name string, at float64, attrs ...telemetry.Label) {
+		out = append(out, telemetry.SpanEvent{Kind: "E", Span: id, Name: name, AtMS: at, Attrs: attrs})
+	}
+	b(jobSpanJob, 0, "job", 0, attrs...)
+	b(jobSpanSubmit, jobSpanJob, "submit", 0)
+	e(jobSpanSubmit, "submit", 0)
+	b(jobSpanQueue, jobSpanJob, "queue", 0)
+	e(jobSpanQueue, "queue", 0)
+	b(jobSpanExecute, jobSpanJob, "execute", 0)
+	for _, ev := range crawl {
+		ev.Span += jobSpanCount
+		if ev.Parent != 0 {
+			ev.Parent += jobSpanCount
+		} else if ev.Kind == "B" {
+			ev.Parent = jobSpanExecute
+		}
+		out = append(out, ev)
+	}
+	e(jobSpanExecute, "execute", end)
+	b(jobSpanSeal, jobSpanJob, "seal", end)
+	e(jobSpanSeal, "seal", end)
+	e(jobSpanJob, "job", end)
+	return out
+}

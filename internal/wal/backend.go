@@ -58,6 +58,10 @@ type dropRec struct {
 type checkRec struct {
 	Outcome  openwpm.SiteOutcome `json:"outcome"`
 	Recorder json.RawMessage     `json:"recorder,omitempty"`
+	// Trace is the flight-recorder delta since the previous checkpoint (a
+	// telemetry.FlightCheckpoint), so recovery can rebuild the span stream
+	// alongside the storage tables.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // Backend is the WAL-backed openwpm.Backend (and bundle.Spool) for one crawl
@@ -147,8 +151,8 @@ func (b *Backend) AppendDrop(table, site string) error {
 // AppendCheckpoint writes the durable site boundary and commits it per the
 // sync policy — under the default SyncCheckpoint policy this is where fsync
 // happens.
-func (b *Backend) AppendCheckpoint(outcome openwpm.SiteOutcome, recorder []byte) error {
-	if err := b.w.Append(recCheckpoint, checkRec{Outcome: outcome, Recorder: recorder}); err != nil {
+func (b *Backend) AppendCheckpoint(outcome openwpm.SiteOutcome, recorder, trace []byte) error {
+	if err := b.w.Append(recCheckpoint, checkRec{Outcome: outcome, Recorder: recorder, Trace: trace}); err != nil {
 		return err
 	}
 	return b.w.Commit()
@@ -212,6 +216,14 @@ type ShardRecovery struct {
 	RecorderVisits []bundle.Visit
 	Bodies         map[string]string
 	RecorderState  []byte
+	// TraceEvents / TraceNextID / TraceCrawlSpan rebuild the shard's flight
+	// recorder when the crawl ran with telemetry: the concatenated
+	// checkpoint deltas, the span-id cursor at the last checkpoint, and the
+	// crawl span the interrupted run left open (0 when telemetry was off —
+	// a real id sequence always has NextID > 1 once the crawl span begins).
+	TraceEvents    []telemetry.SpanEvent
+	TraceNextID    int64
+	TraceCrawlSpan int64
 	Stats          RecoverStats
 	// Backend continues the log at a fresh segment; its digest state equals
 	// Storage.Digest() over the recovered records.
@@ -401,6 +413,15 @@ func (out *ShardRecovery) apply(r Rec) error {
 		}
 		out.Outcomes = append(out.Outcomes, c.Outcome)
 		out.RecorderState = c.Recorder
+		if len(c.Trace) > 0 {
+			var fc telemetry.FlightCheckpoint
+			if err := json.Unmarshal(c.Trace, &fc); err != nil {
+				return fmt.Errorf("wal: replay trace checkpoint: %w", err)
+			}
+			out.TraceEvents = append(out.TraceEvents, fc.Events...)
+			out.TraceNextID = fc.NextID
+			out.TraceCrawlSpan = fc.Crawl
+		}
 	default:
 		return fmt.Errorf("wal: unknown record kind %q", r.Kind)
 	}

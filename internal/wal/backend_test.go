@@ -81,7 +81,7 @@ func TestRecoverShardRebuildsStorage(t *testing.T) {
 	cp := &openwpm.Checkpoint{}
 	tm.CrawlFromHooked(urls, cp, openwpm.CrawlHooks{
 		OnSite: func(o openwpm.SiteOutcome) {
-			if err := be.AppendCheckpoint(o, nil); err != nil {
+			if err := be.AppendCheckpoint(o, nil, nil); err != nil {
 				t.Fatalf("checkpoint: %v", err)
 			}
 		},

@@ -39,7 +39,7 @@ func BenchmarkBackendAppend(b *testing.B) {
 				}
 				if j%50 == 49 {
 					var o openwpm.SiteOutcome
-					if err := be.AppendCheckpoint(o, nil); err != nil {
+					if err := be.AppendCheckpoint(o, nil, nil); err != nil {
 						b.Fatal(err)
 					}
 				}

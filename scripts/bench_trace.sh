@@ -1,0 +1,46 @@
+#!/bin/sh
+# Measures the trace plane's overhead and writes BENCH_trace.json: the scan
+# crawl with the flight recorder detached (metrics only), fully enabled, and
+# enabled with a live span tap (the wpmd SSE streaming path). The acceptance
+# budget is <= 5% overhead for enabled tracing over the tracing-off baseline.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_trace.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== scan crawl: trace disabled / enabled / streamed" >&2
+go test -run '^$' -bench 'BenchmarkScanCrawl(Telemetry|TraceDisabled|TraceStreamed)$' \
+    -benchtime "${MACRO_BENCHTIME:-500x}" -count "${MACRO_COUNT:-3}" . >"$raw"
+
+# Render `BenchmarkName-8  N  12.3 ns/op  ...` lines as JSON (keeping the
+# best of repeated runs — the higher samples are scheduler noise), then
+# price enabled and streamed tracing against the disabled baseline.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in ns) || $3 + 0 < ns[name] + 0) ns[name] = $3
+    if (!(name in order)) { order[name] = ++names; byIdx[names] = name }
+}
+BEGIN { printf "{\n" }
+END {
+    for (i = 1; i <= names; i++) {
+        if (i > 1) printf ",\n"
+        printf "  \"%s\": %s", byIdx[i], ns[byIdx[i]]
+    }
+    base = ns["BenchmarkScanCrawlTraceDisabled"]
+    on = ns["BenchmarkScanCrawlTelemetry"]
+    tap = ns["BenchmarkScanCrawlTraceStreamed"]
+    if (base > 0 && on > 0) {
+        printf ",\n  \"trace_enabled_overhead_percent\": %.2f", 100 * (on - base) / base
+    }
+    if (base > 0 && tap > 0) {
+        printf ",\n  \"trace_streamed_overhead_percent\": %.2f", 100 * (tap - base) / base
+    }
+    printf "\n}\n"
+}
+' "$raw" >"$out"
+
+cat "$out"

@@ -48,6 +48,24 @@ go run ./cmd/wpmd -smoke -dir "$smokedir/state" >/dev/null 2>&1 || {
     exit 1
 }
 
+echo "== wpmtrace smoke (record a traced crawl, analyse it, replay, demand an empty trace diff)"
+tracedir=$(mktemp -d)
+go run ./cmd/wpmscan -sites 8 -subpages 1 -workers 2 \
+    -record-bundle "$tracedir/scan.bundle" -trace "$tracedir/record.trace" >/dev/null
+critical=$(go run ./cmd/wpmtrace critical "$tracedir/record.trace")
+echo "$critical" | grep -q "crawl" || {
+    echo "wpmtrace critical path is empty or missing the crawl root:" >&2
+    echo "$critical" >&2
+    exit 1
+}
+go run ./cmd/wpmscan -sites 8 -subpages 1 -workers 2 \
+    -replay-bundle "$tracedir/scan.bundle" -trace "$tracedir/replay.trace" >/dev/null
+go run ./cmd/wpmtrace diff "$tracedir/record.trace" "$tracedir/replay.trace" || {
+    echo "record-vs-replay traces diverge; replay determinism is broken" >&2
+    exit 1
+}
+rm -rf "$tracedir"
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -65,5 +83,8 @@ WAL_BENCHTIME=1x WAL_COUNT=1 ./scripts/bench_wal.sh >/dev/null
 
 echo "== daemon cold/warm serving benchmark (smoke)"
 DAEMON_BENCHTIME=1x DAEMON_COUNT=1 ./scripts/bench_daemon.sh >/dev/null
+
+echo "== trace overhead benchmark (smoke)"
+MACRO_BENCHTIME=1x MACRO_COUNT=1 ./scripts/bench_trace.sh >/dev/null
 
 echo "verify: OK"
