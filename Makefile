@@ -1,10 +1,14 @@
-.PHONY: verify test build vet race fmt lint telemetry-demo daemon-smoke bench-daemon bench-trace
+.PHONY: verify test build vet race fmt lint lint-fix telemetry-demo daemon-smoke bench-daemon bench-trace
 
 verify: ## gofmt + vet + build + wpmlint + race-enabled tests
 	./scripts/verify.sh
 
-lint: ## wpmlint determinism invariants over the crawl-path packages
-	go run ./cmd/wpmlint ./internal/...
+lint: ## wpmlint reliability invariants over the crawl-path packages (baselined)
+	go run ./cmd/wpmlint -baseline .wpmlint-baseline.json ./internal/...
+
+lint-fix: ## apply wpmlint's mechanical autofixes, then gofmt the result
+	go run ./cmd/wpmlint -fix ./internal/... || true
+	gofmt -l -w ./internal
 
 daemon-smoke: ## wpmd end-to-end: start, submit, cache hit, metrics, drain
 	go run ./cmd/wpmd -smoke -dir $$(mktemp -d)/state

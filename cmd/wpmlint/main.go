@@ -1,67 +1,32 @@
-// Command wpmlint enforces the repo's determinism invariants over the
-// crawl-path packages: no wall-clock reads, no unseeded math/rand, no
-// serialising map iteration in canonical encoders, and no label-building
-// telemetry events outside an Enabled() guard.
+// Command wpmlint enforces the repo's reliability invariants over the
+// crawl-path packages: the determinism family (wall clocks, unseeded
+// randomness, map-order serialisation, unguarded telemetry, dropped Close
+// errors, untimed servers, unpaired spans) and the concurrency family
+// (goroutine leaks, ignored contexts, inconsistent locking, swallowed errors,
+// blocking fan-out sends).
 //
 // Usage:
 //
 //	wpmlint ./internal/...
 //	wpmlint -rules wallclock,randseed ./internal/openwpm
+//	wpmlint -format sarif ./internal/... > findings.sarif
+//	wpmlint -baseline .wpmlint-baseline.json ./internal/...
+//	wpmlint -fix ./internal/...
 //
-// Exits 1 when any finding is reported, so it slots into scripts/verify.sh
-// alongside vet and the test suite. Pattern arguments ending in /... walk
-// recursively but skip testdata trees; naming a testdata directory
-// explicitly lints it (the fixture self-test relies on this).
+// Exit codes: 0 clean, 1 findings, 2 usage error, 3 load failure (a package
+// that cannot be loaded is an error, never a silent clean run). Pattern
+// arguments ending in /... walk recursively but skip testdata trees; naming a
+// testdata directory explicitly lints it (the fixture self-test relies on
+// this). All logic lives in internal/lint.Main so the test suite drives the
+// exact CLI surface.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strings"
 
 	"gullible/internal/lint"
 )
 
 func main() {
-	rules := flag.String("rules", "", "comma-separated subset of rules (default: all: "+strings.Join(lint.AllRules, ",")+")")
-	tests := flag.Bool("tests", false, "also lint _test.go files")
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		args = []string{"./internal/..."}
-	}
-
-	opts := lint.Options{IncludeTests: *tests}
-	if *rules != "" {
-		opts.Rules = strings.Split(*rules, ",")
-		known := map[string]bool{}
-		for _, r := range lint.AllRules {
-			known[r] = true
-		}
-		for _, r := range opts.Rules {
-			if !known[r] {
-				fmt.Fprintf(os.Stderr, "wpmlint: unknown rule %q (have %s)\n", r, strings.Join(lint.AllRules, ", "))
-				os.Exit(2)
-			}
-		}
-	}
-
-	dirs, err := lint.ExpandDirs(args)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "wpmlint: %v\n", err)
-		os.Exit(2)
-	}
-	findings, err := lint.LintDirs(dirs, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "wpmlint: %v\n", err)
-		os.Exit(2)
-	}
-	for _, f := range findings {
-		fmt.Println(f)
-	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "wpmlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
-	}
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
 }

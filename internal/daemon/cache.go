@@ -99,8 +99,10 @@ func (c *Cache) artPath(addr string) string  { return filepath.Join(c.dir, addr+
 func (c *Cache) metaPath(addr string) string { return filepath.Join(c.dir, addr+metaSuffix) }
 
 func (c *Cache) removeFiles(addr string) {
+	// eviction is best-effort: a failed remove leaks disk bytes, but the
+	// entry is already gone from the index so it can never be served stale
 	_ = os.Remove(c.artPath(addr))
-	_ = os.Remove(c.metaPath(addr))
+	_ = os.Remove(c.metaPath(addr)) // best-effort, as above
 }
 
 // gauges publishes the cache's size; called with mu held (or before the
@@ -141,8 +143,8 @@ func (c *Cache) Get(addr string) ([]byte, ArtifactMeta, bool) {
 		c.mu.Unlock()
 		return nil, ArtifactMeta{}, false
 	}
-	// persist the recency bump best-effort; a lost bump only ages the entry
 	if enc, err := json.Marshal(meta); err == nil {
+		// persist the recency bump best-effort; a lost bump only ages the entry
 		_ = os.WriteFile(c.metaPath(addr), append(enc, '\n'), 0o644)
 	}
 	return data, meta, true
@@ -204,10 +206,13 @@ func (c *Cache) Put(addr string, artifact []byte, meta ArtifactMeta) error {
 	meta.Seq = c.seq
 	enc, err := json.Marshal(meta)
 	if err != nil {
+		// roll back the half-written pair; an orphaned artifact without its
+		// meta file is ignored by recovery, so a failed remove only leaks disk
 		_ = os.Remove(c.artPath(addr))
 		return fmt.Errorf("daemon: cache put: %w", err)
 	}
 	if err := os.WriteFile(c.metaPath(addr), append(enc, '\n'), 0o644); err != nil {
+		// roll back, best-effort as above
 		_ = os.Remove(c.artPath(addr))
 		return fmt.Errorf("daemon: cache put: %w", err)
 	}

@@ -256,6 +256,8 @@ func (d *Daemon) recoverPersisted() error {
 		}
 		var rec queueRec
 		if json.Unmarshal(data, &rec) != nil {
+			// undecodable spec: drop the file; a failed remove only leaves
+			// it to be re-rejected on the next recovery pass
 			_ = os.Remove(filepath.Join(qdir, e.Name()))
 			continue
 		}
@@ -270,6 +272,12 @@ func (d *Daemon) recoverPersisted() error {
 		recs = append(recs, rec)
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	// New has not started the executors yet, but submitSeq and the jobs map
+	// are mu-guarded everywhere else; recovery holds the lock too so every
+	// write site agrees on the discipline (and stays correct if recovery is
+	// ever re-run on a live daemon).
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, rec := range recs {
 		addr, _, _ := ContentAddress(rec.Spec)
 		if rec.Seq > d.submitSeq {
@@ -303,6 +311,8 @@ func (d *Daemon) recoverPersisted() error {
 			continue
 		}
 		if _, ok := d.jobs[e.Name()]; !ok {
+			// best-effort sweep: a WAL dir that survives is re-swept on the
+			// next start and can never be served (no pending spec points at it)
 			_ = os.RemoveAll(filepath.Join(jdirRoot, e.Name()))
 		}
 	}
@@ -399,10 +409,12 @@ func (d *Daemon) persistQueued(j *Job) error {
 	return nil
 }
 
-// removePersisted deletes a job's queue spec and WAL directory.
+// removePersisted deletes a job's queue spec and WAL directory. Cleanup is
+// best-effort: leftovers are swept by the next recovery pass, and a recovered
+// job whose artifact is already cached is simply dropped again.
 func (d *Daemon) removePersisted(addr string) {
-	_ = os.Remove(filepath.Join(d.cfg.Dir, "queue", addr+".json"))
-	_ = os.RemoveAll(filepath.Join(d.cfg.Dir, "jobs", addr))
+	_ = os.Remove(filepath.Join(d.cfg.Dir, "queue", addr+".json")) // see above
+	_ = os.RemoveAll(filepath.Join(d.cfg.Dir, "jobs", addr))       // see above
 }
 
 // JobStatusFor returns the status of a known or cached job. Jobs that

@@ -123,6 +123,7 @@ func (d *Daemon) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	// a failed response write means the client hung up; nobody is listening
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
@@ -131,6 +132,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
+	// a failed response write means the client hung up; nobody is listening
 	_ = enc.Encode(v)
 }
 
@@ -183,7 +185,7 @@ func handleArtifact(d *Daemon, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Artifact-Digest", meta.Digest)
 	w.Header().Set("Content-Length", strconv.FormatInt(meta.Bytes, 10))
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(data)
+	_, _ = w.Write(data) // client gone mid-write: nothing to report to
 }
 
 func handleHealth(d *Daemon, w http.ResponseWriter, _ *http.Request) {
@@ -218,7 +220,7 @@ func handleTrace(d *Daemon, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Artifact-Digest", meta.Digest)
 	w.Header().Set("Content-Length", strconv.FormatInt(meta.Bytes, 10))
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(data)
+	_, _ = w.Write(data) // client gone mid-write: nothing to report to
 }
 
 // writeSSE emits one Server-Sent Event frame.
@@ -334,7 +336,7 @@ func handleMetrics(d *Daemon, w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(append(data, '\n'))
+		_, _ = w.Write(append(data, '\n')) // client gone mid-write: nothing to report to
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

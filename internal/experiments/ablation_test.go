@@ -9,6 +9,9 @@ import (
 )
 
 func TestAblationMethods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthetic-web crawl; skipped in -short mode (verify.sh races the whole repo short, the long tier runs it in full)")
+	}
 	world := websim.New(websim.Options{Seed: 11, NumSites: 400})
 	tbl := AblationMethods(world, 400)
 	if len(tbl.Rows) != 5 {

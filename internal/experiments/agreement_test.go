@@ -7,6 +7,9 @@ import (
 )
 
 func TestStaticDynamicAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthetic-web crawl; skipped in -short mode (verify.sh races the whole repo short, the long tier runs it in full)")
+	}
 	run := func() (*AgreementResult, string) {
 		a := RunStaticDynamicAgreement(42, 300, nil)
 		return a, TableAgreement(a).String()

@@ -12,6 +12,9 @@ var scanFixture *ScanResult
 
 func getScan(t *testing.T) *ScanResult {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("shared full synthetic-web crawl fixture; skipped in -short mode (set WPM_FULL_RACE=1 in verify.sh for the long tier)")
+	}
 	if scanFixture == nil {
 		world := websim.New(websim.Options{Seed: 42, NumSites: 2000})
 		scanFixture = RunScan(world, 2000, 3, nil)
@@ -197,6 +200,9 @@ var compareFixture *CompareResult
 
 func getCompare(t *testing.T) *CompareResult {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("shared full synthetic-web crawl fixture; skipped in -short mode (set WPM_FULL_RACE=1 in verify.sh for the long tier)")
+	}
 	if compareFixture == nil {
 		world := websim.New(websim.Options{Seed: 42, NumSites: 4000})
 		sites := DetectorSiteSample(world, 150)

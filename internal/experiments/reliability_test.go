@@ -14,6 +14,9 @@ import (
 // at least four distinct fault kinds, account for every input site, and
 // reproduce the identical crawl report byte-for-byte under the same seed.
 func TestFaultedScanAccountingAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthetic-web crawl; skipped in -short mode (verify.sh races the whole repo short, the long tier runs it in full)")
+	}
 	const sites = 500
 	run := func() *ScanResult {
 		world := websim.New(websim.Options{Seed: 42, NumSites: sites})

@@ -62,6 +62,9 @@ func TestScanWorkersClampToSites(t *testing.T) {
 // matches the serial run's, and replaying that archive — serially or
 // resharded — reproduces the same JS tallies and digest byte for byte.
 func TestShardedRecordReplayMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthetic-web crawl; skipped in -short mode (verify.sh races the whole repo short, the long tier runs it in full)")
+	}
 	const n = 40
 	meta := map[string]string{"scenario": "sched-scan"}
 	scan := func(opts ScanOptions) *ScanResult {
@@ -130,6 +133,9 @@ func TestShardedRecordReplayMatchesSerial(t *testing.T) {
 // shard's cursor by the preceding shards' write totals so every drop lands on
 // the same write it hit during recording.
 func TestShardedReplayLocalisesStorageDrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthetic-web crawl; skipped in -short mode (verify.sh races the whole repo short, the long tier runs it in full)")
+	}
 	const n = 30
 	profile := faults.Profile{StoragePerMille: 150}
 	world := websim.New(websim.Options{Seed: 21, NumSites: n})

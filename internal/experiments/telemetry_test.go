@@ -38,6 +38,9 @@ func instrumentedScan(t *testing.T) ([]byte, *ScanResult) {
 // though the crawl is sharded across parallel workers: all series are atomic
 // and order-independent, and the snapshot is taken once at the end.
 func TestScanTelemetryDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthetic-web crawl; skipped in -short mode (verify.sh races the whole repo short, the long tier runs it in full)")
+	}
 	a, ra := instrumentedScan(t)
 	b, _ := instrumentedScan(t)
 	if !bytes.Equal(a, b) {

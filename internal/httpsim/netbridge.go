@@ -71,7 +71,9 @@ func (h Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		out = wireResponse{Status: resp.Status, Headers: resp.Headers, Body: resp.Body, SetCookies: resp.SetCookies}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(out)
+	// a failed response write means the bridge client hung up; it surfaces
+	// the broken connection as a wire error on its own side
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 // NetTransport is a RoundTripper that forwards every request over real HTTP

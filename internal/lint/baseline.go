@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline is the set of findings a repo has decided to tolerate for now:
+// debt that is recorded, visible and reviewed, instead of silently blocking
+// every CI run until someone fixes it. Entries deliberately carry no line
+// number — matching is on (rule, file, message), so editing unrelated code
+// above a tolerated finding does not shift it out of the baseline and break
+// the build. Matching is multiset-style: a baseline entry absorbs exactly one
+// finding, so a *second* identical violation in the same file still fails.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+type baselineKey struct {
+	Rule string
+	File string
+	Msg  string
+}
+
+// baselineEntry is the on-disk form of one tolerated finding.
+type baselineEntry struct {
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Msg  string `json:"msg"`
+}
+
+// baselineDoc is the on-disk document. The comment rides along so a reader
+// opening the file cold knows what it is and how to regenerate it.
+type baselineDoc struct {
+	Comment  string          `json:"comment"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+const baselineComment = "wpmlint baseline: findings tolerated by `make lint`. Regenerate with `wpmlint -baseline <path> -update-baseline <dirs>`. Entries match on (rule, file, message) — no line numbers — so unrelated edits do not break the build."
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	b := &Baseline{counts: map[baselineKey]int{}}
+	for _, e := range doc.Findings {
+		b.counts[baselineKey{e.Rule, slashPath(e.File), e.Msg}]++
+	}
+	return b, nil
+}
+
+// WriteBaseline records the given findings as the new tolerated set.
+func WriteBaseline(path string, findings []Finding) error {
+	doc := baselineDoc{Comment: baselineComment, Findings: []baselineEntry{}}
+	for _, f := range findings {
+		doc.Findings = append(doc.Findings, baselineEntry{
+			Rule: f.Rule, File: slashPath(f.Pos.Filename), Msg: f.Msg,
+		})
+	}
+	sort.Slice(doc.Findings, func(i, j int) bool {
+		a, b := doc.Findings[i], doc.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter drops findings the baseline tolerates and returns the rest. Each
+// baseline entry is consumed at most once.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	left := make(map[baselineKey]int, len(b.counts))
+	for k, n := range b.counts {
+		left[k] = n
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := baselineKey{f.Rule, slashPath(f.Pos.Filename), f.Msg}
+		if left[k] > 0 {
+			left[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

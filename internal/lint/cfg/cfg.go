@@ -1,0 +1,491 @@
+// Package cfg builds per-function control-flow graphs over go/ast and runs
+// the dataflow analyses wpmlint's flow-sensitive rules consume: reaching
+// definitions (shadowing-correct when type information is available) and a
+// must-pass path query ("does every path from here to the exit hit X?").
+//
+// The graph is deliberately small: basic blocks of statements connected by
+// labelled edges. Branch conditions stay attached to the block that ends in
+// them, so a client can reason about what an edge implies (the spanpair rule
+// uses this to treat the false arm of `if span != 0` as span-closed). Defers
+// are collected per function — they execute on every exit path, so clients
+// treat a defer that satisfies an obligation as satisfying it everywhere.
+//
+// Approximations, chosen to under-report rather than invent paths:
+//
+//   - panic(...) and calls whose selector ends in Fatal/Fatalf/Exit terminate
+//     the block with an edge straight to the exit.
+//   - goto is treated as an exit edge (the repo has no gotos; anything this
+//     misses shows up as an unreachable block, never a phantom path).
+//   - A switch with a default clause, and every select, must enter one of its
+//     cases: no fall-around edge is added. Without a default the fall-around
+//     edge exists.
+//   - range loops may run zero times (edge around the body); `for { ... }`
+//     with no condition has no fall-around edge — only a break leaves it.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// EdgeKind labels how control leaves a block.
+type EdgeKind int
+
+const (
+	// Jump is an unconditional transfer (fallthrough, loop back-edge, ...).
+	Jump EdgeKind = iota
+	// True is the branch taken when the block's Cond evaluates true.
+	True
+	// False is the branch taken when the block's Cond evaluates false.
+	False
+)
+
+// Edge is one control transfer.
+type Edge struct {
+	To   *Block
+	Kind EdgeKind
+}
+
+// Block is a basic block: statements that execute in sequence, then a
+// transfer along one of Succs.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	Succs []Edge
+	// Cond is the controlling expression when the block ends in a branch
+	// (if/for condition); nil otherwise. Range loops and switches leave it
+	// nil — their True/False edges mean "entered a body" / "fell around".
+	Cond ast.Expr
+}
+
+// AddSucc appends an edge; duplicate edges to the same block with the same
+// kind are dropped.
+func (b *Block) AddSucc(to *Block, kind EdgeKind) {
+	for _, e := range b.Succs {
+		if e.To == to && e.Kind == kind {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, Edge{To: to, Kind: kind})
+}
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // synthetic; every return/panic/fallthrough-to-end edges here
+	Blocks []*Block
+	// Defers are the function's defer statements in source order. They run
+	// on every path to Exit; clients that look for an obligation met on all
+	// paths should check Defers first.
+	Defers []*ast.DeferStmt
+	// Returns are the return statements, with the block each terminates.
+	Returns []ReturnSite
+}
+
+// ReturnSite pairs a return statement with its block.
+type ReturnSite struct {
+	Stmt  *ast.ReturnStmt
+	Block *Block
+}
+
+// builder carries the construction state.
+type builder struct {
+	g *Graph
+	// cur is the block under construction; nil after a terminator until the
+	// next statement starts a fresh (unreachable) block.
+	cur *Block
+	// breakTo / continueTo are the innermost targets; label targets extend
+	// them.
+	breakTo    []*Block
+	continueTo []*Block
+	// labels maps a label name to the break/continue targets of the loop or
+	// switch it labels.
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+}
+
+// New builds the graph for one function or closure body. A nil body yields a
+// graph whose entry falls straight to exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labelBreak: map[string]*Block{}, labelContinue: map[string]*Block{}}
+	g.Entry = b.newBlock()
+	g.Exit = &Block{Index: -1}
+	b.cur = g.Entry
+	if body != nil {
+		b.stmts(body.List)
+	}
+	if b.cur != nil {
+		b.cur.AddSucc(g.Exit, Jump)
+	}
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// ensure returns the block under construction, starting a fresh one if the
+// previous statement was a terminator (making the new block unreachable —
+// kept so its statements still appear in exactly one block).
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// terminatorCall reports whether a call expression never returns: panic, or
+// a selector ending in Exit/Fatal/Fatalf (os.Exit, log.Fatal, t.Fatalf).
+func terminatorCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Exit", "Fatal", "Fatalf":
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		blk := b.ensure()
+		blk.Stmts = append(blk.Stmts, s)
+		blk.AddSucc(b.g.Exit, Jump)
+		b.g.Returns = append(b.g.Returns, ReturnSite{Stmt: x, Block: blk})
+		b.cur = nil
+	case *ast.BranchStmt:
+		blk := b.ensure()
+		blk.Stmts = append(blk.Stmts, s)
+		switch x.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(x.Label, b.breakTo, b.labelBreak); t != nil {
+				blk.AddSucc(t, Jump)
+			} else {
+				blk.AddSucc(b.g.Exit, Jump)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(x.Label, b.continueTo, b.labelContinue); t != nil {
+				blk.AddSucc(t, Jump)
+			} else {
+				blk.AddSucc(b.g.Exit, Jump)
+			}
+		case token.GOTO:
+			blk.AddSucc(b.g.Exit, Jump) // approximation; see package doc
+		case token.FALLTHROUGH:
+			// handled by the switch builder adding a next-case edge; the
+			// statement itself ends the block
+		}
+		b.cur = nil
+	case *ast.DeferStmt:
+		blk := b.ensure()
+		blk.Stmts = append(blk.Stmts, s)
+		b.g.Defers = append(b.g.Defers, x)
+	case *ast.ExprStmt:
+		blk := b.ensure()
+		blk.Stmts = append(blk.Stmts, s)
+		if terminatorCall(x.X) {
+			blk.AddSucc(b.g.Exit, Jump)
+			b.cur = nil
+		}
+	case *ast.BlockStmt:
+		b.stmts(x.List)
+	case *ast.IfStmt:
+		b.ifStmt(x)
+	case *ast.ForStmt:
+		b.forStmt(x, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(x, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(x.Init, x.Tag != nil, caseClauses(x.Body), hasDefault(x.Body), "")
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(x.Init, true, caseClauses(x.Body), hasDefault(x.Body), "")
+	case *ast.SelectStmt:
+		b.selectStmt(x, "")
+	case *ast.LabeledStmt:
+		b.labeled(x)
+	default:
+		blk := b.ensure()
+		blk.Stmts = append(blk.Stmts, s)
+	}
+}
+
+func (b *builder) branchTarget(label *ast.Ident, stack []*Block, labelled map[string]*Block) *Block {
+	if label != nil {
+		return labelled[label.Name]
+	}
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+func (b *builder) labeled(x *ast.LabeledStmt) {
+	// register the label's targets before building the labelled construct so
+	// `break L` / `continue L` inside resolve; non-loop labelled statements
+	// just build through.
+	switch inner := x.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, x.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, x.Label.Name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner.Init, inner.Tag != nil, caseClauses(inner.Body), hasDefault(inner.Body), x.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(inner.Init, true, caseClauses(inner.Body), hasDefault(inner.Body), x.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, x.Label.Name)
+	default:
+		b.stmt(x.Stmt)
+	}
+}
+
+func (b *builder) ifStmt(x *ast.IfStmt) {
+	blk := b.ensure()
+	if x.Init != nil {
+		blk.Stmts = append(blk.Stmts, x.Init)
+	}
+	blk.Cond = x.Cond
+	join := &Block{} // allocated lazily into the graph only if reachable
+
+	thenEntry := b.newBlock()
+	blk.AddSucc(thenEntry, True)
+	b.cur = thenEntry
+	b.stmts(x.Body.List)
+	thenOut := b.cur
+
+	var elseOut *Block
+	elseTaken := false
+	if x.Else != nil {
+		elseEntry := b.newBlock()
+		blk.AddSucc(elseEntry, False)
+		b.cur = elseEntry
+		b.stmt(x.Else)
+		elseOut = b.cur
+		elseTaken = true
+	}
+
+	// wire the join
+	b.cur = nil
+	needJoin := thenOut != nil || elseOut != nil || !elseTaken
+	if !needJoin {
+		return
+	}
+	join.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, join)
+	if !elseTaken {
+		blk.AddSucc(join, False)
+	}
+	if thenOut != nil {
+		thenOut.AddSucc(join, Jump)
+	}
+	if elseOut != nil {
+		elseOut.AddSucc(join, Jump)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(x *ast.ForStmt, label string) {
+	pre := b.ensure()
+	if x.Init != nil {
+		pre.Stmts = append(pre.Stmts, x.Init)
+	}
+	head := b.newBlock()
+	pre.AddSucc(head, Jump)
+	join := b.newBlock()
+	post := b.newBlock() // continue target; runs Post then jumps to head
+
+	if x.Post != nil {
+		post.Stmts = append(post.Stmts, x.Post)
+	}
+	post.AddSucc(head, Jump)
+
+	body := b.newBlock()
+	if x.Cond != nil {
+		head.Cond = x.Cond
+		head.AddSucc(body, True)
+		head.AddSucc(join, False)
+	} else {
+		head.AddSucc(body, Jump) // `for {}`: only break reaches join
+	}
+
+	b.breakTo = append(b.breakTo, join)
+	b.continueTo = append(b.continueTo, post)
+	if label != "" {
+		b.labelBreak[label] = join
+		b.labelContinue[label] = post
+	}
+	b.cur = body
+	b.stmts(x.Body.List)
+	if b.cur != nil {
+		b.cur.AddSucc(post, Jump)
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	b.cur = join
+}
+
+func (b *builder) rangeStmt(x *ast.RangeStmt, label string) {
+	pre := b.ensure()
+	head := b.newBlock()
+	// the range statement itself lives in the head block so clients see the
+	// key/value definitions and the ranged expression there
+	head.Stmts = append(head.Stmts, x)
+	pre.AddSucc(head, Jump)
+	join := b.newBlock()
+	body := b.newBlock()
+	head.AddSucc(body, True)  // entered an iteration
+	head.AddSucc(join, False) // empty (or exhausted) range
+
+	b.breakTo = append(b.breakTo, join)
+	b.continueTo = append(b.continueTo, head)
+	if label != "" {
+		b.labelBreak[label] = join
+		b.labelContinue[label] = head
+	}
+	b.cur = body
+	b.stmts(x.Body.List)
+	if b.cur != nil {
+		b.cur.AddSucc(head, Jump)
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	b.cur = join
+}
+
+func caseClauses(body *ast.BlockStmt) []*ast.CaseClause {
+	var out []*ast.CaseClause
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CaseClause); ok {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// switchStmt builds expression and type switches. exhaustive means one case
+// must be entered (a default clause exists), so no fall-around edge is made.
+func (b *builder) switchStmt(init ast.Stmt, _ bool, cases []*ast.CaseClause, exhaustive bool, label string) {
+	head := b.ensure()
+	if init != nil {
+		head.Stmts = append(head.Stmts, init)
+	}
+	join := b.newBlock()
+	b.breakTo = append(b.breakTo, join)
+	if label != "" {
+		b.labelBreak[label] = join
+	}
+	entries := make([]*Block, len(cases))
+	for i := range cases {
+		entries[i] = b.newBlock()
+		head.AddSucc(entries[i], Jump)
+	}
+	for i, cc := range cases {
+		b.cur = entries[i]
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			// fallthrough (rare) also lands here: approximate by an edge to
+			// the next case body when the final statement is a fallthrough
+			if n := len(cc.Body); n > 0 {
+				if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(entries) {
+					b.cur.AddSucc(entries[i+1], Jump)
+					continue
+				}
+			}
+			b.cur.AddSucc(join, Jump)
+		}
+	}
+	if !exhaustive || len(cases) == 0 {
+		head.AddSucc(join, Jump)
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = join
+}
+
+// selectStmt builds a select: exactly one comm clause runs (a select with no
+// default blocks until one can), so there is never a fall-around edge.
+func (b *builder) selectStmt(x *ast.SelectStmt, label string) {
+	head := b.ensure()
+	join := b.newBlock()
+	b.breakTo = append(b.breakTo, join)
+	if label != "" {
+		b.labelBreak[label] = join
+	}
+	any := false
+	for _, s := range x.Body.List {
+		cc, ok := s.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		entry := b.newBlock()
+		if cc.Comm != nil {
+			entry.Stmts = append(entry.Stmts, cc.Comm)
+		}
+		head.AddSucc(entry, Jump)
+		b.cur = entry
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.cur.AddSucc(join, Jump)
+		}
+	}
+	if !any {
+		// `select {}` blocks forever: no successor at all
+		b.cur = nil
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		return
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = join
+}
+
+// Reachable reports whether to is reachable from from (following any edges).
+func (g *Graph) Reachable(from, to *Block) bool {
+	seen := make([]bool, len(g.Blocks)+1)
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if b.Index >= 0 && b.Index < len(seen) {
+			if seen[b.Index] {
+				return false
+			}
+			seen[b.Index] = true
+		}
+		for _, e := range b.Succs {
+			if dfs(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}

@@ -1,0 +1,384 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses one function body out of src (which must declare func f).
+func parseFunc(t *testing.T, src string) (*ast.FuncDecl, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs: map[*ast.Ident]types.Object{},
+		Uses: map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default(), Error: func(error) {}}
+	conf.Check("p", fset, []*ast.File{file}, info)
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fd, info, fset
+		}
+	}
+	t.Fatal("no func f in source")
+	return nil, nil, nil
+}
+
+func TestStraightLineFallsToExit(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f() { x := 1; _ = x }`)
+	g := New(fd.Body)
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0].To != g.Exit {
+		t.Fatalf("entry should fall straight to exit, succs = %v", g.Entry.Succs)
+	}
+}
+
+func TestIfBranchEdges(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f(a bool) int {
+		if a {
+			return 1
+		}
+		return 2
+	}`)
+	g := New(fd.Body)
+	if g.Entry.Cond == nil {
+		t.Fatal("entry block should carry the if condition")
+	}
+	var kinds []EdgeKind
+	for _, e := range g.Entry.Succs {
+		kinds = append(kinds, e.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != True || kinds[1] != False {
+		t.Fatalf("want True+False out of cond block, got %v", kinds)
+	}
+	if len(g.Returns) != 2 {
+		t.Fatalf("want 2 return sites, got %d", len(g.Returns))
+	}
+}
+
+func TestForLoopBackEdgeAndBreak(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f(n int) {
+		for i := 0; i < n; i++ {
+			if i == 3 {
+				break
+			}
+		}
+	}`)
+	g := New(fd.Body)
+	// the function must still reach exit (via the loop condition going false
+	// or the break)
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable through loop")
+	}
+	// find the head block (has a Cond with both True and False edges)
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil && len(b.Succs) == 2 {
+			head = b
+			break // first cond block in creation order is the loop head
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head with True/False successors")
+	}
+	// the body must loop back to head (via the post block)
+	body := head.Succs[0].To
+	if !g.Reachable(body, head) {
+		t.Fatal("no back edge from body to head")
+	}
+}
+
+func TestInfiniteForHasNoFallAround(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f() {
+		for {
+			x := 1
+			_ = x
+		}
+	}`)
+	g := New(fd.Body)
+	if g.Reachable(g.Entry, g.Exit) {
+		t.Fatal("for{} with no break must not reach exit")
+	}
+}
+
+func TestInfiniteForWithReturnReachesExit(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f(ch chan int) {
+		for {
+			if <-ch == 0 {
+				return
+			}
+		}
+	}`)
+	g := New(fd.Body)
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Fatal("return inside for{} must reach exit")
+	}
+}
+
+func TestPanicTerminatesBlock(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f(a bool) {
+		if a {
+			panic("boom")
+		}
+		x := 1
+		_ = x
+	}`)
+	g := New(fd.Body)
+	// the block containing panic must edge to exit and to nothing else
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if len(b.Succs) != 1 || b.Succs[0].To != g.Exit {
+						t.Fatalf("panic block succs = %v, want exit only", b.Succs)
+					}
+					return
+				}
+			}
+		}
+	}
+	t.Fatal("panic statement not found in any block")
+}
+
+func TestDefersCollected(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f() {
+		defer println("a")
+		if true {
+			defer println("b")
+		}
+	}`)
+	g := New(fd.Body)
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 defers collected, got %d", len(g.Defers))
+	}
+}
+
+func TestSwitchWithDefaultHasNoFallAround(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f(n int) int {
+		switch n {
+		case 1:
+			return 1
+		default:
+			return 2
+		}
+	}`)
+	g := New(fd.Body)
+	// both cases return; with a default there is no fall-around, so the only
+	// paths to exit are the two returns
+	if len(g.Returns) != 2 {
+		t.Fatalf("want 2 returns, got %d", len(g.Returns))
+	}
+	leaks := g.Uncovered(g.Entry, nil, PathQuery{Hit: func(s ast.Stmt) bool {
+		_, ok := s.(*ast.ReturnStmt)
+		return ok
+	}})
+	if len(leaks) != 0 {
+		t.Fatalf("every path ends in a return, but got %d uncovered paths", len(leaks))
+	}
+}
+
+func TestSwitchWithoutDefaultFallsAround(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f(n int) {
+		switch n {
+		case 1:
+			println("one")
+		}
+	}`)
+	g := New(fd.Body)
+	leaks := g.Uncovered(g.Entry, nil, PathQuery{Hit: func(s ast.Stmt) bool {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		_, isCall := es.X.(*ast.CallExpr)
+		return isCall
+	}})
+	if len(leaks) == 0 {
+		t.Fatal("the no-default switch can be skipped entirely; expected an uncovered path")
+	}
+}
+
+func TestSelectBlocksWithoutDefault(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f(a, b chan int) int {
+		select {
+		case x := <-a:
+			return x
+		case y := <-b:
+			return y
+		}
+	}`)
+	g := New(fd.Body)
+	leaks := g.Uncovered(g.Entry, nil, PathQuery{Hit: func(s ast.Stmt) bool {
+		_, ok := s.(*ast.ReturnStmt)
+		return ok
+	}})
+	if len(leaks) != 0 {
+		t.Fatalf("select always enters a case; got %d uncovered paths", len(leaks))
+	}
+}
+
+// TestReachingDefsShadowedVar: the inner x is a different object; its def
+// must not kill the outer x's def, and the outer use sees only the outer def.
+func TestReachingDefsShadowedVar(t *testing.T) {
+	fd, info, _ := parseFunc(t, `func f(a bool) int {
+		x := 1
+		if a {
+			x := 2
+			_ = x
+		}
+		return x
+	}`)
+	g := New(fd.Body)
+	r := g.ReachingDefs(info)
+	if len(r.Defs) != 2 {
+		t.Fatalf("want 2 defs of x (outer and shadowed), got %d", len(r.Defs))
+	}
+	if r.Defs[0].Key == r.Defs[1].Key {
+		t.Fatal("shadowed x must resolve to a distinct object key")
+	}
+	// the return uses the outer x: only the outer def reaches it
+	var retBlock *Block
+	var retStmt ast.Stmt
+	for _, rs := range g.Returns {
+		retBlock, retStmt = rs.Block, rs.Stmt
+	}
+	reaching := r.At(retBlock, retStmt)
+	outer := 0
+	for _, d := range reaching {
+		if d.Key == r.Defs[0].Key {
+			outer++
+		}
+	}
+	if outer != 1 {
+		t.Fatalf("outer def should reach the return exactly once, got %d (reaching=%d)", outer, len(reaching))
+	}
+}
+
+// TestReachingDefsRedefinitionKills: a second assignment kills the first on
+// the straight-line path.
+func TestReachingDefsRedefinitionKills(t *testing.T) {
+	fd, info, _ := parseFunc(t, `func f() int {
+		x := 1
+		x = 2
+		return x
+	}`)
+	g := New(fd.Body)
+	r := g.ReachingDefs(info)
+	var retBlock *Block
+	var retStmt ast.Stmt
+	for _, rs := range g.Returns {
+		retBlock, retStmt = rs.Block, rs.Stmt
+	}
+	for _, d := range r.At(retBlock, retStmt) {
+		if lit, ok := d.Stmt.(*ast.AssignStmt); ok && lit.Tok == token.DEFINE {
+			t.Fatal("the := def was killed by the = redefinition but still reaches the return")
+		}
+	}
+}
+
+// TestDefReachesUse covers the closecheck client: an error def with no use is
+// distinguishable from one that is checked later.
+func TestDefReachesUse(t *testing.T) {
+	fd, info, _ := parseFunc(t, `func f(a bool) int {
+		checked := 1
+		dead := 2
+		dead = 3
+		if a {
+			return checked
+		}
+		return 0
+	}`)
+	g := New(fd.Body)
+	r := g.ReachingDefs(info)
+	for _, d := range r.Defs {
+		lit, ok := d.Stmt.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		switch {
+		case d.Ident.Name == "checked":
+			if !r.DefReachesUse(d) {
+				t.Error("checked's def must reach its use in the return")
+			}
+		case d.Ident.Name == "dead" && lit.Tok == token.DEFINE:
+			if r.DefReachesUse(d) {
+				t.Error("dead's := def is overwritten unread; it must reach no use")
+			}
+		}
+	}
+}
+
+func TestVarEscapes(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f() (int, int) {
+		a := 1
+		b := 2
+		c := 3
+		d := 4
+		sink(a)
+		s := []int{b}
+		_ = s
+		ch := make(chan int, 1)
+		ch <- c
+		return d, 0
+	}`)
+	cases := map[string]func(Escape) bool{
+		"a": func(e Escape) bool { return e.Arg && !e.Returned },
+		"b": func(e Escape) bool { return e.Stored },
+		"c": func(e Escape) bool { return e.Sent },
+		"d": func(e Escape) bool { return e.Returned },
+	}
+	for v, ok := range cases {
+		if e := VarEscapes(fd.Body, v, nil); !ok(e) {
+			t.Errorf("escape of %s misclassified: %+v", v, e)
+		}
+	}
+	if e := VarEscapes(fd.Body, "a", func(c *ast.CallExpr) bool {
+		id, ok := c.Fun.(*ast.Ident)
+		return ok && id.Name == "sink"
+	}); e.Any() {
+		t.Errorf("a with sink excluded should not escape, got %+v", e)
+	}
+}
+
+// TestUncoveredAfterStmt: starting the query mid-block skips obligations met
+// before the start statement.
+func TestUncoveredAfterStmt(t *testing.T) {
+	fd, _, _ := parseFunc(t, `func f() {
+		println("pre")
+		println("post")
+	}`)
+	g := New(fd.Body)
+	isPrint := func(word string) func(ast.Stmt) bool {
+		return func(s ast.Stmt) bool {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				return false
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return false
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			return ok && strings.Contains(lit.Value, word)
+		}
+	}
+	first := g.Entry.Stmts[0]
+	if leaks := g.Uncovered(g.Entry, first, PathQuery{Hit: isPrint("post")}); len(leaks) != 0 {
+		t.Fatalf("post obligation is met after the start statement; got %d leaks", len(leaks))
+	}
+	if leaks := g.Uncovered(g.Entry, first, PathQuery{Hit: isPrint("pre")}); len(leaks) == 0 {
+		t.Fatal("pre obligation lies before the start statement and must count as missed")
+	}
+}

@@ -1,0 +1,89 @@
+// Escape facts: how a local variable's value leaves the function. The
+// spanpair rule uses this to hand responsibility over — a span id that is
+// returned, stored, or passed onward is owned by whoever received it.
+
+package cfg
+
+import "go/ast"
+
+// Escape describes every way a named local's value left the function body.
+type Escape struct {
+	// Returned: the variable appears in a return statement's results.
+	Returned bool
+	// Arg: passed as an argument to some call (calls excluded by the filter
+	// don't count).
+	Arg bool
+	// Stored: assigned onward (to another variable, field, index expression)
+	// or placed in a composite literal.
+	Stored bool
+	// Sent: sent on a channel.
+	Sent bool
+}
+
+// Any reports whether the value escaped at all.
+func (e Escape) Any() bool { return e.Returned || e.Arg || e.Stored || e.Sent }
+
+// VarEscapes classifies how the variable named v escapes body. excludeCall,
+// when non-nil, names calls that do not count as escapes (the spanpair rule
+// excludes Begin/End calls — passing the id to End is the obligation itself,
+// not an escape). Assignments whose RHS is an excluded call do not count as
+// stores either (re-binding the id from another Begin).
+func VarEscapes(body ast.Node, v string, excludeCall func(*ast.CallExpr) bool) Escape {
+	var esc Escape
+	excluded := func(c *ast.CallExpr) bool { return excludeCall != nil && excludeCall(c) }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if excluded(x) {
+				return false
+			}
+			for _, a := range x.Args {
+				if ContainsIdent(a, v) {
+					esc.Arg = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if ContainsIdent(r, v) {
+					esc.Returned = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				if call, ok := r.(*ast.CallExpr); ok && excluded(call) {
+					continue
+				}
+				if ContainsIdent(r, v) {
+					esc.Stored = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if ContainsIdent(el, v) {
+					esc.Stored = true
+				}
+			}
+		case *ast.SendStmt:
+			if ContainsIdent(x.Value, v) {
+				esc.Sent = true
+			}
+		}
+		return true
+	})
+	return esc
+}
+
+// ContainsIdent reports whether n contains a plain identifier named v.
+func ContainsIdent(n ast.Node, v string) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,367 @@
+// Reaching definitions over the CFG. Definitions are keyed by the resolved
+// types.Object when type information is supplied, so shadowed variables are
+// distinct definitions of distinct objects; without type info the key falls
+// back to the identifier's name (sound for the single-scope bodies the rules
+// mostly look at, and only ever over-approximates which defs reach).
+
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Def is one definition site: an assignment (or declaration, or ++/--) of a
+// named variable.
+type Def struct {
+	Ident *ast.Ident // the defined identifier
+	Stmt  ast.Stmt   // the statement performing the definition
+	Block *Block
+	// Key identifies the variable: its *types.Var when resolvable, else its
+	// name. Two defs with equal keys kill each other along a path.
+	Key any
+}
+
+// Reach holds the solved reaching-definitions facts for one graph.
+type Reach struct {
+	g    *Graph
+	info *types.Info
+	// Defs are all definition sites in block order then statement order.
+	Defs []*Def
+	// in[b.Index] is the set of defs (by position in Defs) reaching b's entry.
+	in []map[int]bool
+	// gen/kill per block, by def index.
+	gen  []map[int]bool
+	kill []map[int]bool
+}
+
+// varKey resolves the identity of a defined or used identifier.
+func varKey(info *types.Info, id *ast.Ident) any {
+	if info != nil {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+	}
+	return id.Name
+}
+
+// defIdents yields the identifiers a statement defines (assignment LHS,
+// var declarations, ++/--, range key/value). Blank identifiers are skipped.
+func defIdents(s ast.Stmt) []*ast.Ident {
+	var out []*ast.Ident
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			out = append(out, id)
+		}
+	}
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		for _, l := range x.Lhs {
+			add(l)
+		}
+	case *ast.IncDecStmt:
+		add(x.X)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, n := range vs.Names {
+						if n.Name != "_" {
+							out = append(out, n)
+						}
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		add(x.Key)
+		add(x.Value)
+	}
+	return out
+}
+
+// ReachingDefs solves reaching definitions for the graph. info may be nil.
+func (g *Graph) ReachingDefs(info *types.Info) *Reach {
+	r := &Reach{g: g, info: info}
+	n := len(g.Blocks)
+	r.in = make([]map[int]bool, n)
+	r.gen = make([]map[int]bool, n)
+	r.kill = make([]map[int]bool, n)
+	for i := 0; i < n; i++ {
+		r.in[i] = map[int]bool{}
+		r.gen[i] = map[int]bool{}
+		r.kill[i] = map[int]bool{}
+	}
+
+	// collect defs in block order, statement order
+	byKey := map[any][]int{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			for _, id := range defIdents(s) {
+				d := &Def{Ident: id, Stmt: s, Block: b, Key: varKey(info, id)}
+				idx := len(r.Defs)
+				r.Defs = append(r.Defs, d)
+				byKey[d.Key] = append(byKey[d.Key], idx)
+			}
+		}
+	}
+	// gen/kill: within a block the last def of a key survives; every def of a
+	// key kills all other defs of that key
+	for _, b := range g.Blocks {
+		live := map[any]int{}
+		for _, s := range b.Stmts {
+			for _, id := range defIdents(s) {
+				k := varKey(info, id)
+				for i, d := range r.Defs {
+					if d.Key == k && d.Block == b && d.Ident == id {
+						live[k] = i
+					}
+				}
+			}
+		}
+		for k, i := range live {
+			r.gen[b.Index][i] = true
+			for _, j := range byKey[k] {
+				if j != i {
+					r.kill[b.Index][j] = true
+				}
+			}
+		}
+	}
+	// worklist
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Blocks {
+			out := func(bb *Block) map[int]bool {
+				o := map[int]bool{}
+				for i := range r.in[bb.Index] {
+					if !r.kill[bb.Index][i] {
+						o[i] = true
+					}
+				}
+				for i := range r.gen[bb.Index] {
+					o[i] = true
+				}
+				return o
+			}
+			for _, e := range b.Succs {
+				for i := range out(b) {
+					if !r.in[e.To.Index][i] {
+						r.in[e.To.Index][i] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return r
+}
+
+// At returns the defs reaching the entry of the statement s within block b:
+// the block's in-set updated by the defs of the statements preceding s in b.
+// A nil s yields the defs reaching the end of the block (its Cond, if any).
+func (r *Reach) At(b *Block, s ast.Stmt) []*Def {
+	live := map[any]int{}
+	reaching := map[int]bool{}
+	for i := range r.in[b.Index] {
+		reaching[i] = true
+	}
+	for _, st := range b.Stmts {
+		if st == s {
+			break
+		}
+		for _, id := range defIdents(st) {
+			k := varKey(r.info, id)
+			for i, d := range r.Defs {
+				if d.Block == b && d.Stmt == st && d.Ident == id {
+					if prev, ok := live[k]; ok {
+						delete(reaching, prev)
+					}
+					// kill same-key defs from other blocks too
+					for j, dj := range r.Defs {
+						if j != i && dj.Key == k {
+							delete(reaching, j)
+						}
+					}
+					live[k] = i
+					reaching[i] = true
+				}
+			}
+		}
+	}
+	var out []*Def
+	for i := range reaching {
+		out = append(out, r.Defs[i])
+	}
+	return out
+}
+
+// DefReachesUse reports whether def d reaches any identifier use for which
+// use returns true. Uses are identifiers with the same key as d appearing in
+// non-defining position.
+func (r *Reach) DefReachesUse(d *Def) bool {
+	di := -1
+	for i, dd := range r.Defs {
+		if dd == d {
+			di = i
+		}
+	}
+	if di < 0 {
+		return false
+	}
+	for _, b := range r.g.Blocks {
+		for _, s := range b.Stmts {
+			defs := map[*ast.Ident]bool{}
+			for _, id := range defIdents(s) {
+				defs[id] = true
+			}
+			usedHere := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || defs[id] || id.Name == "_" {
+					return true
+				}
+				if varKey(r.info, id) == d.Key {
+					usedHere = true
+				}
+				return true
+			})
+			if !usedHere {
+				continue
+			}
+			for _, rd := range r.At(b, s) {
+				if rd == d {
+					return true
+				}
+			}
+			// uses on the RHS of the defining statement itself (x = x + 1)
+			if s == d.Stmt {
+				return true
+			}
+		}
+	}
+	// uses in a block's controlling expression: if/for conditions live on the
+	// block (Cond), not in its statement list, so `if err := f.Close(); err !=
+	// nil` reads err in the Cond only. The defs reaching the condition are the
+	// defs reaching the end of the block's statements (At with a nil stmt).
+	for _, b := range r.g.Blocks {
+		if b.Cond == nil {
+			continue
+		}
+		usedInCond := false
+		ast.Inspect(b.Cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name != "_" && varKey(r.info, id) == d.Key {
+				usedInCond = true
+			}
+			return true
+		})
+		if !usedInCond {
+			continue
+		}
+		for _, rd := range r.At(b, nil) {
+			if rd == d {
+				return true
+			}
+		}
+	}
+	// defers and closures run later with the final value; treat any use of
+	// the key inside a defer or func literal as reached
+	for _, b := range r.g.Blocks {
+		for _, s := range b.Stmts {
+			found := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				fl, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && varKey(r.info, id) == d.Key {
+						found = true
+					}
+					return true
+				})
+				return false
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PathQuery asks whether every path from a start point to Exit passes a
+// statement satisfying hit. Leak sites (the first terminal block of a path
+// that reaches Exit unhit) are returned; an empty slice means every path is
+// covered. edgeCovers, when non-nil, lets an edge itself satisfy the
+// obligation (the spanpair rule covers the false edge of `if span != 0`).
+type PathQuery struct {
+	Hit        func(ast.Stmt) bool
+	EdgeCovers func(from *Block, e Edge) bool
+}
+
+// Uncovered runs the query from block b starting after statement afterStmt
+// (nil = from the block's first statement). It returns the blocks whose exit
+// edge reaches Exit with the obligation unmet — one representative block per
+// offending path family, deduplicated.
+func (g *Graph) Uncovered(b *Block, afterStmt ast.Stmt, q PathQuery) []*Block {
+	var leaks []*Block
+	seen := map[*Block]bool{}
+	var walk func(blk *Block, from ast.Stmt)
+	walk = func(blk *Block, from ast.Stmt) {
+		started := from == nil
+		for _, s := range blk.Stmts {
+			if !started {
+				if s == from {
+					started = true
+				}
+				continue
+			}
+			if q.Hit(s) {
+				return // obligation met on this path
+			}
+		}
+		if blk == g.Exit {
+			leaks = append(leaks, blk)
+			return
+		}
+		if seen[blk] && from == nil {
+			return
+		}
+		if from == nil {
+			seen[blk] = true
+		}
+		if len(blk.Succs) == 0 {
+			return // blocks forever (select{}); never exits, so never leaks
+		}
+		for _, e := range blk.Succs {
+			if q.EdgeCovers != nil && q.EdgeCovers(blk, e) {
+				continue
+			}
+			if e.To == g.Exit {
+				// terminal edge with obligation unmet
+				leaks = append(leaks, blk)
+				continue
+			}
+			if !seen[e.To] {
+				walk(e.To, nil)
+			}
+		}
+	}
+	walk(b, afterStmt)
+	// dedupe
+	var out []*Block
+	dup := map[*Block]bool{}
+	for _, l := range leaks {
+		if !dup[l] {
+			dup[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

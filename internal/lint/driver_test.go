@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden output files")
+
+func runMain(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = Main(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// TestDriverExitCodes pins the CLI contract scripts build on: 0 clean,
+// 1 findings, 2 usage, 3 load failure. The 1-vs-3 split is the bugfix this
+// PR carries — a linter that cannot load its target must not look clean OR
+// look like a usage mistake.
+func TestDriverExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{"cfg"}, 0},
+		{"findings", []string{"testdata/src/bad"}, 1},
+		{"unknown rule", []string{"-rules", "nope", "cfg"}, 2},
+		{"unknown format", []string{"-format", "yaml", "cfg"}, 2},
+		{"update without baseline", []string{"-update-baseline", "cfg"}, 2},
+		{"missing package", []string{"testdata/src/no-such-pkg"}, 3},
+		{"missing pattern root", []string{"testdata/src/no-such-pkg/..."}, 3},
+		{"go-free directory", []string{"testdata"}, 3},
+	}
+	for _, c := range cases {
+		code, _, errOut := runMain(t, c.args...)
+		if code != c.want {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", c.name, code, c.want, errOut)
+		}
+	}
+}
+
+// TestGoldenOutput locks the machine-readable formats byte-for-byte against
+// committed goldens (regenerate with `go test -run TestGoldenOutput -update`).
+// The SARIF golden doubles as the schema reference verify.sh smokes against.
+func TestGoldenOutput(t *testing.T) {
+	for _, c := range []struct{ format, golden string }{
+		{"sarif", "testdata/golden/bad.sarif"},
+		{"json", "testdata/golden/bad.json"},
+	} {
+		code, out, errOut := runMain(t, "-format", c.format, "testdata/src/bad")
+		if code != 1 {
+			t.Fatalf("%s: exit %d, want 1 (stderr: %s)", c.format, code, errOut)
+		}
+		if *updateGolden {
+			if err := os.WriteFile(c.golden, []byte(out), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(c.golden)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to generate)", c.format, err)
+		}
+		if out != string(want) {
+			t.Errorf("%s output drifted from %s (run with -update after a deliberate change)\ngot:\n%s", c.format, c.golden, out)
+		}
+	}
+}
+
+// TestBaselineRoundTrip drives the debt workflow end to end: record the bad
+// fixture's findings as tolerated, re-lint clean against the baseline, and
+// check the baseline does not bleed onto findings it never recorded.
+func TestBaselineRoundTrip(t *testing.T) {
+	bp := filepath.Join(t.TempDir(), "baseline.json")
+	if code, _, errOut := runMain(t, "-baseline", bp, "-update-baseline", "testdata/src/bad"); code != 0 {
+		t.Fatalf("update-baseline: exit %d (stderr: %s)", code, errOut)
+	}
+	code, out, errOut := runMain(t, "-baseline", bp, "testdata/src/bad")
+	if code != 0 || out != "" {
+		t.Errorf("baselined run: exit %d stdout %q (stderr: %s); want clean", code, out, errOut)
+	}
+	if code, _, _ := runMain(t, "-baseline", bp, "testdata/src/suppressed"); code != 1 {
+		t.Errorf("baseline suppressed findings it never recorded (exit %d, want 1)", code)
+	}
+}
+
+// TestBaselineIgnoresLineNumbers pins the matching rule: entries tolerate a
+// finding wherever it moved to, but a second identical violation still fails.
+func TestBaselineIgnoresLineNumbers(t *testing.T) {
+	b := &Baseline{counts: map[baselineKey]int{
+		{Rule: "wallclock", File: "x/y.go", Msg: "m"}: 1,
+	}}
+	left := b.Filter([]Finding{
+		{Rule: "wallclock", Pos: token.Position{Filename: "x/y.go", Line: 99}, Msg: "m"},
+		{Rule: "wallclock", Pos: token.Position{Filename: "x/y.go", Line: 120}, Msg: "m"},
+	})
+	if len(left) != 1 {
+		t.Fatalf("filter left %d findings, want 1 (one absorbed, the duplicate kept)", len(left))
+	}
+}
+
+// TestFixRewrites copies the fixable fixture aside, runs -fix, and checks the
+// rewritten package lints clean with the expected repairs in place.
+func TestFixRewrites(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fixable")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile("testdata/src/fixable/f.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// before: both violations present
+	if code, _, _ := runMain(t, dir); code != 1 {
+		t.Fatalf("fixture should lint dirty before -fix (exit %d)", code)
+	}
+	code, _, errOut := runMain(t, "-fix", dir)
+	if code != 0 {
+		t.Fatalf("-fix run: exit %d, want 0 (stderr: %s)", code, errOut)
+	}
+	if !strings.Contains(errOut, "fixed") {
+		t.Errorf("-fix reported nothing fixed: %s", errOut)
+	}
+	fixed, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"sort"`, "sort.Strings(keys)", "for _, k := range keys {", "v := m[k]", `defer f.End(span, "visit", 0)`} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed file missing %q:\n%s", want, fixed)
+		}
+	}
+	// after: clean, and a second -fix run is a no-op
+	if code, _, _ := runMain(t, dir); code != 0 {
+		t.Errorf("fixture still dirty after -fix (exit %d)", code)
+	}
+	if code, _, errOut := runMain(t, "-fix", dir); code != 0 || strings.Contains(errOut, "fixed") {
+		t.Errorf("second -fix run not a no-op (exit %d, stderr: %s)", code, errOut)
+	}
+}

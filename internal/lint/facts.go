@@ -1,0 +1,390 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Facts is the package-level fact store: what one pass over every function
+// learned, available to all rules so they can see across function boundaries
+// within the package (a `go d.executor()` statement consults the facts of
+// executor, which may live in another file of the package).
+type Facts struct {
+	// Funcs maps a function key — "name" for package functions, "Recv.name"
+	// for methods — to its collected facts.
+	Funcs map[string]*FuncFact
+	// MutexStructs maps a struct type name to its mutex-discipline facts,
+	// for structs that declare a sync.Mutex/sync.RWMutex field.
+	MutexStructs map[string]*MutexStructFact
+}
+
+// FuncFact is what the fact collector learned about one function.
+type FuncFact struct {
+	Decl *ast.FuncDecl
+	File *ast.File
+	// RecvType is the receiver's type name ("" for package functions).
+	RecvType string
+	// InfiniteLoopNoExit: the body contains a `for` with no condition whose
+	// body has no reachable exit (no return, no break targeting it, no
+	// panic/Exit/Fatal) — run as a goroutine, such a function can never be
+	// stopped. Pos is the offending loop's position.
+	InfiniteLoopNoExit bool
+	InfiniteLoopPos    token.Pos
+}
+
+// MutexStructFact records a mutex-guarded struct's field-write discipline.
+type MutexStructFact struct {
+	Name string
+	// MutexFields are the names of the sync.Mutex / sync.RWMutex fields.
+	MutexFields []string
+	// Writes collects every field write in the struct's methods.
+	Writes map[string][]WriteSite // field name → sites
+}
+
+// WriteSite is one write to a mutex-guarded struct's field.
+type WriteSite struct {
+	Pos    token.Pos
+	Locked bool
+	Method string
+}
+
+// collectFacts builds the package fact store in one pass before rules run.
+func collectFacts(p *Pass) *Facts {
+	facts := &Facts{
+		Funcs:        map[string]*FuncFact{},
+		MutexStructs: map[string]*MutexStructFact{},
+	}
+	// struct declarations with mutex fields
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				var mutexes []string
+				for _, field := range st.Fields.List {
+					if !isMutexType(p, f, field.Type) {
+						continue
+					}
+					for _, n := range field.Names {
+						mutexes = append(mutexes, n.Name)
+					}
+				}
+				if len(mutexes) > 0 {
+					facts.MutexStructs[ts.Name.Name] = &MutexStructFact{
+						Name: ts.Name.Name, MutexFields: mutexes,
+						Writes: map[string][]WriteSite{},
+					}
+				}
+			}
+		}
+	}
+	// per-function facts
+	p.EachFuncDecl(func(f *ast.File, fd *ast.FuncDecl) {
+		ff := &FuncFact{Decl: fd, File: f, RecvType: recvTypeName(fd)}
+		if loop := findInfiniteNoExitLoop(fd.Body); loop != nil {
+			ff.InfiniteLoopNoExit = true
+			ff.InfiniteLoopPos = loop.Pos()
+		}
+		facts.Funcs[funcKey(ff.RecvType, fd.Name.Name)] = ff
+		if sf, ok := facts.MutexStructs[ff.RecvType]; ok {
+			collectMutexWrites(fd, sf)
+		}
+	})
+	return facts
+}
+
+func funcKey(recv, name string) string {
+	if recv == "" {
+		return name
+	}
+	return recv + "." + name
+}
+
+// recvTypeName returns a method's receiver type name, stripped of pointers.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isMutexType reports whether a field type is sync.Mutex or sync.RWMutex
+// (possibly embedded by value; pointer mutexes count too).
+func isMutexType(p *Pass, f *ast.File, t ast.Expr) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if p.SelPkg(f, sel) != "sync" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+// findInfiniteNoExitLoop returns the first `for` loop with no condition and
+// no reachable exit in body, descending into nested statements but not into
+// function literals (their loops belong to the closure, not this function).
+func findInfiniteNoExitLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopHasExit(loop) {
+			found = loop
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopHasExit reports whether an unconditioned for loop can terminate: a
+// return, a panic/Exit/Fatal call, a goto, or a break that targets the loop
+// itself (an unlabelled break inside a nested for/range/switch/select
+// targets the inner construct, not this loop — `for { select { case <-ch:
+// break } }` does NOT exit, the classic leak).
+func loopHasExit(loop *ast.ForStmt) bool {
+	exit := false
+	// depth counts break-target nesting below the loop
+	var walk func(n ast.Stmt, depth int)
+	walkBody := func(list []ast.Stmt, depth int) {
+		for _, s := range list {
+			walk(s, depth)
+		}
+	}
+	walk = func(n ast.Stmt, depth int) {
+		if exit || n == nil {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			switch x.Tok {
+			case token.BREAK:
+				if x.Label != nil || depth == 0 {
+					exit = true
+				}
+			case token.GOTO:
+				exit = true
+			}
+		case *ast.ExprStmt:
+			if terminatesProcess(x.X) {
+				exit = true
+			}
+		case *ast.BlockStmt:
+			walkBody(x.List, depth)
+		case *ast.IfStmt:
+			walk(x.Body, depth)
+			walk(x.Else, depth)
+		case *ast.ForStmt:
+			walk(x.Body, depth+1)
+		case *ast.RangeStmt:
+			walk(x.Body, depth+1)
+		case *ast.SwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkBody(cc.Body, depth+1)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkBody(cc.Body, depth+1)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkBody(cc.Body, depth+1)
+				}
+			}
+		case *ast.LabeledStmt:
+			walk(x.Stmt, depth)
+		}
+	}
+	walkBody(loop.Body.List, 0)
+	return exit
+}
+
+// terminatesProcess reports whether a call never returns control: panic, or
+// a selector ending in Exit/Fatal/Fatalf.
+func terminatesProcess(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Exit", "Fatal", "Fatalf":
+			return true
+		}
+	}
+	return false
+}
+
+// collectMutexWrites classifies every field write in one method of a
+// mutex-guarded struct as locked or unlocked. The walk tracks lock state in
+// statement order: recv.mu.Lock()/RLock() locks, recv.mu.Unlock()/RUnlock()
+// unlocks, and a deferred unlock keeps the state locked to the end. Methods
+// whose name ends in "Locked" are by convention called with the lock held.
+func collectMutexWrites(fd *ast.FuncDecl, sf *MutexStructFact) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recv := fd.Recv.List[0].Names[0].Name
+	if recv == "_" {
+		return
+	}
+	mutexes := map[string]bool{}
+	for _, m := range sf.MutexFields {
+		mutexes[m] = true
+	}
+	locked := false
+	if len(fd.Name.Name) > len("Locked") && fd.Name.Name[len(fd.Name.Name)-len("Locked"):] == "Locked" {
+		locked = true
+	}
+	var walkStmts func(list []ast.Stmt, locked bool) bool
+	record := func(e ast.Expr, locked bool) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			// element writes: recv.field[k] = v
+			if idx, ok2 := e.(*ast.IndexExpr); ok2 {
+				sel, ok = idx.X.(*ast.SelectorExpr)
+			}
+			if !ok {
+				return
+			}
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != recv || mutexes[sel.Sel.Name] {
+			return
+		}
+		sf.Writes[sel.Sel.Name] = append(sf.Writes[sel.Sel.Name],
+			WriteSite{Pos: sel.Pos(), Locked: locked, Method: fd.Name.Name})
+	}
+	lockCall := func(s ast.Stmt) (mutex, op string) {
+		var call *ast.CallExpr
+		switch x := s.(type) {
+		case *ast.ExprStmt:
+			call, _ = x.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = x.Call
+		}
+		if call == nil {
+			return "", ""
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return "", ""
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return "", ""
+		}
+		id, ok := inner.X.(*ast.Ident)
+		if !ok || id.Name != recv || !mutexes[inner.Sel.Name] {
+			return "", ""
+		}
+		return inner.Sel.Name, sel.Sel.Name
+	}
+	var walkStmt func(s ast.Stmt, locked bool) bool
+	walkStmt = func(s ast.Stmt, locked bool) bool {
+		switch x := s.(type) {
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				record(l, locked)
+			}
+		case *ast.IncDecStmt:
+			record(x.X, locked)
+		case *ast.ExprStmt, *ast.DeferStmt:
+			if _, op := lockCall(s); op != "" {
+				switch op {
+				case "Lock", "RLock":
+					return true
+				case "Unlock", "RUnlock":
+					if _, isDefer := s.(*ast.DeferStmt); isDefer {
+						return locked // deferred unlock: held until exit
+					}
+					return false
+				}
+			}
+		case *ast.BlockStmt:
+			return walkStmts(x.List, locked)
+		case *ast.IfStmt:
+			if x.Init != nil {
+				locked = walkStmt(x.Init, locked)
+			}
+			walkStmts(x.Body.List, locked)
+			if x.Else != nil {
+				walkStmt(x.Else, locked)
+			}
+		case *ast.ForStmt:
+			walkStmts(x.Body.List, locked)
+		case *ast.RangeStmt:
+			walkStmts(x.Body.List, locked)
+		case *ast.SwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body, locked)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body, locked)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkStmts(cc.Body, locked)
+				}
+			}
+		case *ast.LabeledStmt:
+			return walkStmt(x.Stmt, locked)
+		}
+		return locked
+	}
+	walkStmts = func(list []ast.Stmt, locked bool) bool {
+		for _, s := range list {
+			locked = walkStmt(s, locked)
+		}
+		return locked
+	}
+	walkStmts(fd.Body.List, locked)
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+
+	"gullible/internal/lint/cfg"
+)
+
+// An edit is one byte-range replacement in a source file's content;
+// insertions use start == end. Edits in one file are applied back-to-front so
+// earlier offsets stay valid.
+type edit struct {
+	start, end int
+	text       string
+}
+
+// FixDirs applies wpmlint's mechanical autofixes to the packages in dirs and
+// returns the rewritten file paths, sorted. Two fixes exist, both chosen
+// because the repair is unambiguous:
+//
+//   - maprange: a canonical encoder serialising while ranging a string-keyed
+//     map is rewritten to collect the keys, sort.Strings them, and range the
+//     sorted slice (adding the "sort" import when missing).
+//   - spanpair: a span id that is begun but never passed to End gains a
+//     `defer recv.End(span, name, at)` immediately after the Begin.
+//
+// Fixes are conservative: a site is only rewritten when the ranged expression
+// and the Begin receiver/arguments are side-effect-free to repeat, so the
+// rewrite cannot change behaviour. Everything else stays a finding for a
+// human. Output is not re-formatted; run gofmt after a fix run.
+func FixDirs(dirs []string, opts Options) ([]string, error) {
+	var fixed []string
+	for _, dir := range dirs {
+		passes, err := loadDir(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		fx := &fixer{
+			srcs:     map[string][]byte{},
+			edits:    map[string][]edit{},
+			sortDone: map[string]bool{},
+		}
+		for _, p := range passes {
+			fx.p = p
+			fx.collectMaprange()
+			fx.collectSpanDefers()
+		}
+		paths := make([]string, 0, len(fx.edits))
+		for path := range fx.edits {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			src := fx.src(path)
+			if src == nil {
+				return nil, fmt.Errorf("lint: fix: reread %s failed", path)
+			}
+			if err := os.WriteFile(path, applyEdits(src, fx.edits[path]), 0o644); err != nil {
+				return nil, fmt.Errorf("lint: fix: %w", err)
+			}
+			fixed = append(fixed, path)
+		}
+	}
+	sort.Strings(fixed)
+	return fixed, nil
+}
+
+func applyEdits(src []byte, edits []edit) []byte {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+	out := src
+	for _, e := range edits {
+		var buf []byte
+		buf = append(buf, out[:e.start]...)
+		buf = append(buf, e.text...)
+		buf = append(buf, out[e.end:]...)
+		out = buf
+	}
+	return out
+}
+
+// fixer accumulates edits across one directory's passes, caching file
+// contents (needed both to splice expression text into generated code and to
+// compute line indentation).
+type fixer struct {
+	p        *Pass
+	srcs     map[string][]byte
+	edits    map[string][]edit
+	sortDone map[string]bool // files already gaining a "sort" import
+}
+
+func (fx *fixer) src(path string) []byte {
+	if s, ok := fx.srcs[path]; ok {
+		return s
+	}
+	s, err := os.ReadFile(path)
+	if err != nil {
+		s = nil
+	}
+	fx.srcs[path] = s
+	return s
+}
+
+// offsetOf resolves a token position to (file path, byte offset).
+func (fx *fixer) offsetOf(pos token.Pos) (string, int) {
+	p := fx.p.Fset.Position(pos)
+	return p.Filename, p.Offset
+}
+
+// exprText returns an expression's source text, "" when unavailable.
+func (fx *fixer) exprText(e ast.Expr) string {
+	path, a := fx.offsetOf(e.Pos())
+	_, b := fx.offsetOf(e.End())
+	s := fx.src(path)
+	if s == nil || a < 0 || b > len(s) || a > b {
+		return ""
+	}
+	return string(s[a:b])
+}
+
+// lineIndent returns the leading whitespace of the line containing offset.
+func lineIndent(src []byte, off int) string {
+	start := off
+	for start > 0 && src[start-1] != '\n' {
+		start--
+	}
+	end := start
+	for end < len(src) && (src[end] == ' ' || src[end] == '\t') {
+		end++
+	}
+	return string(src[start:end])
+}
+
+// lineEnd returns the offset of the newline terminating the line containing
+// offset (or len(src)).
+func lineEnd(src []byte, off int) int {
+	for off < len(src) && src[off] != '\n' {
+		off++
+	}
+	return off
+}
+
+// pureExpr reports whether repeating e cannot run side effects: identifiers,
+// selector chains and literals only.
+func pureExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return pureExpr(x.X)
+	}
+	return false
+}
+
+// --- maprange: collect keys, sort, range the slice --------------------------
+
+func (fx *fixer) collectMaprange() {
+	p := fx.p
+	p.EachFuncDecl(func(f *ast.File, fd *ast.FuncDecl) {
+		if !canonicalFunc(fd.Name.Name) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !mapRangeSerialises(p, rs) {
+				return true
+			}
+			fx.maprangeEdit(f, fd, rs)
+			return true
+		})
+	})
+}
+
+func (fx *fixer) maprangeEdit(f *ast.File, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	// the rewrite repeats the ranged expression three times, so it must be
+	// pure; the key must be a named ident and the map string-keyed (otherwise
+	// sort.Strings does not apply)
+	if rs.Tok != token.DEFINE || !pureExpr(rs.X) {
+		return
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return
+	}
+	var val *ast.Ident
+	if rs.Value != nil {
+		if v, ok := rs.Value.(*ast.Ident); ok && v.Name != "_" {
+			val = v
+		} else if !ok {
+			return
+		}
+	}
+	mt, ok := fx.p.TypeOf(rs.X).Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	if b, ok := mt.Key().Underlying().(*types.Basic); !ok || b.Kind() != types.String {
+		return
+	}
+	keys := "keys"
+	if cfg.ContainsIdent(fd.Body, keys) {
+		keys = "sortedKeys"
+		if cfg.ContainsIdent(fd.Body, keys) {
+			return // both candidate names taken: leave it to a human
+		}
+	}
+	path, start := fx.offsetOf(rs.Pos())
+	_, lbrace := fx.offsetOf(rs.Body.Lbrace)
+	src := fx.src(path)
+	if src == nil || lbrace+1 > len(src) {
+		return
+	}
+	ind := lineIndent(src, start)
+	m := fx.exprText(rs.X)
+	if m == "" {
+		return
+	}
+	text := keys + " := make([]string, 0, len(" + m + "))\n" +
+		ind + "for " + key.Name + " := range " + m + " {\n" +
+		ind + "\t" + keys + " = append(" + keys + ", " + key.Name + ")\n" +
+		ind + "}\n" +
+		ind + "sort.Strings(" + keys + ")\n" +
+		ind + "for _, " + key.Name + " := range " + keys + " {"
+	if val != nil {
+		text += "\n" + ind + "\t" + val.Name + " := " + m + "[" + key.Name + "]"
+	}
+	fx.edits[path] = append(fx.edits[path], edit{start: start, end: lbrace + 1, text: text})
+	fx.ensureSortImport(f, path)
+}
+
+// ensureSortImport schedules an import of "sort" into file f when missing.
+func (fx *fixer) ensureSortImport(f *ast.File, path string) {
+	if fx.sortDone[path] {
+		return
+	}
+	for _, ip := range fx.p.FileImports(f) {
+		if ip == "sort" {
+			return
+		}
+	}
+	fx.sortDone[path] = true
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if ok && gd.Tok == token.IMPORT && gd.Lparen.IsValid() {
+			_, off := fx.offsetOf(gd.Lparen)
+			fx.edits[path] = append(fx.edits[path], edit{start: off + 1, end: off + 1, text: "\n\t\"sort\""})
+			return
+		}
+	}
+	// no parenthesised import block: add a standalone one after the package
+	// clause (always syntactically valid, even alongside other imports)
+	_, off := fx.offsetOf(f.Name.End())
+	fx.edits[path] = append(fx.edits[path], edit{start: off, end: off, text: "\n\nimport \"sort\""})
+}
+
+// --- spanpair: insert the missing deferred End ------------------------------
+
+func (fx *fixer) collectSpanDefers() {
+	p := fx.p
+	if p.Pkg == "telemetry" {
+		return
+	}
+	p.EachFuncDecl(func(f *ast.File, fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // closures: report-only, no autofix
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 || !p.isBeginCall(f, as.Rhs[0]) {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			if hasEnd, escapes := p.classifySpanUses(f, fd.Body, id.Name); hasEnd || escapes {
+				return true
+			}
+			fx.spanDeferEdit(as, id.Name)
+			return true
+		})
+	})
+}
+
+func (fx *fixer) spanDeferEdit(as *ast.AssignStmt, span string) {
+	call := as.Rhs[0].(*ast.CallExpr)
+	sel := call.Fun.(*ast.SelectorExpr)
+	// the defer repeats the receiver and Begin's name/at arguments; require
+	// them side-effect-free to repeat (defer arguments evaluate immediately,
+	// so even then each is evaluated one extra time)
+	if !pureExpr(sel.X) || len(call.Args) < 1 || !pureExpr(call.Args[0]) {
+		return
+	}
+	at := "0"
+	if len(call.Args) >= 3 {
+		if !pureExpr(call.Args[2]) {
+			return
+		}
+		at = fx.exprText(call.Args[2])
+	}
+	recv := fx.exprText(sel.X)
+	name := fx.exprText(call.Args[0])
+	if recv == "" || name == "" || at == "" {
+		return
+	}
+	path, off := fx.offsetOf(as.End())
+	src := fx.src(path)
+	if src == nil {
+		return
+	}
+	ins := lineEnd(src, off)
+	text := "\n" + lineIndent(src, off) + "defer " + recv + ".End(" + span + ", " + name + ", " + at + ")"
+	fx.edits[path] = append(fx.edits[path], edit{start: ins, end: ins, text: text})
+}

@@ -1,6 +1,10 @@
 // Package lint implements wpmlint, a stdlib-only static analyser (go/ast +
-// go/types) that mechanically enforces the repo's determinism invariants —
-// the guarantees PRs 1–3 established by convention:
+// go/types + the internal/lint/cfg dataflow layer) that mechanically enforces
+// the repo's reliability invariants. The paper's thesis is that measurement
+// tools drift from their assumed behaviour unless the assumptions are
+// *checked*; wpmlint is where this repo checks its own.
+//
+// The determinism family (established by PRs 1–3):
 //
 //   - wallclock: no time.Now/Since/Until in crawl-path packages; the crawl
 //     runs on virtual time, and a wall-clock read anywhere in it breaks
@@ -17,22 +21,47 @@
 //     the nil-safe API makes the call itself harmless but the label
 //     construction would run — and allocate — on the disabled path.
 //   - closecheck: no discarded error from Close/Sync/Flush calls that return
-//     one. On a written file the Close (or Sync/Flush) error IS the write
-//     error of record — buffered bytes surface their I/O failure there, and
-//     a crash-safe log that swallows it reports durability it does not have.
-//     `defer f.Close()` stays legal (the read-path idiom) and `_ = f.Close()`
-//     is an explicit, visible discard.
+//     one, and no Close error captured into a variable that no path ever
+//     reads (flow-sensitive via reaching definitions). On a written file the
+//     Close (or Sync/Flush) error IS the write error of record. `defer
+//     f.Close()` stays legal (the read-path idiom) and `_ = f.Close()` is an
+//     explicit, visible discard.
 //   - servertimeouts: no http.Server composite literal without read, write
 //     and idle timeouts, and no bare http.ListenAndServe (which cannot set
-//     any). A long-running service (wpmd) with an untimed listener lets one
-//     slow client hold a connection — and the goroutine serving it —
-//     forever.
+//     any).
 //   - spanpair: a flight-recorder span opened with .Begin(...) must reach an
-//     .End(...) call. A discarded Begin result can never be closed; a span id
-//     held in a local that never feeds an End — or that a return path skips
-//     past — leaves the span open forever, which wpmtrace then reports as
-//     truncated. Span ids that escape the function (returned, stored, or
-//     passed on) are out of scope: the receiver owns the End.
+//     .End(...) call on every control-flow path to the function's exit
+//     (checked over the CFG; a defer covers every path, and the false arm of
+//     an `if span != 0` guard counts as closed). Span ids that escape the
+//     function are out of scope: the receiver owns the End.
+//
+// The concurrency/reliability family (aimed at the daemon, its SSE event
+// hubs, and the sharded scheduler):
+//
+//   - goroutineleak: a goroutine whose body loops forever (`for` with no
+//     condition) with no exit path at all — no return, no break, no panic —
+//     can never be shut down: no done channel, context or WaitGroup will
+//     ever stop it.
+//   - ctxpropagate: a function that takes a context.Context must not then
+//     block without it: time.Sleep, context-free net/http helpers
+//     (http.Get & friends) and bare channel receives outside a select
+//     ignore the cancellation the caller handed in.
+//   - lockedmutate: a struct field written both while holding the struct's
+//     mutex and outside it is a data race waiting for the race detector (or
+//     production) to find; every write site must agree on the locking
+//     discipline.
+//   - errswallow: an error-returning call whose result vanishes at statement
+//     position, or a `_ =` discard with no adjacent comment justifying it,
+//     silently converts failures into false measurements — the exact
+//     gullibility the paper measures in OpenWPM.
+//   - chanbuffer: a blocking channel send inside a loop and outside any
+//     select stalls the producer forever once the consumer stops; fan-out
+//     paths (the event hub) must use a select with a default or cancel arm.
+//
+// Inline suppressions: `//lint:ignore <rule[,rule]> <justification>` on (or
+// immediately above) the offending line suppresses the finding; an empty
+// justification is itself a finding (rule "suppression") — silencing a
+// reliability invariant requires writing down why.
 package lint
 
 import (
@@ -46,7 +75,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -61,9 +89,6 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
 }
 
-// AllRules lists the rule names in reporting order.
-var AllRules = []string{"wallclock", "randseed", "maprange", "telemetry-nilsafe", "closecheck", "servertimeouts", "spanpair"}
-
 // Options configures a lint run.
 type Options struct {
 	// IncludeTests also lints _test.go files (off by default: tests may
@@ -73,30 +98,11 @@ type Options struct {
 	Rules []string
 }
 
-// randAllowed are the math/rand package-level names usable from crawl code:
-// the seeded-constructor surface and the types needed to hold one.
-var randAllowed = map[string]bool{"New": true, "NewSource": true, "Rand": true, "Source": true}
-
-// wallclockBanned are the time package functions that read the wall clock.
-var wallclockBanned = map[string]bool{"Now": true, "Since": true, "Until": true}
-
-// canonicalFunc reports whether a function name marks a canonical encoder —
-// the scope of the maprange rule.
-func canonicalFunc(name string) bool {
-	return name == "Digest" || name == "Snapshot" ||
-		strings.HasPrefix(name, "canonical") || strings.HasPrefix(name, "Canonical") ||
-		strings.HasPrefix(name, "Marshal")
-}
-
-// serializerNames are call names that emit bytes in source order; a map
-// range whose body calls one is producing nondeterministic output.
-var serializerNames = map[string]bool{
-	"Fprintf": true, "Fprint": true, "Fprintln": true,
-	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
-}
-
 // LintDirs lints the packages in the given directories (after pattern
 // expansion — see ExpandDirs) and returns all findings sorted by position.
+// Any load failure — an unreadable or Go-free directory, an unparseable
+// file — is an error, never a silent skip: a linter that cannot load what it
+// was pointed at must not report "clean".
 func LintDirs(dirs []string, opts Options) ([]Finding, error) {
 	active := map[string]bool{}
 	if len(opts.Rules) == 0 {
@@ -133,6 +139,7 @@ func LintDirs(dirs []string, opts Options) ([]Finding, error) {
 // names itself; a path ending in "/..." walks recursively. Walked testdata
 // trees are skipped (they hold deliberate violations), but naming a testdata
 // directory explicitly lints it — that is how the self-test fixture runs.
+// A nonexistent root is an error (a load failure the driver exits 3 on).
 func ExpandDirs(args []string) ([]string, error) {
 	var out []string
 	seen := map[string]bool{}
@@ -147,6 +154,11 @@ func ExpandDirs(args []string) ([]string, error) {
 		root, rec := a, false
 		if strings.HasSuffix(a, "/...") {
 			root, rec = strings.TrimSuffix(a, "/..."), true
+		}
+		if st, err := os.Stat(root); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a, err)
+		} else if !st.IsDir() {
+			return nil, fmt.Errorf("lint: %s is not a directory", root)
 		}
 		if !rec {
 			add(root)
@@ -185,17 +197,39 @@ func ExpandDirs(args []string) ([]string, error) {
 // lintDir parses and type-checks one directory's package and applies the
 // active rules.
 func lintDir(dir string, opts Options, active map[string]bool) ([]Finding, error) {
-	fset := token.NewFileSet()
-	ents, err := os.ReadDir(dir)
+	passes, err := loadDir(dir, opts)
 	if err != nil {
 		return nil, err
 	}
+	var findings []Finding
+	for _, p := range passes {
+		for _, r := range Rules {
+			if active[r.Name] {
+				r.Check(p)
+			}
+		}
+		findings = append(findings, applySuppressions(p.Fset, p.Files, p.findings)...)
+	}
+	return findings, nil
+}
+
+// loadDir parses and leniently type-checks one directory, returning one Pass
+// per package found there (external test packages type-check separately).
+// The -fix pipeline reuses this loader without running any rules.
+func loadDir(dir string, opts Options) ([]*Pass, error) {
+	fset := token.NewFileSet()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: load %s: %w", dir, err)
+	}
 	var files []*ast.File
+	anyGo := false
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") {
 			continue
 		}
+		anyGo = true
 		if !opts.IncludeTests && strings.HasSuffix(name, "_test.go") {
 			continue
 		}
@@ -205,24 +239,27 @@ func lintDir(dir string, opts Options, active map[string]bool) ([]Finding, error
 		}
 		files = append(files, f)
 	}
+	if !anyGo {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
 	if len(files) == 0 {
-		return nil, nil
+		return nil, nil // only test files, and tests excluded: nothing to lint
 	}
 	// external test packages (package foo_test) type-check separately; split
 	byPkg := map[string][]*ast.File{}
 	for _, f := range files {
 		byPkg[f.Name.Name] = append(byPkg[f.Name.Name], f)
 	}
-	var findings []Finding
 	names := make([]string, 0, len(byPkg))
 	for n := range byPkg {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	passes := make([]*Pass, 0, len(names))
 	for _, n := range names {
-		findings = append(findings, lintPackage(fset, n, byPkg[n], active)...)
+		passes = append(passes, loadPackage(fset, n, byPkg[n]))
 	}
-	return findings, nil
+	return passes, nil
 }
 
 // lenientImporter resolves what it can from compiled stdlib packages and
@@ -243,9 +280,14 @@ func (im lenientImporter) Import(path string) (*types.Package, error) {
 	return p, nil
 }
 
-// lintPackage type-checks one package leniently and runs the rules.
-func lintPackage(fset *token.FileSet, name string, files []*ast.File, active map[string]bool) []Finding {
-	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+// loadPackage type-checks one package leniently and builds its Pass (type
+// info, import tables, package fact store) without running any rules.
+func loadPackage(fset *token.FileSet, name string, files []*ast.File) *Pass {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
 	conf := types.Config{
 		Importer:         lenientImporter{importer.Default()},
 		Error:            func(error) {}, // fabricated imports cause benign errors
@@ -254,589 +296,5 @@ func lintPackage(fset *token.FileSet, name string, files []*ast.File, active map
 	// best effort: with fabricated imports some expressions stay untyped;
 	// rules that need types skip what they cannot resolve
 	conf.Check(name, fset, files, info)
-
-	w := &walker{fset: fset, info: info, active: active, pkg: name}
-	for _, f := range files {
-		w.imports = map[string]string{}
-		for _, imp := range f.Imports {
-			path, _ := strconv.Unquote(imp.Path.Value)
-			alias := path
-			if i := strings.LastIndex(path, "/"); i >= 0 {
-				alias = path[i+1:]
-			}
-			if imp.Name != nil {
-				alias = imp.Name.Name
-			}
-			w.imports[alias] = path
-		}
-		ast.Inspect(f, w.visit)
-	}
-	return w.findings
-}
-
-// walker applies the rule set over one package's files.
-type walker struct {
-	fset     *token.FileSet
-	info     *types.Info
-	active   map[string]bool
-	pkg      string
-	imports  map[string]string // alias → import path, per file
-	findings []Finding
-}
-
-func (w *walker) emit(rule string, pos token.Pos, msg string) {
-	w.findings = append(w.findings, Finding{Rule: rule, Pos: w.fset.Position(pos), Msg: msg})
-}
-
-// pkgSelector reports the import path behind x in x.Sel, "" when x is not a
-// package identifier.
-func (w *walker) pkgSelector(sel *ast.SelectorExpr) string {
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return ""
-	}
-	return w.imports[id.Name]
-}
-
-func (w *walker) visit(n ast.Node) bool {
-	switch x := n.(type) {
-	case *ast.SelectorExpr:
-		switch w.pkgSelector(x) {
-		case "time":
-			if w.active["wallclock"] && wallclockBanned[x.Sel.Name] {
-				w.emit("wallclock", x.Pos(),
-					"time."+x.Sel.Name+" reads the wall clock; crawl paths run on virtual time (pass timestamps in, or keep wall-clock I/O in cmd/)")
-			}
-		case "math/rand":
-			if w.active["randseed"] && !randAllowed[x.Sel.Name] {
-				w.emit("randseed", x.Pos(),
-					"rand."+x.Sel.Name+" draws from the unseeded global source; use rand.New(rand.NewSource(seed)) (the Interp.Reseed pattern)")
-			}
-		case "net/http":
-			if w.active["servertimeouts"] && (x.Sel.Name == "ListenAndServe" || x.Sel.Name == "ListenAndServeTLS") {
-				w.emit("servertimeouts", x.Pos(),
-					"http."+x.Sel.Name+" serves with no timeouts at all; build an http.Server with Read/Write/Idle timeouts and call its Serve")
-			}
-		}
-	case *ast.CompositeLit:
-		if w.active["servertimeouts"] {
-			w.checkServerTimeouts(x)
-		}
-	case *ast.ExprStmt:
-		if w.active["closecheck"] {
-			w.checkDiscardedClose(x.X, false)
-		}
-	case *ast.DeferStmt:
-		if w.active["closecheck"] {
-			w.checkDiscardedClose(x.Call, true)
-		}
-	case *ast.FuncDecl:
-		if w.active["maprange"] && x.Body != nil && canonicalFunc(x.Name.Name) {
-			w.checkMapRange(x)
-		}
-		// the guard-tracking walk is separate; normal traversal continues so
-		// the selector rules still see the function body
-		if w.active["telemetry-nilsafe"] && x.Body != nil && w.pkg != "telemetry" {
-			w.checkTelemetryGuards(x.Body, false)
-		}
-		if w.active["spanpair"] && x.Body != nil && w.pkg != "telemetry" {
-			w.checkSpanPairs(x.Body)
-		}
-	}
-	return true
-}
-
-// checkServerTimeouts flags http.Server composite literals that leave the
-// listener untimed. ReadTimeout and ReadHeaderTimeout both bound the read
-// side, so either satisfies it; WriteTimeout and IdleTimeout are each their
-// own obligation. Purely syntactic — the rule needs no resolved types, so it
-// works under the lenient importer too.
-func (w *walker) checkServerTimeouts(cl *ast.CompositeLit) {
-	sel, ok := cl.Type.(*ast.SelectorExpr)
-	if !ok || w.pkgSelector(sel) != "net/http" || sel.Sel.Name != "Server" {
-		return
-	}
-	set := map[string]bool{}
-	for _, el := range cl.Elts {
-		if kv, ok := el.(*ast.KeyValueExpr); ok {
-			if id, ok := kv.Key.(*ast.Ident); ok {
-				set[id.Name] = true
-			}
-		}
-	}
-	var missing []string
-	if !set["ReadTimeout"] && !set["ReadHeaderTimeout"] {
-		missing = append(missing, "ReadTimeout (or ReadHeaderTimeout)")
-	}
-	if !set["WriteTimeout"] {
-		missing = append(missing, "WriteTimeout")
-	}
-	if !set["IdleTimeout"] {
-		missing = append(missing, "IdleTimeout")
-	}
-	if len(missing) > 0 {
-		w.emit("servertimeouts", cl.Pos(),
-			"http.Server without "+strings.Join(missing, ", ")+": one slow or stalled client holds its connection (and the goroutine serving it) forever")
-	}
-}
-
-// closeNames are the method names whose discarded error result closecheck
-// flags: the calls that surface buffered-write and durability failures.
-var closeNames = map[string]bool{"Close": true, "Sync": true, "Flush": true}
-
-// checkDiscardedClose flags a statement-position Close/Sync/Flush method call
-// whose error result vanishes. It needs resolved types — a call the lenient
-// type-checker cannot type (a method on an un-compiled cross-package value)
-// is skipped rather than guessed at, so the rule never false-positives on
-// error-free signatures.
-func (w *walker) checkDiscardedClose(e ast.Expr, deferred bool) {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !closeNames[sel.Sel.Name] {
-		return
-	}
-	if deferred && sel.Sel.Name == "Close" {
-		return // `defer f.Close()` is the idiomatic read-path cleanup
-	}
-	if w.pkgSelector(sel) != "" {
-		return // pkg.Close(...) is a function, not a method on a handle
-	}
-	tv, ok := w.info.Types[call]
-	if !ok || tv.IsVoid() || tv.Type == nil || tv.Type.String() != "error" {
-		return
-	}
-	verb := "dropped"
-	if deferred {
-		verb = "deferred and dropped"
-	}
-	w.emit("closecheck", call.Pos(),
-		fmt.Sprintf("%s error %s; on a written file this IS the write error of record — check it, or discard explicitly with `_ = x.%s()`",
-			sel.Sel.Name, verb, sel.Sel.Name))
-}
-
-// checkMapRange flags range statements over map-typed expressions inside a
-// canonical encoder when the loop body serialises during iteration. Ranging
-// a map to collect keys (append, assignment) stays legal — sorting happens
-// after.
-func (w *walker) checkMapRange(fn *ast.FuncDecl) {
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		rs, ok := n.(*ast.RangeStmt)
-		if !ok {
-			return true
-		}
-		tv, ok := w.info.Types[rs.X]
-		if !ok || tv.Type == nil {
-			return true
-		}
-		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-			return true
-		}
-		serialises := false
-		ast.Inspect(rs.Body, func(m ast.Node) bool {
-			call, ok := m.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			switch fn := call.Fun.(type) {
-			case *ast.SelectorExpr:
-				if serializerNames[fn.Sel.Name] {
-					serialises = true
-				}
-			case *ast.Ident:
-				if serializerNames[fn.Name] {
-					serialises = true
-				}
-			}
-			return true
-		})
-		if serialises {
-			w.emit("maprange", rs.Pos(),
-				fmt.Sprintf("%s serialises while ranging a map; iteration order is random — collect and sort keys first", fn.Name.Name))
-		}
-		return true
-	})
-}
-
-// isEnabledCall reports whether e contains a call to a method named Enabled.
-func isEnabledCall(e ast.Expr) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Enabled" {
-				found = true
-			}
-		}
-		return true
-	})
-	return found
-}
-
-// terminates reports whether a block's final statement unconditionally
-// leaves the enclosing scope (return/continue/break/panic).
-func terminates(b *ast.BlockStmt) bool {
-	if len(b.List) == 0 {
-		return false
-	}
-	switch s := b.List[len(b.List)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// checkTelemetryGuards walks a block tracking whether execution is behind an
-// .Enabled() guard, flagging label-building Event calls on unguarded paths.
-// Both guard shapes used in the repo count: `if tel.Enabled() { ... }` and
-// the early return `if !tel.Enabled() { return }`.
-func (w *walker) checkTelemetryGuards(b *ast.BlockStmt, guarded bool) {
-	g := guarded
-	for _, stmt := range b.List {
-		switch s := stmt.(type) {
-		case *ast.IfStmt:
-			condGuards := isEnabledCall(s.Cond)
-			negGuard := false
-			if u, ok := s.Cond.(*ast.UnaryExpr); ok && u.Op == token.NOT && isEnabledCall(u.X) {
-				negGuard = true
-			}
-			w.checkExprForEvent(s.Cond, g)
-			w.checkTelemetryGuards(s.Body, g || (condGuards && !negGuard))
-			if s.Else != nil {
-				switch e := s.Else.(type) {
-				case *ast.BlockStmt:
-					w.checkTelemetryGuards(e, g)
-				case *ast.IfStmt:
-					w.checkTelemetryGuards(&ast.BlockStmt{List: []ast.Stmt{e}}, g)
-				}
-			}
-			if negGuard && terminates(s.Body) {
-				g = true // everything after `if !x.Enabled() { return }` is guarded
-			}
-		case *ast.BlockStmt:
-			w.checkTelemetryGuards(s, g)
-		case *ast.ForStmt:
-			w.checkTelemetryGuards(s.Body, g)
-		case *ast.RangeStmt:
-			w.checkTelemetryGuards(s.Body, g)
-		case *ast.SwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					w.checkTelemetryGuards(&ast.BlockStmt{List: cc.Body}, g)
-				}
-			}
-		case *ast.TypeSwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					w.checkTelemetryGuards(&ast.BlockStmt{List: cc.Body}, g)
-				}
-			}
-		default:
-			w.checkStmtForEvent(stmt, g)
-		}
-	}
-}
-
-// checkStmtForEvent inspects one non-control statement for unguarded
-// label-building Event calls. Function literals restart the structured
-// guard-tracking walk on their own body (inheriting the current guard state:
-// Enabled() is constant for a process, so a closure built on a guarded path
-// only runs guarded) — a flat Inspect through them would miss their internal
-// if-guards and false-positive on guarded events inside closures.
-func (w *walker) checkStmtForEvent(stmt ast.Stmt, guarded bool) {
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		if fl, ok := n.(*ast.FuncLit); ok {
-			w.checkTelemetryGuards(fl.Body, guarded)
-			return false
-		}
-		if e, ok := n.(ast.Expr); ok {
-			w.checkOneEvent(e, guarded)
-		}
-		return true
-	})
-}
-
-func (w *walker) checkExprForEvent(e ast.Expr, guarded bool) {
-	ast.Inspect(e, func(n ast.Node) bool {
-		if fl, ok := n.(*ast.FuncLit); ok {
-			w.checkTelemetryGuards(fl.Body, guarded)
-			return false
-		}
-		if x, ok := n.(ast.Expr); ok {
-			w.checkOneEvent(x, guarded)
-		}
-		return true
-	})
-}
-
-// checkOneEvent flags a call of the shape X.Event(..., L(...)) when not
-// behind an Enabled() guard.
-func (w *walker) checkOneEvent(e ast.Expr, guarded bool) {
-	if guarded {
-		return
-	}
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Event" {
-		return
-	}
-	buildsLabels := false
-	for _, a := range call.Args {
-		if ac, ok := a.(*ast.CallExpr); ok {
-			switch fn := ac.Fun.(type) {
-			case *ast.SelectorExpr:
-				if fn.Sel.Name == "L" {
-					buildsLabels = true
-				}
-			case *ast.Ident:
-				if fn.Name == "L" {
-					buildsLabels = true
-				}
-			}
-		}
-	}
-	if buildsLabels {
-		w.emit("telemetry-nilsafe", call.Pos(),
-			"Event call builds labels outside an Enabled() guard; labels allocate even when telemetry is off — wrap in `if tel.Enabled() { ... }`")
-	}
-}
-
-// isBeginCall reports whether e is a method call named Begin — the span-open
-// shape. Package-level pkg.Begin(...) functions are not span openers.
-func (w *walker) isBeginCall(e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	return ok && sel.Sel.Name == "Begin" && w.pkgSelector(sel) == ""
-}
-
-// containsEndOf reports whether n contains an .End(...) call that receives
-// the identifier v among its arguments.
-func containsEndOf(n ast.Node, v string) bool {
-	if n == nil {
-		return false
-	}
-	found := false
-	ast.Inspect(n, func(m ast.Node) bool {
-		call, ok := m.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
-			for _, a := range call.Args {
-				if containsIdent(a, v) {
-					found = true
-				}
-			}
-		}
-		return true
-	})
-	return found
-}
-
-// containsIdent reports whether n contains a plain identifier named v.
-func containsIdent(n ast.Node, v string) bool {
-	if n == nil {
-		return false
-	}
-	found := false
-	ast.Inspect(n, func(m ast.Node) bool {
-		if id, ok := m.(*ast.Ident); ok && id.Name == v {
-			found = true
-		}
-		return true
-	})
-	return found
-}
-
-// checkSpanPairs applies the spanpair rule to one function (or closure) body:
-// a discarded Begin result is flagged immediately; a Begin result held in a
-// local variable must feed an End call, and no return path after the Begin
-// may run before one. The flow analysis is optimistic — an End anywhere
-// inside a statement (including the `if span != 0 { End }` guard idiom and
-// deferred closures) marks the path closed from that statement on — so the
-// rule under-reports rather than false-positives. Span ids that escape
-// (returned, passed to another call, re-assigned or stored) are skipped: the
-// receiver owns the End.
-func (w *walker) checkSpanPairs(body *ast.BlockStmt) {
-	type spanVar struct {
-		name string
-		pos  token.Pos
-	}
-	var spans []spanVar
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.FuncLit:
-			w.checkSpanPairs(x.Body) // closures are their own span scope
-			return false
-		case *ast.ExprStmt:
-			if w.isBeginCall(x.X) {
-				w.emit("spanpair", x.Pos(),
-					"Begin result discarded; the span id is the only handle to End it — this span stays open forever")
-			}
-		case *ast.AssignStmt:
-			if len(x.Lhs) != 1 || len(x.Rhs) != 1 || !w.isBeginCall(x.Rhs[0]) {
-				return true
-			}
-			id, ok := x.Lhs[0].(*ast.Ident)
-			if !ok {
-				return true // a field keeps the id alive across functions
-			}
-			if id.Name == "_" {
-				w.emit("spanpair", x.Pos(),
-					"Begin result discarded; the span id is the only handle to End it — this span stays open forever")
-				return true
-			}
-			spans = append(spans, spanVar{name: id.Name, pos: x.Pos()})
-		}
-		return true
-	})
-	for _, sp := range spans {
-		hasEnd, escapes := w.classifySpanUses(body, sp.name)
-		if escapes {
-			continue
-		}
-		if !hasEnd {
-			w.emit("spanpair", sp.pos,
-				fmt.Sprintf("span %q is begun but never passed to End; it stays open on every path", sp.name))
-			continue
-		}
-		w.walkSpanEnds(body.List, sp.name, sp.pos, false)
-	}
-}
-
-// classifySpanUses scans a body for uses of the span variable v: whether it
-// ever reaches an End call, and whether it escapes the function (returned,
-// passed to a non-End call, re-assigned, stored in a composite literal or
-// sent on a channel).
-func (w *walker) classifySpanUses(body *ast.BlockStmt, v string) (hasEnd, escapes bool) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			sel, ok := x.Fun.(*ast.SelectorExpr)
-			if ok && sel.Sel.Name == "End" {
-				for _, a := range x.Args {
-					if containsIdent(a, v) {
-						hasEnd = true
-					}
-				}
-				return false
-			}
-			if ok && sel.Sel.Name == "Begin" {
-				return true
-			}
-			for _, a := range x.Args {
-				if containsIdent(a, v) {
-					escapes = true
-				}
-			}
-		case *ast.ReturnStmt:
-			for _, r := range x.Results {
-				if containsIdent(r, v) {
-					escapes = true
-				}
-			}
-		case *ast.AssignStmt:
-			for _, r := range x.Rhs {
-				if !w.isBeginCall(r) && containsIdent(r, v) {
-					escapes = true
-				}
-			}
-		case *ast.CompositeLit:
-			for _, el := range x.Elts {
-				if containsIdent(el, v) {
-					escapes = true
-				}
-			}
-		case *ast.SendStmt:
-			if containsIdent(x.Value, v) {
-				escapes = true
-			}
-		}
-		return true
-	})
-	return hasEnd, escapes
-}
-
-// walkSpanEnds walks statements in execution order tracking whether End(v)
-// has happened, flagging returns after the Begin (position beginPos) that a
-// still-open span would leak through. Branch handling is optimistic: after a
-// conditional that contains an End anywhere, the span counts as closed.
-func (w *walker) walkSpanEnds(stmts []ast.Stmt, v string, beginPos token.Pos, ended bool) bool {
-	for _, stmt := range stmts {
-		switch s := stmt.(type) {
-		case *ast.ReturnStmt:
-			if !ended && s.Pos() > beginPos {
-				w.emit("spanpair", s.Pos(),
-					fmt.Sprintf("return before End for span %q; this path leaves the span open — End it first or `defer ...End(%s, ...)`", v, v))
-			}
-		case *ast.IfStmt:
-			w.walkSpanEnds(s.Body.List, v, beginPos, ended)
-			switch e := s.Else.(type) {
-			case *ast.BlockStmt:
-				w.walkSpanEnds(e.List, v, beginPos, ended)
-			case *ast.IfStmt:
-				w.walkSpanEnds([]ast.Stmt{e}, v, beginPos, ended)
-			}
-			if containsEndOf(s, v) {
-				ended = true
-			}
-		case *ast.BlockStmt:
-			ended = w.walkSpanEnds(s.List, v, beginPos, ended)
-		case *ast.ForStmt:
-			w.walkSpanEnds(s.Body.List, v, beginPos, ended)
-			if containsEndOf(s, v) {
-				ended = true
-			}
-		case *ast.RangeStmt:
-			w.walkSpanEnds(s.Body.List, v, beginPos, ended)
-			if containsEndOf(s, v) {
-				ended = true
-			}
-		case *ast.SwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					w.walkSpanEnds(cc.Body, v, beginPos, ended)
-				}
-			}
-			if containsEndOf(s, v) {
-				ended = true
-			}
-		case *ast.TypeSwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					w.walkSpanEnds(cc.Body, v, beginPos, ended)
-				}
-			}
-			if containsEndOf(s, v) {
-				ended = true
-			}
-		case *ast.SelectStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CommClause); ok {
-					w.walkSpanEnds(cc.Body, v, beginPos, ended)
-				}
-			}
-			if containsEndOf(s, v) {
-				ended = true
-			}
-		default:
-			if containsEndOf(stmt, v) {
-				ended = true
-			}
-		}
-	}
-	return ended
+	return newPass(fset, name, files, info)
 }

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// closeNames are the method names whose discarded error result closecheck
+// flags: the calls that surface buffered-write and durability failures.
+var closeNames = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+// checkClose enforces the closecheck rule in two layers. The syntactic layer
+// flags statement-position Close/Sync/Flush method calls whose error result
+// vanishes (the original rule). The dataflow layer flags an error captured
+// from such a call into a variable that no path ever reads — `err :=
+// f.Close()` followed by nothing is the same swallowed durability failure
+// wearing an assignment as a disguise. Reaching definitions (keyed by
+// types.Object, so shadowing is handled) decide whether any use sees the def.
+func checkClose(p *Pass) {
+	// layer 1: statement-position discards
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				p.checkDiscardedClose(f, x.X, false)
+			case *ast.DeferStmt:
+				p.checkDiscardedClose(f, x.Call, true)
+			}
+			return true
+		})
+	}
+	// layer 2: captured-but-never-read error defs
+	p.EachFuncDecl(func(f *ast.File, fd *ast.FuncDecl) {
+		p.checkDeadCloseDefs(f, fd.Body, namedResults(fd.Type))
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				p.checkDeadCloseDefs(f, fl.Body, namedResults(fl.Type))
+			}
+			return true
+		})
+	})
+}
+
+// checkDiscardedClose flags a statement-position Close/Sync/Flush method call
+// whose error result vanishes. It needs resolved types — a call the lenient
+// type-checker cannot type (a method on an un-compiled cross-package value)
+// is skipped rather than guessed at, so the rule never false-positives on
+// error-free signatures.
+func (p *Pass) checkDiscardedClose(f *ast.File, e ast.Expr, deferred bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !closeNames[sel.Sel.Name] {
+		return
+	}
+	if deferred && sel.Sel.Name == "Close" {
+		return // `defer f.Close()` is the idiomatic read-path cleanup
+	}
+	if p.SelPkg(f, sel) != "" {
+		return // pkg.Close(...) is a function, not a method on a handle
+	}
+	if !callReturnsError(p, call) {
+		return
+	}
+	verb := "dropped"
+	if deferred {
+		verb = "deferred and dropped"
+	}
+	p.Report("closecheck", call.Pos(),
+		fmt.Sprintf("%s error %s; on a written file this IS the write error of record — check it, or discard explicitly with `_ = x.%s()`",
+			sel.Sel.Name, verb, sel.Sel.Name))
+}
+
+// callReturnsError reports whether call has the single resolved result type
+// `error`.
+func callReturnsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.IsVoid() || tv.Type == nil {
+		return false
+	}
+	return tv.Type.String() == "error"
+}
+
+// namedResults collects the named result parameters of a function type; a
+// naked `return` reads them implicitly, invisibly to the dataflow scan.
+func namedResults(ft *ast.FuncType) map[string]bool {
+	out := map[string]bool{}
+	if ft == nil || ft.Results == nil {
+		return out
+	}
+	for _, fld := range ft.Results.List {
+		for _, n := range fld.Names {
+			out[n.Name] = true
+		}
+	}
+	return out
+}
+
+// checkDeadCloseDefs flags `err := x.Close()` (or Sync/Flush) definitions
+// that reach no use on any path: the error was captured for show and
+// swallowed in substance.
+func (p *Pass) checkDeadCloseDefs(f *ast.File, body *ast.BlockStmt, results map[string]bool) {
+	r := p.Reach(body)
+	for _, d := range r.Defs {
+		as, ok := d.Stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		if as.Lhs[0] != ast.Expr(d.Ident) {
+			continue
+		}
+		if results[d.Ident.Name] {
+			continue // writes to a named result feed the naked return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !closeNames[sel.Sel.Name] || p.SelPkg(f, sel) != "" {
+			continue
+		}
+		if !callReturnsError(p, call) {
+			continue
+		}
+		if inFuncLit(body, as) {
+			continue // a nested closure's defs are that closure's pass
+		}
+		if !r.DefReachesUse(d) {
+			p.Report("closecheck", as.Pos(),
+				fmt.Sprintf("%s error captured in %q but never read on any path; check it, or discard explicitly with `_ = x.%s()`",
+					sel.Sel.Name, d.Ident.Name, sel.Sel.Name))
+		}
+	}
+}
+
+// inFuncLit reports whether stmt sits inside a function literal nested in
+// body (such statements appear in the outer CFG only via the closure's
+// declaration statement and belong to the closure's own analysis).
+func inFuncLit(body *ast.BlockStmt, stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			if containsStmt(fl.Body, stmt) {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func containsStmt(root ast.Node, stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == ast.Node(stmt) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

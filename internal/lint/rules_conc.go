@@ -1,0 +1,407 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// --- goroutineleak ----------------------------------------------------------
+
+// checkGoroutineLeak flags `go` statements whose body (a literal, or the
+// package-local function/method being started — resolved through the fact
+// store) loops forever with no exit path at all: no return, no break that
+// targets the loop, no panic. Such a goroutine cannot be shut down by any
+// done channel, context or WaitGroup, because nothing in it ever looks.
+func checkGoroutineLeak(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fn := gs.Call.Fun.(type) {
+			case *ast.FuncLit:
+				if loop := findInfiniteNoExitLoop(fn.Body); loop != nil {
+					p.Report("goroutineleak", loop.Pos(),
+						"goroutine loops forever with no exit path (no return, break or panic); nothing can ever stop it — add a done/ctx arm to the loop")
+				}
+			case *ast.Ident:
+				if ff := p.Facts.Funcs[fn.Name]; ff != nil && ff.InfiniteLoopNoExit {
+					p.Report("goroutineleak", gs.Pos(),
+						fmt.Sprintf("go %s starts a loop with no exit path (no return, break or panic); nothing can ever stop it — add a done/ctx arm to the loop", fn.Name))
+				}
+			case *ast.SelectorExpr:
+				if p.SelPkg(f, fn) != "" {
+					return true // cross-package call: no facts, stay silent
+				}
+				if ff := p.methodFact(fn); ff != nil && ff.InfiniteLoopNoExit {
+					p.Report("goroutineleak", gs.Pos(),
+						fmt.Sprintf("go %s starts a loop with no exit path (no return, break or panic); nothing can ever stop it — add a done/ctx arm to the loop", fn.Sel.Name))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// methodFact resolves x.Sel to a same-package method's facts: by the
+// receiver's resolved type name when the checker typed it, else by unique
+// method name across the fact store.
+func (p *Pass) methodFact(sel *ast.SelectorExpr) *FuncFact {
+	if t := p.TypeOf(sel.X); t != nil {
+		if name := namedTypeName(t); name != "" {
+			return p.Facts.Funcs[funcKey(name, sel.Sel.Name)]
+		}
+	}
+	var match *FuncFact
+	for _, ff := range p.Facts.Funcs {
+		if ff.RecvType != "" && ff.Decl.Name.Name == sel.Sel.Name {
+			if match != nil {
+				return nil // ambiguous
+			}
+			match = ff
+		}
+	}
+	return match
+}
+
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// --- ctxpropagate -----------------------------------------------------------
+
+// ctxFreeHTTP are the net/http package helpers with no context parameter.
+var ctxFreeHTTP = map[string]bool{"Get": true, "Head": true, "Post": true, "PostForm": true}
+
+// checkCtxPropagate flags context-free blocking inside functions that were
+// handed a context.Context: time.Sleep, the bare net/http helpers, and bare
+// channel receives outside any select. Each one ignores the cancellation the
+// caller threaded through — the crawl's watchdog fires and the worker keeps
+// sitting there.
+func checkCtxPropagate(p *Pass) {
+	p.EachFuncDecl(func(f *ast.File, fd *ast.FuncDecl) {
+		if !hasCtxParam(p, f, fd.Type) {
+			return
+		}
+		// collect the comm operations of every select: those receives are the
+		// legal shape (they can sit next to a ctx.Done() arm)
+		inSelect := map[ast.Node]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					ast.Inspect(cc.Comm, func(m ast.Node) bool {
+						if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+							inSelect[u] = true
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch pkg := p.SelPkg(f, sel); {
+				case pkg == "time" && sel.Sel.Name == "Sleep":
+					p.Report("ctxpropagate", x.Pos(),
+						"time.Sleep ignores the ctx this function was handed; use a timer in a select with ctx.Done()")
+				case pkg == "net/http" && ctxFreeHTTP[sel.Sel.Name]:
+					p.Report("ctxpropagate", x.Pos(),
+						"http."+sel.Sel.Name+" cannot carry the ctx this function was handed; build the request with http.NewRequestWithContext")
+				}
+			case *ast.UnaryExpr:
+				if x.Op != token.ARROW || inSelect[x] {
+					return true
+				}
+				if isDoneRecv(x.X) {
+					return true // <-ctx.Done() IS the cancellation wait
+				}
+				p.Report("ctxpropagate", x.Pos(),
+					"bare channel receive blocks forever if the sender dies; select on it together with ctx.Done()")
+			}
+			return true
+		})
+	})
+}
+
+// hasCtxParam reports whether the function signature takes a context.Context.
+func hasCtxParam(p *Pass, f *ast.File, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, fld := range ft.Params.List {
+		t := fld.Type
+		if sel, ok := t.(*ast.SelectorExpr); ok &&
+			p.SelPkg(f, sel) == "context" && sel.Sel.Name == "Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneRecv reports whether e is a X.Done() call — the ctx cancellation
+// channel itself.
+func isDoneRecv(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}
+
+// --- lockedmutate ------------------------------------------------------------
+
+// checkLockedMutate consumes the mutex-struct facts: a field written both
+// while holding the struct's mutex and without it has no consistent locking
+// discipline — the unlocked site races every locked one.
+func checkLockedMutate(p *Pass) {
+	names := make([]string, 0, len(p.Facts.MutexStructs))
+	for n := range p.Facts.MutexStructs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sf := p.Facts.MutexStructs[n]
+		fields := make([]string, 0, len(sf.Writes))
+		for fld := range sf.Writes {
+			fields = append(fields, fld)
+		}
+		sort.Strings(fields)
+		for _, fld := range fields {
+			sites := sf.Writes[fld]
+			lockedIn := map[string]bool{}
+			anyLocked := false
+			for _, s := range sites {
+				if s.Locked {
+					anyLocked = true
+					lockedIn[s.Method] = true
+				}
+			}
+			if !anyLocked {
+				continue // never guarded: a different (or no) discipline
+			}
+			var methods []string
+			for m := range lockedIn {
+				methods = append(methods, m)
+			}
+			sort.Strings(methods)
+			for _, s := range sites {
+				if !s.Locked {
+					p.Report("lockedmutate", s.Pos,
+						fmt.Sprintf("%s.%s is written here without the lock, but %s writes it under %s.%s; every write site must agree on the locking discipline",
+							sf.Name, fld, strings.Join(methods, "/"), sf.Name, sf.MutexFields[0]))
+				}
+			}
+		}
+	}
+}
+
+// --- errswallow --------------------------------------------------------------
+
+// checkErrSwallow flags silently vanishing errors: a statement-position call
+// whose sole result is an error (outside closecheck's Close/Sync/Flush
+// domain, which has its own rule), and a `_ =` / `_, _ =` discard of an
+// error-returning call with no adjacent comment saying why the failure does
+// not matter. An invisible failure is a false measurement — the exact
+// gullibility the paper's crawls suffered.
+func checkErrSwallow(p *Pass) {
+	for _, f := range p.Files {
+		commentLines := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				commentLines[p.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := x.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if closeNames[sel.Sel.Name] {
+						return true // closecheck's domain
+					}
+					if isInfallibleWriter(p, sel.X) {
+						return true // strings.Builder/bytes.Buffer never fail
+					}
+				}
+				if callReturnsError(p, call) {
+					p.Report("errswallow", x.Pos(),
+						"error result dropped at statement position; check it, or discard visibly with `_ =` and a comment saying why")
+				}
+			case *ast.AssignStmt:
+				if x.Tok != token.ASSIGN || !allBlank(x.Lhs) || len(x.Rhs) != 1 {
+					return true
+				}
+				call, ok := x.Rhs[0].(*ast.CallExpr)
+				if !ok || !callYieldsError(p, call) {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && closeNames[sel.Sel.Name] {
+					return true // `_ = f.Close()` is closecheck's legal visible discard
+				}
+				line := p.Fset.Position(x.Pos()).Line
+				if commentLines[line] || commentLines[line-1] {
+					return true // visibly discarded with a written reason
+				}
+				p.Report("errswallow", x.Pos(),
+					"`_ =` discards an error with no justifying comment; write down why this failure does not matter (same line or the line above)")
+			}
+			return true
+		})
+	}
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// isInfallibleWriter reports whether e is a strings.Builder or bytes.Buffer
+// value: their Write* methods return an error by interface contract but are
+// documented never to fail, the canonical errcheck exclusion.
+func isInfallibleWriter(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// callYieldsError reports whether call's result is an error or a tuple whose
+// last element is an error. Untyped calls (lenient-importer gaps) are skipped.
+func callYieldsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Type.String() == "error" {
+		return true
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok && tup.Len() > 0 {
+		return tup.At(tup.Len()-1).Type().String() == "error"
+	}
+	return false
+}
+
+// --- chanbuffer --------------------------------------------------------------
+
+// checkChanBuffer flags blocking channel sends inside a loop and outside any
+// select. Once the consumer stops draining, the producer parks on the send
+// forever — fan-out paths (the SSE event hub) must use a select with a
+// default or cancel arm, or a buffered channel sized to the burst.
+func checkChanBuffer(p *Pass) {
+	p.EachFuncDecl(func(_ *ast.File, fd *ast.FuncDecl) {
+		checkSendsIn(p, fd.Body.List, false)
+	})
+}
+
+// checkSendsIn walks statements tracking loop depth; a SendStmt met with
+// inLoop set is a finding. Select comm clauses are the legal shape and their
+// comm send is skipped (a send in a clause *body* is still checked). Closures
+// restart with their own loop context.
+func checkSendsIn(p *Pass, stmts []ast.Stmt, inLoop bool) {
+	var walk func(s ast.Stmt, inLoop bool)
+	walkExprs := func(s ast.Stmt) {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				checkSendsIn(p, fl.Body.List, false)
+				return false
+			}
+			return true
+		})
+	}
+	walk = func(s ast.Stmt, inLoop bool) {
+		switch x := s.(type) {
+		case *ast.SendStmt:
+			if inLoop {
+				p.Report("chanbuffer", x.Pos(),
+					"blocking send inside a loop and outside any select; a stopped consumer stalls this producer forever — use a select with a default/cancel arm")
+			}
+		case *ast.BlockStmt:
+			for _, st := range x.List {
+				walk(st, inLoop)
+			}
+		case *ast.IfStmt:
+			if x.Init != nil {
+				walk(x.Init, inLoop)
+			}
+			walk(x.Body, inLoop)
+			if x.Else != nil {
+				walk(x.Else, inLoop)
+			}
+		case *ast.ForStmt:
+			walk(x.Body, true)
+		case *ast.RangeStmt:
+			walk(x.Body, true)
+		case *ast.SwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, st := range cc.Body {
+						walk(st, inLoop)
+					}
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, st := range cc.Body {
+						walk(st, inLoop)
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					// cc.Comm (the send/recv itself) is select-guarded: skip it
+					for _, st := range cc.Body {
+						walk(st, inLoop)
+					}
+				}
+			}
+		case *ast.LabeledStmt:
+			walk(x.Stmt, inLoop)
+		case *ast.GoStmt, *ast.DeferStmt, *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.ReturnStmt:
+			walkExprs(s)
+		}
+	}
+	for _, s := range stmts {
+		walk(s, inLoop)
+	}
+}

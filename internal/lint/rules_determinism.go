@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// randAllowed are the math/rand package-level names usable from crawl code:
+// the seeded-constructor surface and the types needed to hold one.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "Rand": true, "Source": true}
+
+// wallclockBanned are the time package functions that read the wall clock.
+var wallclockBanned = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// checkWallclock flags wall-clock reads: crawl paths run on virtual time.
+func checkWallclock(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if p.SelPkg(f, sel) == "time" && wallclockBanned[sel.Sel.Name] {
+				p.Report("wallclock", sel.Pos(),
+					"time."+sel.Sel.Name+" reads the wall clock; crawl paths run on virtual time (pass timestamps in, or keep wall-clock I/O in cmd/)")
+			}
+			return true
+		})
+	}
+}
+
+// checkRandseed flags unseeded math/rand usage.
+func checkRandseed(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if p.SelPkg(f, sel) == "math/rand" && !randAllowed[sel.Sel.Name] {
+				p.Report("randseed", sel.Pos(),
+					"rand."+sel.Sel.Name+" draws from the unseeded global source; use rand.New(rand.NewSource(seed)) (the Interp.Reseed pattern)")
+			}
+			return true
+		})
+	}
+}
+
+// canonicalFunc reports whether a function name marks a canonical encoder —
+// the scope of the maprange rule.
+func canonicalFunc(name string) bool {
+	return name == "Digest" || name == "Snapshot" ||
+		strings.HasPrefix(name, "canonical") || strings.HasPrefix(name, "Canonical") ||
+		strings.HasPrefix(name, "Marshal")
+}
+
+// serializerNames are call names that emit bytes in source order; a map
+// range whose body calls one is producing nondeterministic output.
+var serializerNames = map[string]bool{
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// checkMaprange flags range statements over map-typed expressions inside a
+// canonical encoder when the loop body serialises during iteration. Ranging
+// a map to collect keys (append, assignment) stays legal — sorting happens
+// after.
+func checkMaprange(p *Pass) {
+	p.EachFuncDecl(func(f *ast.File, fd *ast.FuncDecl) {
+		if !canonicalFunc(fd.Name.Name) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if mapRangeSerialises(p, rs) {
+				p.Report("maprange", rs.Pos(),
+					fmt.Sprintf("%s serialises while ranging a map; iteration order is random — collect and sort keys first", fd.Name.Name))
+			}
+			return true
+		})
+	})
+}
+
+// mapRangeSerialises reports whether rs ranges a map and its body calls a
+// serialiser. Shared with the maprange autofix.
+func mapRangeSerialises(p *Pass, rs *ast.RangeStmt) bool {
+	t := p.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	serialises := false
+	ast.Inspect(rs.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if serializerNames[fn.Sel.Name] {
+				serialises = true
+			}
+		case *ast.Ident:
+			if serializerNames[fn.Name] {
+				serialises = true
+			}
+		}
+		return true
+	})
+	return serialises
+}
+
+// checkServerTimeouts flags untimed HTTP servers: the bare ListenAndServe
+// helpers and http.Server composite literals missing timeout fields.
+// ReadTimeout and ReadHeaderTimeout both bound the read side, so either
+// satisfies it; WriteTimeout and IdleTimeout are each their own obligation.
+func checkServerTimeouts(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if p.SelPkg(f, x) == "net/http" && (x.Sel.Name == "ListenAndServe" || x.Sel.Name == "ListenAndServeTLS") {
+					p.Report("servertimeouts", x.Pos(),
+						"http."+x.Sel.Name+" serves with no timeouts at all; build an http.Server with Read/Write/Idle timeouts and call its Serve")
+				}
+			case *ast.CompositeLit:
+				sel, ok := x.Type.(*ast.SelectorExpr)
+				if !ok || p.SelPkg(f, sel) != "net/http" || sel.Sel.Name != "Server" {
+					return true
+				}
+				set := map[string]bool{}
+				for _, el := range x.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							set[id.Name] = true
+						}
+					}
+				}
+				var missing []string
+				if !set["ReadTimeout"] && !set["ReadHeaderTimeout"] {
+					missing = append(missing, "ReadTimeout (or ReadHeaderTimeout)")
+				}
+				if !set["WriteTimeout"] {
+					missing = append(missing, "WriteTimeout")
+				}
+				if !set["IdleTimeout"] {
+					missing = append(missing, "IdleTimeout")
+				}
+				if len(missing) > 0 {
+					p.Report("servertimeouts", x.Pos(),
+						"http.Server without "+strings.Join(missing, ", ")+": one slow or stalled client holds its connection (and the goroutine serving it) forever")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// --- telemetry-nilsafe: guard-tracking walk ---------------------------------
+
+// checkTelemetryNilsafe flags label-building Event calls on paths not behind
+// an Enabled() guard. Both guard shapes used in the repo count:
+// `if tel.Enabled() { ... }` and the early return `if !tel.Enabled() { return }`.
+func checkTelemetryNilsafe(p *Pass) {
+	if p.Pkg == "telemetry" {
+		return // the package implementing the probe API is exempt
+	}
+	w := &guardWalker{pass: p}
+	p.EachFuncDecl(func(_ *ast.File, fd *ast.FuncDecl) {
+		w.walkBlock(fd.Body, false)
+	})
+}
+
+type guardWalker struct{ pass *Pass }
+
+// isEnabledCall reports whether e contains a call to a method named Enabled.
+func isEnabledCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Enabled" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// terminates reports whether a block's final statement unconditionally
+// leaves the enclosing scope (return/continue/break/panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walkBlock walks a block tracking whether execution is behind an .Enabled()
+// guard, flagging label-building Event calls on unguarded paths.
+func (w *guardWalker) walkBlock(b *ast.BlockStmt, guarded bool) {
+	g := guarded
+	for _, stmt := range b.List {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			condGuards := isEnabledCall(s.Cond)
+			negGuard := false
+			if u, ok := s.Cond.(*ast.UnaryExpr); ok && u.Op == token.NOT && isEnabledCall(u.X) {
+				negGuard = true
+			}
+			w.checkExpr(s.Cond, g)
+			w.walkBlock(s.Body, g || (condGuards && !negGuard))
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					w.walkBlock(e, g)
+				case *ast.IfStmt:
+					w.walkBlock(&ast.BlockStmt{List: []ast.Stmt{e}}, g)
+				}
+			}
+			if negGuard && terminates(s.Body) {
+				g = true // everything after `if !x.Enabled() { return }` is guarded
+			}
+		case *ast.BlockStmt:
+			w.walkBlock(s, g)
+		case *ast.ForStmt:
+			w.walkBlock(s.Body, g)
+		case *ast.RangeStmt:
+			w.walkBlock(s.Body, g)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.walkBlock(&ast.BlockStmt{List: cc.Body}, g)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.walkBlock(&ast.BlockStmt{List: cc.Body}, g)
+				}
+			}
+		default:
+			w.checkStmt(stmt, g)
+		}
+	}
+}
+
+// checkStmt inspects one non-control statement for unguarded label-building
+// Event calls. Function literals restart the structured guard-tracking walk
+// on their own body (inheriting the current guard state: Enabled() is
+// constant for a process, so a closure built on a guarded path only runs
+// guarded) — a flat Inspect through them would miss their internal if-guards
+// and false-positive on guarded events inside closures.
+func (w *guardWalker) checkStmt(stmt ast.Stmt, guarded bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.walkBlock(fl.Body, guarded)
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			w.checkOneEvent(e, guarded)
+		}
+		return true
+	})
+}
+
+func (w *guardWalker) checkExpr(e ast.Expr, guarded bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.walkBlock(fl.Body, guarded)
+			return false
+		}
+		if x, ok := n.(ast.Expr); ok {
+			w.checkOneEvent(x, guarded)
+		}
+		return true
+	})
+}
+
+// checkOneEvent flags a call of the shape X.Event(..., L(...)) when not
+// behind an Enabled() guard.
+func (w *guardWalker) checkOneEvent(e ast.Expr, guarded bool) {
+	if guarded {
+		return
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Event" {
+		return
+	}
+	buildsLabels := false
+	for _, a := range call.Args {
+		if ac, ok := a.(*ast.CallExpr); ok {
+			switch fn := ac.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fn.Sel.Name == "L" {
+					buildsLabels = true
+				}
+			case *ast.Ident:
+				if fn.Name == "L" {
+					buildsLabels = true
+				}
+			}
+		}
+	}
+	if buildsLabels {
+		w.pass.Report("telemetry-nilsafe", call.Pos(),
+			"Event call builds labels outside an Enabled() guard; labels allocate even when telemetry is off — wrap in `if tel.Enabled() { ... }`")
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// suppressionRule is the pseudo-rule reported when a lint:ignore comment
+// carries no justification. It is always active — a silent suppression of a
+// reliability invariant is itself a reliability problem.
+const suppressionRule = "suppression"
+
+// ignoreDirective is one parsed `//lint:ignore <rule[,rule]> <justification>`
+// comment.
+type ignoreDirective struct {
+	file          string
+	line          int // the comment's own line; it covers this line and the next
+	rules         map[string]bool
+	justification string
+	pos           token.Pos
+}
+
+const ignorePrefix = "lint:ignore"
+
+// parseIgnores extracts lint:ignore directives from a file's comments.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			fields := strings.Fields(rest)
+			d := ignoreDirective{
+				file:  fset.Position(c.Pos()).Filename,
+				line:  fset.Position(c.Pos()).Line,
+				rules: map[string]bool{},
+				pos:   c.Pos(),
+			}
+			if len(fields) > 0 {
+				for _, r := range strings.Split(fields[0], ",") {
+					if r != "" {
+						d.rules[r] = true
+					}
+				}
+				d.justification = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// applySuppressions filters findings covered by lint:ignore directives and
+// reports directives without a justification. A directive covers findings of
+// its listed rules on its own line (trailing comment) or the line below.
+func applySuppressions(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+	var dirs []ignoreDirective
+	for _, f := range files {
+		dirs = append(dirs, parseIgnores(fset, f)...)
+	}
+	if len(dirs) == 0 {
+		return findings
+	}
+	covered := func(f Finding) *ignoreDirective {
+		for i := range dirs {
+			d := &dirs[i]
+			if d.file != f.Pos.Filename || !d.rules[f.Rule] {
+				continue
+			}
+			if f.Pos.Line == d.line || f.Pos.Line == d.line+1 {
+				return d
+			}
+		}
+		return nil
+	}
+	var out []Finding
+	flagged := map[token.Pos]bool{}
+	for _, f := range findings {
+		d := covered(f)
+		if d == nil {
+			out = append(out, f)
+			continue
+		}
+		if d.justification == "" && !flagged[d.pos] {
+			flagged[d.pos] = true
+			out = append(out, Finding{
+				Rule: suppressionRule,
+				Pos:  fset.Position(d.pos),
+				Msg:  "lint:ignore without a justification; write down why this invariant does not apply here",
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

@@ -1,0 +1,23 @@
+package bad
+
+// FanOutBad violates chanbuffer: one stalled subscriber parks this loop — and
+// every subscriber queued behind it — forever.
+func FanOutBad(subs []chan int, v int) {
+	for _, ch := range subs {
+		ch <- v // want chanbuffer
+	}
+}
+
+// FanOutGood is the legal shape: drop rather than stall; the counter makes
+// the loss observable.
+func FanOutGood(subs []chan int, v int) int {
+	dropped := 0
+	for _, ch := range subs {
+		select {
+		case ch <- v:
+		default:
+			dropped++
+		}
+	}
+	return dropped
+}

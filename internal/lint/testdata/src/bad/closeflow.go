@@ -1,0 +1,27 @@
+package bad
+
+// SealSilently violates closecheck's dataflow layer: the Close error is
+// captured for show and read by nothing on any path.
+func SealSilently(f wfile) {
+	err := f.Close() // want closecheck
+	work()
+}
+
+// SealOverwritten violates closecheck's dataflow layer through a kill: the
+// captured error is overwritten before anything reads it, so the Close def
+// reaches no use even though the variable itself does.
+func SealOverwritten(f wfile) error {
+	err := f.Close() // want closecheck
+	err = nil
+	return err
+}
+
+// SealCondChecked is the legal shape the cond-expression case exercises: the
+// only read of err is in the if condition, which lives on the CFG block, not
+// in its statement list.
+func SealCondChecked(f wfile) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}

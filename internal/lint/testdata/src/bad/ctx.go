@@ -1,0 +1,30 @@
+package bad
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// WaitBad violates ctxpropagate three ways while holding a ctx: a sleep, a
+// context-free HTTP helper, and a bare channel receive. Each one ignores the
+// cancellation the caller threaded through.
+func WaitBad(ctx context.Context, ch chan int) int {
+	time.Sleep(time.Millisecond)                  // want ctxpropagate
+	resp, err := http.Get("http://example.test/") // want ctxpropagate
+	if err == nil {
+		_ = resp.Body.Close() // read-path close; visibly discarded
+	}
+	return <-ch // want ctxpropagate
+}
+
+// WaitGood is the legal shape: every block point sits in a select next to
+// ctx.Done().
+func WaitGood(ctx context.Context, ch chan int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-ch:
+		return v
+	}
+}

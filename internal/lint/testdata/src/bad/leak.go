@@ -1,0 +1,45 @@
+package bad
+
+// work stands in for a unit of goroutine labour.
+func work() {}
+
+// spin loops forever with no exit path at all: no return, no break, no
+// panic. Started as a goroutine it can never be shut down.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// LeakNamed violates goroutineleak through the fact store: the loop lives in
+// another function of the package.
+func LeakNamed() {
+	go spin() // want goroutineleak
+}
+
+// LeakLiteral violates goroutineleak with a literal body. The unlabelled
+// break targets the select, not the loop — the classic non-exit.
+func LeakLiteral(ch chan int) {
+	go func() {
+		for { // want goroutineleak
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// DrainGuarded is the legal shape: the loop has a reachable return.
+func DrainGuarded(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}

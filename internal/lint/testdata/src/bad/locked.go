@@ -1,0 +1,40 @@
+package bad
+
+import "sync"
+
+// counter guards hits with mu — except in Reset, which forgets the lock.
+type counter struct {
+	mu   sync.Mutex
+	hits int
+}
+
+func (c *counter) Add() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// Reset violates lockedmutate: the same field Add writes under c.mu is
+// written here with no lock at all.
+func (c *counter) Reset() {
+	c.hits = 0 // want lockedmutate
+}
+
+// guarded is the good twin: every write site agrees on the discipline,
+// including through a deferred unlock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) Add() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func (g *guarded) Reset() {
+	g.mu.Lock()
+	g.n = 0
+	g.mu.Unlock()
+}

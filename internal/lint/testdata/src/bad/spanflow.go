@@ -1,0 +1,21 @@
+package bad
+
+// VisitFallsOff violates spanpair's path check: the End sits behind an
+// unrelated condition, and the false arm falls off the function end with the
+// span still open. The old optimistic walker missed this shape; the CFG
+// does not.
+func VisitFallsOff(f flight, ok bool) {
+	span := f.Begin("visit", 0, 0) // want spanpair
+	if ok {
+		f.End(span, "visit", 1)
+	}
+}
+
+// VisitGuardFallOff is the legal guard idiom: on the fall-through edge the
+// guard proves span == 0, so there is provably nothing to End.
+func VisitGuardFallOff(f flight) {
+	span := f.Begin("visit", 0, 0)
+	if span != 0 {
+		f.End(span, "visit", 1)
+	}
+}

@@ -1,0 +1,29 @@
+package bad
+
+import "errors"
+
+func mightFail() error { return errors.New("boom") }
+
+// DropStmt violates errswallow: the error result vanishes at statement
+// position.
+func DropStmt() {
+	mightFail() // want errswallow
+}
+
+// DropBlank violates errswallow: the discard below carries no justifying
+// comment on its own line or the line above it.
+func DropBlank() {
+	x := 0
+	_ = x
+	_ = mightFail()
+}
+
+// CheckOrJustify is the legal shape: checked, or visibly discarded with a
+// written reason adjacent to the discard.
+func CheckOrJustify() error {
+	if err := mightFail(); err != nil {
+		return err
+	}
+	_ = mightFail() // fixture: this failure is expected and harmless
+	return nil
+}

@@ -1,0 +1,32 @@
+// Package fixable is the wpmlint -fix fixture: every violation in it has a
+// mechanical repair, so a -fix run must leave the package lint-clean.
+package fixable
+
+import (
+	"fmt"
+	"strings"
+)
+
+type flight struct{}
+
+func (flight) Begin(name string, parent int64, at float64) int64 { return 1 }
+func (flight) End(span int64, name string, at float64)           {}
+
+// Digest serialises while ranging a string-keyed map: -fix rewrites it to
+// collect the keys, sort them, and range the sorted slice.
+func Digest(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d;", k, v)
+	}
+	return b.String()
+}
+
+// Visit begins a span and never Ends it: -fix inserts the deferred End right
+// after the Begin.
+func Visit(f flight) {
+	span := f.Begin("visit", 0, 0)
+	work()
+}
+
+func work() {}

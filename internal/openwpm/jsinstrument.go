@@ -299,7 +299,12 @@ func (ji *JSInstrument) OnWindow(b *browser.Browser, st *Storage, d *jsdom.DOM, 
 		ji.topErr = install()
 		return
 	}
-	b.ScheduleTask(d, func() { install() })
+	b.ScheduleTask(d, func() {
+		// subframe injection is best-effort by design: the page record's
+		// InstrumentInstalled bit tracks the top document only, and a failed
+		// subframe realm yields no probe events rather than a broken page
+		_ = install()
+	})
 }
 
 // setWpmCfg provisions the transient __wpmCfg global the injected script

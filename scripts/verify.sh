@@ -1,7 +1,9 @@
 #!/bin/sh
-# Full verification: vet, build, then the test suite with the race detector.
-# The experiments package crawls large synthetic webs, so the race run takes
-# a few minutes; plain `go test ./...` is the quick tier-1 check.
+# Full verification: vet, build, wpmlint (baselined + self-tests + SARIF
+# smoke), then the whole repo under the race detector. The experiments
+# package's full synthetic-web crawls are skipped in -short mode; set
+# WPM_FULL_RACE=1 to run the long tier. Plain `go test ./...` stays the quick
+# tier-1 check.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,14 +21,53 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== wpmlint ./internal/... (determinism invariants)"
-go run ./cmd/wpmlint ./internal/...
+# wpmlint's exit codes are a contract (0 clean / 1 findings / 2 usage /
+# 3 load failure) and `go run` collapses any nonzero child exit to 1, so
+# build the real binary for the self-tests
+wpmlint_bin=$(mktemp -d)/wpmlint
+go build -o "$wpmlint_bin" ./cmd/wpmlint
 
-echo "== wpmlint self-test (fixture must fail)"
-if go run ./cmd/wpmlint ./internal/lint/testdata/src/bad >/dev/null 2>&1; then
-    echo "wpmlint passed the deliberate-violation fixture; the linter is broken" >&2
+echo "== wpmlint ./internal/... (reliability invariants, baselined)"
+"$wpmlint_bin" -baseline .wpmlint-baseline.json ./internal/...
+
+echo "== wpmlint self-test (fixture must fail with exit 1: findings, not a load error)"
+set +e
+"$wpmlint_bin" ./internal/lint/testdata/src/bad >/dev/null 2>&1
+fixture_status=$?
+set -e
+if [ "$fixture_status" != 1 ]; then
+    echo "wpmlint exited $fixture_status on the deliberate-violation fixture (want 1); the linter is broken" >&2
     exit 1
 fi
+
+echo "== wpmlint load-failure self-test (missing package must exit 3, never look clean)"
+set +e
+"$wpmlint_bin" ./internal/no-such-package >/dev/null 2>&1
+load_status=$?
+set -e
+if [ "$load_status" != 3 ]; then
+    echo "wpmlint exited $load_status on a missing package (want 3)" >&2
+    exit 1
+fi
+
+echo "== wpmlint SARIF smoke (fixture output must match the committed golden schema)"
+set +e
+# run from the package dir: the golden (written by the go test) carries
+# package-relative artifact URIs
+(cd internal/lint && "$wpmlint_bin" -format sarif testdata/src/bad) >/tmp/wpmlint-smoke.sarif 2>/dev/null
+sarif_status=$?
+set -e
+if [ "$sarif_status" != 1 ]; then
+    echo "wpmlint -format sarif exited $sarif_status on the fixture (want 1)" >&2
+    exit 1
+fi
+if ! diff -u internal/lint/testdata/golden/bad.sarif /tmp/wpmlint-smoke.sarif; then
+    echo "SARIF output drifted from the committed golden (regenerate with: go test ./internal/lint -run TestGoldenOutput -update)" >&2
+    exit 1
+fi
+grep -q '"version": "2.1.0"' /tmp/wpmlint-smoke.sarif
+grep -q '"\$schema": "https://json.schemastore.org/sarif-2.1.0.json"' /tmp/wpmlint-smoke.sarif
+rm -f /tmp/wpmlint-smoke.sarif
 
 echo "== go test -race ./internal/analysis/... ./internal/lint/... ./internal/telemetry/... ./internal/sched/..."
 go test -race ./internal/analysis/... ./internal/lint/... ./internal/telemetry/... ./internal/sched/...
@@ -66,8 +107,16 @@ go run ./cmd/wpmtrace diff "$tracedir/record.trace" "$tracedir/replay.trace" || 
 }
 rm -rf "$tracedir"
 
-echo "== go test -race ./..."
-go test -race ./...
+# the whole repo under the race detector; experiments' full synthetic-web
+# crawls are gated behind -short (several minutes each under race) — set
+# WPM_FULL_RACE=1 for the long tier
+if [ "${WPM_FULL_RACE:-0}" = 1 ]; then
+    echo "== go test -race ./... (full, WPM_FULL_RACE=1)"
+    go test -race ./...
+else
+    echo "== go test -race -short ./..."
+    go test -race -short ./...
+fi
 
 echo "== go vet ./internal/telemetry"
 go vet ./internal/telemetry
