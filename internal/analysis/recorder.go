@@ -1,14 +1,23 @@
 package analysis
 
-import "gullible/internal/openwpm"
+import (
+	"gullible/internal/minjs"
+	"gullible/internal/openwpm"
+	"gullible/internal/scriptcache"
+)
 
 // TamperRecorder adapts Analyze onto openwpm.TamperFunc: wire it as
 // CrawlConfig.Tamper and every first-seen script body is statically analysed
 // at storage time, its findings persisted next to the content table (and,
 // when a crawl is recorded, into the bundle). Parsed scripts with no
 // findings store nothing — the tamper table holds signal, not bulk.
+//
+// Analysis goes through the shared script cache: if the browser already
+// parsed this body for execution, the cached AST is reused instead of
+// parsing a second time, and the resulting report is memoised per content
+// hash so repeated bodies across sites are analysed once per process.
 func TamperRecorder(content string) (openwpm.TamperRecord, bool) {
-	rep := Analyze(content)
+	rep := SharedAnalyze(content)
 	if len(rep.Findings) == 0 {
 		return openwpm.TamperRecord{}, false
 	}
@@ -17,4 +26,14 @@ func TamperRecorder(content string) (openwpm.TamperRecord, bool) {
 		rec.Findings[i] = openwpm.TamperFinding{Rule: f.Rule, Line: f.Line, Detail: f.Detail}
 	}
 	return rec, true
+}
+
+// SharedAnalyze is Analyze backed by the process-wide script cache: the AST
+// comes from the execution path's parse when available, and each unique
+// script body is analysed at most once per process.
+func SharedAnalyze(src string) TamperReport {
+	rep := scriptcache.Shared.Tamper(src, func(s string, prog *minjs.Program) any {
+		return AnalyzeProgram(s, prog)
+	})
+	return rep.(TamperReport)
 }

@@ -91,14 +91,26 @@ func (r TamperReport) Rules() []string {
 // parser rejects (or that panic it) fall back to the legacy regex pass, so
 // Analyze never fails: it degrades to exactly the pre-AST behaviour.
 func Analyze(src string) (rep TamperReport) {
+	return AnalyzeProgram(src, nil)
+}
+
+// AnalyzeProgram is Analyze given an already-parsed program for src, sparing
+// the second parse when the execution path has one cached. The report is
+// identical either way: findings carry only rule, line and detail, none of
+// which depend on the script name the program was parsed under. prog may be
+// nil, in which case src is parsed here.
+func AnalyzeProgram(src string, prog *minjs.Program) (rep TamperReport) {
 	defer func() {
 		if recover() != nil {
 			rep = fallbackReport(src)
 		}
 	}()
-	prog, err := minjs.Parse(src, "static-analysis")
-	if err != nil {
-		return fallbackReport(src)
+	if prog == nil {
+		var err error
+		prog, err = minjs.Parse(src, "static-analysis")
+		if err != nil {
+			return fallbackReport(src)
+		}
 	}
 	w := newTamperWalker(prog)
 	return TamperReport{Parsed: true, Findings: w.run()}

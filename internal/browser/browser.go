@@ -11,12 +11,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"gullible/internal/httpsim"
 	"gullible/internal/jsdom"
 	"gullible/internal/minjs"
+	"gullible/internal/scriptcache"
 	"gullible/internal/telemetry"
 )
 
@@ -480,38 +479,16 @@ func (b *Browser) loadHTML(d *jsdom.DOM, body string) {
 	}
 }
 
-// progCache reuses parsed ASTs across visits for identical script content —
-// third-party scripts repeat across thousands of sites. ASTs are read-only
-// at evaluation time, so sharing is safe.
-var progCache sync.Map // uint64 → *minjs.Program
-var progCacheSize atomic.Int64
-
-// progCacheCap bounds memory: hot third-party scripts are cached early;
-// long-tail per-site scripts parse fresh once the cap is reached.
-const progCacheCap = 20000
-
+// cachedParse reuses parsed, bytecode-compiled programs across visits for
+// identical script content — third-party scripts repeat across thousands of
+// sites, and compiled code is read-only at evaluation time, so sharing is
+// safe. The shared cache is content-addressed by full SHA-256 with
+// source-equality verification on hit (a truncated fingerprint here once
+// served one script's AST for another's body) and bounded by LRU eviction.
 func cachedParse(source, url string) (*minjs.Program, error) {
-	h := uint64(1469598103934665603)
-	for i := 0; i < len(source); i++ {
-		h = (h ^ uint64(source[i])) * 1099511628211
-	}
 	// the URL is part of the key: stack traces and call attribution carry
 	// the program name, which must match the fetched URL
-	for i := 0; i < len(url); i++ {
-		h = (h ^ uint64(url[i])) * 1099511628211
-	}
-	if p, ok := progCache.Load(h); ok {
-		return p.(*minjs.Program), nil
-	}
-	prog, err := minjs.Parse(source, url)
-	if err != nil {
-		return nil, err
-	}
-	if progCacheSize.Load() < progCacheCap {
-		progCacheSize.Add(1)
-		progCache.Store(h, prog)
-	}
-	return prog, nil
+	return scriptcache.Shared.Program(source, url)
 }
 
 // runScript executes a script payload in realm d, recording it and capturing

@@ -617,6 +617,10 @@ func (d *Daemon) executeCrawl(j *Job) ([]byte, ArtifactMeta, bool, error) {
 		}
 		opts.Resume = cp
 		opts.Workers = cp.Workers
+		// a shard whose log lost even its metadata record restarts from
+		// scratch; the factory reopens a fresh durable log for it (recovered
+		// shards keep their continuation backends and never hit the factory)
+		opts.Backend = sched.WALBackend(sched.ShardDirFS(jdir), cp.Workers, true, meta, walOpts)
 	} else {
 		eff := sched.Workers(d.cfg.CrawlWorkers, len(spec.Sites))
 		opts.Backend = sched.WALBackend(sched.ShardDirFS(jdir), eff, true, meta, walOpts)

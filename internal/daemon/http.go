@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gullible/internal/scriptcache"
 	"gullible/internal/telemetry"
 )
 
@@ -313,6 +314,16 @@ func runtimeGauges(snap *telemetry.Snapshot) {
 		snap.Counters = map[string]int64{}
 	}
 	snap.Counters["runtime_gc_cycles_total"] = int64(ms.NumGC)
+	// The shared script cache is process-wide state like the runtime stats:
+	// scrape-time observability only, never part of crawl telemetry (bundle
+	// replay identity must not depend on what other jobs warmed).
+	sc := scriptcache.Shared.Snapshot()
+	snap.Gauges["script_cache_entries"] = int64(sc.Entries)
+	snap.Gauges["script_cache_programs"] = int64(sc.Programs)
+	snap.Counters["script_cache_hits_total"] = sc.Hits
+	snap.Counters["script_cache_misses_total"] = sc.Misses
+	snap.Counters["script_cache_collisions_total"] = sc.Collisions
+	snap.Counters["script_cache_evictions_total"] = sc.Evictions
 }
 
 // handleMetrics renders the telemetry snapshot plus runtime gauges. The

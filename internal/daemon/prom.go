@@ -31,6 +31,12 @@ var metricHelp = map[string]string{
 	"http_responses_total":          "HTTP responses by route and status code.",
 	"http_inflight_requests":        "HTTP requests currently being served, by route.",
 	"http_request_seconds":          "HTTP request latency by route (wall clock).",
+	"script_cache_entries":          "Unique script bodies in the shared parse/compile cache.",
+	"script_cache_programs":         "Compiled program variants (per content × URL) held by the cache.",
+	"script_cache_hits_total":       "Script cache hits (program or analysis served without parsing).",
+	"script_cache_misses_total":     "Script cache misses (script parsed, compiled or analysed).",
+	"script_cache_collisions_total": "Hash-key collisions detected by source verification (served uncached).",
+	"script_cache_evictions_total":  "Content entries evicted LRU at capacity.",
 	"runtime_goroutines":            "Goroutines at scrape time.",
 	"runtime_heap_alloc_bytes":      "Heap bytes allocated and still in use at scrape time.",
 	"runtime_gc_cycles_total":       "Completed GC cycles at scrape time.",

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"gullible/internal/websim"
+)
+
+// TestVMScanMatchesInterpreter is the engine-parity acceptance scenario: a
+// crawl executed on the bytecode VM must produce byte-identical artifacts —
+// storage digest, report, JS call tally — to the same crawl on the
+// tree-walking interpreter. Any VM semantics drift (values, errors, step
+// accounting, property-access hook order) surfaces here as a digest delta.
+func TestVMScanMatchesInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthetic-web crawl; skipped in -short mode")
+	}
+	const n = 40
+	scan := func(disableVM bool) *ScanResult {
+		world := websim.New(websim.Options{Seed: 13, NumSites: n})
+		r, err := RunScanObserved(world, n, ScanOptions{
+			MaxSubpages: 1, Workers: 1, DisableVM: disableVM,
+		}, nil)
+		if err != nil {
+			t.Fatalf("RunScanObserved(disableVM=%v): %v", disableVM, err)
+		}
+		return r
+	}
+
+	interp := scan(true)
+	vm := scan(false)
+
+	if a, b := interp.Storage.Digest(), vm.Storage.Digest(); a != b {
+		t.Fatalf("storage digest diverges: interpreter %s, vm %s", a, b)
+	}
+	if a, b := len(interp.Storage.JSCalls), len(vm.Storage.JSCalls); a != b {
+		t.Fatalf("JS call tally diverges: interpreter %d, vm %d", a, b)
+	}
+	if interp.Report.String() != vm.Report.String() {
+		t.Fatalf("report diverges:\ninterpreter:\n%s\nvm:\n%s", interp.Report, vm.Report)
+	}
+}

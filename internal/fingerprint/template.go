@@ -95,7 +95,7 @@ func Signature(v minjs.Value) string {
 		if v.IsFunction() {
 			src := o.FunctionSource()
 			if minjs.IsNativeSource(src) {
-				return "function:native:" + o.NativeName
+				return "function:native:" + o.NativeFnName()
 			}
 			if len(src) > 60 {
 				src = src[:60]

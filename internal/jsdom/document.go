@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"gullible/internal/minjs"
+	"gullible/internal/scriptcache"
 )
 
 func (d *DOM) buildPrototypes() {
@@ -296,7 +297,7 @@ func (d *DOM) attachElement(el *minjs.Object) {
 			url := d.absURL(src.ToString())
 			status, _, body, err := d.Host.Fetch(url, scriptType, "GET", "")
 			if err == nil && status == 200 {
-				prog, perr := minjs.Parse(body, url)
+				prog, perr := scriptcache.Shared.Program(body, url)
 				if perr == nil {
 					d.It.RunProgram(prog)
 				}
@@ -305,7 +306,7 @@ func (d *DOM) attachElement(el *minjs.Object) {
 		}
 		text, _ := d.It.GetMember(minjs.ObjectValue(el), "textContent")
 		if !text.IsNullish() && text.ToString() != "" {
-			prog, perr := minjs.Parse(text.ToString(), d.URL+"#inline")
+			prog, perr := scriptcache.Shared.Program(text.ToString(), d.URL+"#inline")
 			if perr == nil {
 				d.It.RunProgram(prog)
 			}

@@ -17,6 +17,10 @@ type Program struct {
 	Body   []Node
 	Source string // full source text, used by Function.prototype.toString
 	Name   string // script URL or name, used in stack traces
+
+	// compiled is the bytecode produced by Compile; nil until compiled.
+	// RunProgram executes it instead of tree-walking unless Interp.NoVM.
+	compiled *Code
 }
 
 // VarDecl declares one or more variables ("var", "let" or "const").
@@ -173,6 +177,10 @@ type FuncLit struct {
 	// UsesArguments is precomputed at parse time; the arguments array is
 	// only materialised for functions that reference it.
 	UsesArguments bool
+
+	// compiled is set by Compile on every function literal of a compiled
+	// program; CallFunction dispatches to the bytecode VM when present.
+	compiled *Code
 }
 
 // usesArguments reports whether a subtree references the `arguments`

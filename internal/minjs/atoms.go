@@ -1,0 +1,25 @@
+package minjs
+
+// atomTable interns strings during compilation. Every identifier, property
+// name and declared variable in a compiled program becomes an index into one
+// shared atoms slice, so the VM dispatches on int32 and the runtime compares
+// interned strings (Go's string equality short-circuits on identical data
+// pointers, which interning makes the common case).
+type atomTable struct {
+	idx   map[string]int32
+	atoms []string
+}
+
+func newAtomTable() *atomTable {
+	return &atomTable{idx: make(map[string]int32, 64)}
+}
+
+func (t *atomTable) intern(s string) int32 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int32(len(t.atoms))
+	t.atoms = append(t.atoms, s)
+	t.idx[s] = i
+	return i
+}

@@ -24,7 +24,7 @@ func installBuiltins(it *Interp) {
 	// Function.prototype
 	fp := it.Protos.Function
 	fp.SetNonEnum("toString", ObjectValue(it.NewNative("toString", func(it *Interp, this Value, args []Value) (Value, error) {
-		if !this.IsObject() || (this.Obj.Fn == nil && this.Obj.Native == nil) {
+		if !this.IsFunction() {
 			return Undefined(), it.ThrowError("TypeError", "Function.prototype.toString requires a function")
 		}
 		return String(this.Obj.FunctionSource()), nil
@@ -811,7 +811,7 @@ func jsonStringify(v Value, seen map[*Object]bool) (string, error) {
 	}
 	seen[o] = true
 	defer delete(seen, o)
-	if o.Fn != nil || o.Native != nil {
+	if o.fnd != nil && (o.fnd.Fn != nil || o.fnd.Native != nil) {
 		return "null", nil
 	}
 	var b strings.Builder

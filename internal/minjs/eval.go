@@ -338,9 +338,9 @@ func (it *Interp) evalExpr(n Node, sc *Scope, frame *Frame) (Value, error) {
 	case *FuncLit:
 		fn := it.makeFunction(x, sc)
 		if x.Arrow {
-			fn.ThisVal = it.curThis
-			if fn.ThisVal.Kind == KindUndefined {
-				fn.ThisVal = ObjectValue(it.Global)
+			fn.fnd.ThisVal = it.curThis
+			if fn.fnd.ThisVal.Kind == KindUndefined {
+				fn.fnd.ThisVal = ObjectValue(it.Global)
 			}
 		}
 		return ObjectValue(fn), nil
@@ -468,9 +468,78 @@ func (it *Interp) lookupIdent(name string, sc *Scope) (Value, error) {
 		if p := cur.slot(name); p != nil {
 			return *p, nil
 		}
-		if cur.global != nil && cur.global.Has(name) {
-			return it.GetMember(ObjectValue(cur.global), name)
+		if cur.global != nil {
+			// resolve on the global object directly — one chain walk instead
+			// of Has + GetMember doing the same walk twice. The global is a
+			// plain host object (never an Array or function), so the member
+			// fast paths and intrinsics in getMember cannot apply.
+			if owner, prop := cur.global.FindProperty(name); prop != nil {
+				if it.PropAccessHook != nil {
+					it.PropAccessHook(owner, name)
+				}
+				if prop.Accessor {
+					if prop.Get == nil {
+						return Undefined(), nil
+					}
+					return it.CallFunction(prop.Get, ObjectValue(cur.global), nil)
+				}
+				return prop.Value, nil
+			}
 		}
+	}
+	return Undefined(), it.ThrowError("ReferenceError", "%s is not defined", name)
+}
+
+// lookupIdentVM is lookupIdent with an inline-cache slot for the global leg
+// of the resolution. The scope-chain walk always runs — a local binding can
+// shadow a global between executions of the same instruction — but when it
+// comes up empty, a cache hit keyed on the global object's identity and
+// mutation version skips the global's property-chain walk. Observable
+// behaviour (PropAccessHook owner, accessor invocation, values, errors) is
+// identical to lookupIdent; accessor properties are never cached.
+func (it *Interp) lookupIdentVM(name string, sc *Scope, e *icEntry) (Value, error) {
+	for cur := sc; cur != nil; cur = cur.parent {
+		if p := cur.slot(name); p != nil {
+			return *p, nil
+		}
+		g := cur.global
+		if g == nil {
+			continue
+		}
+		if e != nil && e.prop != nil && e.recv == g && e.recvVer == g.ver {
+			owner := g
+			ok := e.proto == nil
+			if !ok && g.Proto == e.proto && e.protoVer == e.proto.ver {
+				owner, ok = e.proto, true
+			}
+			if ok {
+				if it.PropAccessHook != nil {
+					it.PropAccessHook(owner, name)
+				}
+				return e.prop.Value, nil
+			}
+		}
+		owner, prop := g.FindProperty(name)
+		if prop == nil {
+			continue
+		}
+		if it.PropAccessHook != nil {
+			it.PropAccessHook(owner, name)
+		}
+		if prop.Accessor {
+			if prop.Get == nil {
+				return Undefined(), nil
+			}
+			return it.CallFunction(prop.Get, ObjectValue(g), nil)
+		}
+		if e != nil {
+			if owner == g {
+				*e = icEntry{recv: g, recvVer: g.ver, prop: prop}
+			} else if owner == g.Proto {
+				*e = icEntry{recv: g, recvVer: g.ver, proto: owner, protoVer: owner.ver, prop: prop}
+			}
+		}
+		return prop.Value, nil
 	}
 	return Undefined(), it.ThrowError("ReferenceError", "%s is not defined", name)
 }
@@ -630,9 +699,53 @@ func toInt32(f float64) int32 {
 // throw "allocation size overflow" similarly).
 const maxStringLen = 4 << 20
 
+// Binary operator codes: the compiler resolves operator strings once so the
+// VM dispatches on integers; applyBinary resolves per call for the
+// tree-walker. Both funnel into binop — one implementation, two front ends.
+const (
+	binAdd = iota
+	binSub
+	binMul
+	binDiv
+	binMod
+	binLooseEq
+	binLooseNe
+	binStrictEq
+	binStrictNe
+	binLt
+	binGt
+	binLe
+	binGe
+	binBitAnd
+	binBitOr
+	binBitXor
+	binShl
+	binShr
+	binUshr
+	binIn
+	binInstanceof
+)
+
+var binOpCodes = map[string]int32{
+	"+": binAdd, "-": binSub, "*": binMul, "/": binDiv, "%": binMod,
+	"==": binLooseEq, "!=": binLooseNe, "===": binStrictEq, "!==": binStrictNe,
+	"<": binLt, ">": binGt, "<=": binLe, ">=": binGe,
+	"&": binBitAnd, "|": binBitOr, "^": binBitXor,
+	"<<": binShl, ">>": binShr, ">>>": binUshr,
+	"in": binIn, "instanceof": binInstanceof,
+}
+
 func (it *Interp) applyBinary(op string, l, r Value) (Value, error) {
-	switch op {
-	case "+":
+	code, ok := binOpCodes[op]
+	if !ok {
+		return Undefined(), it.ThrowError("InternalError", "unknown binary op %q", op)
+	}
+	return it.binop(code, l, r)
+}
+
+func (it *Interp) binop(code int32, l, r Value) (Value, error) {
+	switch code {
+	case binAdd:
 		if l.Kind == KindString || r.Kind == KindString ||
 			(l.Kind == KindObject && !l.IsNullish()) || (r.Kind == KindObject && !r.IsNullish()) {
 			ls, rs := l.ToString(), r.ToString()
@@ -645,64 +758,64 @@ func (it *Interp) applyBinary(op string, l, r Value) (Value, error) {
 			return String(ls + rs), nil
 		}
 		return Number(l.ToNumber() + r.ToNumber()), nil
-	case "-":
+	case binSub:
 		return Number(l.ToNumber() - r.ToNumber()), nil
-	case "*":
+	case binMul:
 		return Number(l.ToNumber() * r.ToNumber()), nil
-	case "/":
+	case binDiv:
 		return Number(l.ToNumber() / r.ToNumber()), nil
-	case "%":
+	case binMod:
 		return Number(math.Mod(l.ToNumber(), r.ToNumber())), nil
-	case "==":
+	case binLooseEq:
 		return Boolean(LooseEquals(l, r)), nil
-	case "!=":
+	case binLooseNe:
 		return Boolean(!LooseEquals(l, r)), nil
-	case "===":
+	case binStrictEq:
 		return Boolean(StrictEquals(l, r)), nil
-	case "!==":
+	case binStrictNe:
 		return Boolean(!StrictEquals(l, r)), nil
-	case "<", ">", "<=", ">=":
+	case binLt, binGt, binLe, binGe:
 		if l.Kind == KindString && r.Kind == KindString {
-			switch op {
-			case "<":
+			switch code {
+			case binLt:
 				return Boolean(l.Str < r.Str), nil
-			case ">":
+			case binGt:
 				return Boolean(l.Str > r.Str), nil
-			case "<=":
+			case binLe:
 				return Boolean(l.Str <= r.Str), nil
 			default:
 				return Boolean(l.Str >= r.Str), nil
 			}
 		}
 		ln, rn := l.ToNumber(), r.ToNumber()
-		switch op {
-		case "<":
+		switch code {
+		case binLt:
 			return Boolean(ln < rn), nil
-		case ">":
+		case binGt:
 			return Boolean(ln > rn), nil
-		case "<=":
+		case binLe:
 			return Boolean(ln <= rn), nil
 		default:
 			return Boolean(ln >= rn), nil
 		}
-	case "&":
+	case binBitAnd:
 		return Number(float64(toInt32(l.ToNumber()) & toInt32(r.ToNumber()))), nil
-	case "|":
+	case binBitOr:
 		return Number(float64(toInt32(l.ToNumber()) | toInt32(r.ToNumber()))), nil
-	case "^":
+	case binBitXor:
 		return Number(float64(toInt32(l.ToNumber()) ^ toInt32(r.ToNumber()))), nil
-	case "<<":
+	case binShl:
 		return Number(float64(toInt32(l.ToNumber()) << (uint32(toInt32(r.ToNumber())) & 31))), nil
-	case ">>":
+	case binShr:
 		return Number(float64(toInt32(l.ToNumber()) >> (uint32(toInt32(r.ToNumber())) & 31))), nil
-	case ">>>":
+	case binUshr:
 		return Number(float64(uint32(toInt32(l.ToNumber())) >> (uint32(toInt32(r.ToNumber())) & 31))), nil
-	case "in":
+	case binIn:
 		if !r.IsObject() {
 			return Undefined(), it.ThrowError("TypeError", "'in' requires an object")
 		}
 		return Boolean(r.Obj.Has(l.ToString())), nil
-	case "instanceof":
+	case binInstanceof:
 		if !r.IsFunction() {
 			return Undefined(), it.ThrowError("TypeError", "right-hand side of instanceof is not callable")
 		}
@@ -720,7 +833,7 @@ func (it *Interp) applyBinary(op string, l, r Value) (Value, error) {
 		}
 		return Boolean(false), nil
 	}
-	return Undefined(), it.ThrowError("InternalError", "unknown binary op %q", op)
+	return Undefined(), it.ThrowError("InternalError", "unknown binary op code %d", code)
 }
 
 // assignTo stores val into an Ident or MemberExpr target.
@@ -755,46 +868,60 @@ func (it *Interp) assignTo(target Node, val Value, sc *Scope, frame *Frame) erro
 // GetMember reads property key from a value, invoking getters and firing the
 // property-access hook. It implements string/number primitive boxing.
 func (it *Interp) GetMember(objV Value, key string) (Value, error) {
+	v, _, _, err := it.getMember(objV, key)
+	return v, err
+}
+
+// getMember is GetMember plus the (owner, prop) pair when the read resolved
+// through an ordinary property slot; the VM fills its inline caches from it.
+// owner/prop are nil for primitive boxing, array fast paths, intrinsics and
+// misses.
+func (it *Interp) getMember(objV Value, key string) (Value, *Object, *Property, error) {
 	switch objV.Kind {
 	case KindUndefined, KindNull:
-		return Undefined(), it.ThrowError("TypeError", "cannot read property %q of %s", key, objV.TypeOf())
+		err := it.ThrowError("TypeError", "cannot read property %q of %s", key, objV.TypeOf())
+		return Undefined(), nil, nil, err
 	case KindString:
-		return it.stringMember(objV.Str, key)
+		v, err := it.stringMember(objV.Str, key)
+		return v, nil, nil, err
 	case KindNumber:
-		return it.protoMember(it.Protos.Number, objV, key)
+		v, err := it.protoMember(it.Protos.Number, objV, key)
+		return v, nil, nil, err
 	case KindBool:
-		return it.protoMember(it.Protos.Boolean, objV, key)
+		v, err := it.protoMember(it.Protos.Boolean, objV, key)
+		return v, nil, nil, err
 	}
 	o := objV.Obj
 	// array fast paths
 	if o.Class == "Array" {
 		if key == "length" {
-			return Int(len(o.Elems)), nil
+			return Int(len(o.Elems)), nil, nil, nil
 		}
 		if idx, ok := arrayIndex(key); ok {
 			if idx < len(o.Elems) {
-				return o.Elems[idx], nil
+				return o.Elems[idx], nil, nil, nil
 			}
-			return Undefined(), nil
+			return Undefined(), nil, nil, nil
 		}
 	}
 	owner, prop := o.FindProperty(key)
 	if prop == nil {
 		if v, ok := it.functionIntrinsic(o, key); ok {
-			return v, nil
+			return v, nil, nil, nil
 		}
-		return Undefined(), nil
+		return Undefined(), nil, nil, nil
 	}
 	if it.PropAccessHook != nil {
 		it.PropAccessHook(owner, key)
 	}
 	if prop.Accessor {
 		if prop.Get == nil {
-			return Undefined(), nil
+			return Undefined(), nil, nil, nil
 		}
-		return it.CallFunction(prop.Get, objV, nil)
+		v, err := it.CallFunction(prop.Get, objV, nil)
+		return v, nil, nil, err
 	}
-	return prop.Value, nil
+	return prop.Value, owner, prop, nil
 }
 
 // protoMember resolves key on a primitive's prototype, binding `this`.

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"strings"
+	"strconv"
 )
 
 // Frame is one entry of the JS call stack, used for Error stack traces.
@@ -19,7 +19,30 @@ func (f Frame) String() string {
 	if name == "" {
 		name = "<anonymous>"
 	}
-	return fmt.Sprintf("%s@%s:%d", name, f.Script, f.Line)
+	// hand-rolled concat: stacks are captured on every instrumented access,
+	// and fmt.Sprintf was measurably hot there
+	var b []byte
+	b = append(b, name...)
+	b = append(b, '@')
+	b = append(b, f.Script...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(f.Line), 10)
+	return string(b)
+}
+
+// appendTo writes the frame's rendering plus a newline into b without the
+// intermediate string; keep in sync with String.
+func (f *Frame) appendTo(b []byte) []byte {
+	name := f.FnName
+	if name == "" {
+		name = "<anonymous>"
+	}
+	b = append(b, name...)
+	b = append(b, '@')
+	b = append(b, f.Script...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(f.Line), 10)
+	return append(b, '\n')
 }
 
 // Throw carries a thrown JS value as a Go error.
@@ -76,6 +99,10 @@ type Interp struct {
 	// ConsoleLog collects console.log/warn/error output.
 	ConsoleLog []string
 
+	// NoVM forces tree-walking evaluation even for compiled programs —
+	// the `-vm=off` escape hatch used by the differential parity tests.
+	NoVM bool
+
 	stack    []Frame // preallocated; never reallocates (maxDepth bound)
 	steps    int64
 	allocs   int64 // objects allocated through the it.New* helpers
@@ -83,6 +110,27 @@ type Interp struct {
 	root     *Scope
 	curThis  Value      // dynamic `this` for the running script function
 	rng      *rand.Rand // backs Math.random; deterministic per realm
+
+	// Bytecode VM state: a shared value stack (vs/vsp) and a free list of
+	// pooled scopes for closure-free functions and blocks.
+	vs        []Value
+	vsp       int
+	scopeFree []*Scope
+	lastVal   Value // toplevel completion value register
+
+	// Per-realm inline-cache tables, keyed by compiled Code. Codes are
+	// shared across visits via the script cache, so realm-local object
+	// pointers live here rather than on the Code itself.
+	icTabs     map[*Code][]icEntry
+	lastICCode *Code
+	lastICs    []icEntry
+
+	// Bump arenas for realm-lifetime allocations (see arena.go).
+	objArena   []Object
+	fnArena    []funcObject
+	scopeArena []Scope
+	nameArena  []string
+	valArena   []Value
 }
 
 // Reseed re-seeds the realm's Math.random generator.
@@ -97,6 +145,7 @@ type Scope struct {
 	vals   []Value
 	parent *Scope
 	global *Object // set only on the root scope
+	pooled bool    // VM-pooled scope; recycled on exit (never captured)
 }
 
 // NewScope returns a child scope of parent.
@@ -158,14 +207,21 @@ func New() *Interp {
 // NewObjectP returns a plain object using this realm's Object.prototype.
 func (it *Interp) NewObjectP() *Object {
 	it.allocs++
-	return NewObject(it.Protos.Object)
+	o := it.allocObject()
+	o.Class = "Object"
+	o.Proto = it.Protos.Object
+	return o
 }
 
 // NewArrayP returns an array using this realm's Array.prototype.
 func (it *Interp) NewArrayP(elems ...Value) *Object {
 	it.allocs++
-	a := NewArray(it.Protos.Object, elems...)
+	a := it.allocObject()
+	a.Class = "Array"
 	a.Proto = it.Protos.Array
+	if len(elems) > 0 {
+		a.Elems = append(it.carveVals(len(elems)), elems...)
+	}
 	return a
 }
 
@@ -173,19 +229,22 @@ func (it *Interp) NewArrayP(elems ...Value) *Object {
 // reports `[native code]` under the given name.
 func (it *Interp) NewNative(name string, fn NativeFunc) *Object {
 	it.allocs++
-	o := NewObject(it.Protos.Function)
-	o.Class = "Function"
-	o.Native = fn
-	o.NativeName = name
-	return o
+	f := it.allocFunc()
+	f.Class = "Function"
+	f.Proto = it.Protos.Function
+	f.fd.Native = fn
+	f.fd.NativeName = name
+	f.fnd = &f.fd
+	return &f.Object
 }
 
 // NewError constructs an Error object of the given name with a captured
 // stack trace.
 func (it *Interp) NewError(name, msg string) *Object {
 	it.allocs++
-	e := NewObject(it.Protos.Error)
+	e := it.allocObject()
 	e.Class = "Error"
+	e.Proto = it.Protos.Error
 	e.Set("name", String(name))
 	e.Set("message", String(msg))
 	e.Set("stack", String(it.CaptureStack()))
@@ -200,12 +259,11 @@ func (it *Interp) ThrowError(name, format string, args ...any) error {
 
 // CaptureStack renders the current call stack Firefox-style, innermost first.
 func (it *Interp) CaptureStack() string {
-	var b strings.Builder
+	b := make([]byte, 0, 64*len(it.stack))
 	for i := len(it.stack) - 1; i >= 0; i-- {
-		b.WriteString(it.stack[i].String())
-		b.WriteByte('\n')
+		b = it.stack[i].appendTo(b)
 	}
-	return b.String()
+	return string(b)
 }
 
 // StackDepth reports the current JS call-stack depth.
@@ -259,6 +317,9 @@ func (it *Interp) step() error {
 // RunProgram executes a parsed program at the top level of the realm.
 // It resets the step counter, so each program gets a fresh budget.
 func (it *Interp) RunProgram(prog *Program) (Value, error) {
+	if prog.compiled != nil && !it.NoVM {
+		return it.runProgramVM(prog)
+	}
 	it.steps = 0
 	frame := it.pushFrame(Frame{FnName: "<toplevel>", Script: prog.Name, Line: 1})
 	defer it.popFrame()
@@ -302,32 +363,35 @@ func (it *Interp) hoist(body []Node, sc *Scope) {
 // page instrumentation creates hundreds of wrappers per document.
 func (it *Interp) makeFunction(lit *FuncLit, sc *Scope) *Object {
 	it.allocs++
-	o := NewObject(it.Protos.Function)
-	o.Class = "Function"
-	o.Fn = lit
-	o.Env = sc
-	return o
+	f := it.allocFunc()
+	f.Class = "Function"
+	f.Proto = it.Protos.Function
+	f.fd.Fn = lit
+	f.fd.Env = sc
+	f.fnd = &f.fd
+	return &f.Object
 }
 
 // functionIntrinsic resolves the lazily materialised intrinsic properties of
 // function objects; called on the property-miss path only.
 func (it *Interp) functionIntrinsic(o *Object, key string) (Value, bool) {
-	if o.Fn == nil && o.Native == nil {
+	fd := o.fnd
+	if fd == nil || (fd.Fn == nil && fd.Native == nil) {
 		return Undefined(), false
 	}
 	switch key {
 	case "name":
-		if o.Native != nil {
-			return String(o.NativeName), true
+		if fd.Native != nil {
+			return String(fd.NativeName), true
 		}
-		return String(o.Fn.Name), true
+		return String(fd.Fn.Name), true
 	case "length":
-		if o.Fn != nil {
-			return Int(len(o.Fn.Params)), true
+		if fd.Fn != nil {
+			return Int(len(fd.Fn.Params)), true
 		}
 		return Int(0), true
 	case "prototype":
-		if o.Fn == nil || o.Fn.Arrow {
+		if fd.Fn == nil || fd.Fn.Arrow {
 			return Undefined(), false
 		}
 		protoObj := it.NewObjectP()
@@ -340,22 +404,29 @@ func (it *Interp) functionIntrinsic(o *Object, key string) (Value, bool) {
 
 // CallFunction invokes a callable object from the host or the evaluator.
 func (it *Interp) CallFunction(fn *Object, this Value, args []Value) (Value, error) {
-	if fn == nil || (fn.Fn == nil && fn.Native == nil) {
+	var fd *fnData
+	if fn != nil {
+		fd = fn.fnd
+	}
+	if fd == nil || (fd.Fn == nil && fd.Native == nil) {
 		return Undefined(), it.ThrowError("TypeError", "value is not a function")
 	}
 	if len(it.stack) >= it.maxDepth {
 		return Undefined(), it.ThrowError("InternalError", "too much recursion")
 	}
-	if fn.Native != nil {
-		it.pushFrame(Frame{FnName: fn.NativeName, Script: "native"})
+	if fd.Native != nil {
+		it.pushFrame(Frame{FnName: fd.NativeName, Script: "native"})
 		defer it.popFrame()
-		return fn.Native(it, this, args)
+		return fd.Native(it, this, args)
 	}
-	lit := fn.Fn
-	if lit.Arrow || fn.HasThisVal {
-		this = fn.ThisVal
+	lit := fd.Fn
+	if lit.Arrow || fd.HasThisVal {
+		this = fd.ThisVal
 	}
-	sc := newScopeCap(fn.Env, len(lit.Params)+2)
+	if lit.compiled != nil && !it.NoVM {
+		return it.callCompiled(lit, fn, this, args)
+	}
+	sc := it.newScopeIn(fd.Env, len(lit.Params)+2)
 	for i, p := range lit.Params {
 		if i < len(args) {
 			sc.declare(p, args[i])
@@ -385,7 +456,7 @@ func (it *Interp) CallFunction(fn *Object, this Value, args []Value) (Value, err
 
 // Construct implements `new fn(args)`.
 func (it *Interp) Construct(fn *Object, args []Value) (Value, error) {
-	if fn == nil || (fn.Fn == nil && fn.Native == nil) {
+	if fn == nil || fn.fnd == nil || (fn.fnd.Fn == nil && fn.fnd.Native == nil) {
 		return Undefined(), it.ThrowError("TypeError", "value is not a constructor")
 	}
 	proto := it.Protos.Object

@@ -8,7 +8,7 @@ import (
 )
 
 // Kind enumerates the runtime value categories.
-type Kind int
+type Kind uint8
 
 // Value kinds.
 const (
@@ -38,13 +38,15 @@ func (k Kind) String() string {
 	return "invalid"
 }
 
-// Value is a JavaScript value. The zero Value is undefined.
+// Value is a JavaScript value. The zero Value is undefined. Field order is
+// chosen for size: values are copied on every stack push, argument pass and
+// property read, so the struct packs to 40 bytes.
 type Value struct {
-	Kind Kind
 	Num  float64
 	Str  string
-	Bool bool
 	Obj  *Object
+	Kind Kind
+	Bool bool
 }
 
 // Undefined returns the undefined value.
@@ -84,7 +86,8 @@ func (v Value) IsObject() bool { return v.Kind == KindObject }
 
 // IsFunction reports whether v is a callable object.
 func (v Value) IsFunction() bool {
-	return v.Kind == KindObject && v.Obj != nil && (v.Obj.Fn != nil || v.Obj.Native != nil)
+	return v.Kind == KindObject && v.Obj != nil && v.Obj.fnd != nil &&
+		(v.Obj.fnd.Fn != nil || v.Obj.fnd.Native != nil)
 }
 
 // Truthy implements ToBoolean.
@@ -146,7 +149,7 @@ func (v Value) ToString() string {
 		if o == nil {
 			return "null"
 		}
-		if o.Fn != nil || o.Native != nil {
+		if o.fnd != nil && (o.fnd.Fn != nil || o.fnd.Native != nil) {
 			return o.FunctionSource()
 		}
 		switch o.Class {
@@ -284,10 +287,46 @@ type Object struct {
 	Class string // "Object", "Function", "Array", "Error", or a host class name
 	Proto *Object
 
+	// Own properties live in one of two representations. Small objects —
+	// the overwhelming majority of script-created ones — keep an
+	// insertion-ordered slice scanned linearly; past smallPropsMax the
+	// entries spill into the map + key-order slice. Lookup, definition
+	// order and *Property pointer stability are identical in both modes.
+	small []propEntry
 	props map[string]*Property
-	keys  []string // insertion order, for for…in
+	keys  []string // insertion order when props != nil, for for…in
 
-	// Function slots: exactly one of Fn/Native is set for callables.
+	// chunk block-allocates Property slots for Set/SetNonEnum/DefineAccessor
+	// so each new property does not cost its own heap object, and carries the
+	// backing array for the small entry slice so a 1-4 property object makes
+	// exactly one property-storage allocation. Pointers into a chunk stay
+	// valid forever (chunks are never reused or grown).
+	chunk     *propChunk
+	chunkUsed uint8
+
+	// fnd holds the callable-only slots, allocated once per function
+	// object; the far more numerous plain objects pay one nil pointer.
+	fnd *fnData
+
+	// Array element storage (Class == "Array").
+	Elems []Value
+
+	// Host is an opaque pointer back to the host-side entity (DOM node,
+	// browser, instrument channel, …).
+	Host any
+
+	// NotExtensible prevents adding new properties (Object.freeze-lite).
+	NotExtensible bool
+
+	// ver counts structural mutations (property add/replace/delete). The
+	// VM's inline caches validate against it; in-place data writes through
+	// Set's fast path keep the same *Property and do not bump it.
+	ver uint32
+}
+
+// fnData is the function half of an Object: exactly one of Fn/Native is set
+// for callables.
+type fnData struct {
 	Fn         *FuncLit // script function body
 	Env        *Scope   // closure environment for script functions
 	ThisVal    Value    // bound this for arrow functions / bind
@@ -299,16 +338,30 @@ type Object struct {
 	// instrumentation uses this to mimic exportFunction: the wrapper's
 	// source text is indistinguishable from the native function's.
 	ToStringOverride string
+}
 
-	// Array element storage (Class == "Array").
-	Elems []Value
+// funcObject co-allocates an Object with its fnData so creating a function
+// costs a single heap object; fnd points at the embedded fd.
+type funcObject struct {
+	Object
+	fd fnData
+}
 
-	// Host is an opaque pointer back to the host-side entity (DOM node,
-	// browser, instrument channel, …).
-	Host any
+// NativeFnName returns the name a native function reports ("" for script
+// functions and non-callables).
+func (o *Object) NativeFnName() string {
+	if o.fnd == nil {
+		return ""
+	}
+	return o.fnd.NativeName
+}
 
-	// NotExtensible prevents adding new properties (Object.freeze-lite).
-	NotExtensible bool
+// SetToStringOverride replaces the text Function.prototype.toString reports
+// for this callable.
+func (o *Object) SetToStringOverride(src string) {
+	if o.fnd != nil {
+		o.fnd.ToStringOverride = src
+	}
 }
 
 // NewObject returns a plain object with the given prototype. The property
@@ -325,20 +378,64 @@ func NewArray(proto *Object, elems ...Value) *Object {
 	return o
 }
 
+// propEntry is one own property in the small (linear) representation.
+type propEntry struct {
+	key string
+	p   *Property
+}
+
+// smallPropsMax is the linear-representation bound: at most this many own
+// properties are scanned sequentially before spilling to the map. Interned
+// atom keys make the string compares pointer-equality in the common case.
+const smallPropsMax = 8
+
+// propChunkLen is the Property block-allocation size.
+const propChunkLen = 4
+
+// propChunk is one block of property storage: slots for the Property values
+// handed out by newProp, plus the initial backing array for the small entry
+// slice, so defining the first few properties costs one allocation total.
+type propChunk struct {
+	slots   [propChunkLen]Property
+	entries [propChunkLen]propEntry
+}
+
+// newProp returns a Property slot from o's current chunk, amortising
+// propChunkLen property definitions per heap allocation.
+func (o *Object) newProp(p Property) *Property {
+	if o.chunk == nil || o.chunkUsed == propChunkLen {
+		o.chunk = new(propChunk)
+		o.chunkUsed = 0
+	}
+	sp := &o.chunk.slots[o.chunkUsed]
+	o.chunkUsed++
+	*sp = p
+	return sp
+}
+
 // lookupOwn returns the own property named key.
 func (o *Object) lookupOwn(key string) (*Property, bool) {
-	p, ok := o.props[key]
-	return p, ok
+	if o.props != nil {
+		p, ok := o.props[key]
+		return p, ok
+	}
+	for i := range o.small {
+		if o.small[i].key == key {
+			return o.small[i].p, true
+		}
+	}
+	return nil, false
 }
 
 // GetOwn returns the own property, or nil.
 func (o *Object) GetOwn(key string) *Property {
-	return o.props[key]
+	p, _ := o.lookupOwn(key)
+	return p
 }
 
 // HasOwn reports whether o itself holds key (including array indices/length).
 func (o *Object) HasOwn(key string) bool {
-	if _, ok := o.props[key]; ok {
+	if _, ok := o.lookupOwn(key); ok {
 		return true
 	}
 	if o.Class == "Array" {
@@ -374,22 +471,46 @@ func (o *Object) FindProperty(key string) (*Object, *Property) {
 }
 
 // Set defines or overwrites key as an enumerable, writable, configurable
-// data property.
+// data property. Overwriting an existing plain data property reuses its
+// slot in place — the hot path for repeated assignments.
 func (o *Object) Set(key string, v Value) {
-	o.DefineProperty(key, &Property{Value: v, Enumerable: true, Writable: true, Configurable: true})
+	if p, ok := o.lookupOwn(key); ok && !p.Accessor && p.Enumerable && p.Writable && p.Configurable {
+		p.Value = v
+		return
+	}
+	o.DefineProperty(key, o.newProp(Property{Value: v, Enumerable: true, Writable: true, Configurable: true}))
 }
 
 // SetNonEnum defines key as a non-enumerable data property; used for
 // built-ins and prototype methods.
 func (o *Object) SetNonEnum(key string, v Value) {
-	o.DefineProperty(key, &Property{Value: v, Enumerable: false, Writable: true, Configurable: true})
+	o.DefineProperty(key, o.newProp(Property{Value: v, Enumerable: false, Writable: true, Configurable: true}))
 }
 
 // DefineProperty installs prop under key, preserving insertion order for
 // first-time definitions.
 func (o *Object) DefineProperty(key string, prop *Property) {
+	o.ver++
 	if o.props == nil {
-		o.props = make(map[string]*Property, 4)
+		for i := range o.small {
+			if o.small[i].key == key {
+				o.small[i].p = prop
+				return
+			}
+		}
+		if len(o.small) < smallPropsMax {
+			if o.small == nil {
+				// seed the entry slice from the chunk's embedded backing
+				// array; append spills to the heap past propChunkLen
+				if o.chunk == nil {
+					o.chunk = new(propChunk)
+				}
+				o.small = o.chunk.entries[:0:propChunkLen]
+			}
+			o.small = append(o.small, propEntry{key: key, p: prop})
+			return
+		}
+		o.spill()
 	}
 	if _, exists := o.props[key]; !exists {
 		o.keys = append(o.keys, key)
@@ -397,17 +518,40 @@ func (o *Object) DefineProperty(key string, prop *Property) {
 	o.props[key] = prop
 }
 
+// spill migrates the small linear representation into the map form,
+// preserving insertion order.
+func (o *Object) spill() {
+	o.props = make(map[string]*Property, 2*smallPropsMax)
+	o.keys = make([]string, 0, 2*smallPropsMax)
+	for _, e := range o.small {
+		o.props[e.key] = e.p
+		o.keys = append(o.keys, e.key)
+	}
+	o.small = nil
+}
+
 // DefineAccessor installs a getter/setter pair (either may be nil).
 func (o *Object) DefineAccessor(key string, get, set *Object, enumerable bool) {
-	o.DefineProperty(key, &Property{Get: get, Set: set, Accessor: true, Enumerable: enumerable, Configurable: true})
+	o.DefineProperty(key, o.newProp(Property{Get: get, Set: set, Accessor: true, Enumerable: enumerable, Configurable: true}))
 }
 
 // Delete removes an own property; it reports whether the property existed.
 func (o *Object) Delete(key string) bool {
+	if o.props == nil {
+		for i := range o.small {
+			if o.small[i].key == key {
+				o.small = append(o.small[:i:i], o.small[i+1:]...)
+				o.ver++
+				return true
+			}
+		}
+		return false
+	}
 	if _, ok := o.props[key]; !ok {
 		return false
 	}
 	delete(o.props, key)
+	o.ver++
 	for i, k := range o.keys {
 		if k == key {
 			o.keys = append(o.keys[:i:i], o.keys[i+1:]...)
@@ -425,6 +569,15 @@ func (o *Object) OwnKeys(enumerableOnly bool) []string {
 		for i := range o.Elems {
 			out = append(out, strconv.Itoa(i))
 		}
+	}
+	if o.props == nil {
+		for i := range o.small {
+			if enumerableOnly && !o.small[i].p.Enumerable {
+				continue
+			}
+			out = append(out, o.small[i].key)
+		}
+		return out
 	}
 	for _, k := range o.keys {
 		p := o.props[k]
@@ -465,17 +618,21 @@ func (o *Object) SortedOwnKeys() []string {
 
 // FunctionSource returns the text Function.prototype.toString reports.
 func (o *Object) FunctionSource() string {
-	if o.ToStringOverride != "" {
-		return o.ToStringOverride
+	fd := o.fnd
+	if fd == nil {
+		return "function () { }"
 	}
-	if o.Native != nil {
-		return NativeSource(o.NativeName)
+	if fd.ToStringOverride != "" {
+		return fd.ToStringOverride
 	}
-	if o.Fn != nil {
-		if o.Fn.SrcText != "" {
-			return o.Fn.SrcText
+	if fd.Native != nil {
+		return NativeSource(fd.NativeName)
+	}
+	if fd.Fn != nil {
+		if fd.Fn.SrcText != "" {
+			return fd.Fn.SrcText
 		}
-		return "function " + o.Fn.Name + "() { }"
+		return "function " + fd.Fn.Name + "() { }"
 	}
 	return "function () { }"
 }

@@ -1,0 +1,444 @@
+package minjs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// diffOutcome captures everything observable about one program run: the
+// completion value, the error string, the step and alloc counters that end
+// up embedded in crawl artifacts, console output, and the full property-
+// access hook sequence (the ground-truth oracle the analysis layer feeds
+// on). VM and tree-walker must agree on all of it, bit for bit.
+type diffOutcome struct {
+	val    string
+	errStr string
+	steps  int64
+	allocs int64
+	logs   string
+	hooks  string
+}
+
+func runEngine(t *testing.T, src string, novm bool) diffOutcome {
+	t.Helper()
+	prog, err := Parse(src, "diff.js")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	Compile(prog)
+	if prog.compiled == nil {
+		t.Fatalf("compiler bailed out on supported input:\n%s", src)
+	}
+	it := New()
+	it.NoVM = novm
+	var hooks strings.Builder
+	it.PropAccessHook = func(owner *Object, key string) {
+		hooks.WriteString(owner.Class)
+		hooks.WriteByte('.')
+		hooks.WriteString(key)
+		hooks.WriteByte('\n')
+	}
+	v, rerr := it.RunProgram(prog)
+	o := diffOutcome{
+		steps:  it.Steps(),
+		allocs: it.Allocs(),
+		logs:   strings.Join(it.ConsoleLog, "\n"),
+		hooks:  hooks.String(),
+	}
+	if rerr != nil {
+		o.errStr = rerr.Error()
+	}
+	o.val = v.TypeOf() + ":" + v.ToString()
+	return o
+}
+
+// diffRun executes src on both engines and fails on any observable delta.
+func diffRun(t *testing.T, src string) {
+	t.Helper()
+	tree := runEngine(t, src, true)
+	vm := runEngine(t, src, false)
+	if tree.val != vm.val {
+		t.Errorf("value mismatch\n tree: %s\n   vm: %s\nsrc:\n%s", tree.val, vm.val, src)
+	}
+	if tree.errStr != vm.errStr {
+		t.Errorf("error mismatch\n tree: %q\n   vm: %q\nsrc:\n%s", tree.errStr, vm.errStr, src)
+	}
+	if tree.steps != vm.steps {
+		t.Errorf("steps mismatch tree=%d vm=%d\nsrc:\n%s", tree.steps, vm.steps, src)
+	}
+	if tree.allocs != vm.allocs {
+		t.Errorf("allocs mismatch tree=%d vm=%d\nsrc:\n%s", tree.allocs, vm.allocs, src)
+	}
+	if tree.logs != vm.logs {
+		t.Errorf("console mismatch\n tree: %q\n   vm: %q\nsrc:\n%s", tree.logs, vm.logs, src)
+	}
+	if tree.hooks != vm.hooks {
+		t.Errorf("prop-access mismatch\n tree:\n%s\n vm:\n%s\nsrc:\n%s", tree.hooks, vm.hooks, src)
+	}
+}
+
+// vmCorpus exercises every statement and expression form plus the
+// tree-walker quirks the VM must replicate exactly.
+var vmCorpus = []string{
+	// literals, arithmetic, completion values
+	`42`,
+	`"a" + 1 + true + null + undefined`,
+	`1 + 2 * 3 - 4 / 5 % 6`,
+	`-0`,
+	`0/0`,
+	`1/0`,
+	`~5 ^ 3 | 9 & 12`,
+	`1 << 3 >> 1 >>> 2`,
+	`"b" < "a"`,
+	`"10" < 9`,
+	`5 == "5"`,
+	`5 === "5"`,
+	`null == undefined`,
+	`null === undefined`,
+	`var x; x`,
+	`var x = 1, y = 2; x + y`,
+	// identifiers, scope, globals
+	`var a = 1; { var b = 2; a + b }`,
+	`function f(){ var q = 9; return q } f()`,
+	`u = 5; u`,
+	`typeof nope`,
+	`typeof typeof nope`,
+	`var t = typeof 3; t + typeof "s" + typeof null + typeof {} + typeof [] + typeof f; function f(){}`,
+	`x = 1; delete x`,
+	`var o = {a: 1}; delete o.a; o.a`,
+	`var o = {a: 1}; delete o["a"]; "a" in o`,
+	// strings and arrays
+	`var s = "hello"; s.length + s[1] + s.charAt(4)`,
+	`var a = [1,2,3]; a[0] + a[2] + a.length`,
+	`var a = []; a[4] = 1; a.length`,
+	`var a = [1,2,3]; a.length = 1; a.join(",")`,
+	`[1,2,3].map(function(x){ return x * 2 }).join("-")`,
+	`var a = [5,3,9]; a.sort(); a.join(",")`,
+	`"a,b,c".split(",").length`,
+	`var a = [1,2]; a.push(3); a.pop() + a.length`,
+	`[1,2,3][1.5] === undefined`,
+	`var a = [7]; a["0"] + a[0]`,
+	`var a = [1]; a[-1] === undefined`,
+	// objects, prototypes, accessors
+	`var o = {a: 1, b: {c: 2}}; o.a + o.b.c`,
+	`var o = {}; o.x = 1; o["y"] = 2; o.x + o.y`,
+	`var p = {greet: function(){ return "hi " + this.name }}; var o = Object.create ? {name:"x"} : {}; o.name = "x"; p.greet.call(o)`,
+	`function C(){ this.v = 7 } C.prototype.get = function(){ return this.v }; new C().get()`,
+	`function C(){} var c = new C(); c instanceof C`,
+	`function C(){ return {v: 1} } new C().v`,
+	`var o = {}; Object.defineProperty(o, "x", {get: function(){ return 41 }}); o.x + 1`,
+	`var n = 0; var o = {}; Object.defineProperty(o, "x", {set: function(v){ n = v }}); o.x = 9; n`,
+	`var o = {a:1}; var r = ""; for (var k in o) r += k; r`,
+	`function C(){} C.prototype.p = 1; var c = new C(); c.own = 2; var r = []; for (var k in c) r.push(k); r.sort().join(",")`,
+	`var o = {a:1,b:2}; var r = []; for (var k in o) { if (k === "a") continue; r.push(k) } r.join(",")`,
+	// member writes and compound assignment
+	`var o = {n: 1}; o.n += 2; o.n *= 3; o.n`,
+	`var a = [1]; a[0] += 5; a[0]`,
+	`var o = {n: 2}; o.n++ + o.n`,
+	`var o = {n: 2}; ++o.n + o.n`,
+	`var i = 0; i++ + i++ + ++i`,
+	`var i = 10; i-- - --i`,
+	// control flow
+	`var r = 0; if (1) r = 1; r`,
+	`var r = 0; if (0) r = 1; else r = 2; r`,
+	`if (false) 1`,
+	`var i = 0, s = 0; while (i < 5) { s += i; i++ } s`,
+	`var i = 0; do { i++ } while (i < 3); i`,
+	`var s = 0; for (var i = 0; i < 5; i++) s += i; s`,
+	`var s = 0; for (var i = 0; ; i++) { if (i >= 3) break; s += i } s`,
+	`var s = ""; for (var i = 0; i < 5; i++) { if (i % 2) continue; s += i } s`,
+	`var s = 0; for (;;) { s++; if (s > 2) break } s`,
+	`var s = 0; for (var i = 0; i < 3; i++) { for (var j = 0; j < 3; j++) { if (j > i) break; s++ } } s`,
+	`var r = ""; for (var c of "abc") r = c + r; r`,
+	`var s = 0; for (var v of [1,2,3]) s += v; s`,
+	`var s = 0; for (var v of [1,2,3]) { if (v === 2) break; s += v } s`,
+	`var s = 0; for (var v of [1,2,3]) { if (v === 2) continue; s += v } s`,
+	// switch, including default-in-the-middle and fallthrough
+	`var r = ""; switch (2) { case 1: r += "a"; case 2: r += "b"; case 3: r += "c" } r`,
+	`var r = ""; switch (9) { case 1: r += "a"; break; default: r += "d" } r`,
+	`var r = ""; switch (9) { case 1: r += "a"; default: r += "d"; case 2: r += "b" } r`,
+	`var r = ""; switch (2) { case 1: r += "a"; default: r += "d"; case 2: r += "b" } r`,
+	`var r = ""; switch (1) { case 1: var z = "z"; r += z } r`,
+	`var s = ""; for (var i = 0; i < 4; i++) { switch (i) { case 1: continue; case 2: break; } s += i } s`,
+	`var r = 0; switch (3) {} r`,
+	// try/catch/finally
+	`try { throw 1 } catch (e) { e + 1 }`,
+	`var r = ""; try { r += "t"; throw "x" } catch (e) { r += "c" + e } finally { r += "f" } r`,
+	`var r = ""; try { r += "t" } finally { r += "f" } r`,
+	`function f(){ try { return "t" } finally { return "f" } } f()`,
+	`function f(){ try { throw 1 } finally { return "f" } } f()`,
+	`var r = ""; for (var i = 0; i < 3; i++) { try { if (i === 1) continue; r += i } finally { r += "f" } } r`,
+	`var r = ""; for (var i = 0; i < 9; i++) { try { if (i === 1) break; r += i } finally { r += "f" } } r`,
+	`try { null.x } catch (e) { e.name }`,
+	`try { undefined.x = 1 } catch (e) { "" + e }`,
+	`try { nope() } catch (e) { "" + e }`,
+	`try { var o = {}; o.m() } catch (e) { "" + e }`,
+	`try { new 5 } catch (e) { "" + e }`,
+	`try { throw {name: "E", message: "m"} } catch (e) { e.name + ":" + e.message }`,
+	`var r; try { try { throw "inner" } finally { r = "f1" } } catch (e) { r += ":" + e } r`,
+	`try { unknownname } catch (e) { e.message }`,
+	// functions, closures, recursion, arguments, this
+	`function fib(n){ return n < 2 ? n : fib(n-1) + fib(n-2) } fib(12)`,
+	`function mk(){ var n = 0; return function(){ n++; return n } } var c = mk(); c(); c(); c()`,
+	`function f(){ return arguments.length + ":" + arguments[1] } f(1, "x", 3)`,
+	`function outer(){ var fns = []; for (var i = 0; i < 3; i++) { fns.push(function(){ return i }) } return fns } var g = outer(); "" + g[0]() + g[1]() + g[2]()`,
+	`var o = {v: 3, m: function(){ var self = this; var f = function(){ return self.v }; return f() }}; o.m()`,
+	`var o = {v: 4, m: function(){ var f = () => this.v; return f() }}; o.m()`,
+	`var f = function named(){ return typeof named }; var r; try { r = f() } catch (e) { r = "" + e } r`,
+	`function f(a, b){ return "" + a + b } f(1)`,
+	`var add = function(a, b){ return a + b }; add.call(null, 1, 2) + add.apply(null, [3, 4])`,
+	`function f(a, b){ return this.x + a + b } var b = f.bind({x: 10}, 1); b(2)`,
+	`function f(){ return g() } function g(){ return "hoisted" } f()`,
+	`var r = ""; function f(){ r += "1" } f(); function f(){ r += "2" } f(); r`,
+	// logical / conditional / nullish
+	`0 || "fallback"`,
+	`1 && 2 && 3`,
+	`null ?? "dflt"`,
+	`0 ?? "dflt"`,
+	`var n = 0; function side(){ n++; return 0 } side() || side() || 1; n`,
+	`var n = 0; function side(){ n++; return 1 } side() && side(); n`,
+	`true ? "y" : "n"`,
+	`false ? sideA() : "safe"`,
+	// builtins and stdlib behaviour shared by both engines
+	`Math.max(1, 9, 3) + Math.min(2, -2) + Math.floor(2.9)`,
+	`Math.random() < 1 && Math.random() >= 0`,
+	`JSON.stringify({a: [1, "x", null]})`,
+	`JSON.parse('{"k": [1,2]}').k[1]`,
+	`parseInt("42px") + parseFloat("3.5rest")`,
+	`encodeURIComponent("a b") + decodeURIComponent("%41")`,
+	`String(123) + Number("45") + Boolean(0)`,
+	`"AbC".toLowerCase() + "dEf".toUpperCase()`,
+	`[3,1,2].sort(function(a,b){ return a - b }).join("")`,
+	`new Error("boom").message`,
+	`var e = new TypeError("t"); e.name + ":" + e.message`,
+	`Date.now() >= 0`,
+	`console.log("one", 2, {k: 1}); console.warn("w"); console.error("e"); "done"`,
+	`var s = ""; for (var i = 0; i < 100; i++) s += "x"; s.length`,
+	// eval interplay: eval'd code tree-walks, closures it defines are called
+	// from compiled code and vice versa
+	`eval("var ev = 1; function evf(){ return ev + 1 }"); evf()`,
+	`var f = eval("(function(a){ return a * 3 })"); f(5)`,
+	// getter/setter side-effect ordering
+	`var log = []; var o = {}; Object.defineProperty(o, "p", {get: function(){ log.push("g"); return 1 }, set: function(v){ log.push("s" + v) }}); o.p; o.p = 2; o.p += 3; log.join(",")`,
+	`var o = {toString: function(){ return "OBJ" }}; "" + o`,
+	// inline-cache invalidation shapes
+	`function C(){} C.prototype.p = 1; var c = new C(); var r = c.p; C.prototype.p = 2; r += c.p; c.p = 9; r += c.p; r`,
+	`var proto = {p: "a"}; var o = {}; o.q = 1; var r = ""; function read(x){ return x.p } var o2 = {p: "own"}; r += read(o2); delete o2.p; r += read(o2); r`,
+	`var a = {p: 1}, b = {p: 2}; function rd(x){ return x.p } rd(a) + rd(b) + rd(a) + rd(b)`,
+	`var o = {n: 1}; function rd(){ return o.n } rd(); Object.defineProperty(o, "n", {get: function(){ return 42 }}); rd()`,
+	// Object.setPrototypeOf interplay with caches
+	`var pa = {p: "A"}, pb = {p: "B"}; var o = {}; Object.setPrototypeOf(o, pa); function rd(){ return o.p } var r = rd(); Object.setPrototypeOf(o, pb); r + rd()`,
+	// step-limit behaviour must interrupt identically (low limit set by
+	// the host is not expressible here; covered by TestVMStepLimitParity)
+	// misc quirks
+	`var r = ""; for (var k in "str") r += k; r`,
+	`var r = ""; for (var k in 42) r += k; r + "end"`,
+	`var s = 0; for (var v of []) s++; s`,
+	`var x = 5; x`,
+	`;`,
+	``,
+	`{}`,
+	`var obj = {"with spaces": 1, "2": "two"}; obj["with spaces"] + obj[2]`,
+	`var a = [1,2,3,4]; a[1e3] === undefined && a["03"] === undefined`,
+	`"abc"[10] === undefined`,
+	`var o = {}; o[true] = "t"; o[null] = "n"; o["true"] + o["null"]`,
+	`var i = 0; var a = [0, 0]; a[i++] = "x"; a[i] = "y"; a.join(",")`,
+}
+
+func TestVMDifferentialCorpus(t *testing.T) {
+	for i, src := range vmCorpus {
+		src := src
+		t.Run(fmt.Sprintf("case%03d", i), func(t *testing.T) {
+			diffRun(t, src)
+		})
+	}
+}
+
+// TestVMStepLimitParity pins interrupt behaviour: both engines must stop at
+// the same step count with the same error.
+func TestVMStepLimitParity(t *testing.T) {
+	src := `var n = 0; while (true) { n++ }`
+	prog := MustParse(src, "limit.js")
+	Compile(prog)
+	run := func(novm bool) (int64, string) {
+		it := New()
+		it.NoVM = novm
+		it.StepLimit = 10000
+		_, err := it.RunProgram(prog)
+		if err == nil {
+			t.Fatal("expected interrupt")
+		}
+		return it.Steps(), err.Error()
+	}
+	ts, te := run(true)
+	vs, ve := run(false)
+	if ts != vs || te != ve {
+		t.Fatalf("interrupt mismatch: tree (%d, %q) vm (%d, %q)", ts, te, vs, ve)
+	}
+}
+
+// TestVMStringConcatPenaltyParity pins the proportional step cost of large
+// string concatenations.
+func TestVMStringConcatPenaltyParity(t *testing.T) {
+	diffRun(t, `var s = "x"; for (var i = 0; i < 12; i++) { s = s + s } s.length`)
+	diffRun(t, `var r; try { var s = "x"; while (true) { s = s + s } } catch (e) { r = "" + e } r`)
+}
+
+// TestVMStackTraceParity verifies CaptureStack-visible state (frame names,
+// scripts, line numbers) matches, via Error().stack observed in-script.
+func TestVMStackTraceParity(t *testing.T) {
+	diffRun(t, `function inner(){ return new Error("x").stack }
+function outer(){ return inner() }
+outer()`)
+	diffRun(t, `var st; try { (function bad(){ null.x })() } catch (e) { st = e.stack } st`)
+}
+
+// TestVMCompletionValues pins the toplevel completion-value register against
+// the tree-walker's `last` tracking, including clears for non-expression
+// statements.
+func TestVMCompletionValues(t *testing.T) {
+	cases := []string{
+		`1; 2; 3`,
+		`1; var x = 9`,
+		`1; if (true) 2`,
+		`1; if (false) 2`,
+		`1; if (false) 2; else 3`,
+		`5; while (false) {}`,
+		`5; { 6; 7 }`,
+		`5; {}`,
+		`5; try { 6 } finally {}`,
+		`5; for (var i = 0; i < 2; i++) 9`,
+		`5; function f(){}`,
+		`5; switch (1) { case 1: 8 }`,
+	}
+	for _, src := range cases {
+		diffRun(t, src)
+	}
+}
+
+// TestVMToplevelBreakLeak pins the bug-compat behaviour where a toplevel
+// break/continue leaks the internal sentinel error out of RunProgram.
+func TestVMToplevelBreakLeak(t *testing.T) {
+	for _, src := range []string{`break`, `continue`} {
+		prog := MustParse(src, "leak.js")
+		Compile(prog)
+		tIt := New()
+		tIt.NoVM = true
+		_, treeErr := tIt.RunProgram(prog)
+		vIt := New()
+		_, vmErr := vIt.RunProgram(prog)
+		if fmt.Sprint(treeErr) != fmt.Sprint(vmErr) {
+			t.Fatalf("%q: tree err %v, vm err %v", src, treeErr, vmErr)
+		}
+	}
+}
+
+// TestVMSharedCodeConcurrent runs one compiled Program on many interpreters
+// concurrently — the shared-cache shape. Codes must be immutable at runtime
+// (inline caches live per-realm), so this is race-detector food.
+func TestVMSharedCodeConcurrent(t *testing.T) {
+	src := `
+function C(){ this.v = 1 }
+C.prototype.bump = function(){ this.v += 1; return this.v };
+var c = new C();
+var s = 0;
+for (var i = 0; i < 200; i++) { s += c.bump(); s += [i, i+1][1]; }
+var o = {a: 1, b: 2}; for (var k in o) { s += o[k] }
+try { null.x } catch (e) { s += e.name.length }
+s`
+	prog := MustParse(src, "conc.js")
+	Compile(prog)
+	want := runEngine(t, src, true)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				it := New()
+				v, err := it.RunProgram(prog)
+				if err != nil {
+					errs <- fmt.Sprintf("run error: %v", err)
+					return
+				}
+				got := v.TypeOf() + ":" + v.ToString()
+				if got != want.val {
+					errs <- fmt.Sprintf("value mismatch: %s vs %s", got, want.val)
+					return
+				}
+				if it.Steps() != want.steps {
+					errs <- fmt.Sprintf("steps mismatch: %d vs %d", it.Steps(), want.steps)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestVMScopePoolingReuse hammers pooled call scopes through deep recursion
+// with interleaved closures (unpoolable) to catch recycled-scope corruption.
+func TestVMScopePoolingReuse(t *testing.T) {
+	diffRun(t, `
+function leafA(n){ var a = n + 1; var b = a * 2; return a + b }
+function leafB(n){ var x = leafA(n); var y = leafA(x); return x + y }
+function withClosure(n){ var cap = n; return function(){ return cap + leafB(n) } }
+var total = 0;
+for (var i = 0; i < 50; i++) {
+  total += leafB(i);
+  var f = withClosure(i);
+  total += f();
+  if (i % 7 === 0) { var blk = 0; { var q = i * 2; blk += q } total += blk }
+}
+total`)
+}
+
+// TestVMQuickExpressions drives random arithmetic/comparison expression
+// trees through both engines.
+func TestVMQuickExpressions(t *testing.T) {
+	ops := []string{"+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "===", "!=", "!==", "&", "|", "^", "<<", ">>", ">>>", "&&", "||"}
+	f := func(seeds []uint32) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		var build func(depth int, idx *int) string
+		build = func(depth int, idx *int) string {
+			s := seeds[*idx%len(seeds)]
+			*idx++
+			if depth >= 4 || s%5 == 0 {
+				switch s % 4 {
+				case 0:
+					return fmt.Sprintf("%d", s%100)
+				case 1:
+					return fmt.Sprintf("%d.5", s%10)
+				case 2:
+					return fmt.Sprintf("\"s%d\"", s%7)
+				default:
+					return []string{"true", "false", "null", "undefined"}[s%4]
+				}
+			}
+			op := ops[int(s)%len(ops)]
+			return "(" + build(depth+1, idx) + " " + op + " " + build(depth+1, idx) + ")"
+		}
+		i := 0
+		src := "var r = " + build(0, &i) + "; \"\" + r"
+		tree := runEngine(t, src, true)
+		vm := runEngine(t, src, false)
+		if tree != vm {
+			t.Logf("src=%s\ntree=%+v\nvm=%+v", src, tree, vm)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -23,16 +24,46 @@ type ShardRecoveries []*wal.ShardRecovery
 //
 // fss holds one FS per shard, in any order — shard identity comes from each
 // log's metadata record, and the rebuilt checkpoint is sorted by shard index.
+//
+// A log so damaged that not even its metadata record survived
+// (wal.ErrNoShardMeta — an empty log, or a kill that tore the very first
+// frame) does not fail the recovery: that shard made no durable progress, so
+// it is reset and restarted from site zero. Its index is inferred by
+// elimination from the recovered siblings, its Start/Sites are recomputed by
+// the resumed Run from the crawl's deterministic partition, and the damage
+// report carries a MetaLost entry for it. Only when no log at all yields
+// metadata — there is nothing to even identify the crawl — does Recover fail.
 func Recover(fss []wal.FS, opts wal.Options) (*Checkpoint, ShardRecoveries, error) {
 	if len(fss) == 0 {
 		return nil, nil, fmt.Errorf("sched: recover: no shard logs")
 	}
 	recoveries := make(ShardRecoveries, 0, len(fss))
 	cp := &Checkpoint{}
+	var lost ShardRecoveries // MetaLost placeholders, indices assigned below
 	for _, fs := range fss {
 		r, err := wal.RecoverShard(fs, opts)
 		if err != nil {
-			return nil, nil, err
+			if !errors.Is(err, wal.ErrNoShardMeta) {
+				return nil, nil, err
+			}
+			// no durable progress survived on this shard; rescan purely for
+			// the damage report (Scan never fails on damage), then reset the
+			// log so the restarted shard opens a clean one
+			_, sstats, _ := wal.Scan(fs)
+			if rerr := wal.Reset(fs); rerr != nil {
+				return nil, nil, fmt.Errorf("sched: recover: resetting unrecoverable shard log: %w", rerr)
+			}
+			lost = append(lost, &wal.ShardRecovery{
+				MetaLost: true,
+				Storage:  openwpm.NewStorage(),
+				Stats: wal.RecoverStats{Scan: wal.RecoverScan{
+					Segments:       sstats.Segments,
+					Records:        sstats.Records,
+					TruncatedBytes: sstats.TruncatedBytes,
+					TornSegments:   sstats.TornSegments,
+				}},
+			})
+			continue
 		}
 		recoveries = append(recoveries, r)
 
@@ -74,6 +105,37 @@ func Recover(fss []wal.FS, opts wal.Options) (*Checkpoint, ShardRecoveries, erro
 		cp.Workers = r.Meta.Workers
 		cp.Shards = append(cp.Shards, st)
 	}
+	if len(cp.Shards) == 0 {
+		return nil, nil, fmt.Errorf("sched: recover: no shard log yielded metadata (%d logs, all unrecoverable)", len(fss))
+	}
+	if len(lost) > 0 {
+		// assign the unrecoverable logs the shard indices the recovered
+		// siblings do not claim, in ascending order; Run recomputes their
+		// Start/Sites from the crawl's partition (metaLost)
+		seen := map[int]bool{}
+		for _, st := range cp.Shards {
+			seen[st.Shard.Index] = true
+		}
+		var missing []int
+		for i := 0; i < cp.Workers; i++ {
+			if !seen[i] {
+				missing = append(missing, i)
+			}
+		}
+		if len(missing) != len(lost) {
+			return nil, nil, fmt.Errorf("sched: recover: %d unrecoverable shard logs but %d unclaimed shard indices", len(lost), len(missing))
+		}
+		for i, r := range lost {
+			r.Meta.Index = missing[i]
+			r.Meta.Workers = cp.Workers
+			recoveries = append(recoveries, r)
+			cp.Shards = append(cp.Shards, &ShardState{
+				Shard:      Shard{Index: missing[i]},
+				Checkpoint: &openwpm.Checkpoint{},
+				metaLost:   true,
+			})
+		}
+	}
 	sort.Slice(cp.Shards, func(i, j int) bool {
 		return cp.Shards[i].Shard.Index < cp.Shards[j].Shard.Index
 	})
@@ -85,6 +147,7 @@ func Recover(fss []wal.FS, opts wal.Options) (*Checkpoint, ShardRecoveries, erro
 	if len(cp.Shards) != cp.Workers {
 		return nil, nil, fmt.Errorf("sched: recover: %d shard logs for a %d-worker crawl", len(cp.Shards), cp.Workers)
 	}
+	sort.Slice(recoveries, func(i, j int) bool { return recoveries[i].Meta.Index < recoveries[j].Meta.Index })
 	return cp, recoveries, nil
 }
 

@@ -120,6 +120,11 @@ func TestKillAndRecoverFromWAL(t *testing.T) {
 				t.Fatalf("recovery invented progress: %d done, crawl had reached %d", got, doneAtStop)
 			}
 			for _, r := range recoveries {
+				if r.MetaLost {
+					// this shard's log lost even its metadata record: it
+					// restarts from scratch, there is no backend to compare
+					continue
+				}
 				if a, b := r.Storage.Digest(), r.Backend.Digest(); a != b {
 					t.Fatalf("shard %d: recovered storage digest %s != replayed WAL digest %s", r.Meta.Index, a, b)
 				}
@@ -165,5 +170,157 @@ func TestKillAndRecoverFromWAL(t *testing.T) {
 				t.Fatalf("closing recovered backends: %v", err)
 			}
 		})
+	}
+}
+
+// TestRecoverShardMetaLost models the worst per-shard damage a kill can
+// leave: one shard's log torn inside its very first frame (the metadata
+// record never became durable) and another's gone entirely. Neither shard
+// made durable progress, so recovery must not fail the crawl — it identifies
+// the lost shards by elimination, resets their logs, restarts them from site
+// zero, and the resumed run still matches an uninterrupted one byte for byte.
+func TestRecoverShardMetaLost(t *testing.T) {
+	const sites, workers = 12, 3
+	urls := websim.Tranco(sites)
+	meta := map[string]string{"scenario": "wal-meta-lost"}
+
+	reference, err := sched.Run(sched.Crawl{
+		Sites:      urls,
+		Workers:    workers,
+		Config:     crawlConfig(websim.New(websim.Options{Seed: 5, NumSites: sites}), nil),
+		Record:     true,
+		BundleMeta: meta,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fss := make([]*wal.MemFS, workers)
+	for i := range fss {
+		fss[i] = wal.NewMemFS()
+	}
+	backend := sched.WALBackend(func(sh sched.Shard) wal.FS { return fss[sh.Index] },
+		workers, true, meta, wal.Options{})
+
+	stop := make(chan struct{})
+	var once sync.Once
+	crawl := sched.Crawl{
+		Sites:         urls,
+		Workers:       workers,
+		Config:        crawlConfig(websim.New(websim.Options{Seed: 5, NumSites: sites}), nil),
+		Record:        true,
+		BundleMeta:    meta,
+		Backend:       backend,
+		ProgressEvery: 1,
+		Stop:          stop,
+		OnProgress: func(done, total int) {
+			if done >= 3 {
+				once.Do(func() { close(stop) })
+			}
+		},
+	}
+	first, err := sched.Run(crawl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Interrupted {
+		t.Fatal("crawl was not interrupted")
+	}
+	doneAtStop := first.Checkpoint.Done()
+	first = nil
+
+	// the kill: shard 1's log is cut mid-way through its first frame, shard
+	// 2's vanishes outright; shard 0 keeps whatever it had
+	names, err := fss[1].List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		if i == 0 {
+			if err := fss[1].Truncate(n, 3); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := fss[1].Remove(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err = fss[2].List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if err := fss[2].Remove(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	walFSs := make([]wal.FS, workers)
+	for i, fs := range fss {
+		walFSs[i] = fs
+	}
+	recovered, recoveries, err := sched.Recover(walFSs, wal.Options{})
+	if err != nil {
+		t.Fatalf("recover with two unrecoverable shard logs: %v", err)
+	}
+	if got := recovered.Done(); got > doneAtStop {
+		t.Fatalf("recovery invented progress: %d done, crawl had reached %d", got, doneAtStop)
+	}
+	var lostIdx []int
+	for _, r := range recoveries {
+		if r.MetaLost {
+			lostIdx = append(lostIdx, r.Meta.Index)
+			continue
+		}
+		if r.Meta.Index != 0 {
+			t.Fatalf("shard %d recovered metadata from a destroyed log", r.Meta.Index)
+		}
+	}
+	if len(lostIdx) != 2 || lostIdx[0] != 1 || lostIdx[1] != 2 {
+		t.Fatalf("MetaLost shards = %v, want [1 2]", lostIdx)
+	}
+
+	crawl.Stop = nil
+	crawl.OnProgress = nil
+	crawl.ProgressEvery = 0
+	crawl.Config = crawlConfig(websim.New(websim.Options{Seed: 5, NumSites: sites}), nil)
+	crawl.Resume = recovered
+	resumed, err := sched.Run(crawl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Interrupted {
+		t.Fatal("resumed run did not complete")
+	}
+	if a, b := reference.Storage.Digest(), resumed.Storage.Digest(); a != b {
+		t.Fatalf("recovered+resumed storage digest %s differs from uninterrupted %s", b, a)
+	}
+	if a, b := reference.Report.String(), resumed.Report.String(); a != b {
+		t.Fatalf("recovered+resumed report diverges:\nuninterrupted:\n%s\nresumed:\n%s", a, b)
+	}
+	if reference.Bundle.Digest != resumed.Bundle.Digest {
+		t.Fatal("recovered+resumed bundle digest differs from uninterrupted run")
+	}
+	if err := resumed.Bundle.Verify(); err != nil {
+		t.Fatalf("recovered bundle fails verification: %v", err)
+	}
+
+	// the restarted shards wrote fresh logs: a second recovery must now see
+	// all three shards with metadata and full progress
+	again, recoveries2, err := sched.Recover(walFSs, wal.Options{})
+	if err != nil {
+		t.Fatalf("second recovery after restart: %v", err)
+	}
+	for _, r := range recoveries2 {
+		if r.MetaLost {
+			t.Fatalf("shard %d still has no metadata after the restarted run", r.Meta.Index)
+		}
+	}
+	if got := again.Done(); got != sites {
+		t.Fatalf("second recovery sees %d/%d sites done", got, sites)
+	}
+	if err := resumed.Checkpoint.CloseBackends(); err != nil {
+		t.Fatalf("closing recovered backends: %v", err)
 	}
 }

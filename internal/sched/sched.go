@@ -176,6 +176,12 @@ type ShardState struct {
 	crawlSpan   int64
 	virtualMS   float64
 	traceCursor int64
+
+	// metaLost marks a WAL-recovered shard whose log lost even its metadata
+	// record: Recover knows only the shard's index (by elimination), so
+	// Run recomputes its Start/Sites from the deterministic partition of the
+	// crawl being resumed before validating the checkpoint.
+	metaLost bool
 }
 
 // closeCrawlSpan synthesises the crawl-end event for a WAL-recovered shard
@@ -285,6 +291,8 @@ type faultCounter interface{ CountsByName() map[string]int }
 // worker, then merge. The error path is loud — a failed bundle finalisation
 // or merge fails the run instead of silently dropping the archive.
 func Run(c Crawl) (*Result, error) {
+	crawlGCTuneOn()
+	defer crawlGCTuneOff()
 	workers := Workers(c.Workers, len(c.Sites))
 	cp := c.Resume
 	if cp == nil {
@@ -292,8 +300,11 @@ func Run(c Crawl) (*Result, error) {
 		for _, sh := range Partition(c.Sites, workers) {
 			cp.Shards = append(cp.Shards, &ShardState{Shard: sh, Checkpoint: &openwpm.Checkpoint{}})
 		}
-	} else if err := cp.validate(c.Sites, workers); err != nil {
-		return nil, err
+	} else {
+		cp.repairLostShards(c.Sites, workers)
+		if err := cp.validate(c.Sites, workers); err != nil {
+			return nil, err
+		}
 	}
 	total := len(c.Sites)
 	every := c.ProgressEvery
@@ -511,6 +522,26 @@ func Run(c Crawl) (*Result, error) {
 		c.OnProgress(total, total)
 	}
 	return res, nil
+}
+
+// repairLostShards rebuilds the identity of checkpoint shards whose WAL lost
+// its metadata record (Recover marks them metaLost and knows only their
+// index): the partition is deterministic, so the missing Start/Sites follow
+// from the crawl being resumed. validate then checks the repaired shard like
+// any other.
+func (cp *Checkpoint) repairLostShards(sites []string, workers int) {
+	var parts []Shard
+	for _, st := range cp.Shards {
+		if st == nil || !st.metaLost {
+			continue
+		}
+		if parts == nil {
+			parts = Partition(sites, workers)
+		}
+		if st.Shard.Index >= 0 && st.Shard.Index < len(parts) {
+			st.Shard = parts[st.Shard.Index]
+		}
+	}
 }
 
 // validate checks a resume checkpoint against the crawl it claims to

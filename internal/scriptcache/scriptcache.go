@@ -1,0 +1,327 @@
+// Package scriptcache is the process-wide, content-addressed cache of parsed
+// and compiled scripts. Third-party scripts repeat across thousands of
+// visited sites, so a crawl that re-parses each copy spends most of its visit
+// hot path in the front end; with this cache each unique script body is
+// parsed, bytecode-compiled and statically analysed exactly once per process,
+// shared across visits, shards and daemon jobs.
+//
+// Entries are keyed by the full SHA-256 of the source — not a 64-bit
+// fingerprint — and every hit additionally verifies source equality, so a
+// colliding key can never hand a visit someone else's program (the
+// fingerprint-collision bug this package replaces). The hasher is an
+// injectable seam precisely so tests can force collisions and prove the
+// verification holds.
+//
+// Programs are observable through script names: Error().stack carries the
+// program's script URL into page-visible strings and trace artifacts. A
+// content entry therefore holds one compiled Program per URL the content was
+// fetched from (bounded — the long tail of URL aliases parses fresh), while
+// the tamper analysis, which depends only on the AST shape, is stored once
+// per content hash.
+//
+// The package deliberately imports only minjs: browser, analysis and openwpm
+// all sit above it in the dependency order, so any of them can share the one
+// process-wide cache without cycles. The analysis result is an opaque `any`
+// slot for the same reason.
+package scriptcache
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"gullible/internal/minjs"
+)
+
+const (
+	numShards = 16
+	// maxURLsPerEntry bounds per-content program variants. Hot third-party
+	// scripts are fetched from a handful of CDN URLs; a content body seen
+	// under more URLs than this parses fresh for the extras.
+	maxURLsPerEntry = 8
+)
+
+// Hasher maps script source to its cache key. Production uses SHA-256; tests
+// inject degenerate hashers to force collisions.
+type Hasher func(source string) [32]byte
+
+func sha256Key(source string) [32]byte { return sha256.Sum256([]byte(source)) }
+
+// entry is all cached state for one script body.
+type entry struct {
+	key [32]byte
+	// src is retained for hit-time verification: a key collision must never
+	// serve another script's program or analysis.
+	src string
+
+	mu     sync.Mutex
+	progs  map[string]*minjs.Program // script URL → parsed+compiled program
+	tamper any
+	hasTam bool
+
+	// intrusive LRU list, guarded by the owning shard's lock
+	prev, next *entry
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[[32]byte]*entry
+	// LRU ring: head.next is most recent, head.prev least recent
+	head entry
+	size int
+	cap  int
+}
+
+func (s *shard) init(cap int) {
+	s.entries = make(map[[32]byte]*entry)
+	s.head.prev = &s.head
+	s.head.next = &s.head
+	s.cap = cap
+}
+
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.next = s.head.next
+	e.prev = &s.head
+	s.head.next.prev = e
+	s.head.next = e
+}
+
+// touch moves e to the front of the LRU ring. Caller holds s.mu.
+func (s *shard) touch(e *entry) {
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness, exposed on the
+// daemon's /metrics page. It is scrape-time observability only — never fold
+// these counters into crawl telemetry, or bundle replay identity would
+// depend on what other jobs warmed the cache.
+type Stats struct {
+	Entries    int
+	Programs   int
+	Hits       int64
+	Misses     int64
+	Collisions int64
+	Evictions  int64
+}
+
+// Cache is a sharded, bounded, content-addressed script cache. The zero
+// value is not usable; construct with New.
+type Cache struct {
+	shards [numShards]shard
+	hash   Hasher
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	collisions atomic.Int64
+	evictions  atomic.Int64
+}
+
+// New builds a cache bounded to roughly capacity content entries (split
+// across shards). Capacity ≤ 0 falls back to the default.
+func New(capacity int) *Cache {
+	return NewWithHasher(capacity, sha256Key)
+}
+
+// NewWithHasher is New with an injected content hasher; the collision
+// regression tests live on this seam.
+func NewWithHasher(capacity int, h Hasher) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	per := (capacity + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{hash: h}
+	for i := range c.shards {
+		c.shards[i].init(per)
+	}
+	return c
+}
+
+// DefaultCapacity bounds the process-wide cache: hot third-party scripts are
+// cached early; long-tail per-site scripts are evicted LRU.
+const DefaultCapacity = 20000
+
+// Shared is the process-wide cache used by the browser and the analysis
+// recorder. One instance per process is the point: a daemon running many
+// jobs compiles each unique script once, ever.
+var Shared = New(DefaultCapacity)
+
+func (c *Cache) shardFor(key [32]byte) *shard {
+	return &c.shards[int(key[0])&(numShards-1)]
+}
+
+// lookup returns the verified entry for (key, source), or nil. It counts a
+// collision when the key exists but holds different source. Caller must NOT
+// hold the shard lock.
+func (c *Cache) lookup(s *shard, key [32]byte, source string) *entry {
+	s.mu.Lock()
+	e := s.entries[key]
+	if e != nil {
+		if e.src != source {
+			s.mu.Unlock()
+			c.collisions.Add(1)
+			return nil
+		}
+		s.touch(e)
+	}
+	s.mu.Unlock()
+	return e
+}
+
+// insert adds a verified entry for (key, source), evicting LRU tails past
+// the shard cap. If a concurrent insert won (same key, same source), the
+// winner is returned instead, so all callers converge on one entry.
+func (c *Cache) insert(s *shard, key [32]byte, source string) *entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.entries[key]; e != nil {
+		if e.src != source {
+			c.collisions.Add(1)
+			return nil
+		}
+		s.touch(e)
+		return e
+	}
+	e := &entry{key: key, src: source}
+	s.entries[key] = e
+	s.pushFront(e)
+	s.size++
+	for s.size > s.cap {
+		tail := s.head.prev
+		if tail == &s.head {
+			break
+		}
+		s.unlink(tail)
+		delete(s.entries, tail.key)
+		s.size--
+		c.evictions.Add(1)
+	}
+	return e
+}
+
+// Program returns the parsed and bytecode-compiled program for source as
+// fetched from url, caching per (content, url). A parse error is returned
+// without caching, matching one-shot parse behaviour. On a forced key
+// collision the cache steps aside entirely: the script still parses and runs
+// correctly, it just isn't shared.
+func (c *Cache) Program(source, url string) (*minjs.Program, error) {
+	key := c.hash(source)
+	s := c.shardFor(key)
+	e := c.lookup(s, key, source)
+	if e != nil {
+		e.mu.Lock()
+		if p := e.progs[url]; p != nil {
+			e.mu.Unlock()
+			c.hits.Add(1)
+			return p, nil
+		}
+		e.mu.Unlock()
+	}
+	c.misses.Add(1)
+	prog, err := minjs.Parse(source, url)
+	if err != nil {
+		return nil, err
+	}
+	minjs.Compile(prog)
+	if e == nil {
+		if e = c.insert(s, key, source); e == nil {
+			return prog, nil // collision: run uncached
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p := e.progs[url]; p != nil {
+		return p, nil // lost a fill race; converge on the shared program
+	}
+	if e.progs == nil {
+		e.progs = make(map[string]*minjs.Program, 1)
+	}
+	if len(e.progs) < maxURLsPerEntry {
+		e.progs[url] = prog
+	}
+	return prog, nil
+}
+
+// Tamper returns the cached static-analysis result for source, computing it
+// at most once per content hash via analyze. The callback receives a parsed
+// program for the source when the cache has one (any URL variant — the
+// analysis depends only on AST shape, never on the script name) and nil when
+// it does not, in which case the callback parses for itself.
+func (c *Cache) Tamper(source string, analyze func(source string, prog *minjs.Program) any) any {
+	key := c.hash(source)
+	s := c.shardFor(key)
+	e := c.lookup(s, key, source)
+	if e == nil {
+		if e = c.insert(s, key, source); e == nil {
+			// collision: analyse uncached
+			return analyze(source, nil)
+		}
+	}
+	e.mu.Lock()
+	if e.hasTam {
+		t := e.tamper
+		e.mu.Unlock()
+		c.hits.Add(1)
+		return t
+	}
+	var prog *minjs.Program
+	for _, p := range e.progs {
+		prog = p
+		break
+	}
+	e.mu.Unlock()
+	c.misses.Add(1)
+	t := analyze(source, prog)
+	e.mu.Lock()
+	if e.hasTam {
+		t = e.tamper // first analysis wins; all callers see one result
+	} else {
+		e.tamper = t
+		e.hasTam = true
+	}
+	e.mu.Unlock()
+	return t
+}
+
+// Len reports the current number of content entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.size
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot returns current cache statistics.
+func (c *Cache) Snapshot() Stats {
+	st := Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Collisions: c.collisions.Load(),
+		Evictions:  c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.size
+		for _, e := range s.entries {
+			e.mu.Lock()
+			st.Programs += len(e.progs)
+			e.mu.Unlock()
+		}
+		s.mu.Unlock()
+	}
+	return st
+}

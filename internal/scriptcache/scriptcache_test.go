@@ -1,0 +1,256 @@
+package scriptcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gullible/internal/minjs"
+)
+
+// TestCollisionServesCorrectProgram is the regression test for the
+// fingerprint-collision bug: two different sources forced onto the same key
+// must each run as themselves, never as each other.
+func TestCollisionServesCorrectProgram(t *testing.T) {
+	c := NewWithHasher(100, func(string) [32]byte { return [32]byte{} })
+	srcA := `var collisionResult = "A"; collisionResult`
+	srcB := `var collisionResult = "B"; collisionResult`
+
+	run := func(src string) string {
+		t.Helper()
+		prog, err := c.Program(src, "https://x.test/s.js")
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		it := minjs.New()
+		v, err := it.RunProgram(prog)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return v.ToString()
+	}
+
+	if got := run(srcA); got != "A" {
+		t.Fatalf("first source: got %q", got)
+	}
+	if got := run(srcB); got != "B" {
+		t.Fatalf("colliding source served wrong program: got %q, want B", got)
+	}
+	if got := run(srcA); got != "A" {
+		t.Fatalf("original source after collision: got %q", got)
+	}
+	if st := c.Snapshot(); st.Collisions == 0 {
+		t.Fatal("collision was not counted")
+	}
+
+	// The tamper slot must be collision-safe too.
+	calls := 0
+	analyze := func(src string, _ *minjs.Program) any { calls++; return src }
+	if got := c.Tamper(srcA, analyze); got != srcA {
+		t.Fatalf("tamper A: got %v", got)
+	}
+	if got := c.Tamper(srcB, analyze); got != srcB {
+		t.Fatalf("tamper for colliding source served wrong analysis: got %v", got)
+	}
+}
+
+func TestHitRequiresSourceEquality(t *testing.T) {
+	c := New(100)
+	p1, err := c.Program(`1 + 1`, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Program(`1 + 1`, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("identical (source, url) did not share a program")
+	}
+	p3, err := c.Program(`1 + 1`, "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("different URLs must not share a program (script name is observable)")
+	}
+	st := c.Snapshot()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	if st.Programs != 2 {
+		t.Fatalf("programs = %d, want 2 (one per url)", st.Programs)
+	}
+}
+
+func TestPerEntryURLBound(t *testing.T) {
+	c := New(100)
+	for i := 0; i < maxURLsPerEntry+5; i++ {
+		if _, err := c.Program(`"same body"`, fmt.Sprintf("https://cdn%d.test/s.js", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Snapshot(); st.Programs != maxURLsPerEntry {
+		t.Fatalf("programs = %d, want bound %d", st.Programs, maxURLsPerEntry)
+	}
+}
+
+func TestParseErrorNotCached(t *testing.T) {
+	c := New(100)
+	if _, err := c.Program(`var ] = ;`, "u"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("parse failure cached an entry: %d", n)
+	}
+}
+
+// TestBoundUnderConcurrency is the regression test for the check-then-add
+// race in the old cache: the entry count must never exceed the configured
+// capacity, even with many goroutines inserting distinct scripts at once.
+func TestBoundUnderConcurrency(t *testing.T) {
+	const cap = 64
+	c := New(cap)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				n := next.Add(1)
+				src := fmt.Sprintf(`var uniq%d = %d; uniq%d`, n, n, n)
+				if _, err := c.Program(src, "u"); err != nil {
+					t.Error(err)
+					return
+				}
+				if got := c.Len(); got > cap {
+					t.Errorf("cache overshot cap: %d > %d", got, cap)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Len(); got > cap {
+		t.Fatalf("final size %d exceeds cap %d", got, cap)
+	}
+	if st := c.Snapshot(); st.Evictions == 0 {
+		t.Fatal("expected evictions at this insert volume")
+	}
+}
+
+// TestConcurrentSharedUse hammers a small key space from many goroutines so
+// hits, fills, tamper computation and LRU touches interleave under -race,
+// and verifies every returned program runs as its own source.
+func TestConcurrentSharedUse(t *testing.T) {
+	c := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				id := (g*31 + i*7) % 48
+				src := fmt.Sprintf(`var v = %d; v * 2`, id)
+				prog, err := c.Program(src, fmt.Sprintf("https://site%d.test/a.js", id%3))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				it := minjs.New()
+				v, err := it.RunProgram(prog)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if int(v.Num) != id*2 {
+					t.Errorf("program for id %d returned %v", id, v.Num)
+					return
+				}
+				got := c.Tamper(src, func(s string, _ *minjs.Program) any { return len(s) })
+				if got != len(src) {
+					t.Errorf("tamper mismatch: %v vs %d", got, len(src))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTamperComputedOncePerContent(t *testing.T) {
+	c := New(100)
+	var calls atomic.Int64
+	analyze := func(s string, _ *minjs.Program) any { calls.Add(1); return "rep" }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := c.Tamper(`navigator.webdriver`, analyze); got != "rep" {
+					t.Errorf("tamper = %v", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Concurrent first calls may race the compute, but all must converge and
+	// the steady state must never recompute.
+	before := calls.Load()
+	c.Tamper(`navigator.webdriver`, analyze)
+	if calls.Load() != before {
+		t.Fatal("tamper recomputed on a warm hit")
+	}
+}
+
+// TestTamperReusesCachedProgram verifies the double-parse fix: once the
+// browser has cached a program for a body, the analyzer receives it.
+func TestTamperReusesCachedProgram(t *testing.T) {
+	c := New(100)
+	src := `var w = navigator.webdriver; w`
+	want, err := c.Program(src, "https://a.test/probe.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *minjs.Program
+	c.Tamper(src, func(s string, p *minjs.Program) any { got = p; return nil })
+	if got != want {
+		t.Fatalf("analyzer did not receive the cached program: %p vs %p", got, want)
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	// Single-shard-sized cache so eviction order is deterministic per shard.
+	c := New(numShards) // one entry per shard
+	srcs := make([]string, 0, 8)
+	for i := 0; len(srcs) < 2; i++ {
+		src := fmt.Sprintf(`var e%d = 1`, i)
+		key := c.hash(src)
+		if int(key[0])&(numShards-1) == 0 {
+			srcs = append(srcs, src)
+		}
+	}
+	if _, err := c.Program(srcs[0], "u"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Program(srcs[1], "u"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Snapshot()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// srcs[0] must have been evicted: re-requesting it is a miss.
+	m0 := st.Misses
+	if _, err := c.Program(srcs[0], "u"); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := c.Snapshot(); st2.Misses != m0+1 {
+		t.Fatal("evicted entry was still served")
+	}
+}

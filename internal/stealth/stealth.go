@@ -139,7 +139,7 @@ func (si *Instrument) hookAPIs(b *browser.Browser, st *openwpm.Storage, d *jsdom
 			origGet, origSet := prop.Get, prop.Set
 			var getter, setter *minjs.Object
 			if origGet != nil {
-				name := origGet.NativeName
+				name := origGet.NativeFnName()
 				if name == "" {
 					name = "get " + api.Name
 				}
@@ -153,7 +153,7 @@ func (si *Instrument) hookAPIs(b *browser.Browser, st *openwpm.Storage, d *jsdom
 				})
 			}
 			if origSet != nil {
-				name := origSet.NativeName
+				name := origSet.NativeFnName()
 				if name == "" {
 					name = "set " + api.Name
 				}
@@ -176,7 +176,7 @@ func (si *Instrument) hookAPIs(b *browser.Browser, st *openwpm.Storage, d *jsdom
 			continue
 		}
 		orig := prop.Value.Obj
-		wrapper := it.NewNative(orig.NativeName, func(it *minjs.Interp, this minjs.Value, args []minjs.Value) (minjs.Value, error) {
+		wrapper := it.NewNative(orig.NativeFnName(), func(it *minjs.Interp, this minjs.Value, args []minjs.Value) (minjs.Value, error) {
 			var argStr string
 			for i, a := range args {
 				if i > 0 {

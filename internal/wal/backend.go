@@ -2,12 +2,20 @@ package wal
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"gullible/internal/bundle"
 	"gullible/internal/openwpm"
 	"gullible/internal/telemetry"
 )
+
+// ErrNoShardMeta reports a log whose shard-metadata record did not survive:
+// either the log is empty or its first record was torn. Such a shard made no
+// durable progress at all (metadata is the first frame ever written), so a
+// multi-shard recovery can treat it as "start this shard over" instead of
+// failing the whole crawl — that is what sched.Recover does.
+var ErrNoShardMeta = errors.New("wal: no shard metadata recovered")
 
 // Record kinds. The storage kinds mirror the tables of the measurement
 // database; body/bvisit carry the bundle recorder's archive stream; meta
@@ -208,6 +216,12 @@ type RecoverScan struct {
 type ShardRecovery struct {
 	Meta    ShardMeta
 	Storage *openwpm.Storage
+	// MetaLost marks a shard whose log lost even its metadata record
+	// (ErrNoShardMeta): no durable progress survived, the log was reset, and
+	// the shard restarts from site zero. Only multi-shard recovery
+	// (sched.Recover) synthesises these — everything below Meta is zero and
+	// Backend is nil; the resumed crawl's backend factory opens a fresh log.
+	MetaLost bool
 	// Outcomes are the per-site outcomes in crawl order; len(Outcomes) is
 	// the shard's resume position.
 	Outcomes []openwpm.SiteOutcome
@@ -249,7 +263,7 @@ func RecoverShard(fs FS, opts Options) (*ShardRecovery, error) {
 	tel.Gauge("wal_recovery_truncated_bytes").Add(sstats.TruncatedBytes)
 
 	if len(recs) == 0 || recs[0].Kind != recMeta {
-		return nil, fmt.Errorf("wal: no shard metadata recovered (%s)", sstats)
+		return nil, fmt.Errorf("%w (%s)", ErrNoShardMeta, sstats)
 	}
 	var meta ShardMeta
 	if err := json.Unmarshal(recs[0].Data, &meta); err != nil {

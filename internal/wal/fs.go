@@ -49,6 +49,24 @@ type FS interface {
 	Remove(name string) error
 }
 
+// Reset removes every file in fs, returning the log to the empty state a
+// fresh Open expects. Recovery uses it on a log so damaged that not even the
+// shard-metadata record survived (ErrNoShardMeta): nothing in it is
+// trustworthy, and the restarted shard must begin a clean log rather than
+// append after garbage a later scan would choke on.
+func Reset(fs FS) error {
+	names, err := fs.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := fs.Remove(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DirFS is an FS rooted at a real directory (created on first write).
 type DirFS struct{ Dir string }
 

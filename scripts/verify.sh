@@ -107,6 +107,18 @@ go run ./cmd/wpmtrace diff "$tracedir/record.trace" "$tracedir/replay.trace" || 
 }
 rm -rf "$tracedir"
 
+echo "== VM-vs-interpreter parity smoke (500-site corpus; bundles must be byte-identical)"
+vmdir=$(mktemp -d)
+go run ./cmd/wpmscan -sites 500 -subpages 1 -workers 1 -vm on \
+    -record-bundle "$vmdir/vm.bundle" >/dev/null
+go run ./cmd/wpmscan -sites 500 -subpages 1 -workers 1 -vm off \
+    -record-bundle "$vmdir/interp.bundle" >/dev/null
+cmp "$vmdir/vm.bundle" "$vmdir/interp.bundle" || {
+    echo "bytecode-VM and interpreter crawls produced different bundles; engine parity is broken" >&2
+    exit 1
+}
+rm -rf "$vmdir"
+
 # the whole repo under the race detector; experiments' full synthetic-web
 # crawls are gated behind -short (several minutes each under race) — set
 # WPM_FULL_RACE=1 for the long tier
